@@ -1,0 +1,285 @@
+// Package tokenarbiter's root benchmarks regenerate every table and
+// figure of the paper's evaluation, one bench per experiment of the
+// DESIGN.md index (E1–E10). Each benchmark runs the corresponding
+// experiment at a bench-sized scale and reports the headline quantity as
+// a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation; cmd/mutexsim runs the same experiments
+// at full scale with CIs.
+package tokenarbiter_test
+
+import (
+	"testing"
+
+	"tokenarbiter/internal/baseline/ricartagrawala"
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/experiments"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/workload"
+)
+
+// benchSetup is the scaled-down experiment configuration used by the
+// benchmarks: one replication per point, 20k requests.
+func benchSetup() experiments.Setup {
+	s := experiments.DefaultSetup()
+	s.Requests = 20_000
+	s.Reps = 1
+	return s
+}
+
+var benchLambdas = []float64{0.02, 0.2, 0.45}
+
+// BenchmarkFig3MessagesVsLoad is experiment E1 (paper Figure 3).
+func BenchmarkFig3MessagesVsLoad(b *testing.B) {
+	var last *experiments.Fig345Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig345(benchSetup(), benchLambdas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	pts := last.Messages.Series[0].Points
+	b.ReportMetric(pts[0].Y, "msgs/cs@light")
+	b.ReportMetric(pts[len(pts)-1].Y, "msgs/cs@heavy")
+}
+
+// BenchmarkFig4DelayVsLoad is experiment E2 (paper Figure 4).
+func BenchmarkFig4DelayVsLoad(b *testing.B) {
+	var last *experiments.Fig345Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig345(benchSetup(), benchLambdas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	pts := last.Delay.Series[0].Points
+	b.ReportMetric(pts[0].Y, "delay@light")
+	b.ReportMetric(pts[len(pts)-1].Y, "delay@heavy")
+}
+
+// BenchmarkFig5ForwardedFraction is experiment E3 (paper Figure 5).
+func BenchmarkFig5ForwardedFraction(b *testing.B) {
+	var last *experiments.Fig345Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig345(benchSetup(), benchLambdas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	pts := last.Forwarded.Series[0].Points
+	b.ReportMetric(100*pts[len(pts)-1].Y, "fwd%@heavy")
+}
+
+// BenchmarkFig6Comparison is experiment E4 (paper Figure 6).
+func BenchmarkFig6Comparison(b *testing.B) {
+	var last *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFig6(benchSetup(), benchLambdas, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fig
+	}
+	for _, s := range last.Series {
+		b.ReportMetric(s.Points[len(s.Points)-1].Y, "msgs/cs@heavy:"+s.Name)
+	}
+}
+
+// BenchmarkE5LightLoadBound and BenchmarkE6HeavyLoadBound validate the
+// closed forms of §3 (equations 1–6).
+func BenchmarkE5LightLoadBound(b *testing.B) {
+	benchAnalysisRow(b, 0, 1)
+}
+
+// BenchmarkE6HeavyLoadBound validates Eq. (4)/(6).
+func BenchmarkE6HeavyLoadBound(b *testing.B) {
+	benchAnalysisRow(b, 2, 3)
+}
+
+func benchAnalysisRow(b *testing.B, rows ...int) {
+	b.Helper()
+	var last *experiments.AnalysisResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAnalysis(benchSetup(), 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, idx := range rows {
+		row := last.Rows[idx]
+		b.ReportMetric(row.Measured, "measured")
+		b.ReportMetric(100*row.RelErr, "relerr%")
+	}
+}
+
+// BenchmarkE7MonitorOverhead is the §4.1 starvation-free variant cost.
+func BenchmarkE7MonitorOverhead(b *testing.B) {
+	s := benchSetup()
+	s.Requests = 10_000
+	var last *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunMonitorOverhead(s, []float64{0.02, 0.45})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fig
+	}
+	m := map[string][]experiments.Point{}
+	for _, sr := range last.Series {
+		m[sr.Name] = sr.Points
+	}
+	b.ReportMetric(m["monitor"][0].Y-m["basic"][0].Y, "overhead@light")
+	b.ReportMetric(m["monitor"][1].Y-m["basic"][1].Y, "overhead@heavy")
+}
+
+// BenchmarkE8TokenRecovery is the §6 failure-injection experiment.
+func BenchmarkE8TokenRecovery(b *testing.B) {
+	var last *experiments.RecoveryResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRecovery(benchSetup(), []uint64{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.MaxService, "maxSvc:"+string(row.Scenario))
+	}
+}
+
+// BenchmarkE9Scaling is the N ≫ 1 limit check of §3.
+func BenchmarkE9Scaling(b *testing.B) {
+	s := benchSetup()
+	s.Requests = 6_000
+	var last *experiments.ScalingResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScaling(s, []int{5, 10, 20, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	final := last.Rows[len(last.Rows)-1]
+	b.ReportMetric(final.HeavySim, "msgs/cs@heavy:N=50")
+	b.ReportMetric(final.LightSim, "msgs/cs@light:N=50")
+}
+
+// BenchmarkE10PhaseAblation is the tunable-parameter sweep of §2.1/§7.
+func BenchmarkE10PhaseAblation(b *testing.B) {
+	s := benchSetup()
+	s.Requests = 6_000
+	var last *experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPhaseAblation(s, 0.2, []float64{0.05, 0.2, 0.8}, []float64{0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Cells[0].MsgsPerCS, "msgs/cs@treq=0.05")
+	b.ReportMetric(last.Cells[len(last.Cells)-1].MsgsPerCS, "msgs/cs@treq=0.8")
+}
+
+// BenchmarkE11DelayAblation re-runs the load sweep under stochastic delay
+// models (robustness extension).
+func BenchmarkE11DelayAblation(b *testing.B) {
+	s := benchSetup()
+	s.Requests = 8_000
+	var msgs *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		m, _, err := experiments.RunDelayAblation(s, []float64{0.05, 0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = m
+	}
+	for _, sr := range msgs.Series {
+		b.ReportMetric(sr.Points[len(sr.Points)-1].Y, "msgs/cs:"+sr.Name)
+	}
+}
+
+// BenchmarkE12MessageVolume measures payload units per CS across
+// algorithms (volume extension).
+func BenchmarkE12MessageVolume(b *testing.B) {
+	s := benchSetup()
+	s.Requests = 8_000
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunVolumeComparison(s, []float64{0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig = f
+	}
+	for _, sr := range fig.Series {
+		b.ReportMetric(sr.Points[0].Y, "units/cs:"+sr.Name)
+	}
+}
+
+// BenchmarkE15RecoveryTuning measures the recovery-timeout sweet spot
+// under sustained loss.
+func BenchmarkE15RecoveryTuning(b *testing.B) {
+	s := benchSetup()
+	s.Requests = 6_000
+	var res *experiments.TuningResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunRecoveryTuning(s, 0.005, []float64{3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Rows[0].Throughput, "cs/unit@tt=3")
+}
+
+// --- micro-benchmarks of the underlying machinery ----------------------
+
+// BenchmarkSimulatorThroughput measures raw event-loop throughput: how
+// many simulated CS invocations per second the kernel sustains.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := dme.Config{
+		N:              10,
+		Seed:           7,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  uint64(b.N)*100 + 1000,
+		MaxVirtualTime: 1e12,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: 0.3}, 7, node)
+		},
+	}
+	b.ResetTimer()
+	m, err := dme.Run(core.New(core.Options{RetransmitTimeout: 25}), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(m.CSCompleted)/b.Elapsed().Seconds(), "cs/sec")
+}
+
+// BenchmarkBaselineRicartAgrawala gives a baseline-cost reference point.
+func BenchmarkBaselineRicartAgrawala(b *testing.B) {
+	cfg := dme.Config{
+		N:              10,
+		Seed:           7,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  uint64(b.N)*100 + 1000,
+		MaxVirtualTime: 1e12,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: 0.3}, 7, node)
+		},
+	}
+	b.ResetTimer()
+	m, err := dme.Run(&ricartagrawala.Algorithm{}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(m.MessagesPerCS(), "msgs/cs")
+}

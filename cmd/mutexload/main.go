@@ -1,0 +1,216 @@
+// Command mutexload drives a live arbiter-mutex cluster under load and
+// reports acquisition-latency percentiles, throughput and messages per
+// critical section — the operational counterpart of the simulation
+// experiments, measured on the real runtime (goroutines + timers) over
+// an in-memory or loopback-TCP transport.
+//
+//	mutexload -nodes 5 -duration 5s -rate 200
+//	mutexload -transport tcp -nodes 3 -duration 3s -hold 2ms
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/stats"
+	"tokenarbiter/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mutexload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mutexload", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 5, "cluster size")
+		trans    = fs.String("transport", "mem", "transport: mem or tcp")
+		duration = fs.Duration("duration", 5*time.Second, "measurement duration")
+		rate     = fs.Float64("rate", 200, "aggregate lock attempts per second (0 = closed loop)")
+		hold     = fs.Duration("hold", time.Millisecond, "critical-section hold time")
+		treq     = fs.Float64("treq", 0.002, "request collection phase (seconds)")
+		tfwd     = fs.Float64("tfwd", 0.002, "request forwarding phase (seconds)")
+		monitor  = fs.Bool("monitor", false, "enable the §4.1 starvation-free variant")
+		recover  = fs.Bool("recovery", true, "enable the §6 recovery protocol")
+		netDelay = fs.Duration("netdelay", 200*time.Microsecond, "in-memory network one-way delay")
+		loss     = fs.Float64("loss", 0, "in-memory network loss rate (requires -recovery)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodes < 1 {
+		return fmt.Errorf("need at least one node")
+	}
+
+	opts := core.Options{
+		Treq:              *treq,
+		Tfwd:              *tfwd,
+		Monitor:           *monitor,
+		RetransmitTimeout: 1,
+	}
+	if *monitor {
+		opts.MonitorFlushTimeout = 2
+	}
+	if *recover {
+		opts.Recovery = core.RecoveryOptions{
+			Enabled:        true,
+			TokenTimeout:   1,
+			RoundTimeout:   0.25,
+			ArbiterTimeout: 3,
+			ProbeTimeout:   0.25,
+		}
+	}
+
+	cluster, counters, cleanup, err := buildCluster(*trans, *nodes, opts, *netDelay, *loss)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	fmt.Printf("cluster: %d nodes over %s, rate=%.0f/s, hold=%v, duration=%v, monitor=%v recovery=%v loss=%.2f%%\n",
+		*nodes, *trans, *rate, *hold, *duration, *monitor, *recover, 100**loss)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration+30*time.Second)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		lat       stats.Welford
+		attempts  atomic.Int64
+		errs      atomic.Int64
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	perNode := *rate / float64(*nodes)
+	for i := range cluster {
+		wg.Add(1)
+		go func(nd *live.Node, seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed^0x42))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if perNode > 0 {
+					gap := time.Duration(rng.ExpFloat64() / perNode * float64(time.Second))
+					select {
+					case <-time.After(gap):
+					case <-stop:
+						return
+					}
+				}
+				attempts.Add(1)
+				start := time.Now()
+				if err := nd.Lock(ctx); err != nil {
+					errs.Add(1)
+					return
+				}
+				l := time.Since(start).Seconds()
+				mu.Lock()
+				latencies = append(latencies, l)
+				mu.Unlock()
+				lat.Add(l)
+				time.Sleep(*hold)
+				nd.Unlock()
+			}
+		}(cluster[i], uint64(i+1))
+	}
+
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(latencies) == 0 {
+		return fmt.Errorf("no acquisitions completed (errors: %d)", errs.Load())
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i] * 1000
+	}
+	var sent uint64
+	for _, c := range counters {
+		s, _ := c.Totals()
+		sent += s
+	}
+	n := len(latencies)
+	fmt.Printf("acquisitions: %d (%.0f/sec), errors: %d\n",
+		n, float64(n)/duration.Seconds(), errs.Load())
+	fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f mean=%.2f\n",
+		pct(0.50), pct(0.90), pct(0.99), latencies[n-1]*1000, lat.Mean()*1000)
+	fmt.Printf("messages per CS: %.2f (%d messages total)\n", float64(sent)/float64(n), sent)
+	return nil
+}
+
+// buildCluster assembles the live nodes over the chosen transport, each
+// wrapped in a counting layer.
+func buildCluster(kind string, n int, opts core.Options, delay time.Duration, loss float64) ([]*live.Node, []*transport.Counting, func(), error) {
+	counters := make([]*transport.Counting, n)
+	nodes := make([]*live.Node, n)
+	var closers []func()
+
+	switch kind {
+	case "mem":
+		net := transport.NewMemNetwork(n, transport.MemOptions{Delay: delay, LossRate: loss, Seed: 1})
+		closers = append(closers, net.Close)
+		for i := 0; i < n; i++ {
+			counters[i] = transport.NewCounting(net.Endpoint(i))
+		}
+	case "tcp":
+		trs := make([]*transport.TCPTransport, n)
+		addrs := make(map[dme.NodeID]string, n)
+		for i := 0; i < n; i++ {
+			tr, err := transport.NewTCP(i, map[dme.NodeID]string{i: "127.0.0.1:0"})
+			if err != nil {
+				return nil, nil, func() {}, err
+			}
+			trs[i] = tr
+			addrs[i] = tr.Addr().String()
+		}
+		for i := 0; i < n; i++ {
+			trs[i].SetPeers(addrs)
+			counters[i] = transport.NewCounting(trs[i])
+		}
+	default:
+		return nil, nil, func() {}, fmt.Errorf("unknown transport %q (mem or tcp)", kind)
+	}
+
+	for i := 0; i < n; i++ {
+		nd, err := live.NewNode(live.Config{
+			ID: i, N: n, Transport: counters[i], Options: opts, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			return nil, nil, func() {}, err
+		}
+		nodes[i] = nd
+	}
+	cleanup := func() {
+		for _, nd := range nodes {
+			if nd != nil {
+				_ = nd.Close()
+			}
+		}
+		for _, c := range closers {
+			c()
+		}
+	}
+	return nodes, counters, cleanup, nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-nodes", "0"}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if err := run([]string{"-transport", "carrier-pigeon", "-duration", "10ms"}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}
+
+func TestRunShortMemLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real cluster")
+	}
+	err := run([]string{"-nodes", "3", "-duration", "500ms", "-rate", "100", "-hold", "200us"})
+	if err != nil {
+		t.Fatalf("mem load: %v", err)
+	}
+}
+
+func TestRunShortTCPLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real cluster")
+	}
+	err := run([]string{"-transport", "tcp", "-nodes", "2", "-duration", "500ms", "-rate", "50"})
+	if err != nil {
+		t.Fatalf("tcp load: %v", err)
+	}
+}
+
+func TestRunWithLossAndMonitor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real cluster")
+	}
+	err := run([]string{"-nodes", "3", "-duration", "600ms", "-rate", "80", "-loss", "0.01", "-monitor"})
+	if err != nil {
+		t.Fatalf("lossy monitored load: %v", err)
+	}
+}

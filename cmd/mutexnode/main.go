@@ -1,0 +1,131 @@
+// Command mutexnode runs one live arbiter-mutex node over TCP and drives
+// a demo workload against it, printing each critical-section grant. Start
+// N copies (one per node id) with the same -peers list; node 0 mints the
+// initial token.
+//
+// Example, three nodes on one machine:
+//
+//	mutexnode -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	mutexnode -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	mutexnode -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// Each node acquires the mutex -count times with -think pause between
+// acquisitions, holds it for -hold, and prints a line per grant. With
+// -count 0 the node only serves the protocol (a pure participant).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mutexnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id       = flag.Int("id", 0, "this node's id (index into -peers)")
+		peers    = flag.String("peers", "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002", "comma-separated peer addresses, one per node id")
+		count    = flag.Int("count", 10, "critical sections to execute (0: serve only)")
+		hold     = flag.Duration("hold", 50*time.Millisecond, "time to hold the mutex per acquisition")
+		think    = flag.Duration("think", 100*time.Millisecond, "pause between acquisitions")
+		treq     = flag.Float64("treq", 0.05, "request collection phase (seconds)")
+		tfwd     = flag.Float64("tfwd", 0.05, "request forwarding phase (seconds)")
+		monitor  = flag.Bool("monitor", false, "enable the starvation-free monitor variant")
+		recovery = flag.Bool("recovery", true, "enable the §6 failure recovery protocol")
+		verbose  = flag.Bool("v", false, "log protocol transitions (slog, stderr)")
+	)
+	flag.Parse()
+
+	addrList := strings.Split(*peers, ",")
+	n := len(addrList)
+	if *id < 0 || *id >= n {
+		return fmt.Errorf("id %d outside peer list of %d", *id, n)
+	}
+	addrs := make(map[dme.NodeID]string, n)
+	for i, a := range addrList {
+		addrs[i] = strings.TrimSpace(a)
+	}
+
+	opts := core.Options{
+		Treq:              *treq,
+		Tfwd:              *tfwd,
+		Monitor:           *monitor,
+		RetransmitTimeout: 2,
+	}
+	if *monitor {
+		opts.MonitorFlushTimeout = 5
+	}
+	if *recovery {
+		opts.Recovery = core.RecoveryOptions{
+			Enabled:        true,
+			TokenTimeout:   3,
+			RoundTimeout:   1,
+			ArbiterTimeout: 10,
+			ProbeTimeout:   1,
+		}
+	}
+
+	var logger *slog.Logger
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	tr, err := transport.NewTCP(*id, addrs)
+	if err != nil {
+		return err
+	}
+	node, err := live.NewNode(live.Config{ID: *id, N: n, Transport: tr, Options: opts, Logger: logger})
+	if err != nil {
+		_ = tr.Close()
+		return err
+	}
+	defer node.Close() //nolint:errcheck // shutdown path
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("node %d/%d listening on %s (arbiter protocol: treq=%.3fs tfwd=%.3fs monitor=%v recovery=%v)\n",
+		*id, n, addrs[*id], *treq, *tfwd, *monitor, *recovery)
+
+	if *count == 0 {
+		<-ctx.Done()
+		return nil
+	}
+
+	for i := 1; i <= *count; i++ {
+		if err := node.Lock(ctx); err != nil {
+			return fmt.Errorf("lock %d: %w", i, err)
+		}
+		fmt.Printf("node %d: acquired CS #%d at %s\n", *id, i, time.Now().Format("15:04:05.000"))
+		select {
+		case <-time.After(*hold):
+		case <-ctx.Done():
+		}
+		node.Unlock()
+		select {
+		case <-time.After(*think):
+		case <-ctx.Done():
+			return nil
+		}
+	}
+	granted, released := node.Stats()
+	fmt.Printf("node %d: done (%d granted, %d released)\n", *id, granted, released)
+	return nil
+}

@@ -1,0 +1,323 @@
+// Command mutexsim regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each subcommand runs
+// one experiment and prints an aligned table (and optionally CSV):
+//
+//	mutexsim fig345     Figures 3, 4, 5: messages / delay / forwarded vs. load
+//	mutexsim fig6       Figure 6: comparison with other algorithms
+//	mutexsim analysis   E5/E6: Eq. (1)–(6) vs. simulation
+//	mutexsim monitor    E7: starvation-free variant overhead
+//	mutexsim recovery   E8: §6 failure-injection scenarios
+//	mutexsim scaling    E9: messages/CS vs. N at the load extremes
+//	mutexsim ablation   E10: collection/forwarding duration sweep
+//	mutexsim delays     E11: delay-model robustness ablation
+//	mutexsim volume     E12: message volume (payload units) comparison
+//	mutexsim fairness   §5.1 strict-fairness (least-served-first) study
+//	mutexsim model      batch-polling model vs. simulation (intermediate loads)
+//	mutexsim tuning     E15: §6 recovery-timeout sensitivity under loss
+//	mutexsim trace      replay the §2.2 worked example, print the messages
+//	mutexsim all        everything above, in order
+//
+// Common flags: -n nodes, -requests per run, -reps replications, -seed,
+// -csv (emit CSV after each table), -quick (small fast runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/experiments"
+	"tokenarbiter/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mutexsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mutexsim", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 10, "number of nodes")
+		requests = fs.Uint64("requests", 200_000, "CS requests per run")
+		reps     = fs.Int("reps", 5, "independent replications per point")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		csv      = fs.Bool("csv", false, "also print CSV for each figure")
+		quick    = fs.Bool("quick", false, "small fast runs (requests=20000, reps=3)")
+		lambdas  = fs.String("lambdas", "", "comma-separated per-node arrival rates")
+		spark    = fs.Bool("spark", true, "print unicode sparkline curve previews")
+		svgDir   = fs.String("svg", "", "directory to write <figure-id>.svg files into")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mutexsim [flags] <fig345|fig6|analysis|monitor|recovery|scaling|ablation|delays|volume|fairness|model|tuning|trace|all>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd := fs.Arg(0)
+
+	s := experiments.DefaultSetup()
+	s.N = *n
+	s.Requests = *requests
+	s.Reps = *reps
+	s.Seed = *seed
+	if *quick {
+		s.Requests = 20_000
+		s.Reps = 3
+	}
+
+	var ls []float64
+	if *lambdas != "" {
+		for _, tok := range strings.Split(*lambdas, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return fmt.Errorf("bad -lambdas entry %q: %w", tok, err)
+			}
+			ls = append(ls, v)
+		}
+	}
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			return fmt.Errorf("creating -svg dir: %w", err)
+		}
+	}
+	p := printer{csv: *csv, spark: *spark, svgDir: *svgDir}
+	switch cmd {
+	case "fig345", "fig3", "fig4", "fig5":
+		return p.fig345(s, ls)
+	case "fig6":
+		return p.fig6(s, ls)
+	case "analysis":
+		return p.analysis(s)
+	case "monitor":
+		return p.monitor(s, ls)
+	case "recovery":
+		return p.recovery(s)
+	case "scaling":
+		return p.scaling(s)
+	case "ablation":
+		return p.ablation(s)
+	case "delays":
+		return p.delays(s, ls)
+	case "volume":
+		return p.volume(s, ls)
+	case "fairness":
+		return p.fairness(s)
+	case "model":
+		return p.model(s, ls)
+	case "tuning":
+		return p.tuning(s)
+	case "trace":
+		return p.trace()
+	case "all":
+		for _, f := range []func() error{
+			func() error { return p.fig345(s, ls) },
+			func() error { return p.fig6(s, ls) },
+			func() error { return p.analysis(s) },
+			func() error { return p.monitor(s, ls) },
+			func() error { return p.recovery(s) },
+			func() error { return p.scaling(s) },
+			func() error { return p.ablation(s) },
+			func() error { return p.delays(s, ls) },
+			func() error { return p.volume(s, ls) },
+			func() error { return p.fairness(s) },
+			func() error { return p.model(s, ls) },
+			func() error { return p.tuning(s) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+type printer struct {
+	csv    bool
+	spark  bool
+	svgDir string
+}
+
+func (p printer) figure(f *experiments.Figure) {
+	fmt.Println(f.Table())
+	if p.spark {
+		fmt.Println(f.Sparkline(0))
+	}
+	if p.csv {
+		fmt.Println(f.CSV())
+	}
+	if p.svgDir != "" {
+		path := filepath.Join(p.svgDir, f.ID+".svg")
+		svg, err := f.Chart().SVG()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mutexsim: rendering %s: %v\n", f.ID, err)
+			return
+		}
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mutexsim: writing %s: %v\n", path, err)
+			return
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+}
+
+func (p printer) fig345(s experiments.Setup, ls []float64) error {
+	res, err := experiments.RunFig345(s, ls)
+	if err != nil {
+		return err
+	}
+	p.figure(res.Messages)
+	p.figure(res.Delay)
+	p.figure(res.Forwarded)
+	return nil
+}
+
+func (p printer) fig6(s experiments.Setup, ls []float64) error {
+	fig, err := experiments.RunFig6(s, ls, true)
+	if err != nil {
+		return err
+	}
+	p.figure(fig)
+	return nil
+}
+
+func (p printer) analysis(s experiments.Setup) error {
+	res, err := experiments.RunAnalysis(s, 0.1)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func (p printer) monitor(s experiments.Setup, ls []float64) error {
+	fig, err := experiments.RunMonitorOverhead(s, ls)
+	if err != nil {
+		return err
+	}
+	p.figure(fig)
+	return nil
+}
+
+func (p printer) recovery(s experiments.Setup) error {
+	res, err := experiments.RunRecovery(s, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func (p printer) scaling(s experiments.Setup) error {
+	res, err := experiments.RunScaling(s, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func (p printer) ablation(s experiments.Setup) error {
+	res, err := experiments.RunPhaseAblation(s, 0.2, nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func (p printer) delays(s experiments.Setup, ls []float64) error {
+	msgs, delay, err := experiments.RunDelayAblation(s, ls)
+	if err != nil {
+		return err
+	}
+	p.figure(msgs)
+	p.figure(delay)
+	return nil
+}
+
+func (p printer) volume(s experiments.Setup, ls []float64) error {
+	fig, err := experiments.RunVolumeComparison(s, ls)
+	if err != nil {
+		return err
+	}
+	p.figure(fig)
+	return nil
+}
+
+func (p printer) fairness(s experiments.Setup) error {
+	res, err := experiments.RunFairnessComparison(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func (p printer) tuning(s experiments.Setup) error {
+	res, err := experiments.RunRecoveryTuning(s, 0.005, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func (p printer) model(s experiments.Setup, ls []float64) error {
+	res, err := experiments.RunModelValidation(s, ls)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+// trace replays the paper's §2.2 worked example (Figure 2) — five nodes,
+// all protocol parameters set to 1 time unit, the four requests of the
+// example — and prints every message on the wire. The expected outcome is
+// the paper's: batches {2,5} then {4,3} (1-indexed), one forwarded
+// request, critical sections in the order 2, 5, 4, 3.
+func (p printer) trace() error {
+	rec := &dme.TraceRecorder{}
+	cfg := dme.Config{
+		N:              5,
+		Seed:           1,
+		Delay:          sim.ConstantDelay{D: 1},
+		Texec:          1,
+		TotalRequests:  4,
+		MaxVirtualTime: 100,
+		Trace:          rec.Record,
+	}
+	r, err := dme.NewRunner(core.New(core.Options{Treq: 1, Tfwd: 1}), cfg)
+	if err != nil {
+		return err
+	}
+	r.ScheduleAt(0.05, func() { r.InjectRequest(1) })
+	r.ScheduleAt(0.25, func() { r.InjectRequest(4) })
+	r.ScheduleAt(1.30, func() { r.InjectRequest(3) })
+	r.ScheduleAt(3.50, func() { r.InjectRequest(2) })
+	if _, err := r.Run(); err != nil {
+		return err
+	}
+	fmt.Println("Paper §2.2 worked example (nodes 0-4 = paper nodes 1-5):")
+	fmt.Println()
+	fmt.Print(rec.String())
+	fmt.Printf("\ncritical-section order: %v (paper: 2, 5, 4, 3 → 1, 4, 3, 2)\n", rec.CSOrder())
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"-lambdas", "zz", "fig345"}); err == nil {
+		t.Error("malformed -lambdas accepted")
+	}
+}
+
+func TestRunQuickAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small simulation batch")
+	}
+	err := run([]string{"-quick", "-reps", "2", "-requests", "4000", "analysis"})
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+}
+
+func TestRunQuickFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small simulation batch")
+	}
+	err := run([]string{"-requests", "4000", "-reps", "2", "-lambdas", "0.1,0.4", "fairness"})
+	if err != nil {
+		t.Fatalf("fairness: %v", err)
+	}
+}
+
+func TestRunQuickFig345WithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small simulation batch")
+	}
+	err := run([]string{"-requests", "3000", "-reps", "2", "-csv", "-lambdas", "0.1,0.4", "fig345"})
+	if err != nil {
+		t.Fatalf("fig345: %v", err)
+	}
+}

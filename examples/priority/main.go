@@ -1,0 +1,79 @@
+// Priority: the prioritized-access variant of §5.2, demonstrated through
+// the simulation harness. Ten nodes contend with identical Poisson load;
+// nodes carry static priorities 0..9 (higher value = served earlier
+// within each collected batch). The example shows the resulting
+// waiting-time gradient — and, per the paper's own caveat, that the
+// priority system is *incremental*: ordering applies within an arbiter's
+// batch, so low-priority nodes are delayed but never starved.
+//
+// Run with:
+//
+//	go run ./examples/priority
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/workload"
+)
+
+func main() {
+	const (
+		n      = 10
+		lambda = 0.4 // near saturation, so batches are long enough to reorder
+		seed   = 42
+	)
+
+	priorities := make([]int, n)
+	for i := range priorities {
+		priorities[i] = i // node 9 is the most important
+	}
+
+	run := func(prio []int) *dme.Metrics {
+		algo := core.New(core.Options{
+			Treq:              0.1,
+			Tfwd:              0.1,
+			Priorities:        prio,
+			RetransmitTimeout: 25,
+		})
+		m, err := dme.Run(algo, dme.Config{
+			N:              n,
+			Seed:           seed,
+			Delay:          sim.ConstantDelay{D: 0.1},
+			Texec:          0.1,
+			TotalRequests:  60_000,
+			WarmupRequests: 6_000,
+			MaxVirtualTime: 1e9,
+			Gen: func(node int) dme.GeneratorFunc {
+				return workload.Stream(workload.Poisson{Lambda: lambda}, seed, node)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	fmt.Println("FCFS (no priorities):")
+	base := run(nil)
+	fmt.Printf("  overall wait %.3f ± %.3f, Jain fairness %.4f\n",
+		base.Waiting.Mean(), base.Waiting.CI95(), base.JainFairness())
+
+	fmt.Println("\nstatic priorities 0..9 (node 9 highest):")
+	prio := run(priorities)
+	fmt.Printf("  overall wait %.3f ± %.3f, Jain fairness %.4f\n",
+		prio.Waiting.Mean(), prio.Waiting.CI95(), prio.JainFairness())
+
+	fmt.Println("\nper-node mean waiting time (time units):")
+	fmt.Printf("  %-6s %12s %14s %8s\n", "node", "FCFS", "prioritized", "CS done")
+	for i := 0; i < n; i++ {
+		fmt.Printf("  %-6d %12.3f %14.3f %8d\n",
+			i, base.PerNodeWait[i].Mean(), prio.PerNodeWait[i].Mean(), prio.PerNodeCS[i])
+	}
+	fmt.Println("\nNote: every node completes all of its requests in both runs —")
+	fmt.Println("prioritization reorders batches but cannot starve (§5.2).")
+}

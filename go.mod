@@ -1,0 +1,3 @@
+module tokenarbiter
+
+go 1.22

@@ -1,0 +1,86 @@
+// Package analytic implements the closed-form performance models of the
+// paper's §3 (equations 1–6) together with the standard message-cost
+// formulas of the comparison algorithms, so the simulation results can be
+// validated against theory (experiments E5/E6 in DESIGN.md).
+package analytic
+
+import "math"
+
+// Params carries the model constants of §3: constant message delay,
+// constant CS execution time and constant request-collection time.
+type Params struct {
+	N     int     // number of nodes
+	Tmsg  float64 // message delay between any two nodes
+	Texec float64 // critical-section execution time
+	Treq  float64 // request-collection phase duration
+}
+
+// MessagesLightLoad is Eq. (1): M̄ = (1 − 1/N)(1 + (N−1) + 1) = (N²−1)/N.
+// At light load a remote requester costs one REQUEST, N−1 NEW-ARBITER
+// broadcasts and one token transfer; with probability 1/N the requester
+// is the arbiter itself and the invocation is free.
+func MessagesLightLoad(n int) float64 {
+	N := float64(n)
+	return (N*N - 1) / N
+}
+
+// MessagesLightLoadLimit is Eq. (2): M̄ → N for N ≫ 1.
+func MessagesLightLoadLimit(n int) float64 { return float64(n) }
+
+// ServiceLightLoad is Eq. (3): X̄ = (1 − 1/N)·2·Tmsg + Treq + Texec.
+func ServiceLightLoad(p Params) float64 {
+	N := float64(p.N)
+	return (1-1/N)*2*p.Tmsg + p.Treq + p.Texec
+}
+
+// MessagesHeavyLoad is Eq. (4): M̄ = (1 − 1/N) + (N + (N−1))/N = 3 − 2/N.
+// With all N nodes always pending, every batch serves N critical sections
+// with N−1 token transfers and N−1 NEW-ARBITER messages.
+func MessagesHeavyLoad(n int) float64 {
+	N := float64(n)
+	return 3 - 2/N
+}
+
+// MessagesHeavyLoadLimit is Eq. (5): M̄ → 3 for N ≫ 1.
+func MessagesHeavyLoadLimit() float64 { return 3 }
+
+// ServiceHeavyLoad is Eq. (6):
+// X̄ = (1 − 1/N)·Tmsg + Treq + (N/2 + 1)(Tmsg + Texec).
+func ServiceHeavyLoad(p Params) float64 {
+	N := float64(p.N)
+	return (1-1/N)*p.Tmsg + p.Treq + (N/2+1)*(p.Tmsg+p.Texec)
+}
+
+// Closed-form message costs per critical section of the baselines, from
+// their original papers, used as reference lines in the comparison plots.
+
+// RicartAgrawalaMessages is 2(N−1) at every load.
+func RicartAgrawalaMessages(n int) float64 { return 2 * float64(n-1) }
+
+// LamportMessages is 3(N−1) at every load.
+func LamportMessages(n int) float64 { return 3 * float64(n-1) }
+
+// CentralizedMessages is 3 per remote CS, i.e. 3(N−1)/N with uniform
+// requesters.
+func CentralizedMessages(n int) float64 { return 3 * float64(n-1) / float64(n) }
+
+// SuzukiKasamiMessages is N per remote CS ((N−1) request broadcasts plus
+// one token), i.e. N·(1−1/N) = N−1 with uniform requesters.
+func SuzukiKasamiMessages(n int) float64 { return float64(n - 1) }
+
+// RaymondHeavyLoadMessages is Raymond's ≈4-message heavy-load cost.
+func RaymondHeavyLoadMessages() float64 { return 4 }
+
+// RaymondLightLoadMessages is Raymond's light-load average of roughly
+// 2·(average distance to the token) ≈ (4/3)·log₂(N) messages on a
+// balanced binary tree.
+func RaymondLightLoadMessages(n int) float64 {
+	return 4.0 / 3.0 * math.Log2(float64(n))
+}
+
+// MaekawaMessages is Maekawa's √N-quorum cost band: between 3√N (no
+// contention) and 5√N (deadlock resolution traffic).
+func MaekawaMessages(n int) (lo, hi float64) {
+	r := math.Sqrt(float64(n))
+	return 3 * r, 5 * r
+}

@@ -1,0 +1,108 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessagesLightLoad(t *testing.T) {
+	cases := map[int]float64{
+		2:  1.5,
+		5:  4.8,
+		10: 9.9,
+		20: 19.95,
+	}
+	for n, want := range cases {
+		if got := MessagesLightLoad(n); math.Abs(got-want) > 1e-12 {
+			t.Errorf("MessagesLightLoad(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestMessagesHeavyLoad(t *testing.T) {
+	cases := map[int]float64{
+		2:  2.0,
+		10: 2.8,
+		20: 2.9,
+	}
+	for n, want := range cases {
+		if got := MessagesHeavyLoad(n); math.Abs(got-want) > 1e-12 {
+			t.Errorf("MessagesHeavyLoad(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestLimits verifies the paper's Eq. (2) and Eq. (5) asymptotics: the
+// light-load cost approaches N from below, the heavy-load cost
+// approaches 3 from below, both monotonically.
+func TestLimits(t *testing.T) {
+	prop := func(raw uint16) bool {
+		n := int(raw%500) + 2
+		light := MessagesLightLoad(n)
+		heavy := MessagesHeavyLoad(n)
+		return light < float64(n) &&
+			float64(n)-light <= 1.0/float64(n)+1e-9 &&
+			heavy < 3 &&
+			MessagesLightLoad(n+1) > light &&
+			MessagesHeavyLoad(n+1) > heavy
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServiceTimes(t *testing.T) {
+	p := Params{N: 10, Tmsg: 0.1, Texec: 0.1, Treq: 0.1}
+	// Eq. (3): 0.9·0.2 + 0.1 + 0.1 = 0.38.
+	if got := ServiceLightLoad(p); math.Abs(got-0.38) > 1e-12 {
+		t.Errorf("ServiceLightLoad = %v, want 0.38", got)
+	}
+	// Eq. (6): 0.9·0.1 + 0.1 + 6·0.2 = 1.39.
+	if got := ServiceHeavyLoad(p); math.Abs(got-1.39) > 1e-12 {
+		t.Errorf("ServiceHeavyLoad = %v, want 1.39", got)
+	}
+}
+
+func TestBaselineFormulas(t *testing.T) {
+	if got := RicartAgrawalaMessages(10); got != 18 {
+		t.Errorf("RicartAgrawala(10) = %v, want 18", got)
+	}
+	if got := LamportMessages(10); got != 27 {
+		t.Errorf("Lamport(10) = %v, want 27", got)
+	}
+	if got := CentralizedMessages(10); math.Abs(got-2.7) > 1e-12 {
+		t.Errorf("Centralized(10) = %v, want 2.7", got)
+	}
+	if got := SuzukiKasamiMessages(10); got != 9 {
+		t.Errorf("SuzukiKasami(10) = %v, want 9", got)
+	}
+	if got := RaymondHeavyLoadMessages(); got != 4 {
+		t.Errorf("RaymondHeavy = %v, want 4", got)
+	}
+	if got := RaymondLightLoadMessages(8); math.Abs(got-4) > 1e-12 {
+		t.Errorf("RaymondLight(8) = %v, want 4 ((4/3)·log2(8))", got)
+	}
+	lo, hi := MaekawaMessages(16)
+	if lo != 12 || hi != 20 {
+		t.Errorf("Maekawa(16) = (%v, %v), want (12, 20)", lo, hi)
+	}
+}
+
+// TestCrossoverOrdering encodes the paper's comparison claims at N = 10:
+// heavy-load arbiter < Raymond < Suzuki-Kasami < Ricart-Agrawala <
+// Lamport, and light-load arbiter ≈ N sits between Raymond's log N and
+// Ricart-Agrawala's 2(N−1).
+func TestCrossoverOrdering(t *testing.T) {
+	const n = 10
+	if !(MessagesHeavyLoad(n) < RaymondHeavyLoadMessages() &&
+		RaymondHeavyLoadMessages() < SuzukiKasamiMessages(n) &&
+		SuzukiKasamiMessages(n) < RicartAgrawalaMessages(n) &&
+		RicartAgrawalaMessages(n) < LamportMessages(n)) {
+		t.Error("heavy-load ordering of the paper violated by the closed forms")
+	}
+	if !(RaymondLightLoadMessages(n) < MessagesLightLoad(n) &&
+		MessagesLightLoad(n) < RicartAgrawalaMessages(n)) {
+		t.Error("light-load ordering violated")
+	}
+}

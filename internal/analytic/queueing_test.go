@@ -1,0 +1,130 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func params() Params {
+	return Params{N: 10, Tmsg: 0.1, Texec: 0.1, Treq: 0.1}
+}
+
+func TestSaturationPole(t *testing.T) {
+	p := params()
+	if got := SaturationRate(p); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SaturationRate = %v, want 0.5 (1/(N·(Texec+Tmsg)))", got)
+	}
+	if _, err := CycleTime(p, 0.5); !errors.Is(err, ErrUnstable) {
+		t.Errorf("CycleTime at the pole should be unstable, got err=%v", err)
+	}
+	if _, err := CycleTime(p, 0.6); !errors.Is(err, ErrUnstable) {
+		t.Errorf("CycleTime beyond the pole should be unstable, got err=%v", err)
+	}
+	if _, err := CycleTime(p, 0.49); err != nil {
+		t.Errorf("CycleTime just below the pole: %v", err)
+	}
+}
+
+func TestCycleAndBatchMonotone(t *testing.T) {
+	p := params()
+	prevC, prevK := 0.0, 0.0
+	for _, lambda := range []float64{0.01, 0.1, 0.2, 0.3, 0.4, 0.45, 0.49} {
+		c, err := CycleTime(p, lambda)
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		k, err := BatchSize(p, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < prevC || k < prevK {
+			t.Errorf("cycle/batch not monotone at λ=%v: C %v→%v, k %v→%v",
+				lambda, prevC, c, prevK, k)
+		}
+		prevC, prevK = c, k
+	}
+}
+
+func TestModelLimits(t *testing.T) {
+	p := params()
+	// Light load: k clamps to 1 and M̂ approaches the Eq. (1) regime.
+	m, err := MessagesIntermediate(p, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 9 || m > 12 {
+		t.Errorf("light-load model %v, want near Eq.1's 9.9", m)
+	}
+	x, err := ServiceIntermediate(p, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. (3) + half a batch slot: 0.38 + 0.1.
+	if math.Abs(x-0.48) > 0.02 {
+		t.Errorf("light-load delay model %v, want ≈0.48", x)
+	}
+	// Near saturation: k → N and M̂ → Eq. (4)'s regime.
+	m, err = MessagesIntermediate(p, 0.49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 2 || m > 3.5 {
+		t.Errorf("near-saturation model %v, want near Eq.4's 2.8", m)
+	}
+}
+
+// TestModelAgainstRecordedSimulation checks the model against the
+// full-scale measurements recorded in EXPERIMENTS.md (Treq = 0.1 curve).
+// The model ignores forwarding/retransmission, so tolerances are loose —
+// what must hold is the shape and the knee location.
+func TestModelAgainstRecordedSimulation(t *testing.T) {
+	p := params()
+	measured := []struct {
+		lambda, msgs, delay float64
+	}{
+		{0.01, 9.83, 0.53},
+		{0.10, 9.12, 0.61},
+		{0.20, 8.17, 0.68},
+		{0.30, 6.91, 0.81},
+		{0.45, 4.01, 1.67},
+	}
+	for _, m := range measured {
+		gotM, err := MessagesIntermediate(p, m.lambda)
+		if err != nil {
+			t.Fatalf("λ=%v: %v", m.lambda, err)
+		}
+		if rel := math.Abs(gotM-m.msgs) / m.msgs; rel > 0.35 {
+			t.Errorf("λ=%v: model %0.2f vs measured %0.2f msgs/cs (%.0f%%)",
+				m.lambda, gotM, m.msgs, 100*rel)
+		}
+		gotX, err := ServiceIntermediate(p, m.lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(gotX-m.delay) / m.delay; rel > 0.45 {
+			t.Errorf("λ=%v: delay model %0.2f vs measured %0.2f (%.0f%%)",
+				m.lambda, gotX, m.delay, 100*rel)
+		}
+	}
+}
+
+func TestInferBatchSizeRoundTrip(t *testing.T) {
+	p := params()
+	for _, lambda := range []float64{0.05, 0.2, 0.4} {
+		k, err := BatchSize(p, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		na, err := NewArbiterPerCS(p, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := InferBatchSize(p.N, na); math.Abs(got-k) > 1e-9 {
+			t.Errorf("λ=%v: inferred batch %v, want %v", lambda, got, k)
+		}
+	}
+	if !math.IsInf(InferBatchSize(10, 0), 1) {
+		t.Error("zero NEW-ARBITER rate should infer an unbounded batch")
+	}
+}

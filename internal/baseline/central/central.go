@@ -1,0 +1,121 @@
+// Package central implements the classic centralized-coordinator mutual
+// exclusion algorithm: one fixed coordinator queues REQUESTs and grants
+// the critical section with GRANT/RELEASE handshakes. It costs exactly
+// three messages per remote critical section at every load and serves as
+// the sanity anchor for the comparison experiments.
+package central
+
+import (
+	"fmt"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Message kinds.
+const (
+	KindRequest = "REQUEST"
+	KindGrant   = "GRANT"
+	KindRelease = "RELEASE"
+)
+
+type request struct{}
+
+func (request) Kind() string { return KindRequest }
+
+type grant struct{}
+
+func (grant) Kind() string { return KindGrant }
+
+type release struct{}
+
+func (release) Kind() string { return KindRelease }
+
+// Algorithm builds a centralized-coordinator instance. Coordinator is the
+// coordinator's node id.
+type Algorithm struct {
+	Coordinator int
+}
+
+var _ dme.Algorithm = (*Algorithm)(nil)
+
+// Name implements dme.Algorithm.
+func (a *Algorithm) Name() string { return "central" }
+
+// Build implements dme.Algorithm.
+func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
+	if a.Coordinator < 0 || a.Coordinator >= cfg.N {
+		return nil, fmt.Errorf("central: coordinator %d outside [0,%d)", a.Coordinator, cfg.N)
+	}
+	nodes := make([]dme.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = &node{id: i, coord: a.Coordinator}
+	}
+	return nodes, nil
+}
+
+type node struct {
+	id    int
+	coord int
+
+	// Coordinator state.
+	busy  bool
+	queue []int
+
+	// Requester state: number of locally pending CS requests; only one
+	// is in flight with the coordinator at a time.
+	pending  int
+	inFlight bool
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node.
+func (nd *node) Init(dme.Context) {}
+
+// OnRequest implements dme.Node.
+func (nd *node) OnRequest(ctx dme.Context) {
+	nd.pending++
+	nd.maybeRequest(ctx)
+}
+
+func (nd *node) maybeRequest(ctx dme.Context) {
+	if nd.inFlight || nd.pending == 0 {
+		return
+	}
+	nd.inFlight = true
+	ctx.Send(nd.id, nd.coord, request{})
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch msg.(type) {
+	case request:
+		if nd.busy {
+			nd.queue = append(nd.queue, from)
+			return
+		}
+		nd.busy = true
+		ctx.Send(nd.id, from, grant{})
+	case grant:
+		ctx.EnterCS(nd.id)
+	case release:
+		if len(nd.queue) == 0 {
+			nd.busy = false
+			return
+		}
+		next := nd.queue[0]
+		nd.queue = nd.queue[1:]
+		ctx.Send(nd.id, next, grant{})
+	default:
+		panic(fmt.Sprintf("central: unknown message %T", msg))
+	}
+}
+
+// OnCSDone implements dme.Node.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.pending--
+	nd.inFlight = false
+	ctx.Send(nd.id, nd.coord, release{})
+	nd.maybeRequest(ctx)
+}

@@ -1,0 +1,189 @@
+// Package lamport implements Lamport's timestamp-ordered distributed
+// mutual exclusion algorithm (CACM 1978 / JACM 1986): every node keeps a
+// replica of the request queue ordered by Lamport timestamps; a node
+// enters the critical section when its own request heads its local queue
+// and it has received a later-stamped message from every other node. It
+// costs 3(N−1) messages per critical section and anchors the expensive
+// end of the comparison experiments.
+package lamport
+
+import (
+	"fmt"
+	"sort"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Message kinds.
+const (
+	KindRequest = "REQUEST"
+	KindAck     = "ACK"
+	KindRelease = "RELEASE"
+)
+
+type stamp struct {
+	TS   uint64
+	Node int
+}
+
+// less orders stamps by (timestamp, node id).
+func (s stamp) less(o stamp) bool {
+	return s.TS < o.TS || (s.TS == o.TS && s.Node < o.Node)
+}
+
+type request struct{ S stamp }
+
+func (request) Kind() string { return KindRequest }
+
+type ack struct{ TS uint64 }
+
+func (ack) Kind() string { return KindAck }
+
+type release struct {
+	S  stamp
+	TS uint64 // sender's clock at release time, for the lastSeen check
+}
+
+func (release) Kind() string { return KindRelease }
+
+// Algorithm builds a Lamport-queue instance.
+type Algorithm struct{}
+
+var _ dme.Algorithm = (*Algorithm)(nil)
+
+// Name implements dme.Algorithm.
+func (a *Algorithm) Name() string { return "lamport" }
+
+// Build implements dme.Algorithm.
+func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
+	nodes := make([]dme.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = &node{
+			id:       i,
+			n:        cfg.N,
+			lastSeen: make([]uint64, cfg.N),
+		}
+	}
+	return nodes, nil
+}
+
+type node struct {
+	id, n int
+
+	clock    uint64
+	queue    []stamp  // local replica of the request queue, kept sorted
+	lastSeen []uint64 // highest timestamp received from each node
+
+	requesting bool
+	executing  bool
+	myStamp    stamp
+	pending    int
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node.
+func (nd *node) Init(dme.Context) {}
+
+func (nd *node) tick(received uint64) {
+	if received > nd.clock {
+		nd.clock = received
+	}
+	nd.clock++
+}
+
+// OnRequest implements dme.Node.
+func (nd *node) OnRequest(ctx dme.Context) {
+	nd.pending++
+	nd.maybeStart(ctx)
+}
+
+func (nd *node) maybeStart(ctx dme.Context) {
+	if nd.requesting || nd.executing || nd.pending == 0 {
+		return
+	}
+	nd.requesting = true
+	nd.clock++
+	nd.myStamp = stamp{TS: nd.clock, Node: nd.id}
+	nd.insert(nd.myStamp)
+	ctx.Broadcast(nd.id, request{S: nd.myStamp})
+	nd.maybeEnter(ctx)
+}
+
+func (nd *node) insert(s stamp) {
+	i := sort.Search(len(nd.queue), func(i int) bool { return s.less(nd.queue[i]) })
+	nd.queue = append(nd.queue, stamp{})
+	copy(nd.queue[i+1:], nd.queue[i:])
+	nd.queue[i] = s
+}
+
+func (nd *node) remove(s stamp) {
+	for i, x := range nd.queue {
+		if x == s {
+			nd.queue = append(nd.queue[:i], nd.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// maybeEnter applies Lamport's entry condition: own request at the head
+// of the queue and a message with a later timestamp seen from every node.
+func (nd *node) maybeEnter(ctx dme.Context) {
+	if !nd.requesting || nd.executing {
+		return
+	}
+	if len(nd.queue) == 0 || nd.queue[0] != nd.myStamp {
+		return
+	}
+	for j := 0; j < nd.n; j++ {
+		if j == nd.id {
+			continue
+		}
+		if nd.lastSeen[j] <= nd.myStamp.TS {
+			return
+		}
+	}
+	nd.executing = true
+	ctx.EnterCS(nd.id)
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch m := msg.(type) {
+	case request:
+		nd.tick(m.S.TS)
+		nd.insert(m.S)
+		if m.S.TS >= nd.lastSeen[from] {
+			nd.lastSeen[from] = m.S.TS
+		}
+		ctx.Send(nd.id, from, ack{TS: nd.clock})
+		nd.maybeEnter(ctx)
+	case ack:
+		nd.tick(m.TS)
+		if m.TS > nd.lastSeen[from] {
+			nd.lastSeen[from] = m.TS
+		}
+		nd.maybeEnter(ctx)
+	case release:
+		nd.tick(m.TS)
+		nd.remove(m.S)
+		if m.TS > nd.lastSeen[from] {
+			nd.lastSeen[from] = m.TS
+		}
+		nd.maybeEnter(ctx)
+	default:
+		panic(fmt.Sprintf("lamport: unknown message %T", msg))
+	}
+}
+
+// OnCSDone implements dme.Node.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.pending--
+	nd.requesting = false
+	nd.executing = false
+	nd.remove(nd.myStamp)
+	nd.clock++
+	ctx.Broadcast(nd.id, release{S: nd.myStamp, TS: nd.clock})
+	nd.maybeStart(ctx)
+}

@@ -1,0 +1,378 @@
+// Package maekawa implements Maekawa's quorum-based mutual exclusion
+// algorithm (ACM TOCS 1985), the √N-message algorithm the paper discusses
+// in its fairness comparison (§5.1). A node acquires a GRANT from every
+// member of its quorum before entering the critical section; any two
+// quorums intersect, so two nodes can never hold all their grants at
+// once. Deadlock is avoided with the INQUIRE / RELINQUISH / FAILED
+// protocol driven by Lamport-timestamp priorities: a granted but not yet
+// executing node yields its grant when an older request turns up.
+//
+// Quorums are grid quorums: nodes are laid out in a ⌈√N⌉-wide grid and a
+// node's quorum is its row plus its column (padded cyclically for ragged
+// grids). Grid quorums intersect pairwise and are ≈2√N in size — larger
+// than Maekawa's finite-projective-plane optimum of ≈√N but constructible
+// for every N; message costs scale accordingly (≈3·(2√N) per CS,
+// uncontended).
+package maekawa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Message kinds.
+const (
+	KindRequest    = "REQUEST"
+	KindGrant      = "GRANT"
+	KindRelease    = "RELEASE"
+	KindInquire    = "INQUIRE"
+	KindRelinquish = "RELINQUISH"
+	KindFailed     = "FAILED"
+)
+
+type stamp struct {
+	TS   uint64
+	Node int
+}
+
+// older reports whether s has priority over o (smaller timestamp, node id
+// breaking ties).
+func (s stamp) older(o stamp) bool {
+	return s.TS < o.TS || (s.TS == o.TS && s.Node < o.Node)
+}
+
+type request struct{ S stamp }
+
+func (request) Kind() string { return KindRequest }
+
+type grantMsg struct{}
+
+func (grantMsg) Kind() string { return KindGrant }
+
+type release struct{}
+
+func (release) Kind() string { return KindRelease }
+
+type inquire struct{ S stamp }
+
+func (inquire) Kind() string { return KindInquire }
+
+type relinquish struct{}
+
+func (relinquish) Kind() string { return KindRelinquish }
+
+type failed struct{}
+
+func (failed) Kind() string { return KindFailed }
+
+// GridQuorums builds the row+column quorum of each node in a ⌈√N⌉-wide
+// grid; ragged last rows borrow column members cyclically so every
+// quorum still intersects every other.
+func GridQuorums(n int) [][]int {
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	quorums := make([][]int, n)
+	for i := 0; i < n; i++ {
+		member := map[int]bool{}
+		row := i / cols
+		// Row part.
+		for c := 0; c < cols; c++ {
+			j := row*cols + c
+			if j < n {
+				member[j] = true
+			}
+		}
+		// Column part (wrapping past ragged rows).
+		col := i % cols
+		for r := 0; r*cols+col < n+cols; r++ {
+			j := r*cols + col
+			if j < n {
+				member[j] = true
+			}
+		}
+		member[i] = true
+		q := make([]int, 0, len(member))
+		for j := range member {
+			q = append(q, j)
+		}
+		sort.Ints(q)
+		quorums[i] = q
+	}
+	return quorums
+}
+
+// Algorithm builds a Maekawa instance over grid quorums. Quorums may be
+// overridden for testing (each must contain its owner, and all pairs must
+// intersect — Validate checks this).
+type Algorithm struct {
+	Quorums [][]int
+}
+
+var _ dme.Algorithm = (*Algorithm)(nil)
+
+// Name implements dme.Algorithm.
+func (a *Algorithm) Name() string { return "maekawa" }
+
+// Validate checks the quorum system's structural requirements.
+func Validate(n int, quorums [][]int) error {
+	if len(quorums) != n {
+		return fmt.Errorf("maekawa: %d quorums for %d nodes", len(quorums), n)
+	}
+	sets := make([]map[int]bool, n)
+	for i, q := range quorums {
+		sets[i] = map[int]bool{}
+		own := false
+		for _, j := range q {
+			if j < 0 || j >= n {
+				return fmt.Errorf("maekawa: quorum %d contains invalid node %d", i, j)
+			}
+			sets[i][j] = true
+			if j == i {
+				own = true
+			}
+		}
+		if !own {
+			return fmt.Errorf("maekawa: quorum %d does not contain its owner", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ok := false
+			for k := range sets[i] {
+				if sets[j][k] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("maekawa: quorums %d and %d do not intersect", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Build implements dme.Algorithm.
+func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
+	quorums := a.Quorums
+	if quorums == nil {
+		quorums = GridQuorums(cfg.N)
+	}
+	if err := Validate(cfg.N, quorums); err != nil {
+		return nil, err
+	}
+	nodes := make([]dme.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = &node{
+			id:         i,
+			quorum:     quorums[i],
+			grants:     make(map[int]bool, len(quorums[i])),
+			inquiredBy: make(map[int]bool, len(quorums[i])),
+		}
+	}
+	return nodes, nil
+}
+
+type node struct {
+	id     int
+	quorum []int
+
+	clock uint64
+
+	// Requester side.
+	requesting bool
+	executing  bool
+	myStamp    stamp
+	grants     map[int]bool
+	nGrants    int
+	pending    int
+	// inquiredBy records members whose INQUIRE overtook their own GRANT
+	// (non-FIFO networks); the grant is relinquished the moment it
+	// arrives, otherwise the member would wait for a RELINQUISH that
+	// never comes and the system would deadlock.
+	inquiredBy map[int]bool
+
+	// Lock-manager side (this node as a quorum member).
+	cur      stamp // granted request; zero Node==-1 marker via curSet
+	curSet   bool
+	inquired bool
+	waiting  []stamp // pending requests, kept priority-sorted
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node.
+func (nd *node) Init(dme.Context) {}
+
+func (nd *node) tick(ts uint64) {
+	if ts > nd.clock {
+		nd.clock = ts
+	}
+	nd.clock++
+}
+
+// OnRequest implements dme.Node.
+func (nd *node) OnRequest(ctx dme.Context) {
+	nd.pending++
+	nd.maybeStart(ctx)
+}
+
+func (nd *node) maybeStart(ctx dme.Context) {
+	if nd.requesting || nd.executing || nd.pending == 0 {
+		return
+	}
+	nd.requesting = true
+	nd.clock++
+	nd.myStamp = stamp{TS: nd.clock, Node: nd.id}
+	nd.nGrants = 0
+	for k := range nd.grants {
+		delete(nd.grants, k)
+	}
+	for k := range nd.inquiredBy {
+		delete(nd.inquiredBy, k)
+	}
+	for _, j := range nd.quorum {
+		ctx.Send(nd.id, j, request{S: nd.myStamp})
+	}
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch m := msg.(type) {
+	case request:
+		nd.tick(m.S.TS)
+		nd.onRequest(ctx, m.S)
+	case grantMsg:
+		nd.onGrant(ctx, from)
+	case release:
+		nd.onRelease(ctx)
+	case inquire:
+		nd.onInquire(ctx, from, m)
+	case relinquish:
+		nd.onRelinquish(ctx)
+	case failed:
+		// Informational: an older request holds our quorum member; we
+		// simply keep waiting, our queued request will be granted in
+		// timestamp order.
+	default:
+		panic(fmt.Sprintf("maekawa: unknown message %T", msg))
+	}
+}
+
+// onRequest is the lock-manager path.
+func (nd *node) onRequest(ctx dme.Context, s stamp) {
+	if !nd.curSet {
+		nd.cur = s
+		nd.curSet = true
+		nd.inquired = false
+		ctx.Send(nd.id, s.Node, grantMsg{})
+		return
+	}
+	nd.enqueue(s)
+	if s.older(nd.cur) {
+		// An older request wants the lock we granted: ask the holder to
+		// give it back unless we already did.
+		if !nd.inquired {
+			nd.inquired = true
+			ctx.Send(nd.id, nd.cur.Node, inquire{S: nd.cur})
+		}
+	} else {
+		ctx.Send(nd.id, s.Node, failed{})
+	}
+}
+
+func (nd *node) enqueue(s stamp) {
+	i := sort.Search(len(nd.waiting), func(i int) bool { return s.older(nd.waiting[i]) })
+	nd.waiting = append(nd.waiting, stamp{})
+	copy(nd.waiting[i+1:], nd.waiting[i:])
+	nd.waiting[i] = s
+}
+
+// grantNext hands the lock to the oldest waiting request, if any.
+func (nd *node) grantNext(ctx dme.Context) {
+	if len(nd.waiting) == 0 {
+		nd.curSet = false
+		nd.inquired = false
+		return
+	}
+	nd.cur = nd.waiting[0]
+	nd.waiting = nd.waiting[1:]
+	nd.curSet = true
+	nd.inquired = false
+	ctx.Send(nd.id, nd.cur.Node, grantMsg{})
+}
+
+// onGrant is the requester path.
+func (nd *node) onGrant(ctx dme.Context, from int) {
+	if nd.executing || nd.grants[from] {
+		return
+	}
+	if !nd.requesting {
+		// A stale grant for a request we no longer hold: hand the lock
+		// straight back so the member is not stranded.
+		ctx.Send(nd.id, from, release{})
+		return
+	}
+	if nd.inquiredBy[from] {
+		// The member's INQUIRE overtook this grant: yield immediately.
+		delete(nd.inquiredBy, from)
+		ctx.Send(nd.id, from, relinquish{})
+		return
+	}
+	nd.grants[from] = true
+	nd.nGrants++
+	if nd.nGrants == len(nd.quorum) {
+		nd.executing = true
+		ctx.EnterCS(nd.id)
+	}
+}
+
+func (nd *node) onRelease(ctx dme.Context) {
+	nd.grantNext(ctx)
+}
+
+// onInquire: a quorum member wants its grant back for an older request.
+// Yield unless we are already executing (then the imminent RELEASE
+// resolves it).
+func (nd *node) onInquire(ctx dme.Context, from int, m inquire) {
+	if nd.executing || !nd.requesting {
+		return
+	}
+	if m.S != nd.myStamp {
+		// Stale inquire about a previous incarnation of our request.
+		return
+	}
+	if nd.grants[from] {
+		delete(nd.grants, from)
+		nd.nGrants--
+		ctx.Send(nd.id, from, relinquish{})
+		return
+	}
+	// The INQUIRE overtook the member's GRANT (non-FIFO delivery):
+	// remember it and yield when the grant shows up.
+	nd.inquiredBy[from] = true
+}
+
+// onRelinquish: the holder returned our grant; re-queue it and grant the
+// oldest waiter (which is exactly the request that triggered INQUIRE).
+func (nd *node) onRelinquish(ctx dme.Context) {
+	if nd.curSet {
+		nd.enqueue(nd.cur)
+		nd.curSet = false
+	}
+	nd.grantNext(ctx)
+}
+
+// OnCSDone implements dme.Node.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.pending--
+	nd.requesting = false
+	nd.executing = false
+	for _, j := range nd.quorum {
+		ctx.Send(nd.id, j, release{})
+	}
+	nd.maybeStart(ctx)
+}

@@ -1,0 +1,151 @@
+package maekawa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/workload"
+)
+
+func cfg(n int, lambda float64, total, seed uint64) dme.Config {
+	return dme.Config{
+		N:              n,
+		Seed:           seed,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  total,
+		WarmupRequests: total / 10,
+		MaxVirtualTime: 1e8,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: lambda}, seed, node)
+		},
+	}
+}
+
+func TestGridQuorumsIntersect(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		if err := Validate(n, GridQuorums(n)); err != nil {
+			t.Errorf("N=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGridQuorumSize(t *testing.T) {
+	// Perfect square: |quorum| = 2√N − 1.
+	q := GridQuorums(16)
+	for i, s := range q {
+		if len(s) != 7 {
+			t.Errorf("N=16 quorum %d has %d members, want 7", i, len(s))
+		}
+	}
+}
+
+func TestValidateRejectsBadQuorums(t *testing.T) {
+	// Missing owner.
+	if err := Validate(2, [][]int{{1}, {1}}); err == nil {
+		t.Error("quorum without owner accepted")
+	}
+	// Non-intersecting.
+	if err := Validate(2, [][]int{{0}, {1}}); err == nil {
+		t.Error("disjoint quorums accepted")
+	}
+	// Invalid member.
+	if err := Validate(2, [][]int{{0, 5}, {0, 1}}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	// Wrong count.
+	if err := Validate(3, [][]int{{0}, {1}}); err == nil {
+		t.Error("wrong quorum count accepted")
+	}
+}
+
+func TestMaekawaCompletesAcrossLoads(t *testing.T) {
+	for _, lambda := range []float64{0.02, 0.2, 0.45} {
+		m, err := dme.Run(&Algorithm{}, cfg(9, lambda, 4000, 3))
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		t.Logf("λ=%v: %.3f msgs/cs", lambda, m.MessagesPerCS())
+		if m.CSCompleted == 0 {
+			t.Error("nothing completed")
+		}
+	}
+}
+
+func TestMaekawaUncontendedCost(t *testing.T) {
+	// One requester, N=16, quorum size 7 (incl. self): REQUEST+GRANT+
+	// RELEASE to the 6 remote members = 18 messages per CS; INQUIRE
+	// traffic never appears without contention.
+	c := cfg(16, 0, 2000, 5)
+	c.Gen = func(node int) dme.GeneratorFunc {
+		if node != 5 {
+			return nil
+		}
+		return workload.Stream(workload.Poisson{Lambda: 1}, 5, node)
+	}
+	m, err := dme.Run(&Algorithm{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MessagesPerCS(); got < 17.9 || got > 18.1 {
+		t.Errorf("uncontended msgs/cs = %.3f, want 18 = 3·(|Q|−1)", got)
+	}
+	if m.MsgByKind[KindInquire] != 0 || m.MsgByKind[KindRelinquish] != 0 {
+		t.Error("deadlock-avoidance traffic without contention")
+	}
+}
+
+func TestMaekawaContentionUsesInquire(t *testing.T) {
+	m, err := dme.Run(&Algorithm{}, cfg(9, 0.5, 8000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MsgByKind[KindInquire] == 0 {
+		t.Error("heavy contention never triggered INQUIRE")
+	}
+	if m.MsgByKind[KindFailed] == 0 {
+		t.Error("heavy contention never triggered FAILED")
+	}
+	t.Logf("contended: %s", m)
+}
+
+func TestMaekawaNoStarvation(t *testing.T) {
+	m, err := dme.Run(&Algorithm{}, cfg(9, 0.4, 9000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.PerNodeCS {
+		if c == 0 {
+			t.Errorf("node %d starved", i)
+		}
+	}
+}
+
+// TestMaekawaSafetyProperty hammers the deadlock-avoidance machinery
+// across seeds; the harness detects any quorum-intersection violation as
+// a concurrent CS entry.
+func TestMaekawaSafetyProperty(t *testing.T) {
+	prop := func(seed uint64, loadSel uint8) bool {
+		lambda := []float64{0.1, 0.3, 0.6}[int(loadSel)%3]
+		c := cfg(6, lambda, 1000, seed%1000+1)
+		c.MaxVirtualTime = 1e6
+		_, err := dme.Run(&Algorithm{}, c)
+		if err != nil {
+			t.Logf("seed=%d λ=%v: %v", seed%1000+1, lambda, err)
+		}
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaekawaJitteredDelays(t *testing.T) {
+	c := cfg(9, 0.3, 4000, 11)
+	c.Delay = sim.UniformDelay{Min: 0.02, Max: 0.25}
+	if _, err := dme.Run(&Algorithm{}, c); err != nil {
+		t.Fatalf("maekawa under jitter: %v", err)
+	}
+}

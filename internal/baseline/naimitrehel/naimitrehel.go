@@ -1,0 +1,155 @@
+// Package naimitrehel implements the Naimi-Trehel token algorithm (1987):
+// a dynamic tree of "probable owner" pointers routes each REQUEST to the
+// last requester (path-compressing the tree on the way), and a separate
+// "next" chain hands the token over in request order. The average cost is
+// O(log N) messages per critical section — the modern comparison point
+// for token-based mutual exclusion, complementing the static-tree Raymond
+// baseline the paper measures against.
+package naimitrehel
+
+import (
+	"fmt"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Message kinds.
+const (
+	KindRequest = "REQUEST"
+	KindToken   = "TOKEN"
+)
+
+type request struct {
+	Origin int // the requesting node (requests are forwarded)
+}
+
+func (request) Kind() string { return KindRequest }
+
+type token struct{}
+
+func (token) Kind() string { return KindToken }
+
+// Algorithm builds a Naimi-Trehel instance; node 0 is the initial owner.
+type Algorithm struct{}
+
+var _ dme.Algorithm = (*Algorithm)(nil)
+
+// Name implements dme.Algorithm.
+func (a *Algorithm) Name() string { return "naimi-trehel" }
+
+// Build implements dme.Algorithm.
+func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
+	nodes := make([]dme.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		owner := 0
+		if i == 0 {
+			owner = -1 // the owner's pointer is nil: requests stop here
+		}
+		nodes[i] = &node{id: i, owner: owner, next: -1}
+	}
+	return nodes, nil
+}
+
+type node struct {
+	id int
+
+	// owner is the "probable owner" pointer (called last/father in the
+	// literature): where to send requests; -1 at the tree root.
+	owner int
+	// next is the node to hand the token to after our own CS; -1 when
+	// nobody is queued behind us.
+	next int
+
+	hasToken   bool
+	requesting bool
+	executing  bool
+	pending    int
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node: node 0 holds the token.
+func (nd *node) Init(dme.Context) {
+	if nd.id == 0 {
+		nd.hasToken = true
+	}
+}
+
+// OnRequest implements dme.Node.
+func (nd *node) OnRequest(ctx dme.Context) {
+	nd.pending++
+	nd.maybeStart(ctx)
+}
+
+func (nd *node) maybeStart(ctx dme.Context) {
+	if nd.requesting || nd.executing || nd.pending == 0 {
+		return
+	}
+	nd.requesting = true
+	if nd.hasToken {
+		nd.enter(ctx)
+		return
+	}
+	// Ask the probable owner and become the new root: subsequent
+	// requests that reach the old path get forwarded to us.
+	ctx.Send(nd.id, nd.owner, request{Origin: nd.id})
+	nd.owner = -1
+}
+
+func (nd *node) enter(ctx dme.Context) {
+	nd.executing = true
+	ctx.EnterCS(nd.id)
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch m := msg.(type) {
+	case request:
+		nd.onRequest(ctx, m.Origin)
+	case token:
+		nd.hasToken = true
+		if nd.requesting && !nd.executing {
+			nd.enter(ctx)
+		}
+	default:
+		panic(fmt.Sprintf("naimitrehel: unknown message %T", msg))
+	}
+}
+
+func (nd *node) onRequest(ctx dme.Context, origin int) {
+	if nd.owner == -1 {
+		// We are the root: origin becomes our successor (if we still
+		// care about the token) or receives the token right away.
+		if nd.requesting || nd.executing {
+			nd.next = origin
+		} else if nd.hasToken {
+			nd.hasToken = false
+			ctx.Send(nd.id, origin, token{})
+		} else {
+			// Root without token and not requesting: we are waiting for
+			// the token solely to pass it to a previous next... cannot
+			// happen (next is set only while requesting); treat origin
+			// as successor defensively.
+			nd.next = origin
+		}
+	} else {
+		// Not the root: forward toward the probable owner.
+		ctx.Send(nd.id, nd.owner, request{Origin: origin})
+	}
+	// Path compression: the requester is the new probable owner.
+	nd.owner = origin
+}
+
+// OnCSDone implements dme.Node.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.pending--
+	nd.requesting = false
+	nd.executing = false
+	if nd.next != -1 {
+		nd.hasToken = false
+		ctx.Send(nd.id, nd.next, token{})
+		nd.next = -1
+	}
+	nd.maybeStart(ctx)
+}

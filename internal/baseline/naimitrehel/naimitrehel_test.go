@@ -1,0 +1,104 @@
+package naimitrehel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/workload"
+)
+
+func cfg(n int, lambda float64, total, seed uint64) dme.Config {
+	return dme.Config{
+		N:              n,
+		Seed:           seed,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  total,
+		WarmupRequests: total / 10,
+		MaxVirtualTime: 1e8,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: lambda}, seed, node)
+		},
+	}
+}
+
+func TestCompletesAcrossLoads(t *testing.T) {
+	for _, lambda := range []float64{0.02, 0.2, 0.45} {
+		m, err := dme.Run(&Algorithm{}, cfg(10, lambda, 5000, 1))
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		t.Logf("λ=%v: %.3f msgs/cs", lambda, m.MessagesPerCS())
+		if m.CSCompleted == 0 {
+			t.Error("nothing completed")
+		}
+	}
+}
+
+func TestHotNodeIsFree(t *testing.T) {
+	// The hot node becomes the tree root and re-enters for free.
+	c := cfg(10, 0, 5000, 2)
+	c.Gen = func(node int) dme.GeneratorFunc {
+		if node != 7 {
+			return nil
+		}
+		return workload.Stream(workload.Poisson{Lambda: 3}, 2, node)
+	}
+	m, err := dme.Run(&Algorithm{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MessagesPerCS(); got > 0.1 {
+		t.Errorf("hot node pays %.3f msgs/cs, want ≈0 once it owns the token", got)
+	}
+}
+
+func TestLogNScaling(t *testing.T) {
+	// Path compression keeps the average request path logarithmic: the
+	// per-CS message count at moderate load grows far slower than N.
+	costs := map[int]float64{}
+	for _, n := range []int{8, 64} {
+		m, err := dme.Run(&Algorithm{}, cfg(n, 0.1, 6000, 3))
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		costs[n] = m.MessagesPerCS()
+		t.Logf("N=%d: %.3f msgs/cs", n, m.MessagesPerCS())
+	}
+	// 8× more nodes must cost far less than 8× more messages; the
+	// classical result is O(log N), so expect roughly double.
+	if ratio := costs[64] / costs[8]; ratio > 4 || math.IsNaN(ratio) {
+		t.Errorf("cost ratio N=64/N=8 is %.2f, want ≈log ratio (≈2)", ratio)
+	}
+}
+
+func TestNoStarvationUnderContention(t *testing.T) {
+	m, err := dme.Run(&Algorithm{}, cfg(8, 0.5, 8000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.PerNodeCS {
+		if c == 0 {
+			t.Errorf("node %d starved", i)
+		}
+	}
+}
+
+func TestSafetyProperty(t *testing.T) {
+	prop := func(seed uint64, loadSel uint8) bool {
+		lambda := []float64{0.1, 0.3, 0.6}[int(loadSel)%3]
+		c := cfg(6, lambda, 1000, seed%1000+1)
+		c.MaxVirtualTime = 1e6
+		_, err := dme.Run(&Algorithm{}, c)
+		if err != nil {
+			t.Logf("seed=%d λ=%v: %v", seed%1000+1, lambda, err)
+		}
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

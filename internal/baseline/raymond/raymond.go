@@ -1,0 +1,185 @@
+// Package raymond implements Raymond's tree-based token algorithm (ACM
+// TOCS 1989): nodes form a static spanning tree; each node's HOLDER
+// variable points toward the token along tree edges; requests and the
+// token travel hop by hop. The average cost is O(log N) messages at light
+// load and approximately 4 messages at heavy load — the comparator the
+// paper's abstract measures itself against.
+package raymond
+
+import (
+	"fmt"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Message kinds.
+const (
+	KindRequest = "REQUEST"
+	KindToken   = "TOKEN"
+)
+
+type request struct{}
+
+func (request) Kind() string { return KindRequest }
+
+type token struct{}
+
+func (token) Kind() string { return KindToken }
+
+// Topology names the spanning-tree shapes available.
+type Topology int
+
+// Supported tree topologies.
+const (
+	// BinaryTree arranges nodes as a complete binary tree rooted at 0
+	// (parent(i) = (i−1)/2), the shape Raymond's analysis assumes.
+	BinaryTree Topology = iota + 1
+	// Chain arranges nodes in a line 0–1–…–N−1, the worst case diameter.
+	Chain
+	// Star connects every node directly to node 0, the best case.
+	Star
+	// KAryTree arranges nodes as a complete k-ary tree rooted at 0; K
+	// selects the fan-out.
+	KAryTree
+)
+
+// Algorithm builds a Raymond instance over the chosen topology. The zero
+// value uses a binary tree.
+type Algorithm struct {
+	Topology Topology
+	K        int // fan-out for KAryTree
+}
+
+var _ dme.Algorithm = (*Algorithm)(nil)
+
+// Name implements dme.Algorithm.
+func (a *Algorithm) Name() string { return "raymond" }
+
+// parent returns node i's parent in the chosen tree, or -1 for the root.
+func (a *Algorithm) parent(i int) (int, error) {
+	if i == 0 {
+		return -1, nil
+	}
+	switch a.Topology {
+	case BinaryTree, 0:
+		return (i - 1) / 2, nil
+	case Chain:
+		return i - 1, nil
+	case Star:
+		return 0, nil
+	case KAryTree:
+		if a.K < 2 {
+			return 0, fmt.Errorf("raymond: k-ary tree needs K ≥ 2, got %d", a.K)
+		}
+		return (i - 1) / a.K, nil
+	default:
+		return 0, fmt.Errorf("raymond: unknown topology %d", a.Topology)
+	}
+}
+
+// Build implements dme.Algorithm: the token starts at the tree root
+// (node 0), and every HOLDER pointer initially points at the parent.
+func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
+	nodes := make([]dme.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		p, err := a.parent(i)
+		if err != nil {
+			return nil, err
+		}
+		holder := p
+		if i == 0 {
+			holder = 0 // the root holds the token
+		}
+		nodes[i] = &node{id: i, holder: holder}
+	}
+	return nodes, nil
+}
+
+type node struct {
+	id      int
+	holder  int  // neighbor in the token's direction, or self
+	using   bool // executing the CS
+	asked   bool // a REQUEST to holder is outstanding
+	queue   []int
+	pending int
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node.
+func (nd *node) Init(dme.Context) {}
+
+// OnRequest implements dme.Node.
+func (nd *node) OnRequest(ctx dme.Context) {
+	nd.pending++
+	nd.maybeStart(ctx)
+}
+
+func (nd *node) maybeStart(ctx dme.Context) {
+	if nd.pending == 0 || nd.inQueue(nd.id) || nd.using {
+		return
+	}
+	nd.queue = append(nd.queue, nd.id)
+	nd.assignOrAsk(ctx)
+}
+
+func (nd *node) inQueue(x int) bool {
+	for _, q := range nd.queue {
+		if q == x {
+			return true
+		}
+	}
+	return false
+}
+
+// assignOrAsk is Raymond's ASSIGN_PRIVILEGE / MAKE_REQUEST pair: if we
+// hold the token and are idle, grant the queue head; otherwise chase the
+// token with a single outstanding REQUEST.
+func (nd *node) assignOrAsk(ctx dme.Context) {
+	if nd.holder == nd.id && !nd.using && len(nd.queue) > 0 {
+		head := nd.queue[0]
+		nd.queue = nd.queue[1:]
+		nd.asked = false
+		if head == nd.id {
+			nd.using = true
+			ctx.EnterCS(nd.id)
+			return
+		}
+		nd.holder = head
+		ctx.Send(nd.id, head, token{})
+		if len(nd.queue) > 0 {
+			ctx.Send(nd.id, nd.holder, request{})
+			nd.asked = true
+		}
+		return
+	}
+	if nd.holder != nd.id && len(nd.queue) > 0 && !nd.asked {
+		ctx.Send(nd.id, nd.holder, request{})
+		nd.asked = true
+	}
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch msg.(type) {
+	case request:
+		if !nd.inQueue(from) {
+			nd.queue = append(nd.queue, from)
+		}
+		nd.assignOrAsk(ctx)
+	case token:
+		nd.holder = nd.id
+		nd.assignOrAsk(ctx)
+	default:
+		panic(fmt.Sprintf("raymond: unknown message %T", msg))
+	}
+}
+
+// OnCSDone implements dme.Node.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.pending--
+	nd.using = false
+	nd.maybeStart(ctx)
+	nd.assignOrAsk(ctx)
+}

@@ -1,0 +1,133 @@
+// Package ricartagrawala implements the Ricart-Agrawala distributed
+// mutual exclusion algorithm (CACM 1981): a requester broadcasts a
+// timestamped REQUEST and enters the critical section after receiving a
+// REPLY from every other node; nodes defer their REPLY while they are in
+// the CS or are requesting with an older timestamp. It costs 2(N−1)
+// messages per critical section at every load and is the static-class
+// comparison curve of the paper's Figure 6.
+package ricartagrawala
+
+import (
+	"fmt"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Message kinds.
+const (
+	KindRequest = "REQUEST"
+	KindReply   = "REPLY"
+)
+
+type request struct {
+	TS   uint64
+	Node int
+}
+
+func (request) Kind() string { return KindRequest }
+
+type reply struct{}
+
+func (reply) Kind() string { return KindReply }
+
+// Algorithm builds a Ricart-Agrawala instance.
+type Algorithm struct{}
+
+var _ dme.Algorithm = (*Algorithm)(nil)
+
+// Name implements dme.Algorithm.
+func (a *Algorithm) Name() string { return "ricart-agrawala" }
+
+// Build implements dme.Algorithm.
+func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
+	nodes := make([]dme.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = &node{id: i, n: cfg.N}
+	}
+	return nodes, nil
+}
+
+type node struct {
+	id, n int
+
+	clock      uint64
+	requesting bool
+	executing  bool
+	myTS       uint64
+	replies    int
+	deferred   []int
+	pending    int // locally queued CS requests beyond the one in flight
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node.
+func (nd *node) Init(dme.Context) {}
+
+// OnRequest implements dme.Node.
+func (nd *node) OnRequest(ctx dme.Context) {
+	nd.pending++
+	nd.maybeStart(ctx)
+}
+
+func (nd *node) maybeStart(ctx dme.Context) {
+	if nd.requesting || nd.executing || nd.pending == 0 {
+		return
+	}
+	nd.requesting = true
+	nd.replies = 0
+	nd.clock++
+	nd.myTS = nd.clock
+	if nd.n == 1 {
+		nd.enter(ctx)
+		return
+	}
+	ctx.Broadcast(nd.id, request{TS: nd.myTS, Node: nd.id})
+}
+
+func (nd *node) enter(ctx dme.Context) {
+	nd.executing = true
+	ctx.EnterCS(nd.id)
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch m := msg.(type) {
+	case request:
+		if m.TS > nd.clock {
+			nd.clock = m.TS
+		}
+		// Defer while executing, or while requesting with priority
+		// (older timestamp, node id breaking ties).
+		defer_ := nd.executing ||
+			(nd.requesting && (nd.myTS < m.TS || (nd.myTS == m.TS && nd.id < m.Node)))
+		if defer_ {
+			nd.deferred = append(nd.deferred, from)
+			return
+		}
+		ctx.Send(nd.id, from, reply{})
+	case reply:
+		if !nd.requesting {
+			return
+		}
+		nd.replies++
+		if nd.replies == nd.n-1 {
+			nd.enter(ctx)
+		}
+	default:
+		panic(fmt.Sprintf("ricartagrawala: unknown message %T", msg))
+	}
+}
+
+// OnCSDone implements dme.Node.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.pending--
+	nd.requesting = false
+	nd.executing = false
+	for _, to := range nd.deferred {
+		ctx.Send(nd.id, to, reply{})
+	}
+	nd.deferred = nd.deferred[:0]
+	nd.maybeStart(ctx)
+}

@@ -1,0 +1,171 @@
+// Package ring implements a LeLann-style token ring (1977): the token
+// circulates around a logical ring of nodes; a node holding the token may
+// enter its critical section, and passes the token to its ring successor
+// afterwards (or immediately when it has nothing to do). This is the
+// oldest token algorithm and the taxonomy's other endpoint: at heavy load
+// it costs exactly one message per critical section — unbeatable — while
+// at light load the token burns messages proportional to the ring size
+// per request served.
+//
+// A perpetual free-running token would generate unbounded traffic in an
+// idle system; like practical token rings (and the timeout discussion the
+// paper cites from Stallings), this implementation parks the token when a
+// full circulation saw no requests, and restarts it on demand with a
+// WAKE message routed around the ring.
+package ring
+
+import (
+	"fmt"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Message kinds.
+const (
+	KindToken = "TOKEN"
+	KindWake  = "WAKE"
+)
+
+type token struct {
+	// Idle counts consecutive hops that served no critical section; at
+	// N hops the token parks at the current node.
+	Idle int
+}
+
+func (token) Kind() string { return KindToken }
+
+// wake travels the ring until it finds the parked token.
+type wake struct {
+	Hops int
+}
+
+func (wake) Kind() string { return KindWake }
+
+// Algorithm builds a token ring; node 0 initially parks the token.
+type Algorithm struct{}
+
+var _ dme.Algorithm = (*Algorithm)(nil)
+
+// Name implements dme.Algorithm.
+func (a *Algorithm) Name() string { return "token-ring" }
+
+// Build implements dme.Algorithm.
+func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
+	nodes := make([]dme.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = &node{id: i, n: cfg.N}
+	}
+	return nodes, nil
+}
+
+type node struct {
+	id, n int
+
+	hasToken  bool // token parked here
+	executing bool
+	pending   int
+	wakeSent  bool // a WAKE is in flight from us; don't flood
+	// mayBePark records whether the token could be parked: set when an
+	// idle-lap token passes through (the parking lap visits every node
+	// with Idle > 0), cleared when a busy token passes. While the token
+	// is provably circulating, requests need no WAKE — it will arrive on
+	// its own, and skipping the WAKE is what gives the ring its
+	// 1-message-per-CS cost at saturation.
+	mayBePark bool
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node: the token starts parked at node 0, so
+// everyone starts in the "may be parked" state.
+func (nd *node) Init(dme.Context) {
+	nd.mayBePark = true
+	if nd.id == 0 {
+		nd.hasToken = true
+	}
+}
+
+func (nd *node) succ() int { return (nd.id + 1) % nd.n }
+
+// OnRequest implements dme.Node.
+func (nd *node) OnRequest(ctx dme.Context) {
+	nd.pending++
+	if nd.hasToken && !nd.executing {
+		nd.serveOrPass(ctx)
+		return
+	}
+	if !nd.hasToken && !nd.wakeSent && !nd.executing && nd.mayBePark {
+		// Nudge the ring: the WAKE hops until it finds the token.
+		nd.wakeSent = true
+		ctx.Send(nd.id, nd.succ(), wake{})
+	}
+}
+
+// serveOrPass runs with the token parked here and no CS executing.
+func (nd *node) serveOrPass(ctx dme.Context) {
+	if nd.pending > 0 {
+		nd.executing = true
+		ctx.EnterCS(nd.id)
+		return
+	}
+	// Nothing local: keep circulating unless the ring is quiet.
+	nd.passToken(ctx, 0)
+}
+
+func (nd *node) passToken(ctx dme.Context, idle int) {
+	if idle >= nd.n {
+		// A full idle circulation: park until a WAKE arrives.
+		return
+	}
+	nd.hasToken = false
+	ctx.Send(nd.id, nd.succ(), token{Idle: idle})
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch m := msg.(type) {
+	case token:
+		nd.hasToken = true
+		nd.wakeSent = false
+		if nd.pending > 0 && !nd.executing {
+			// We serve: the token is provably active, and it will leave
+			// here with Idle = 0, so no WAKE is needed until a quiet lap
+			// passes through again.
+			nd.mayBePark = false
+			nd.executing = true
+			ctx.EnterCS(nd.id)
+			return
+		}
+		// We pass without serving: this hop is part of a potentially
+		// parking lap, so a future request here must send a WAKE.
+		nd.mayBePark = true
+		nd.passToken(ctx, m.Idle+1)
+	case wake:
+		if nd.hasToken {
+			if !nd.executing {
+				nd.serveOrPass(ctx)
+			}
+			return
+		}
+		if m.Hops+1 < nd.n {
+			ctx.Send(nd.id, nd.succ(), wake{Hops: m.Hops + 1})
+		}
+	default:
+		panic(fmt.Sprintf("ring: unknown message %T", msg))
+	}
+}
+
+// OnCSDone implements dme.Node.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.pending--
+	nd.executing = false
+	if nd.pending > 0 {
+		// Serve our remaining requests before passing on — the ring's
+		// fairness is positional anyway.
+		nd.executing = true
+		ctx.EnterCS(nd.id)
+		return
+	}
+	nd.passToken(ctx, 0)
+}

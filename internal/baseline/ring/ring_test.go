@@ -1,0 +1,103 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/workload"
+)
+
+func cfg(n int, lambda float64, total, seed uint64) dme.Config {
+	return dme.Config{
+		N:              n,
+		Seed:           seed,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  total,
+		WarmupRequests: total / 10,
+		MaxVirtualTime: 1e8,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: lambda}, seed, node)
+		},
+	}
+}
+
+func TestCompletesAcrossLoads(t *testing.T) {
+	for _, lambda := range []float64{0.02, 0.2, 0.45} {
+		m, err := dme.Run(&Algorithm{}, cfg(10, lambda, 5000, 1))
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		t.Logf("λ=%v: %.3f msgs/cs", lambda, m.MessagesPerCS())
+		if m.CSCompleted == 0 {
+			t.Error("nothing completed")
+		}
+	}
+}
+
+func TestHeavyLoadApproachesOneMessage(t *testing.T) {
+	// With every node nearly always pending, the token does useful work
+	// on every hop: the ring's celebrated 1 message per CS.
+	c := cfg(10, 0, 10000, 2)
+	c.ClosedLoop = true
+	c.Gen = func(node int) dme.GeneratorFunc {
+		return workload.Stream(workload.Poisson{Lambda: 5}, 2, node)
+	}
+	m, err := dme.Run(&Algorithm{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MessagesPerCS(); got > 1.6 {
+		t.Errorf("saturated ring pays %.3f msgs/cs, want →1", got)
+	}
+}
+
+func TestIdleRingParksToken(t *testing.T) {
+	// A single burst of requests, then silence: the run must terminate
+	// (an eternally circulating token would stall the drain) and the
+	// message count must stay bounded.
+	c := cfg(6, 0.05, 300, 3)
+	m, err := dme.Run(&Algorithm{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CSCompleted == 0 {
+		t.Fatal("nothing completed")
+	}
+	// Worst case per CS at light load: a WAKE most of the way around
+	// plus the token most of the way around ≈ 2N; parking keeps it from
+	// exceeding that.
+	if got := m.MessagesPerCS(); got > 2*6 {
+		t.Errorf("light-load ring pays %.3f msgs/cs, want ≤ ≈2N", got)
+	}
+}
+
+func TestPositionalFairness(t *testing.T) {
+	m, err := dme.Run(&Algorithm{}, cfg(8, 0.4, 8000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.PerNodeCS {
+		if c == 0 {
+			t.Errorf("node %d starved on the ring", i)
+		}
+	}
+}
+
+func TestSafetyProperty(t *testing.T) {
+	prop := func(seed uint64, loadSel uint8) bool {
+		lambda := []float64{0.1, 0.3, 0.6}[int(loadSel)%3]
+		c := cfg(5, lambda, 800, seed%1000+1)
+		c.MaxVirtualTime = 1e6
+		_, err := dme.Run(&Algorithm{}, c)
+		if err != nil {
+			t.Logf("seed=%d λ=%v: %v", seed%1000+1, lambda, err)
+		}
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

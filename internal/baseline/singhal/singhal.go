@@ -1,0 +1,219 @@
+// Package singhal implements Singhal's dynamic information-structure
+// mutual exclusion algorithm (IEEE TPDS 1992), the "dynamic" comparison
+// curve of the paper's Figure 6.
+//
+// Each site i maintains a request set R_i (the sites it must ask) and an
+// inform set I_i (the sites it must answer when it leaves the critical
+// section). The sets are initialized in the staircase pattern
+// R_i = {0..i}, I_i = {i}, which guarantees that for any pair of sites at
+// least one asks the other. The sets then evolve dynamically:
+//
+//   - A requester sends REQUEST(ts, i) to every member of R_i \ {i} and
+//     enters the CS once all of them have replied.
+//   - A site in state N (neither requesting nor executing) that receives
+//     a REQUEST replies immediately and adds the requester to its R set
+//     (it must ask that site next time, because that site is about to
+//     become better informed).
+//   - A site in state R compares Lamport priorities. If the incoming
+//     request wins, the site replies AND, if it had not already asked
+//     that requester, adds it to R and sends it a (re-)REQUEST so its own
+//     pending request is still seen. If its own request wins, it defers
+//     the requester by adding it to I.
+//   - A site in state E (executing) defers the requester into I.
+//   - On exiting the CS the site replies to every deferred site in I and
+//     resets R := {i} ∪ I, I := {i}: the deferred sites are exactly the
+//     ones that may now be ahead of it.
+//
+// At light load the most recent executor has R = {i} and re-enters for
+// free, and an average requester contacts about half the sites (the
+// staircase average), which is why the dynamic curve starts near N/2 in
+// Figure 6; under contention the sets grow toward full pairwise exchange
+// and the cost approaches that of Ricart-Agrawala.
+package singhal
+
+import (
+	"fmt"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Message kinds.
+const (
+	KindRequest = "REQUEST"
+	KindReply   = "REPLY"
+)
+
+type request struct {
+	TS   uint64
+	Node int
+}
+
+func (request) Kind() string { return KindRequest }
+
+type reply struct{}
+
+func (reply) Kind() string { return KindReply }
+
+// Algorithm builds a Singhal dynamic-information-structure instance.
+type Algorithm struct{}
+
+var _ dme.Algorithm = (*Algorithm)(nil)
+
+// Name implements dme.Algorithm.
+func (a *Algorithm) Name() string { return "singhal-dynamic" }
+
+// Build implements dme.Algorithm.
+func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
+	nodes := make([]dme.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nd := &node{
+			id:      i,
+			n:       cfg.N,
+			reqSet:  make([]bool, cfg.N),
+			infSet:  make([]bool, cfg.N),
+			waiting: make([]bool, cfg.N),
+		}
+		for j := 0; j <= i; j++ {
+			nd.reqSet[j] = true // staircase: R_i = {0..i}
+		}
+		nd.infSet[i] = true
+		nodes[i] = nd
+	}
+	return nodes, nil
+}
+
+// state is the site's phase in Singhal's automaton.
+type state int
+
+const (
+	stateN state = iota // neither requesting nor executing
+	stateR              // requesting
+	stateE              // executing
+)
+
+type node struct {
+	id, n int
+
+	st     state
+	clock  uint64
+	myTS   uint64
+	reqSet []bool // R_i
+	infSet []bool // I_i
+
+	waiting  []bool // sites whose REPLY our current request still needs
+	nwaiting int
+	pending  int
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node.
+func (nd *node) Init(dme.Context) {}
+
+// OnRequest implements dme.Node.
+func (nd *node) OnRequest(ctx dme.Context) {
+	nd.pending++
+	nd.maybeStart(ctx)
+}
+
+func (nd *node) maybeStart(ctx dme.Context) {
+	if nd.st != stateN || nd.pending == 0 {
+		return
+	}
+	nd.st = stateR
+	nd.clock++
+	nd.myTS = nd.clock
+	nd.nwaiting = 0
+	for j := 0; j < nd.n; j++ {
+		nd.waiting[j] = false
+	}
+	for j := 0; j < nd.n; j++ {
+		if j == nd.id || !nd.reqSet[j] {
+			continue
+		}
+		nd.waiting[j] = true
+		nd.nwaiting++
+		ctx.Send(nd.id, j, request{TS: nd.myTS, Node: nd.id})
+	}
+	if nd.nwaiting == 0 {
+		nd.enter(ctx)
+	}
+}
+
+func (nd *node) enter(ctx dme.Context) {
+	nd.st = stateE
+	ctx.EnterCS(nd.id)
+}
+
+// wins reports whether the incoming request (ts, j) beats our own pending
+// request under Lamport priority.
+func (nd *node) wins(ts uint64, j int) bool {
+	return ts < nd.myTS || (ts == nd.myTS && j < nd.id)
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch m := msg.(type) {
+	case request:
+		if m.TS > nd.clock {
+			nd.clock = m.TS
+		}
+		nd.clock++
+		switch nd.st {
+		case stateN:
+			nd.reqSet[m.Node] = true
+			ctx.Send(nd.id, from, reply{})
+		case stateE:
+			nd.infSet[m.Node] = true
+		case stateR:
+			if nd.wins(m.TS, m.Node) {
+				ctx.Send(nd.id, from, reply{})
+				if !nd.reqSet[m.Node] {
+					// The dynamic step: we just learned about a site
+					// ahead of us that we had not asked; ask it now so
+					// our pending request is ordered behind its exit.
+					nd.reqSet[m.Node] = true
+					if !nd.waiting[m.Node] {
+						nd.waiting[m.Node] = true
+						nd.nwaiting++
+					}
+					ctx.Send(nd.id, from, request{TS: nd.myTS, Node: nd.id})
+				}
+			} else {
+				nd.infSet[m.Node] = true
+			}
+		}
+	case reply:
+		if nd.st != stateR || !nd.waiting[from] {
+			return
+		}
+		nd.waiting[from] = false
+		nd.nwaiting--
+		if nd.nwaiting == 0 {
+			nd.enter(ctx)
+		}
+	default:
+		panic(fmt.Sprintf("singhal: unknown message %T", msg))
+	}
+}
+
+// OnCSDone implements dme.Node: answer the deferred sites and reset the
+// information structure — R shrinks to the deferred set, which is exactly
+// the set of sites that may now run ahead of us.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.pending--
+	nd.st = stateN
+	for j := 0; j < nd.n; j++ {
+		if j != nd.id && nd.infSet[j] {
+			ctx.Send(nd.id, j, reply{})
+		}
+	}
+	for j := 0; j < nd.n; j++ {
+		nd.reqSet[j] = nd.infSet[j]
+		nd.infSet[j] = false
+	}
+	nd.reqSet[nd.id] = true
+	nd.infSet[nd.id] = true
+	nd.maybeStart(ctx)
+}

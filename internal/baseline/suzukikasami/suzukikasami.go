@@ -1,0 +1,178 @@
+// Package suzukikasami implements the Suzuki-Kasami broadcast token
+// algorithm (ACM TOCS 1985): a requester broadcasts REQUEST(j, n); the
+// token carries the array LN of last-granted request numbers and a FIFO
+// queue of privileged nodes. It costs N messages per remote critical
+// section (N−1 request broadcasts plus one token transfer) and zero when
+// the requester already holds the token. The paper positions its arbiter
+// algorithm as a "reverse" Suzuki-Kasami, making this the closest
+// token-based comparator.
+package suzukikasami
+
+import (
+	"fmt"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Message kinds.
+const (
+	KindRequest = "REQUEST"
+	KindToken   = "TOKEN"
+)
+
+type request struct {
+	Node int
+	N    uint64 // request number
+}
+
+func (request) Kind() string { return KindRequest }
+
+type token struct {
+	LN    []uint64 // LN[j]: request number of node j's last granted CS
+	Queue []int
+}
+
+func (token) Kind() string { return KindToken }
+
+// SizeUnits implements dme.Sized: the Suzuki-Kasami token always carries
+// the full N-entry LN table plus its queue — the volume cost hidden
+// behind the algorithm's low message count.
+func (t token) SizeUnits() int { return 1 + len(t.LN) + len(t.Queue) }
+
+func (t token) clone() token {
+	out := token{LN: make([]uint64, len(t.LN)), Queue: make([]int, len(t.Queue))}
+	copy(out.LN, t.LN)
+	copy(out.Queue, t.Queue)
+	return out
+}
+
+// Algorithm builds a Suzuki-Kasami instance; node 0 initially holds the
+// token.
+type Algorithm struct{}
+
+var _ dme.Algorithm = (*Algorithm)(nil)
+
+// Name implements dme.Algorithm.
+func (a *Algorithm) Name() string { return "suzuki-kasami" }
+
+// Build implements dme.Algorithm.
+func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
+	nodes := make([]dme.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = &node{id: i, n: cfg.N, rn: make([]uint64, cfg.N)}
+	}
+	return nodes, nil
+}
+
+type node struct {
+	id, n int
+
+	rn         []uint64 // RN[j]: highest request number seen from node j
+	hasToken   bool
+	tok        token
+	requesting bool // waiting for the token for our current request
+	executing  bool
+	pending    int
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node: node 0 starts with the token.
+func (nd *node) Init(dme.Context) {
+	if nd.id == 0 {
+		nd.hasToken = true
+		nd.tok = token{LN: make([]uint64, nd.n)}
+	}
+}
+
+// OnRequest implements dme.Node.
+func (nd *node) OnRequest(ctx dme.Context) {
+	nd.pending++
+	nd.maybeStart(ctx)
+}
+
+func (nd *node) maybeStart(ctx dme.Context) {
+	if nd.requesting || nd.executing || nd.pending == 0 {
+		return
+	}
+	nd.requesting = true
+	nd.rn[nd.id]++
+	if nd.hasToken {
+		nd.enter(ctx)
+		return
+	}
+	ctx.Broadcast(nd.id, request{Node: nd.id, N: nd.rn[nd.id]})
+}
+
+func (nd *node) enter(ctx dme.Context) {
+	nd.executing = true
+	ctx.EnterCS(nd.id)
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch m := msg.(type) {
+	case request:
+		if m.N > nd.rn[m.Node] {
+			nd.rn[m.Node] = m.N
+		}
+		// An idle token holder passes the token to an outstanding
+		// requester immediately.
+		if nd.hasToken && !nd.executing && !nd.requesting &&
+			nd.rn[m.Node] == nd.tok.LN[m.Node]+1 {
+			nd.hasToken = false
+			t := nd.tok.clone()
+			ctx.Send(nd.id, m.Node, t)
+		}
+	case token:
+		nd.hasToken = true
+		nd.tok = m.clone()
+		if nd.requesting && !nd.executing {
+			nd.enter(ctx)
+		} else if !nd.executing && len(nd.tok.Queue) > 0 {
+			// Defensive: we are not requesting but the token queue has
+			// waiters; keep it moving rather than parking it here.
+			next := nd.tok.Queue[0]
+			nd.tok.Queue = nd.tok.Queue[1:]
+			if next != nd.id {
+				nd.hasToken = false
+				ctx.Send(nd.id, next, nd.tok.clone())
+			}
+		}
+	default:
+		panic(fmt.Sprintf("suzukikasami: unknown message %T", msg))
+	}
+}
+
+// OnCSDone implements dme.Node: update LN, refresh the token queue with
+// every node whose request is outstanding, and pass the token to the head.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.pending--
+	nd.requesting = false
+	nd.executing = false
+
+	nd.tok.LN[nd.id] = nd.rn[nd.id]
+	inQueue := make(map[int]bool, len(nd.tok.Queue))
+	for _, j := range nd.tok.Queue {
+		inQueue[j] = true
+	}
+	for off := 1; off <= nd.n; off++ {
+		j := (nd.id + off) % nd.n
+		if !inQueue[j] && nd.rn[j] == nd.tok.LN[j]+1 {
+			nd.tok.Queue = append(nd.tok.Queue, j)
+		}
+	}
+	if len(nd.tok.Queue) > 0 {
+		next := nd.tok.Queue[0]
+		nd.tok.Queue = nd.tok.Queue[1:]
+		if next == nd.id {
+			// Our own next request is first in line; serve it locally.
+			nd.maybeStart(ctx)
+			return
+		}
+		nd.hasToken = false
+		ctx.Send(nd.id, next, nd.tok.clone())
+	}
+	nd.maybeStart(ctx)
+}

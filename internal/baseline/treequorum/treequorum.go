@@ -1,0 +1,303 @@
+// Package treequorum implements the Agrawal–El Abbadi tree-quorum mutual
+// exclusion algorithm (ACM TOCS 1991) — reference [1] of the paper. Nodes
+// are arranged in a logical complete binary tree; a quorum is any
+// root-to-leaf path, and when a member is unavailable it is substituted
+// by root-to-leaf paths of both of its subtrees, degrading gracefully
+// from log₂N+1 members (failure-free) toward a majority under failures.
+//
+// Locks are acquired sequentially in ascending node-id order (the tree's
+// BFS order), which makes acquisition deadlock-free without Maekawa-style
+// INQUIRE traffic: every pair of quorums intersects, and all requesters
+// acquire their intersection points in the same order. The failure-free
+// message cost is 3·(|path|−self) ≈ 3·log₂N per critical section.
+package treequorum
+
+import (
+	"fmt"
+	"sort"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Message kinds.
+const (
+	KindRequest = "REQUEST"
+	KindGrant   = "GRANT"
+	KindRelease = "RELEASE"
+)
+
+type request struct{}
+
+func (request) Kind() string { return KindRequest }
+
+type grant struct{}
+
+func (grant) Kind() string { return KindGrant }
+
+type release struct{}
+
+func (release) Kind() string { return KindRelease }
+
+// Algorithm builds a tree-quorum instance over the complete binary tree
+// rooted at node 0 (children of i are 2i+1 and 2i+2).
+type Algorithm struct {
+	// Timeout, when positive, bounds the wait for any single member's
+	// GRANT; on expiry the member is presumed failed and substituted by
+	// its subtree paths (the algorithm's fault-tolerance mechanism). 0
+	// disables substitution: requesters wait indefinitely, which is
+	// correct on reliable networks and what the cost experiments use.
+	Timeout float64
+}
+
+var _ dme.Algorithm = (*Algorithm)(nil)
+
+// Name implements dme.Algorithm.
+func (a *Algorithm) Name() string { return "tree-quorum" }
+
+// Build implements dme.Algorithm.
+func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
+	nodes := make([]dme.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = &node{id: i, n: cfg.N, timeout: a.Timeout, granted: make(map[int]bool)}
+	}
+	return nodes, nil
+}
+
+// Path returns the root-to-leaf path used as node id's default quorum:
+// it descends from the root to id, then continues to id's leftmost leaf,
+// so different requesters exercise different branches.
+func Path(n, id int) []int {
+	var up []int
+	for i := id; i > 0; i = (i - 1) / 2 {
+		up = append(up, i)
+	}
+	path := []int{0}
+	for i := len(up) - 1; i >= 0; i-- {
+		path = append(path, up[i])
+	}
+	for cur := id; ; {
+		left := 2*cur + 1
+		if left >= n {
+			break
+		}
+		path = append(path, left)
+		cur = left
+	}
+	return path
+}
+
+// SubtreePaths returns the substitute quorum members for a failed node:
+// the leftmost root-to-leaf path of each of its subtrees. ok is false
+// when the node is a leaf (no substitution exists down this branch).
+func SubtreePaths(n, failed int) (subs []int, ok bool) {
+	left, right := 2*failed+1, 2*failed+2
+	if left >= n {
+		return nil, false
+	}
+	appendPath := func(root int) {
+		for cur := root; cur < n; cur = 2*cur + 1 {
+			subs = append(subs, cur)
+		}
+	}
+	appendPath(left)
+	if right < n {
+		appendPath(right)
+	}
+	return subs, true
+}
+
+type node struct {
+	id, n   int
+	timeout float64
+
+	// Lock-manager state: one exclusive lock, FIFO waiters.
+	lockedBy int // -1 when free
+	queue    []int
+	initDone bool
+
+	// Requester state.
+	requesting bool
+	executing  bool
+	plan       []int        // members still to lock, ascending ids
+	granted    map[int]bool // members whose grant we hold
+	waitingOn  int          // member whose grant we await; -1 when idle
+	waitTimer  dme.Timer
+	pending    int
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node.
+func (nd *node) Init(dme.Context) {
+	nd.lockedBy = -1
+	nd.waitingOn = -1
+}
+
+// OnRequest implements dme.Node.
+func (nd *node) OnRequest(ctx dme.Context) {
+	nd.pending++
+	nd.maybeStart(ctx)
+}
+
+func (nd *node) maybeStart(ctx dme.Context) {
+	if nd.requesting || nd.executing || nd.pending == 0 {
+		return
+	}
+	nd.requesting = true
+	nd.plan = append([]int(nil), Path(nd.n, nd.id)...)
+	sort.Ints(nd.plan)
+	for k := range nd.granted {
+		delete(nd.granted, k)
+	}
+	nd.waitingOn = -1
+	nd.advance(ctx)
+}
+
+// advance requests the next unlocked plan member, in ascending order.
+func (nd *node) advance(ctx dme.Context) {
+	for len(nd.plan) > 0 {
+		next := nd.plan[0]
+		nd.plan = nd.plan[1:]
+		if nd.granted[next] {
+			continue
+		}
+		nd.waitingOn = next
+		ctx.Send(nd.id, next, request{})
+		if nd.timeout > 0 {
+			member := next
+			nd.waitTimer = ctx.After(nd.id, nd.timeout, func() {
+				nd.onMemberTimeout(ctx, member)
+			})
+		}
+		return
+	}
+	// Quorum complete.
+	nd.waitingOn = -1
+	nd.executing = true
+	ctx.EnterCS(nd.id)
+}
+
+// onMemberTimeout presumes the member failed and substitutes its subtree
+// paths (Agrawal–El Abbadi degradation).
+func (nd *node) onMemberTimeout(ctx dme.Context, member int) {
+	if !nd.requesting || nd.executing || nd.waitingOn != member {
+		return
+	}
+	subs, ok := SubtreePaths(nd.n, member)
+	if !ok {
+		// A failed leaf: re-request the same member and keep waiting —
+		// with the leaf dead this branch cannot regain the quorum, but
+		// retrying preserves correctness if the timeout was spurious.
+		ctx.Send(nd.id, member, request{})
+		nd.waitTimer = ctx.After(nd.id, nd.timeout, func() {
+			nd.onMemberTimeout(ctx, member)
+		})
+		return
+	}
+	merged := append(nd.plan, subs...)
+	sort.Ints(merged)
+	// Dedup; drop the failed member and anything already granted.
+	nd.plan = nd.plan[:0]
+	prev := -1
+	for _, m := range merged {
+		if m == prev || m == member || nd.granted[m] {
+			continue
+		}
+		prev = m
+		nd.plan = append(nd.plan, m)
+	}
+	nd.waitingOn = -1
+	nd.advance(ctx)
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch msg.(type) {
+	case request:
+		if nd.lockedBy == -1 {
+			nd.lockedBy = from
+			ctx.Send(nd.id, from, grant{})
+		} else if !contains(nd.queue, from) {
+			// Queued even when from == lockedBy: on a reordering network
+			// the holder's next REQUEST can overtake its own RELEASE;
+			// dropping it would leave the requester waiting for a grant
+			// that never comes.
+			nd.queue = append(nd.queue, from)
+		}
+	case grant:
+		nd.onGrant(ctx, from)
+	case release:
+		if nd.lockedBy != from {
+			return // stale release (e.g. from an abandoned grant)
+		}
+		nd.grantNext(ctx)
+	default:
+		panic(fmt.Sprintf("treequorum: unknown message %T", msg))
+	}
+}
+
+func (nd *node) grantNext(ctx dme.Context) {
+	if len(nd.queue) == 0 {
+		nd.lockedBy = -1
+		return
+	}
+	nd.lockedBy = nd.queue[0]
+	nd.queue = nd.queue[1:]
+	ctx.Send(nd.id, nd.lockedBy, grant{})
+}
+
+func (nd *node) onGrant(ctx dme.Context, from int) {
+	if !nd.requesting || nd.granted[from] {
+		// A grant we no longer want (substituted member answering late,
+		// or we already released): give it straight back.
+		if !nd.requesting {
+			ctx.Send(nd.id, from, release{})
+		}
+		return
+	}
+	if nd.waitingOn == from {
+		nd.cancelWait(ctx)
+		nd.granted[from] = true
+		nd.advance(ctx)
+		return
+	}
+	// A late grant from a member we substituted away: keep it — holding
+	// extra locks never violates safety — and release it with the rest.
+	nd.granted[from] = true
+}
+
+func (nd *node) cancelWait(ctx dme.Context) {
+	if nd.waitTimer != nil {
+		ctx.Cancel(nd.waitTimer)
+		nd.waitTimer = nil
+	}
+	nd.waitingOn = -1
+}
+
+// OnCSDone implements dme.Node.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.pending--
+	nd.requesting = false
+	nd.executing = false
+	nd.cancelWait(ctx)
+	members := make([]int, 0, len(nd.granted))
+	for m := range nd.granted {
+		members = append(members, m)
+	}
+	sort.Ints(members)
+	for _, m := range members {
+		delete(nd.granted, m)
+		ctx.Send(nd.id, m, release{})
+	}
+	nd.maybeStart(ctx)
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package treequorum
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/workload"
+)
+
+func cfg(n int, lambda float64, total, seed uint64) dme.Config {
+	return dme.Config{
+		N:              n,
+		Seed:           seed,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  total,
+		WarmupRequests: total / 10,
+		MaxVirtualTime: 1e8,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: lambda}, seed, node)
+		},
+	}
+}
+
+func TestPathProperties(t *testing.T) {
+	// Every path starts at the root and is strictly ascending (the
+	// global lock order); consecutive elements are parent/child.
+	for n := 1; n <= 40; n++ {
+		for id := 0; id < n; id++ {
+			p := Path(n, id)
+			if p[0] != 0 {
+				t.Fatalf("Path(%d,%d) = %v does not start at the root", n, id, p)
+			}
+			if !contains(p, id) {
+				t.Fatalf("Path(%d,%d) = %v does not pass through the requester", n, id, p)
+			}
+			for i := 1; i < len(p); i++ {
+				if p[i] <= p[i-1] {
+					t.Fatalf("Path(%d,%d) = %v not ascending", n, id, p)
+				}
+				if (p[i]-1)/2 != p[i-1] {
+					t.Fatalf("Path(%d,%d) = %v has non-edge %d→%d", n, id, p, p[i-1], p[i])
+				}
+			}
+			// Ends at a leaf.
+			last := p[len(p)-1]
+			if 2*last+1 < n {
+				t.Fatalf("Path(%d,%d) = %v does not end at a leaf", n, id, p)
+			}
+		}
+	}
+}
+
+func TestPathsPairwiseIntersect(t *testing.T) {
+	// The quorum property: any two root-leaf paths share at least the
+	// root; with substitution, any path and any substituted quorum share
+	// a subtree root. Here: plain pairwise check.
+	const n = 15
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			pa, pb := Path(n, a), Path(n, b)
+			found := false
+			for _, x := range pa {
+				if contains(pb, x) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("paths %v and %v do not intersect", pa, pb)
+			}
+		}
+	}
+}
+
+func TestSubtreePaths(t *testing.T) {
+	// Root of a 7-node tree: substitutes to the leftmost paths of both
+	// subtrees.
+	subs, ok := SubtreePaths(7, 0)
+	if !ok {
+		t.Fatal("root substitution failed")
+	}
+	want := []int{1, 3, 2, 5}
+	if !reflect.DeepEqual(subs, want) {
+		t.Fatalf("SubtreePaths(7,0) = %v, want %v", subs, want)
+	}
+	// A leaf has no substitution.
+	if _, ok := SubtreePaths(7, 4); ok {
+		t.Fatal("leaf substitution should fail")
+	}
+}
+
+func TestCompletesAcrossLoads(t *testing.T) {
+	for _, lambda := range []float64{0.02, 0.2, 0.45} {
+		m, err := dme.Run(&Algorithm{}, cfg(15, lambda, 5000, 1))
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		t.Logf("λ=%v: %.3f msgs/cs", lambda, m.MessagesPerCS())
+		if m.CSCompleted == 0 {
+			t.Error("nothing completed")
+		}
+	}
+}
+
+func TestFailureFreeCostIsLogarithmic(t *testing.T) {
+	// Failure-free cost ≈ 3·(path length − locally-held members). For
+	// N=15 (4 levels) expect well under Maekawa's ~3·2√N and far under
+	// Ricart-Agrawala's 2(N−1)=28.
+	m, err := dme.Run(&Algorithm{}, cfg(15, 0.05, 5000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.MessagesPerCS()
+	if got > 3*(math.Log2(16)+1) {
+		t.Errorf("light-load cost %.2f msgs/cs, want ≈3·log₂N", got)
+	}
+}
+
+func TestInternalNodeCrashSubstitution(t *testing.T) {
+	// Crash node 1 (an internal tree node) mid-run with substitution
+	// enabled: requesters whose path crosses node 1 must degrade to its
+	// subtree paths and keep completing critical sections.
+	c := cfg(7, 0.2, 2000, 3)
+	c.WarmupRequests = 0
+	r, err := dme.NewRunner(&Algorithm{Timeout: 5}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ScheduleAt(20, func() { r.Crash(1) })
+	m, err := r.Run()
+	if err != nil {
+		t.Fatalf("run with crashed internal node: %v", err)
+	}
+	if m.CSCompleted == 0 {
+		t.Fatal("nothing completed")
+	}
+	t.Logf("with node 1 crashed: %s", m)
+}
+
+func TestSafetyProperty(t *testing.T) {
+	prop := func(seed uint64, loadSel uint8) bool {
+		lambda := []float64{0.1, 0.3, 0.6}[int(loadSel)%3]
+		c := cfg(7, lambda, 1000, seed%1000+1)
+		c.MaxVirtualTime = 1e6
+		_, err := dme.Run(&Algorithm{}, c)
+		if err != nil {
+			t.Logf("seed=%d λ=%v: %v", seed%1000+1, lambda, err)
+		}
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitteredDelays(t *testing.T) {
+	c := cfg(15, 0.3, 4000, 5)
+	c.Delay = sim.UniformDelay{Min: 0.02, Max: 0.25}
+	if _, err := dme.Run(&Algorithm{}, c); err != nil {
+		t.Fatalf("tree quorum under jitter: %v", err)
+	}
+}

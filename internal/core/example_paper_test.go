@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"testing"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+)
+
+// TestPaperSection22Example reproduces the paper's §2.2 illustrative
+// example (Figure 2) event for event. Five nodes, all four protocol
+// parameters equal to 1 time unit. The paper numbers nodes 1–5; we use
+// 0–4, so the paper's node k is our node k−1.
+//
+// Script (paper timeline):
+//   - node 1 (paper 2) and node 4 (paper 5) request early: both REQUESTs
+//     reach the initial arbiter node 0 (paper 1) during its collection
+//     window;
+//   - node 3 (paper 4) requests a little later: its REQUEST reaches node
+//     0 during the *forwarding* window and is forwarded to the new
+//     arbiter, node 4;
+//   - node 2 (paper 3) requests after learning NEW-ARBITER(5): its
+//     REQUEST goes directly to node 4.
+//
+// Expected outcome, exactly as in the paper:
+//   - first batch Q = {2, 5} (ours: {1, 4}); PRIVILEGE to node 1,
+//     NEW-ARBITER(4) broadcast;
+//   - REQUEST(4) (ours: 3) forwarded once, by node 0 to node 4;
+//   - second batch Q = {4, 3} (ours: {3, 2}); NEW-ARBITER(2);
+//   - critical sections execute in the order 2, 5, 4, 3 (ours:
+//     1, 4, 3, 2).
+func TestPaperSection22Example(t *testing.T) {
+	var events []dme.TraceEvent
+	cfg := dme.Config{
+		N:              5,
+		Seed:           1,
+		Delay:          sim.ConstantDelay{D: 1},
+		Texec:          1,
+		TotalRequests:  4,
+		MaxVirtualTime: 100,
+		Trace:          func(ev dme.TraceEvent) { events = append(events, ev) },
+	}
+	r, err := dme.NewRunner(core.New(core.Options{Treq: 1, Tfwd: 1}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The request script. Times are chosen so arrivals land in the same
+	// protocol phases as the paper's Figure 2.
+	r.ScheduleAt(0.05, func() { r.InjectRequest(1) }) // paper REQUEST(2): reaches node 0 at 1.05
+	r.ScheduleAt(0.25, func() { r.InjectRequest(4) }) // paper REQUEST(5): reaches node 0 at 1.25
+	// Collection window: starts at 1.05, dispatch at 2.05.
+	r.ScheduleAt(1.30, func() { r.InjectRequest(3) }) // paper REQUEST(4): reaches node 0 at 2.30, mid-forwarding
+	// NEW-ARBITER(4) arrives everywhere at 3.05; node 2 requests after.
+	r.ScheduleAt(3.50, func() { r.InjectRequest(2) }) // paper REQUEST(3): goes straight to node 4
+
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Critical sections in the paper's order: 2, 5, 4, 3 → 1, 4, 3, 2.
+	var order []int
+	for _, ev := range events {
+		if ev.Kind == dme.TraceEnterCS {
+			order = append(order, ev.From)
+		}
+	}
+	wantOrder := []int{1, 4, 3, 2}
+	if len(order) != len(wantOrder) {
+		t.Fatalf("CS order %v, want %v", order, wantOrder)
+	}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("CS order %v, want %v", order, wantOrder)
+		}
+	}
+
+	// 2. Exactly one forwarded request: node 0 forwards paper-REQUEST(4)
+	// to the new arbiter node 4.
+	var forwards []dme.TraceEvent
+	for _, ev := range events {
+		if ev.Kind == dme.TraceSend && ev.Msg.Kind() == core.KindRequestFwd {
+			forwards = append(forwards, ev)
+		}
+	}
+	if len(forwards) != 1 {
+		t.Fatalf("saw %d forwarded requests, want exactly 1", len(forwards))
+	}
+	if forwards[0].From != 0 || forwards[0].To != 4 {
+		t.Errorf("forward %d→%d, want 0→4", forwards[0].From, forwards[0].To)
+	}
+	fwd, ok := forwards[0].Msg.(core.Request)
+	if !ok || fwd.Entry.Node != 3 {
+		t.Errorf("forwarded request = %#v, want node 3's", forwards[0].Msg)
+	}
+
+	// 3. The NEW-ARBITER broadcasts name node 4 then node 2, carrying
+	// the batches {1,4} and {3,2}.
+	var arbiters []core.NewArbiter
+	seenAt := map[int]bool{}
+	for _, ev := range events {
+		if ev.Kind != dme.TraceSend {
+			continue
+		}
+		if na, ok := ev.Msg.(core.NewArbiter); ok && !seenAt[na.Arbiter] {
+			seenAt[na.Arbiter] = true
+			arbiters = append(arbiters, na)
+		}
+	}
+	if len(arbiters) != 2 {
+		t.Fatalf("saw %d distinct NEW-ARBITER announcements, want 2", len(arbiters))
+	}
+	if arbiters[0].Arbiter != 4 || arbiters[1].Arbiter != 2 {
+		t.Errorf("arbiters announced: %d then %d, want 4 then 2",
+			arbiters[0].Arbiter, arbiters[1].Arbiter)
+	}
+	assertBatchNodes(t, arbiters[0].Q, []int{1, 4})
+	assertBatchNodes(t, arbiters[1].Q, []int{3, 2})
+
+	// 4. The first PRIVILEGE goes from node 0 to node 1 with Q = {1, 4}.
+	for _, ev := range events {
+		if ev.Kind == dme.TraceSend && ev.Msg.Kind() == core.KindPrivilege {
+			if ev.From != 0 || ev.To != 1 {
+				t.Errorf("first PRIVILEGE %d→%d, want 0→1", ev.From, ev.To)
+			}
+			p := ev.Msg.(core.Privilege)
+			assertBatchNodes(t, p.Q, []int{1, 4})
+			break
+		}
+	}
+}
+
+func assertBatchNodes(t *testing.T, q core.QList, want []int) {
+	t.Helper()
+	if len(q) != len(want) {
+		t.Errorf("batch %v, want nodes %v", q, want)
+		return
+	}
+	for i, e := range q {
+		if e.Node != want[i] {
+			t.Errorf("batch %v, want nodes %v", q, want)
+			return
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+)
+
+// decodeQList turns fuzz bytes into a Q-list: pairs of (node, seq) nibbles.
+func decodeQList(data []byte) QList {
+	q := make(QList, 0, len(data))
+	for _, b := range data {
+		q = append(q, QEntry{Node: int(b >> 4), Seq: uint64(b & 0x0f)})
+	}
+	return q
+}
+
+// FuzzQListOps checks the Q-list invariants on arbitrary inputs: Dedup is
+// duplicate-free, order-preserving and idempotent; FilterGranted only
+// removes filtered entries; SortByPriority is a permutation; PopHead
+// never aliases.
+func FuzzQListOps(f *testing.F) {
+	f.Add([]byte{0x10, 0x21, 0x10, 0x32})
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		q := decodeQList(data)
+
+		d := q.Dedup()
+		seen := map[QEntry]bool{}
+		for _, e := range d {
+			if seen[e] {
+				t.Fatalf("Dedup left duplicate %v in %v", e, d)
+			}
+			seen[e] = true
+		}
+		for _, e := range q {
+			if !seen[e] {
+				t.Fatalf("Dedup lost entry %v", e)
+			}
+		}
+		d2 := d.Dedup()
+		if len(d2) != len(d) {
+			t.Fatalf("Dedup not idempotent: %v vs %v", d, d2)
+		}
+
+		granted := []uint64{3, 7, 1, 9, 0, 5, 2, 8, 4, 6, 3, 7, 1, 9, 0, 5}
+		fg := q.FilterGranted(granted)
+		for _, e := range fg {
+			if e.Node < len(granted) && e.Seq <= granted[e.Node] {
+				t.Fatalf("FilterGranted kept filtered entry %v", e)
+			}
+		}
+
+		prio := []int{5, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3}
+		sp := q.SortByPriority(prio)
+		if len(sp) != len(q) {
+			t.Fatalf("SortByPriority changed length: %d vs %d", len(sp), len(q))
+		}
+		count := map[QEntry]int{}
+		for _, e := range q {
+			count[e]++
+		}
+		for _, e := range sp {
+			count[e]--
+		}
+		for e, c := range count {
+			if c != 0 {
+				t.Fatalf("SortByPriority not a permutation (entry %v, delta %d)", e, c)
+			}
+		}
+
+		if !q.Empty() {
+			p := q.PopHead()
+			if len(p) != len(q)-1 {
+				t.Fatalf("PopHead length %d, want %d", len(p), len(q)-1)
+			}
+			if len(p) > 0 {
+				p[0] = QEntry{Node: 99, Seq: 99}
+				if q[1] == p[0] {
+					t.Fatal("PopHead aliases the original")
+				}
+			}
+		}
+	})
+}
+
+// FuzzGrantCountSort checks the §5.1 least-served ordering is a stable
+// permutation with nondecreasing counts on arbitrary inputs.
+func FuzzGrantCountSort(f *testing.F) {
+	f.Add([]byte{0x10, 0x21, 0x30}, []byte{3, 1, 2})
+	f.Fuzz(func(t *testing.T, data, counts []byte) {
+		if len(data) > 48 {
+			data = data[:48]
+		}
+		q := decodeQList(data)
+		granted := make([]uint64, 16)
+		for i := range granted {
+			if i < len(counts) {
+				granted[i] = uint64(counts[i])
+			}
+		}
+		s := q.SortByGrantCount(granted)
+		if len(s) != len(q) {
+			t.Fatalf("length changed: %d vs %d", len(s), len(q))
+		}
+		for i := 1; i < len(s); i++ {
+			if granted[s[i-1].Node] > granted[s[i].Node] {
+				t.Fatalf("counts not nondecreasing at %d: %v", i, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"testing"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/workload"
+)
+
+// monitorRun executes the starvation-free variant at the given load with
+// tracing and returns the recorder plus metrics.
+func monitorRun(t *testing.T, lambda float64, total uint64) (*dme.TraceRecorder, *dme.Metrics) {
+	t.Helper()
+	rec := &dme.TraceRecorder{}
+	cfg := dme.Config{
+		N:              10,
+		Seed:           21,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  total,
+		MaxVirtualTime: 1e8,
+		Trace:          rec.Record,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: lambda}, 21, node)
+		},
+	}
+	opts := core.Options{
+		Monitor:             true,
+		MonitorFlushTimeout: 50,
+		RetransmitTimeout:   50,
+	}
+	m, err := dme.Run(core.New(opts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, m
+}
+
+// countDiversions tallies PRIVILEGE sends flagged ToMonitor.
+func countDiversions(rec *dme.TraceRecorder) int {
+	n := 0
+	for _, ev := range rec.Filter(dme.ByKind(dme.TraceSend), dme.ByMsgKind(core.KindPrivilege)) {
+		if p, ok := ev.Msg.(core.Privilege); ok && p.ToMonitor {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAdaptivePeriodScalesWithLoad encodes the §4.1 design goal: "at high
+// loads the queue size will be high, causing the period to be long, and
+// vice versa" — i.e. the *rate of diversions per critical section* is
+// higher at low load than at high load.
+func TestAdaptivePeriodScalesWithLoad(t *testing.T) {
+	lowRec, lowM := monitorRun(t, 0.02, 4000)
+	highRec, highM := monitorRun(t, 0.45, 4000)
+
+	lowRate := float64(countDiversions(lowRec)) / float64(lowM.CSCompleted)
+	highRate := float64(countDiversions(highRec)) / float64(highM.CSCompleted)
+	t.Logf("diversions per CS: low load %.4f, high load %.4f", lowRate, highRate)
+	if lowRate == 0 {
+		t.Fatal("monitor never visited at low load")
+	}
+	if highRate >= lowRate {
+		t.Errorf("adaptive period inverted: %.4f diversions/CS at low load vs %.4f at high",
+			lowRate, highRate)
+	}
+}
+
+// TestMonitorBroadcastsAfterDiversion asserts the §4.1 hand-off protocol:
+// a diverted token is *not* announced by the diverting arbiter; the
+// monitor broadcasts NEW-ARBITER itself with the counter reset to zero.
+func TestMonitorBroadcastsAfterDiversion(t *testing.T) {
+	rec, _ := monitorRun(t, 0.2, 4000)
+
+	foundReset := false
+	for _, ev := range rec.Filter(dme.ByKind(dme.TraceSend), dme.ByMsgKind(core.KindNewArbiter)) {
+		na := ev.Msg.(core.NewArbiter)
+		if ev.From == 0 && na.Counter == 0 {
+			// Node 0 is the (static) monitor in this configuration.
+			foundReset = true
+			break
+		}
+	}
+	if !foundReset {
+		t.Error("no counter-reset NEW-ARBITER broadcast from the monitor observed")
+	}
+}
+
+// TestForwardHopLimit asserts the τ mechanism of §4.1 at the message
+// level: no request is ever forwarded τ or more times.
+func TestForwardHopLimit(t *testing.T) {
+	rec := &dme.TraceRecorder{}
+	cfg := dme.Config{
+		N:              10,
+		Seed:           23,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  6000,
+		MaxVirtualTime: 1e8,
+		Trace:          rec.Record,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: 0.45}, 23, node)
+		},
+	}
+	const tau = 2
+	opts := core.Options{
+		Tau:               tau,
+		Treq:              0.05, // fast churn maximizes forwarding
+		Tfwd:              0.05,
+		RetransmitTimeout: 25,
+	}
+	if _, err := dme.Run(core.New(opts), cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range rec.Filter(dme.ByKind(dme.TraceSend)) {
+		if req, ok := ev.Msg.(core.Request); ok && req.Hops >= tau {
+			t.Fatalf("request forwarded %d times, τ=%d should cap it", req.Hops, tau)
+		}
+	}
+}

@@ -1,0 +1,705 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/stats"
+)
+
+// reqState tracks one of the node's own outstanding CS requests from
+// issuance until the critical section completes.
+type reqState struct {
+	seq       uint64
+	scheduled bool      // seen in a NEW-ARBITER Q-list (implicit ACK, §6)
+	misses    int       // consecutive NEW-ARBITER messages without it
+	retxTimer dme.Timer // RetransmitTimeout fallback
+	tokTimer  dme.Timer // recovery: token-arrival timeout once scheduled
+}
+
+// node is the event-driven realization of one protocol participant.
+// It is driven entirely from the simulation loop, so no locking is needed.
+type node struct {
+	id   int
+	n    int
+	opts Options
+
+	// Beliefs maintained from NEW-ARBITER broadcasts.
+	arbiter  int // believed current arbiter
+	monitor  int // believed current monitor (§4.1/§5.1)
+	epoch    uint64
+	gen      uint64 // newest batch generation seen via any message
+	naGen    uint64 // newest NEW-ARBITER generation processed
+	monEpoch uint64 // version of the monitor identity (rotation count)
+	maxFence uint64 // highest fence observed (token sightings + FenceBase)
+
+	// Requester state.
+	nextSeq     uint64
+	outstanding []*reqState
+	// backlog counts application requests deferred while one protocol
+	// request is in flight — used only by the sequence-number variant,
+	// whose PRIVILEGE(Q, L) highwater table assumes each node's requests
+	// are granted in sequence order. That holds exactly when a node has
+	// at most one outstanding request (REQUEST(j, n) literally means "j
+	// requests its (n+1)th critical section", §2.4); without the
+	// serialization, an out-of-order grant raises L[j] past a still-live
+	// older request and the table filters it forever.
+	backlog int
+
+	// Arbiter role.
+	collecting  bool      // from designation until dispatch
+	q           QList     // batch being collected
+	haveToken   bool      // physically holding the token
+	token       Privilege // the held token (meaningful iff haveToken)
+	windowTimer dme.Timer // pending collection-window expiry
+	windowDone  bool      // window elapsed with the token held and q empty
+	inCS        bool
+	csEntry     QEntry // entry being executed while inCS
+	csFence     uint64 // fence of the grant being executed
+	// pendingTok holds a token that arrived while we were inside the
+	// critical section — possible only during §6 recovery races (a
+	// regenerated token reaching us before we finish, or a network
+	// duplicate). Processing it mid-CS would clobber the token our CS
+	// came from; it is handled at CS exit instead.
+	pendingTok *Privilege
+
+	// Forwarding phase (§2.1).
+	forwarding bool
+	fwdTimer   dme.Timer
+
+	// Monitor role (§4.1).
+	stored     QList // requests parked at the monitor
+	qsizes     *stats.MovingWindow
+	counter    int       // NEW-ARBITER counter since last monitor visit
+	flushTimer dme.Timer // liveness flush (see Options.MonitorFlushTimeout)
+
+	// Recovery state (§6).
+	rec recovery
+}
+
+func newNode(id, n int, opts Options) *node {
+	nd := &node{
+		id:      id,
+		n:       n,
+		opts:    opts,
+		arbiter: 0,
+		monitor: opts.MonitorNode,
+		// Sequence numbers start at 1: the token's Granted table is
+		// zero-initialized and means "no request granted yet", so a
+		// seq-0 request would be born already-filtered in the
+		// sequence-number variant.
+		nextSeq: 1,
+		qsizes:  stats.NewMovingWindow(opts.MonitorWindow),
+	}
+	nd.rec.init()
+	return nd
+}
+
+// observe reports a protocol transition to the configured observer.
+func (nd *node) observe(ev Event) {
+	if nd.opts.Observer != nil {
+		ev.Node = nd.id
+		nd.opts.Observer(ev)
+	}
+}
+
+// ID implements dme.Node.
+func (nd *node) ID() int { return nd.id }
+
+// Init implements dme.Node: node 0 is the initial arbiter and holds the
+// initial token with an empty Q-list.
+func (nd *node) Init(ctx dme.Context) {
+	if nd.id == 0 {
+		nd.collecting = true
+		nd.haveToken = true
+		nd.windowDone = true // idle: first request starts a fresh window
+		nd.token = Privilege{Granted: make([]uint64, nd.n)}
+	}
+}
+
+// OnRequest implements dme.Node: the local application wants the CS.
+func (nd *node) OnRequest(ctx dme.Context) {
+	if nd.opts.SeqNumbers && len(nd.outstanding) > 0 {
+		// The sequence-number variant serializes a node's requests (see
+		// the backlog field); this one is issued when the current one
+		// completes.
+		nd.backlog++
+		return
+	}
+	nd.issueRequest(ctx)
+}
+
+// issueRequest creates and routes one protocol request.
+func (nd *node) issueRequest(ctx dme.Context) {
+	seq := nd.nextSeq
+	nd.nextSeq++
+	st := &reqState{seq: seq}
+	nd.outstanding = append(nd.outstanding, st)
+	entry := QEntry{Node: nd.id, Seq: seq}
+
+	if nd.collecting {
+		// We are the current (or designated) arbiter: register locally,
+		// costing zero messages (§3.1, the 1/N case of Eq. 1).
+		nd.acceptRequest(ctx, entry)
+	} else {
+		ctx.Send(nd.id, nd.arbiter, Request{Entry: entry})
+	}
+	if nd.opts.RetransmitTimeout > 0 {
+		nd.armRetransmit(ctx, st)
+	}
+}
+
+// armRetransmit schedules the absolute-timeout fallback for one request.
+func (nd *node) armRetransmit(ctx dme.Context, st *reqState) {
+	ctx.Cancel(st.retxTimer)
+	st.retxTimer = ctx.After(nd.id, nd.opts.RetransmitTimeout, func() {
+		if st.scheduled || !nd.hasOutstanding(st.seq) {
+			return
+		}
+		entry := QEntry{Node: nd.id, Seq: st.seq}
+		if nd.collecting {
+			nd.acceptRequest(ctx, entry)
+		} else {
+			ctx.Send(nd.id, nd.arbiter, Request{Entry: entry, Retransmit: true})
+		}
+		nd.armRetransmit(ctx, st)
+	})
+}
+
+func (nd *node) hasOutstanding(seq uint64) bool {
+	for _, st := range nd.outstanding {
+		if st.seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (nd *node) findOutstanding(seq uint64) *reqState {
+	for _, st := range nd.outstanding {
+		if st.seq == seq {
+			return st
+		}
+	}
+	return nil
+}
+
+func (nd *node) removeOutstanding(seq uint64) {
+	for i, st := range nd.outstanding {
+		if st.seq == seq {
+			nd.outstanding = append(nd.outstanding[:i], nd.outstanding[i+1:]...)
+			return
+		}
+	}
+}
+
+// OnMessage implements dme.Node.
+func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	switch m := msg.(type) {
+	case Request:
+		nd.onRequestMsg(ctx, m)
+	case MonitorRequest:
+		nd.onMonitorRequest(ctx, m)
+	case Privilege:
+		nd.onPrivilege(ctx, from, m)
+	case NewArbiter:
+		nd.onNewArbiter(ctx, from, m)
+	case Warning:
+		nd.onWarning(ctx, from, m)
+	case Enquiry:
+		nd.onEnquiry(ctx, from, m)
+	case EnquiryAck:
+		nd.onEnquiryAck(ctx, from, m)
+	case Resume:
+		nd.onResume(ctx, m)
+	case Invalidate:
+		nd.onInvalidate(ctx, from, m)
+	case Probe:
+		ctx.Send(nd.id, from, ProbeAck{})
+	case ProbeAck:
+		nd.onProbeAck(ctx, from)
+	default:
+		panic(fmt.Sprintf("core: node %d received unknown message %T", nd.id, msg))
+	}
+}
+
+// onRequestMsg handles a REQUEST arriving over the network: collected if
+// we are the arbiter, forwarded if we are in our forwarding phase, stored
+// if we are the monitor, dropped otherwise (§2.1, §4.1).
+func (nd *node) onRequestMsg(ctx dme.Context, m Request) {
+	switch {
+	case nd.collecting:
+		nd.acceptRequest(ctx, m.Entry)
+	case nd.forwarding:
+		if m.Hops+1 >= nd.opts.Tau {
+			// Forwarded too many times; drop (§4.1). The requester will
+			// notice via the implicit-ACK mechanism and resubmit.
+			return
+		}
+		fwd := m
+		fwd.Hops++
+		ctx.Send(nd.id, nd.arbiter, fwd)
+	case nd.opts.Monitor && nd.monitor == nd.id:
+		// The monitor stores, never forwards (§4.1).
+		nd.storeAtMonitor(ctx, m.Entry)
+	default:
+		// Arrived after the forwarding phase: dropped (§2.1).
+	}
+}
+
+// acceptRequest appends an entry to the batch being collected, ignoring
+// duplicates, and wakes an idle arbiter's collection window.
+func (nd *node) acceptRequest(ctx dme.Context, e QEntry) {
+	if nd.q.Contains(e) {
+		return
+	}
+	nd.q = append(nd.q, e)
+	if nd.haveToken && nd.windowDone && nd.windowTimer == nil && !nd.inCS {
+		nd.startWindow(ctx)
+	}
+}
+
+// startWindow begins a request-collection window of Treq; at expiry the
+// batch is dispatched (or the arbiter goes idle if the batch is empty).
+func (nd *node) startWindow(ctx dme.Context) {
+	nd.windowDone = false
+	ctx.Cancel(nd.windowTimer)
+	nd.windowTimer = ctx.After(nd.id, nd.opts.Treq, func() {
+		nd.windowTimer = nil
+		if !nd.haveToken || nd.inCS {
+			return
+		}
+		if nd.q.Empty() {
+			nd.windowDone = true
+			return
+		}
+		nd.dispatch(ctx)
+	})
+}
+
+// onPrivilege handles token arrival.
+func (nd *node) onPrivilege(ctx dme.Context, from int, m Privilege) {
+	if m.Epoch < nd.epoch {
+		// Stale token from before an INVALIDATE round: discard (§6).
+		return
+	}
+	nd.epoch = m.Epoch
+	if m.Gen > nd.gen {
+		nd.gen = m.Gen
+	}
+	nd.counter = m.Counter
+	if m.Fence > nd.maxFence {
+		nd.maxFence = m.Fence
+	}
+	nd.rec.onTokenSeen(ctx, nd)
+
+	if nd.inCS {
+		// Recovery race: stash the newest incarnation and handle it when
+		// the critical section completes.
+		tok := m.clone()
+		if nd.pendingTok == nil || tok.Epoch >= nd.pendingTok.Epoch {
+			nd.pendingTok = &tok
+		}
+		return
+	}
+
+	tok := m.clone()
+	if tok.ToMonitor && nd.opts.Monitor {
+		// Normally we are the monitor this token was diverted to; if the
+		// diverting arbiter's belief was stale (rotation in flight), we
+		// still perform the monitor hand-off duties — the NEW-ARBITER
+		// broadcast must happen for this batch regardless, and our own
+		// stored set is simply empty.
+		nd.monitorHandleToken(ctx, tok)
+		return
+	}
+	tok.ToMonitor = false
+	nd.handleToken(ctx, tok)
+}
+
+// handleToken advances the token at this node: enter the CS if we are the
+// head with a live request, skip stale duplicate heads, pass the token on,
+// or — when the Q-list is exhausted here — assume the arbiter role.
+func (nd *node) handleToken(ctx dme.Context, tok Privilege) {
+	for {
+		if tok.Q.Empty() {
+			nd.becomeTokenHoldingArbiter(ctx, tok)
+			return
+		}
+		head := tok.Q.Head()
+		if head.Node != nd.id {
+			nd.haveToken = false
+			ctx.Send(nd.id, head.Node, tok)
+			return
+		}
+		if st := nd.findOutstanding(head.Seq); st != nil {
+			nd.enterCS(ctx, tok, head, st)
+			return
+		}
+		// A duplicate of a request we already executed (retransmission
+		// raced the original): skip it and keep the token moving.
+		tok.Q = tok.Q.PopHead()
+	}
+}
+
+// enterCS starts the critical section for entry, holding the token. The
+// token's fence counter ticks up on every grant.
+func (nd *node) enterCS(ctx dme.Context, tok Privilege, entry QEntry, st *reqState) {
+	tok.Fence++
+	nd.haveToken = true
+	nd.inCS = true
+	nd.token = tok
+	nd.csEntry = entry
+	nd.csFence = tok.Fence
+	if tok.Fence > nd.maxFence {
+		nd.maxFence = tok.Fence
+	}
+	ctx.Cancel(st.retxTimer)
+	ctx.Cancel(st.tokTimer)
+	nd.removeOutstanding(entry.Seq)
+	ctx.EnterCS(nd.id)
+}
+
+// OnCSDone implements dme.Node: pop ourselves off the Q-list head and keep
+// the token moving (§2.1), unless the recovery protocol suspended us.
+func (nd *node) OnCSDone(ctx dme.Context) {
+	nd.inCS = false
+	if p := nd.pendingTok; p != nil {
+		// A newer token incarnation arrived mid-CS (§6 recovery race):
+		// the token we executed under is superseded; continue with the
+		// new one. Our just-served entry is gone from outstanding, so a
+		// stale copy of it at the new head is skipped, not re-served.
+		nd.pendingTok = nil
+		nd.rec.suspended = false
+		tok := *p
+		if tok.Granted != nil && nd.csEntry.Seq > tok.Granted[nd.id] {
+			tok.Granted[nd.id] = nd.csEntry.Seq
+		}
+		nd.token = tok
+		if nd.opts.SeqNumbers && nd.backlog > 0 && len(nd.outstanding) == 0 {
+			nd.backlog--
+			nd.issueRequest(ctx)
+		}
+		if tok.ToMonitor && nd.opts.Monitor {
+			nd.monitorHandleToken(ctx, tok)
+			return
+		}
+		tok.ToMonitor = false
+		nd.handleToken(ctx, tok)
+		return
+	}
+	tok := nd.token
+	tok.Q = tok.Q.PopHead()
+	if tok.Granted != nil && nd.csEntry.Seq > tok.Granted[nd.id] {
+		tok.Granted[nd.id] = nd.csEntry.Seq
+	}
+	nd.token = tok
+	if nd.opts.SeqNumbers && nd.backlog > 0 && len(nd.outstanding) == 0 {
+		// The serialized variant may issue its next request now.
+		nd.backlog--
+		nd.issueRequest(ctx)
+	}
+	if nd.rec.suspended {
+		// An ENQUIRY is in flight; hold the token until RESUME (§6).
+		return
+	}
+	nd.handleToken(ctx, tok)
+}
+
+// becomeTokenHoldingArbiter runs when the Q-list empties at this node: the
+// token has completed its journey and we are the current arbiter holding
+// it. A collection window starts (the tail end of the pseudocode's
+// request-collection loop).
+func (nd *node) becomeTokenHoldingArbiter(ctx dme.Context, tok Privilege) {
+	if nd.arbiter != nd.id && !nd.collecting && nd.naGen > tok.Gen {
+		// An announcement strictly newer than this token's batch
+		// designated someone else while the token was travelling (e.g. a
+		// §6 takeover raced a token that was alive after all). The
+		// arbiter role and the token must reunite: ship the token to the
+		// believed arbiter instead of quietly keeping it, or the system
+		// would wedge with an idle token here and a tokenless arbiter
+		// there. (When no newer announcement exists, ending the Q-list
+		// here is itself the proof of designation — §3.1.)
+		nd.haveToken = false
+		tok.ToMonitor = false
+		ctx.Send(nd.id, nd.arbiter, tok)
+		return
+	}
+	nd.haveToken = true
+	nd.token = tok
+	if !nd.collecting {
+		// The NEW-ARBITER designating us may still be in flight; the
+		// token with our request as tail is proof enough (§3.1).
+		nd.becomeArbiter(ctx, nd.id)
+	}
+	if nd.opts.Monitor && nd.monitor == nd.id {
+		// The token is visiting the monitor's own node: absorb any
+		// parked requests into the next batch for free.
+		nd.absorbStored(ctx)
+	}
+	nd.startWindow(ctx)
+}
+
+// abandonCollection stops a stale or superseded arbiter role: collected
+// entries are forwarded to the real arbiter (own entries as fresh
+// REQUESTs, others' as one-hop forwards) so nothing is stranded.
+func (nd *node) abandonCollection(ctx dme.Context, realArbiter int) {
+	nd.observe(Event{Kind: EventAbandoned, Arbiter: realArbiter, Batch: len(nd.q)})
+	nd.collecting = false
+	nd.windowDone = false
+	ctx.Cancel(nd.windowTimer)
+	nd.windowTimer = nil
+	q := nd.q
+	nd.q = nil
+	for _, e := range q {
+		if e.Node == nd.id {
+			ctx.Send(nd.id, realArbiter, Request{Entry: e})
+		} else {
+			ctx.Send(nd.id, realArbiter, Request{Entry: e, Hops: 1})
+		}
+	}
+}
+
+// becomeArbiter records designation as the current arbiter and begins
+// collecting (request-collection phase, §2.1).
+func (nd *node) becomeArbiter(ctx dme.Context, prev int) {
+	if nd.collecting {
+		return
+	}
+	nd.collecting = true
+	nd.forwarding = false
+	ctx.Cancel(nd.fwdTimer)
+	nd.arbiter = nd.id
+	nd.observe(Event{Kind: EventBecameArbiter, Arbiter: nd.id, Epoch: nd.epoch})
+	nd.rec.onDesignated(ctx, nd, prev)
+}
+
+// dispatch ends the collection phase: stamp the batch into the token, send
+// PRIVILEGE to the head, broadcast NEW-ARBITER naming the tail, and enter
+// the forwarding phase (§2.1). Called only while holding the token with a
+// non-empty batch and outside the CS.
+func (nd *node) dispatch(ctx dme.Context) {
+	batch := nd.q.Dedup()
+	nd.q = nil
+	if nd.opts.SeqNumbers && nd.token.Granted != nil {
+		batch = batch.FilterGranted(nd.token.Granted)
+	}
+	if nd.opts.Priorities != nil {
+		batch = batch.SortByPriority(nd.opts.Priorities)
+	}
+	if nd.opts.StrictFairness && nd.token.Granted != nil {
+		batch = batch.SortByGrantCount(nd.token.Granted)
+	}
+	if batch.Empty() {
+		// Everything in the batch was a stale duplicate; stay idle.
+		nd.windowDone = true
+		return
+	}
+
+	// Adaptive monitor diversion (§4.1): once the NEW-ARBITER counter has
+	// reached the moving average of the Q-list size, route the token
+	// through the monitor instead of dispatching directly.
+	if nd.opts.Monitor && nd.monitor != nd.id && nd.shouldVisitMonitor() {
+		tok := nd.token
+		tok.Q = batch
+		tok.Counter = nd.counter
+		tok.Gen = nd.gen
+		tok.ToMonitor = true
+		nd.haveToken = false
+		nd.collecting = false
+		nd.windowDone = false
+		nd.observe(Event{Kind: EventMonitorDiverted, Arbiter: nd.monitor, Batch: len(batch)})
+		ctx.Send(nd.id, nd.monitor, tok)
+		// Requests arriving now are forwarded to the monitor, which
+		// stores them (§4.1) until it forwards the token.
+		nd.arbiter = nd.monitor
+		nd.beginForwarding(ctx)
+		nd.rec.onDispatch(ctx, nd, batch)
+		return
+	}
+
+	nd.sendBatch(ctx, batch, false)
+}
+
+// sendBatch performs the PRIVILEGE send + NEW-ARBITER broadcast for a
+// finalized batch. fromMonitor marks the monitor's re-dispatch, which
+// resets the adaptive-period counter (§4.1).
+func (nd *node) sendBatch(ctx dme.Context, batch QList, fromMonitor bool) {
+	tail := batch.Tail()
+	newMonitor := nd.monitor
+	if fromMonitor && nd.opts.RotatingMonitor {
+		// §5.1: the monitor's broadcast names its successor round-robin.
+		newMonitor = (nd.id + 1) % nd.n
+		nd.monEpoch++
+	}
+
+	// §4.1: the monitor resets the counter to zero when it broadcasts;
+	// an ordinary arbiter increments it per NEW-ARBITER sent.
+	if fromMonitor {
+		nd.counter = 0
+	}
+	nd.gen++ // every dispatch starts a new batch generation
+	broadcast := tail.Node != nd.id || fromMonitor
+	if broadcast {
+		if !fromMonitor {
+			nd.counter++
+		}
+		ctx.Broadcast(nd.id, NewArbiter{
+			Arbiter:   tail.Node,
+			Q:         batch.Clone(),
+			Counter:   nd.counter,
+			Monitor:   newMonitor,
+			MonEpoch:  nd.monEpoch,
+			Epoch:     nd.epoch,
+			Gen:       nd.gen,
+			FenceBase: nd.token.Fence,
+		})
+	}
+	nd.monitor = newMonitor
+
+	tok := nd.token
+	tok.Q = batch
+	tok.Counter = nd.counter
+	tok.Epoch = nd.epoch
+	tok.Gen = nd.gen
+	tok.ToMonitor = false
+
+	nd.observe(Event{Kind: EventDispatched, Arbiter: tail.Node, Batch: len(batch), Epoch: nd.epoch, Fence: tok.Fence})
+	nd.rec.onDispatch(ctx, nd, batch)
+
+	if tail.Node == nd.id {
+		// We stay arbiter: no forwarding phase, keep collecting.
+		nd.collecting = true
+		nd.windowDone = false
+	} else {
+		nd.collecting = false
+		nd.windowDone = false
+		nd.arbiter = tail.Node
+		nd.beginForwarding(ctx)
+	}
+
+	head := batch.Head()
+	if head.Node == nd.id {
+		// We are also first in line (e.g. the sole requester at light
+		// load): the token never leaves this node before our CS.
+		nd.handleToken(ctx, tok)
+		return
+	}
+	nd.haveToken = false
+	ctx.Send(nd.id, head.Node, tok)
+	if nd.collecting {
+		// We stayed arbiter (tail is us) but the token left to serve the
+		// batch: wait for it like a freshly designated arbiter would, so
+		// a token lost mid-batch is still detected (§6).
+		nd.rec.armTokenWait(ctx, nd)
+	}
+}
+
+// beginForwarding starts the request-forwarding phase of Tfwd (§2.1).
+func (nd *node) beginForwarding(ctx dme.Context) {
+	nd.forwarding = true
+	ctx.Cancel(nd.fwdTimer)
+	nd.fwdTimer = ctx.After(nd.id, nd.opts.Tfwd, func() {
+		nd.forwarding = false
+	})
+}
+
+// onNewArbiter processes the NEW-ARBITER broadcast: update beliefs, track
+// the Q-list size for the adaptive monitor period, perform the
+// implicit-ACK check for our own outstanding requests (§6, lost request),
+// and assume the arbiter role if the message names us.
+func (nd *node) onNewArbiter(ctx dme.Context, from int, m NewArbiter) {
+	if m.Gen <= nd.naGen {
+		// A stale or duplicate announcement that was overtaken by newer
+		// ones: acting on it would re-designate a long-gone arbiter and
+		// livelock (see NewArbiter.Gen). Note the comparison is against
+		// the newest *announcement*, not the newest generation seen via
+		// the token — the token and the broadcast of the same batch are
+		// complementary and may arrive in either order.
+		return
+	}
+	nd.naGen = m.Gen
+	if m.Gen > nd.gen {
+		nd.gen = m.Gen
+	}
+	if m.Epoch > nd.epoch {
+		nd.epoch = m.Epoch
+	}
+	if nd.collecting && !nd.haveToken && m.Arbiter != nd.id {
+		// Someone else dispatched a newer batch while we believed we
+		// were the (or a) designated arbiter — either our designation
+		// was stale or another node took over (§6). Abandon collection
+		// and route everything we accumulated to the real arbiter.
+		nd.abandonCollection(ctx, m.Arbiter)
+	}
+	nd.arbiter = m.Arbiter
+	if nd.opts.Monitor && m.MonEpoch >= nd.monEpoch {
+		nd.monitor = m.Monitor
+		nd.monEpoch = m.MonEpoch
+	}
+	nd.counter = m.Counter
+	if m.FenceBase > nd.maxFence {
+		nd.maxFence = m.FenceBase
+	}
+	nd.qsizes.Add(float64(len(m.Q)))
+	nd.rec.onNewArbiterSeen(ctx, nd, from, m)
+
+	// Implicit acknowledgement: every outstanding request should appear
+	// in some NEW-ARBITER Q-list within τ broadcasts, else it was lost or
+	// dropped and must be resubmitted (§4.1, §6).
+	for _, st := range nd.outstanding {
+		if st.scheduled {
+			continue
+		}
+		if m.Q.Contains(QEntry{Node: nd.id, Seq: st.seq}) {
+			st.scheduled = true
+			st.misses = 0
+			ctx.Cancel(st.retxTimer)
+			nd.rec.onScheduled(ctx, nd, st)
+			continue
+		}
+		st.misses++
+		if st.misses >= nd.opts.Tau {
+			st.misses = 0
+			nd.resubmit(ctx, st)
+		}
+	}
+
+	if m.Arbiter == nd.id {
+		nd.becomeArbiter(ctx, from)
+	}
+}
+
+// resubmit re-sends a dropped request: to the monitor in the
+// starvation-free variant (§4.1), to the announced arbiter otherwise.
+func (nd *node) resubmit(ctx dme.Context, st *reqState) {
+	entry := QEntry{Node: nd.id, Seq: st.seq}
+	if nd.opts.Monitor {
+		if nd.monitor == nd.id {
+			nd.storeAtMonitor(ctx, entry)
+		} else {
+			ctx.Send(nd.id, nd.monitor, MonitorRequest{Entry: entry})
+		}
+		return
+	}
+	if nd.collecting {
+		nd.acceptRequest(ctx, entry)
+		return
+	}
+	ctx.Send(nd.id, nd.arbiter, Request{Entry: entry, Retransmit: true})
+}
+
+// shouldVisitMonitor implements the adaptive period of §4.1: divert when
+// the NEW-ARBITER counter has reached the ceiling of the moving-window
+// average Q-list size.
+func (nd *node) shouldVisitMonitor() bool {
+	if nd.qsizes.Count() == 0 {
+		return false
+	}
+	target := int(math.Ceil(nd.qsizes.Mean()))
+	if target < 1 {
+		target = 1
+	}
+	return nd.counter >= target
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestObserverSeesDispatchAndDesignation drives a two-batch exchange
+// through fake contexts and checks the observer stream.
+func TestObserverSeesDispatchAndDesignation(t *testing.T) {
+	var events []Event
+	opts := Options{Observer: func(ev Event) { events = append(events, ev) }}
+
+	ctx := newFakeCtx(t, 3)
+	nd := testNode(t, 0, 3, opts)
+	nd.Init(ctx)
+
+	// A remote request arrives, the collection window expires, dispatch.
+	nd.OnMessage(ctx, 1, Request{Entry: QEntry{Node: 1, Seq: 1}})
+	ctx.firePending()
+
+	var kinds []EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(events) == 0 {
+		t.Fatal("observer saw nothing")
+	}
+	if events[0].Kind != EventDispatched {
+		t.Fatalf("first event %v, want dispatched (kinds: %v)", events[0].Kind, kinds)
+	}
+	if events[0].Node != 0 || events[0].Arbiter != 1 || events[0].Batch != 1 {
+		t.Errorf("dispatch event fields: %+v", events[0])
+	}
+
+	// The designated node reports becoming arbiter.
+	events = nil
+	nd2 := testNode(t, 1, 3, opts)
+	nd2.OnMessage(ctx, 0, NewArbiter{Arbiter: 1, Gen: 1})
+	if len(events) != 1 || events[0].Kind != EventBecameArbiter || events[0].Node != 1 {
+		t.Errorf("designation events: %+v", events)
+	}
+}
+
+// TestObserverSeesRegeneration drives a lost-token invalidation round and
+// checks the invalidation-started and token-regenerated events with the
+// fence jump.
+func TestObserverSeesRegeneration(t *testing.T) {
+	var events []Event
+	opts := Options{
+		Observer: func(ev Event) { events = append(events, ev) },
+		Recovery: RecoveryOptions{Enabled: true, TokenTimeout: 1, RoundTimeout: 1},
+	}
+	ctx := newFakeCtx(t, 3)
+	nd := testNode(t, 1, 3, opts)
+
+	// Designate node 1 while a batch is allegedly in flight; the token
+	// never arrives, the token-wait timer fires, the enquiry round times
+	// out, and the token is regenerated.
+	nd.maxFence = 7
+	nd.OnMessage(ctx, 0, NewArbiter{
+		Arbiter: 1, Gen: 1,
+		Q: QList{{Node: 2, Seq: 3}, {Node: 1, Seq: 5}},
+	})
+	ctx.firePending() // token-wait expires → invalidation starts (enquiry to 2 and 0)
+	ctx.firePending() // round timer expires → regeneration
+
+	var sawInval, sawRegen bool
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventInvalidationStarted:
+			sawInval = true
+		case EventTokenRegenerated:
+			sawRegen = true
+			if ev.Epoch != 1 {
+				t.Errorf("regeneration epoch %d, want 1", ev.Epoch)
+			}
+			// maxFence 7 + pending batch 2 + 1.
+			if ev.Fence != 10 {
+				t.Errorf("regeneration fence %d, want 10", ev.Fence)
+			}
+		}
+	}
+	if !sawInval || !sawRegen {
+		t.Fatalf("missing recovery events: inval=%v regen=%v (%+v)", sawInval, sawRegen, events)
+	}
+	if !nd.haveToken {
+		t.Error("node did not hold the regenerated token")
+	}
+}

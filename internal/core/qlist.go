@@ -1,0 +1,159 @@
+// Package core implements the paper's contribution: the arbiter-based
+// token-passing distributed mutual exclusion algorithm of Banerjee &
+// Chrysanthis (ICDCS 1996), with all variants described in the paper —
+// the basic algorithm (§2), the starvation-free monitor variant (§4.1),
+// Suzuki-Kasami-style sequence numbers (§2.4), prioritized access (§5.2),
+// the rotating monitor (§5.1), and the failure-recovery protocol (§6):
+// lost-request retransmission, the two-phase token invalidation protocol
+// and failed-arbiter takeover.
+//
+// This package contains the event-driven realization used by the
+// simulation harness (internal/dme); internal/live contains the
+// deployable goroutine/timer realization of the same protocol.
+package core
+
+import "sort"
+
+// QEntry identifies one scheduled critical-section request: the node that
+// issued it and the node-local sequence number of the request. The pair is
+// globally unique, which is what makes duplicate suppression and the
+// NEW-ARBITER implicit-acknowledgement mechanism (§6, lost requests) work.
+type QEntry struct {
+	Node int
+	Seq  uint64
+}
+
+// QList is the ordered list of scheduled requests carried inside the
+// PRIVILEGE token and in NEW-ARBITER broadcasts. Head is the node
+// currently allowed into the critical section; Tail is the next arbiter.
+type QList []QEntry
+
+// Head returns the first entry. It panics on an empty list; callers must
+// check Empty first.
+func (q QList) Head() QEntry { return q[0] }
+
+// Tail returns the last entry (the designated next arbiter). It panics on
+// an empty list.
+func (q QList) Tail() QEntry { return q[len(q)-1] }
+
+// Empty reports whether the list has no entries.
+func (q QList) Empty() bool { return len(q) == 0 }
+
+// PopHead returns the list without its first entry. The receiver is not
+// modified; PRIVILEGE handling always works on fresh copies because the
+// token conceptually moves between address spaces.
+func (q QList) PopHead() QList {
+	out := make(QList, len(q)-1)
+	copy(out, q[1:])
+	return out
+}
+
+// Contains reports whether the entry appears in the list.
+func (q QList) Contains(e QEntry) bool {
+	for _, x := range q {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsNode reports whether any entry of the list belongs to node.
+func (q QList) ContainsNode(node int) bool {
+	for _, x := range q {
+		if x.Node == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy. QLists travel inside messages, and the
+// simulation delivers messages by reference, so every mutation site must
+// operate on a copy (see the uber-go guidance on copying slices at
+// boundaries).
+func (q QList) Clone() QList {
+	if q == nil {
+		return nil
+	}
+	out := make(QList, len(q))
+	copy(out, q)
+	return out
+}
+
+// Append returns a new list with e appended.
+func (q QList) Append(e QEntry) QList {
+	out := make(QList, len(q), len(q)+1)
+	copy(out, q)
+	return append(out, e)
+}
+
+// Dedup returns the list with duplicate entries removed, keeping the first
+// occurrence of each (node, seq) pair and preserving order. Duplicates
+// arise from retransmissions racing the original request.
+func (q QList) Dedup() QList {
+	if len(q) < 2 {
+		return q.Clone()
+	}
+	seen := make(map[QEntry]struct{}, len(q))
+	out := make(QList, 0, len(q))
+	for _, e := range q {
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}
+
+// FilterGranted returns the list without entries already granted according
+// to the sequence-number table L (entry dropped when e.Seq ≤ L[e.Node]).
+// This is the PRIVILEGE(Q, L) duplicate suppression of §2.4.
+func (q QList) FilterGranted(granted []uint64) QList {
+	out := make(QList, 0, len(q))
+	for _, e := range q {
+		if e.Node >= 0 && e.Node < len(granted) && e.Seq <= granted[e.Node] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// SortByGrantCount stably reorders the list so that entries of nodes with
+// fewer previously granted critical sections come first — the stricter
+// fairness criterion of §5.1 (the Suzuki-Kasami least-served priority),
+// with granted[i] standing in for node i's access count.
+func (q QList) SortByGrantCount(granted []uint64) QList {
+	out := q.Clone()
+	count := func(node int) uint64 {
+		if node >= 0 && node < len(granted) {
+			return granted[node]
+		}
+		return 0
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return count(out[i].Node) < count(out[j].Node)
+	})
+	return out
+}
+
+// SortByPriority stably reorders the list so that entries from
+// higher-priority nodes come first (larger priority value = served
+// earlier), implementing the incremental prioritized access of §5.2.
+// Entries with equal priority keep their FCFS arrival order.
+func (q QList) SortByPriority(priority []int) QList {
+	out := q.Clone()
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := 0, 0
+		if out[i].Node < len(priority) {
+			pi = priority[out[i].Node]
+		}
+		if out[j].Node < len(priority) {
+			pj = priority[out[j].Node]
+		}
+		return pi > pj
+	})
+	return out
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"tokenarbiter/internal/dme"
+)
+
+// recovery holds the per-node state of the §6 failure-recovery protocol:
+// the requester-side token timeout (WARNING), the arbiter-side two-phase
+// token invalidation (ENQUIRY → RESUME/INVALIDATE), and the
+// previous-arbiter watchdog that probes — and on silence replaces — a
+// failed current arbiter.
+type recovery struct {
+	// suspended is set on a token holder that answered an ENQUIRY with
+	// "I have the token": it must not forward the token until RESUME.
+	suspended bool
+
+	// Arbiter-side invalidation state.
+	invalidating bool
+	round        uint64
+	targets      []int
+	acks         map[int]TokenStatus
+	roundTimer   dme.Timer
+	// pendingBatch is the Q-list currently being served by the token
+	// (learned from the NEW-ARBITER that designated this node, or from
+	// this node's own dispatch); it is who the ENQUIRY interrogates and
+	// whose waiting entries get re-queued after INVALIDATE.
+	pendingBatch QList
+	prevArbiter  int
+
+	// Designated-arbiter token timeout (the arbiter is itself a
+	// "requesting node" for the token in the §6 sense).
+	tokTimer dme.Timer
+
+	// Previous-arbiter watchdog (§6, failed arbiter).
+	watchTimer  dme.Timer
+	probeTimer  dme.Timer
+	watchTarget int
+	lastBatch   QList // the batch this node dispatched most recently
+}
+
+func (r *recovery) init() {
+	r.prevArbiter = -1
+	r.watchTarget = -1
+}
+
+// enabled is a tiny helper to keep the call sites readable.
+func enabled(nd *node) bool { return nd.opts.Recovery.Enabled }
+
+// onTokenSeen runs whenever a live token reaches this node: our own wait
+// for it is over. Deliberately NOT cancelled here: the previous-arbiter
+// watchdog — this node may merely be executing its CS mid-batch, which
+// proves nothing about the designated arbiter at the batch tail; per §6
+// only observing a NEW-ARBITER message stands the watchdog down (and a
+// live arbiter answers the PROBE anyway).
+func (r *recovery) onTokenSeen(ctx dme.Context, nd *node) {
+	ctx.Cancel(r.tokTimer)
+	r.tokTimer = nil
+}
+
+// onDesignated runs when this node becomes the current arbiter: remember
+// who handed the role over, and start waiting for the token.
+func (r *recovery) onDesignated(ctx dme.Context, nd *node, prev int) {
+	r.prevArbiter = prev
+	r.armTokenWait(ctx, nd)
+}
+
+// armTokenWait starts the arbiter-side token-arrival timeout: the current
+// arbiter is itself a "requesting node" in the §6 sense and starts the
+// invalidation protocol directly when the token fails to show up.
+func (r *recovery) armTokenWait(ctx dme.Context, nd *node) {
+	if !enabled(nd) || nd.haveToken {
+		return
+	}
+	ctx.Cancel(r.tokTimer)
+	r.tokTimer = ctx.After(nd.id, nd.opts.Recovery.TokenTimeout, func() {
+		r.tokTimer = nil
+		if !nd.haveToken {
+			r.startInvalidation(ctx, nd)
+		}
+	})
+}
+
+// onDispatch runs after this node stamps and sends a batch: the batch in
+// service changes, any invalidation concluded, and — if the arbiter role
+// moved elsewhere — the watchdog on the successor starts.
+func (r *recovery) onDispatch(ctx dme.Context, nd *node, batch QList) {
+	r.lastBatch = batch.Clone()
+	r.pendingBatch = batch.Clone()
+	ctx.Cancel(r.tokTimer)
+	r.tokTimer = nil
+	if !enabled(nd) {
+		return
+	}
+	tail := batch.Tail()
+	if tail.Node == nd.id {
+		return
+	}
+	r.armWatchdog(ctx, nd, tail.Node)
+}
+
+func (r *recovery) armWatchdog(ctx dme.Context, nd *node, target int) {
+	r.watchTarget = target
+	ctx.Cancel(r.watchTimer)
+	ctx.Cancel(r.probeTimer)
+	r.watchTimer = ctx.After(nd.id, nd.opts.Recovery.ArbiterTimeout, func() {
+		r.watchTimer = nil
+		if r.watchTarget < 0 {
+			return
+		}
+		ctx.Send(nd.id, r.watchTarget, Probe{})
+		ctx.Cancel(r.probeTimer)
+		r.probeTimer = ctx.After(nd.id, nd.opts.Recovery.ProbeTimeout, func() {
+			r.probeTimer = nil
+			r.takeover(ctx, nd)
+		})
+	})
+}
+
+// onNewArbiterSeen runs on every NEW-ARBITER broadcast: the system is
+// visibly alive, so suspicion of the watched arbiter is dropped; and if
+// the broadcast designates us, it also tells us which batch the token is
+// currently serving.
+func (r *recovery) onNewArbiterSeen(ctx dme.Context, nd *node, from int, m NewArbiter) {
+	ctx.Cancel(r.watchTimer)
+	ctx.Cancel(r.probeTimer)
+	r.watchTarget = -1
+	if m.Arbiter == nd.id {
+		r.pendingBatch = m.Q.Clone()
+	}
+}
+
+// onProbeAck: the watched arbiter answered; keep watching.
+func (nd *node) onProbeAck(ctx dme.Context, from int) {
+	r := &nd.rec
+	ctx.Cancel(r.probeTimer)
+	r.probeTimer = nil
+	if enabled(nd) && r.watchTarget == from {
+		r.armWatchdog(ctx, nd, from)
+	}
+}
+
+// onScheduled runs when one of this node's requests shows up in a
+// NEW-ARBITER Q-list: per §6 the requester now arms a token-arrival
+// timeout; on expiry it sends WARNING to the current arbiter and re-arms.
+func (r *recovery) onScheduled(ctx dme.Context, nd *node, st *reqState) {
+	if !enabled(nd) {
+		return
+	}
+	var arm func()
+	arm = func() {
+		st.tokTimer = ctx.After(nd.id, nd.opts.Recovery.TokenTimeout, func() {
+			st.tokTimer = nil
+			if !nd.hasOutstanding(st.seq) {
+				return
+			}
+			ctx.Send(nd.id, nd.arbiter, Warning{Entry: QEntry{Node: nd.id, Seq: st.seq}})
+			arm()
+		})
+	}
+	ctx.Cancel(st.tokTimer)
+	arm()
+}
+
+// onWarning: a requester suspects the token is lost. Only the current
+// arbiter reacts, and only when it is itself still waiting for the token.
+func (nd *node) onWarning(ctx dme.Context, from int, m Warning) {
+	if !enabled(nd) || !nd.collecting || nd.haveToken || nd.rec.invalidating {
+		return
+	}
+	nd.rec.startInvalidation(ctx, nd)
+}
+
+// startInvalidation begins phase 1 of the two-phase token invalidation
+// protocol (§6): ENQUIRY to every node of the batch in service plus the
+// previous arbiter.
+func (r *recovery) startInvalidation(ctx dme.Context, nd *node) {
+	if r.invalidating {
+		return
+	}
+	r.invalidating = true
+	r.round++
+	nd.observe(Event{Kind: EventInvalidationStarted, Arbiter: nd.id, Batch: len(r.pendingBatch), Epoch: nd.epoch})
+	r.acks = make(map[int]TokenStatus)
+	r.targets = r.targets[:0]
+	seen := make(map[int]bool)
+	for _, e := range r.pendingBatch {
+		if e.Node != nd.id && !seen[e.Node] {
+			seen[e.Node] = true
+			r.targets = append(r.targets, e.Node)
+		}
+	}
+	if p := r.prevArbiter; p >= 0 && p != nd.id && !seen[p] {
+		r.targets = append(r.targets, p)
+	}
+	if len(r.targets) == 0 {
+		r.finishInvalidation(ctx, nd)
+		return
+	}
+	for _, t := range r.targets {
+		ctx.Send(nd.id, t, Enquiry{Round: r.round})
+	}
+	ctx.Cancel(r.roundTimer)
+	r.roundTimer = ctx.After(nd.id, nd.opts.Recovery.RoundTimeout, func() {
+		r.roundTimer = nil
+		if r.invalidating {
+			// Silent nodes are presumed failed and excluded (§6).
+			r.finishInvalidation(ctx, nd)
+		}
+	})
+}
+
+// onEnquiry answers phase 1: report our token status and, if we hold the
+// token, suspend forwarding until RESUME (§6).
+func (nd *node) onEnquiry(ctx dme.Context, from int, m Enquiry) {
+	var status TokenStatus
+	switch {
+	case nd.haveToken || nd.inCS:
+		status = StatusHolding
+		nd.rec.suspended = true
+	case nd.hasScheduledOutstanding():
+		status = StatusWaiting
+	default:
+		status = StatusExecuted
+	}
+	ctx.Send(nd.id, from, EnquiryAck{Round: m.Round, Status: status})
+}
+
+func (nd *node) hasScheduledOutstanding() bool {
+	for _, st := range nd.outstanding {
+		if st.scheduled {
+			return true
+		}
+	}
+	return false
+}
+
+// onEnquiryAck collects phase-1 answers. A single "I have the token"
+// short-circuits to RESUME; once everyone answered without a holder, the
+// token is declared lost.
+func (nd *node) onEnquiryAck(ctx dme.Context, from int, m EnquiryAck) {
+	r := &nd.rec
+	if !r.invalidating || m.Round != r.round {
+		return
+	}
+	r.acks[from] = m.Status
+	if m.Status == StatusHolding {
+		ctx.Send(nd.id, from, Resume{Round: m.Round})
+		r.endInvalidation(ctx)
+		return
+	}
+	if len(r.acks) == len(r.targets) {
+		r.finishInvalidation(ctx, nd)
+	}
+}
+
+func (r *recovery) endInvalidation(ctx dme.Context) {
+	r.invalidating = false
+	ctx.Cancel(r.roundTimer)
+	r.roundTimer = nil
+}
+
+// finishInvalidation is phase 2 when no node holds the token: bump the
+// epoch (killing any stale PRIVILEGE still in flight), INVALIDATE the
+// waiting nodes, re-queue their entries at the front of the batch being
+// collected, and regenerate the token at this arbiter (§6).
+func (r *recovery) finishInvalidation(ctx dme.Context, nd *node) {
+	r.endInvalidation(ctx)
+	if nd.haveToken {
+		// The "lost" token arrived while phase 1 was still collecting
+		// answers (it was merely slow): nothing to regenerate — minting
+		// a second token here would clobber the live one.
+		return
+	}
+	nd.epoch++
+	for _, t := range r.targets {
+		if r.acks[t] == StatusWaiting {
+			ctx.Send(nd.id, t, Invalidate{Epoch: nd.epoch})
+		}
+	}
+	requeue := make(QList, 0, len(r.pendingBatch))
+	for _, e := range r.pendingBatch {
+		if e.Node == nd.id {
+			if nd.hasOutstanding(e.Seq) {
+				requeue = append(requeue, e)
+			}
+			continue
+		}
+		if r.acks[e.Node] == StatusWaiting {
+			requeue = append(requeue, e)
+		}
+	}
+	nd.q = append(requeue, nd.q...)
+	// The lost incarnation can have granted at most one fence per entry
+	// of the batch it was serving beyond the last base every node
+	// observed; starting strictly above that keeps fences monotone
+	// across regeneration (computed before pendingBatch is cleared).
+	fenceJump := nd.maxFence + uint64(len(r.pendingBatch)) + 1
+	r.pendingBatch = nil
+
+	nd.haveToken = true
+	nd.token = Privilege{
+		Granted: make([]uint64, nd.n),
+		Counter: nd.counter,
+		Epoch:   nd.epoch,
+		Gen:     nd.gen,
+		Fence:   fenceJump,
+	}
+	if fenceJump > nd.maxFence {
+		nd.maxFence = fenceJump
+	}
+	nd.observe(Event{Kind: EventTokenRegenerated, Arbiter: nd.id, Epoch: nd.epoch, Fence: fenceJump})
+	nd.startWindow(ctx)
+}
+
+// onInvalidate: adopt the new token epoch so the stale token, if it ever
+// surfaces, is discarded on receipt.
+func (nd *node) onInvalidate(ctx dme.Context, from int, m Invalidate) {
+	if m.Epoch > nd.epoch {
+		nd.epoch = m.Epoch
+	}
+}
+
+// onResume: the invalidation round found us holding the token; continue
+// normal operation, forwarding the token if our CS already finished while
+// suspended.
+func (nd *node) onResume(ctx dme.Context, m Resume) {
+	if !nd.rec.suspended {
+		return
+	}
+	nd.rec.suspended = false
+	if nd.haveToken && !nd.inCS {
+		nd.handleToken(ctx, nd.token)
+	}
+}
+
+// takeover implements the failed-arbiter path of §6: the previous arbiter
+// probes went unanswered, so it proclaims itself the current arbiter,
+// broadcasts NEW-ARBITER, and — since the token may have died with the
+// failed arbiter — runs the invalidation protocol over the batch it had
+// dispatched.
+func (r *recovery) takeover(ctx dme.Context, nd *node) {
+	if r.watchTarget < 0 {
+		return
+	}
+	usurped := r.watchTarget
+	r.watchTarget = -1
+	nd.observe(Event{Kind: EventTakeover, Arbiter: usurped, Epoch: nd.epoch})
+	nd.collecting = true
+	nd.forwarding = false
+	ctx.Cancel(nd.fwdTimer)
+	nd.arbiter = nd.id
+	r.prevArbiter = nd.id
+	nd.gen++ // the takeover announcement supersedes the failed arbiter's
+	ctx.Broadcast(nd.id, NewArbiter{
+		Arbiter:  nd.id,
+		Q:        nil,
+		Counter:  nd.counter,
+		Monitor:  nd.monitor,
+		MonEpoch: nd.monEpoch,
+		Epoch:    nd.epoch,
+		Gen:      nd.gen,
+	})
+	r.pendingBatch = r.lastBatch.Clone()
+	if !nd.haveToken {
+		r.startInvalidation(ctx, nd)
+		// If the invalidation round discovers the token alive (RESUME
+		// path), it will eventually be shipped here; keep a timeout on
+		// that journey in case it is lost en route.
+		r.armTokenWait(ctx, nd)
+	}
+}

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"testing"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/workload"
+)
+
+// baseConfig mirrors the paper's simulation setup (§3.3) at small scale.
+func baseConfig(n int, lambda float64, total uint64, seed uint64) dme.Config {
+	return dme.Config{
+		N:              n,
+		Seed:           seed,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  total,
+		WarmupRequests: total / 10,
+		MaxVirtualTime: 1e9,
+		Gen: func(node int) dme.GeneratorFunc {
+			g := workload.Poisson{Lambda: lambda}
+			return nil2gen(g, seed, node)
+		},
+	}
+}
+
+// nil2gen adapts a workload.Generator into a dme.GeneratorFunc with its
+// own deterministic stream per node.
+func nil2gen(g workload.Generator, seed uint64, node int) dme.GeneratorFunc {
+	rng := workload.NewRand(seed, node)
+	return func() float64 { return g.Next(rng) }
+}
+
+func TestSmokeBasicMediumLoad(t *testing.T) {
+	cfg := baseConfig(10, 0.3, 5000, 42)
+	m, err := dme.Run(core.New(core.Options{RetransmitTimeout: 10}), cfg)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	t.Logf("medium load: %s", m)
+	if m.CSCompleted == 0 {
+		t.Fatal("no critical sections completed")
+	}
+}
+
+func TestSmokeBasicHeavyLoad(t *testing.T) {
+	// The paper's heavy-load regime (§3.2): every node always has one
+	// pending request. A closed loop with a short exponential think time
+	// keeps every node (almost) always pending while randomizing arrival
+	// order at the arbiter, like the paper's Poisson sources at high λ.
+	cfg := baseConfig(10, 1, 10000, 7)
+	cfg.ClosedLoop = true
+	cfg.Gen = func(node int) dme.GeneratorFunc {
+		return nil2gen(workload.Poisson{Lambda: 2.0}, 7, node)
+	}
+	m, err := dme.Run(core.New(core.Options{RetransmitTimeout: 10}), cfg)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	t.Logf("heavy load: %s", m)
+	got := m.MessagesPerCS()
+	if got < 2.0 || got > 4.0 {
+		t.Errorf("messages per CS at saturation = %.3f, want ≈3 (paper Eq. 4: 3-2/N = 2.8)", got)
+	}
+}
+
+func TestSmokeBasicLowLoad(t *testing.T) {
+	cfg := baseConfig(10, 0.01, 2000, 11)
+	m, err := dme.Run(core.New(core.Options{}), cfg)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	t.Logf("low load: %s", m)
+	got := m.MessagesPerCS()
+	// Paper Eq. 1: (N²−1)/N = 9.9 for N=10.
+	if got < 7.0 || got > 11.5 {
+		t.Errorf("messages per CS at light load = %.3f, want ≈(N²−1)/N = 9.9", got)
+	}
+}

@@ -1,0 +1,134 @@
+package dme_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tokenarbiter/internal/baseline/central"
+	"tokenarbiter/internal/baseline/lamport"
+	"tokenarbiter/internal/baseline/maekawa"
+	"tokenarbiter/internal/baseline/naimitrehel"
+	"tokenarbiter/internal/baseline/raymond"
+	"tokenarbiter/internal/baseline/ricartagrawala"
+	"tokenarbiter/internal/baseline/ring"
+	"tokenarbiter/internal/baseline/singhal"
+	"tokenarbiter/internal/baseline/suzukikasami"
+	"tokenarbiter/internal/baseline/treequorum"
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/workload"
+)
+
+// allAlgorithms returns every algorithm in the repository, the paper's
+// arbiter algorithm first.
+func allAlgorithms() []dme.Algorithm {
+	return []dme.Algorithm{
+		core.New(core.Options{RetransmitTimeout: 10}),
+		core.New(core.Options{Monitor: true, MonitorFlushTimeout: 5, RetransmitTimeout: 10}),
+		&central.Algorithm{},
+		&lamport.Algorithm{},
+		&ricartagrawala.Algorithm{},
+		&suzukikasami.Algorithm{},
+		&raymond.Algorithm{},
+		&singhal.Algorithm{},
+		&maekawa.Algorithm{},
+		&naimitrehel.Algorithm{},
+		&ring.Algorithm{},
+		&treequorum.Algorithm{},
+	}
+}
+
+func poissonConfig(n int, lambda float64, total, seed uint64) dme.Config {
+	return dme.Config{
+		N:              n,
+		Seed:           seed,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  total,
+		WarmupRequests: total / 10,
+		MaxVirtualTime: 1e9,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: lambda}, seed, node)
+		},
+	}
+}
+
+// TestAllAlgorithmsComplete runs every algorithm at three load points and
+// checks that each run completes with mutual exclusion intact (the runner
+// converts any safety violation into an error).
+func TestAllAlgorithmsComplete(t *testing.T) {
+	loads := []struct {
+		name   string
+		lambda float64
+	}{
+		{"low", 0.02},
+		{"medium", 0.2},
+		{"nearsat", 0.45},
+	}
+	for _, algo := range allAlgorithms() {
+		for _, ld := range loads {
+			t.Run(fmt.Sprintf("%s/%s", algo.Name(), ld.name), func(t *testing.T) {
+				cfg := poissonConfig(10, ld.lambda, 3000, 99)
+				m, err := dme.Run(algo, cfg)
+				if err != nil {
+					t.Fatalf("%s at λ=%v: %v", algo.Name(), ld.lambda, err)
+				}
+				t.Logf("%s λ=%v: %.3f msgs/cs, service %s",
+					algo.Name(), ld.lambda, m.MessagesPerCS(), m.Service.String())
+				if m.CSCompleted == 0 {
+					t.Fatal("no critical sections completed in measurement window")
+				}
+			})
+		}
+	}
+}
+
+// TestExpectedMessageCounts checks the closed-form message costs of the
+// classical baselines, which are exact at every load.
+func TestExpectedMessageCounts(t *testing.T) {
+	const n = 10
+	cfg := poissonConfig(n, 0.3, 4000, 5)
+
+	check := func(t *testing.T, algo dme.Algorithm, lo, hi float64) {
+		t.Helper()
+		m, err := dme.Run(algo, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		got := m.MessagesPerCS()
+		t.Logf("%s: %.3f msgs/cs", algo.Name(), got)
+		if got < lo || got > hi {
+			t.Errorf("%s: %.3f msgs/cs outside [%v, %v]", algo.Name(), got, lo, hi)
+		}
+	}
+
+	// Ricart-Agrawala: exactly 2(N−1) = 18 per CS.
+	check(t, &ricartagrawala.Algorithm{}, 17.9, 18.1)
+	// Lamport: exactly 3(N−1) = 27 per CS.
+	check(t, &lamport.Algorithm{}, 26.9, 27.1)
+	// Central: 3 per remote CS, 0 for the coordinator's own ≈ 3(N−1)/N.
+	check(t, &central.Algorithm{}, 2.5, 3.0)
+	// Suzuki-Kasami: ≤ N, ≈ N(1−1/N) = 9 with uniform requesters.
+	check(t, &suzukikasami.Algorithm{}, 7.0, 10.0)
+	// Raymond on a binary tree of 10 nodes: between 2 and 2·diameter.
+	check(t, &raymond.Algorithm{}, 1.0, 8.0)
+	// Singhal dynamic: between N/2-ish and Ricart-Agrawala.
+	check(t, &singhal.Algorithm{}, 3.0, 19.0)
+}
+
+// TestManySeedsSafety hammers every algorithm across seeds at a contended
+// load; the harness panics (→ error) on any mutual exclusion violation.
+func TestManySeedsSafety(t *testing.T) {
+	for _, algo := range allAlgorithms() {
+		algo := algo
+		t.Run(algo.Name(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 8; seed++ {
+				cfg := poissonConfig(7, 0.5, 1500, seed)
+				if _, err := dme.Run(algo, cfg); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}

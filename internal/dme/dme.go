@@ -1,0 +1,245 @@
+// Package dme defines the common harness for distributed mutual exclusion
+// (DME) algorithms under simulation: the Node/Algorithm plug-in interface,
+// the execution context through which nodes exchange messages and enter
+// the critical section, message and delay accounting, and a runtime safety
+// checker that asserts at most one node is ever inside the critical
+// section.
+//
+// Every algorithm in this repository — the paper's arbiter algorithm in
+// internal/core and the six baselines under internal/baseline — implements
+// the same interface, so the experiment harness, metrics and invariant
+// checks are identical across algorithms. That is what makes the Figure 6
+// comparison apples-to-apples.
+package dme
+
+import (
+	"fmt"
+
+	"tokenarbiter/internal/sim"
+)
+
+// NodeID identifies a node; nodes are numbered 0..N-1.
+type NodeID = int
+
+// Message is an algorithm protocol message. Kind identifies the message
+// for accounting (messages per CS broken down by type).
+type Message interface {
+	Kind() string
+}
+
+// Sized is optionally implemented by messages whose payload grows with
+// system state (a token carrying a queue, a sequence-number table). The
+// harness accumulates SizeUnits into Metrics.TotalUnits so experiments
+// can compare message *volume*, not just message count — the classic
+// hidden cost of compact-count token algorithms. A message without Sized
+// counts as 1 unit.
+type Sized interface {
+	SizeUnits() int
+}
+
+// Node is one participant in a DME algorithm. The harness calls these
+// methods from the simulation event loop; they must not block.
+//
+// Contract:
+//   - Each OnRequest call represents one application-level request for the
+//     critical section. The node must eventually call Context.EnterCS once
+//     per OnRequest (the harness tracks the FIFO correspondence per node).
+//   - After EnterCS, the harness simulates the critical section for Texec
+//     time units and then calls OnCSDone; only then may the node release
+//     or pass on its permission/token.
+type Node interface {
+	// ID returns the node's identifier, fixed at construction.
+	ID() NodeID
+	// Init is called once at virtual time 0, after all nodes exist.
+	Init(ctx Context)
+	// OnRequest is called when the local application requests the CS.
+	OnRequest(ctx Context)
+	// OnMessage is called when a protocol message is delivered.
+	OnMessage(ctx Context, from NodeID, msg Message)
+	// OnCSDone is called when the critical section the node entered via
+	// Context.EnterCS completes (Texec after EnterCS).
+	OnCSDone(ctx Context)
+}
+
+// Algorithm constructs the N nodes of a protocol instance.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Build returns the nodes. len(result) must equal cfg.N and node i
+	// must report ID() == i.
+	Build(cfg Config) ([]Node, error)
+}
+
+// Timer is a cancellable pending callback, returned by Context.After.
+// Cancelling an already-fired or already-cancelled timer is a no-op.
+type Timer interface {
+	Cancel()
+}
+
+// Context is the interface through which nodes act on the world. It is
+// implemented by the simulation Runner (virtual time) and by the live
+// runtime in internal/live (wall-clock time over a real transport) — the
+// same protocol state machine drives both.
+type Context interface {
+	// Now returns the current virtual time.
+	Now() float64
+	// N returns the number of nodes.
+	N() int
+	// Send transmits msg from one node to another with network delay.
+	// Sending to self delivers after zero delay and is not counted as a
+	// network message.
+	Send(from, to NodeID, msg Message)
+	// Broadcast sends msg from the given node to every other node. It is
+	// counted as N−1 point-to-point messages, matching the paper's
+	// accounting for NEW-ARBITER broadcasts.
+	Broadcast(from NodeID, msg Message)
+	// After schedules fn on node's behalf after delay time units. The
+	// returned timer can be cancelled with Cancel. If the node has
+	// crashed when the timer fires, fn is suppressed.
+	After(node NodeID, delay float64, fn func()) Timer
+	// Cancel cancels a pending timer; safe on nil or fired timers.
+	Cancel(t Timer)
+	// EnterCS asserts mutual exclusion and starts the critical section
+	// for node. OnCSDone is invoked Texec later.
+	EnterCS(node NodeID)
+	// Rand returns a float64 in [0,1) from the deterministic stream.
+	// Algorithms that need randomized decisions must use this.
+	Rand() float64
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// N is the number of nodes (≥ 1).
+	N int
+	// Seed seeds the deterministic random stream.
+	Seed uint64
+	// Delay is the network delay model; nil means ConstantDelay{0.1}.
+	Delay sim.DelayModel
+	// FIFO forces per-(sender, receiver) in-order delivery even under
+	// stochastic delay models, emulating TCP-like channels: a message's
+	// delivery time is clamped to be no earlier than the previous
+	// message on the same ordered pair. Lamport's algorithm requires
+	// this; token algorithms merely benefit.
+	FIFO bool
+	// Texec is the critical-section execution time.
+	Texec float64
+	// Gen builds the per-node arrival process; nil node generators mean
+	// the node issues no requests.
+	Gen func(node NodeID) GeneratorFunc
+	// ClosedLoop switches from open-loop (Poisson-style, arrivals
+	// independent of service) to closed-loop workload: each node has at
+	// most one outstanding request, and Gen yields the think time
+	// between completing one critical section and requesting the next.
+	// A zero think time models the paper's heavy-load regime (§3.2),
+	// where every node always has a pending request.
+	ClosedLoop bool
+	// TotalRequests is the number of application requests to generate
+	// across all nodes before arrivals stop; the run then drains.
+	TotalRequests uint64
+	// WarmupRequests is the number of initial CS completions excluded
+	// from statistics (transient removal).
+	WarmupRequests uint64
+	// MaxVirtualTime aborts a run that exceeds this virtual-time horizon
+	// (a liveness backstop for tests); 0 means no limit.
+	MaxVirtualTime float64
+	// Fault, when non-nil, is consulted for every message send and can
+	// drop or duplicate messages (failure-injection experiments).
+	Fault Interceptor
+	// Params carries algorithm-specific tuning (e.g. the arbiter
+	// algorithm's collection and forwarding durations).
+	Params map[string]float64
+	// Trace, when non-nil, receives every simulation event (sends,
+	// deliveries, CS entries/exits, request arrivals) for protocol
+	// tracing and fidelity tests. Tracing is off the hot path when nil.
+	Trace func(ev TraceEvent)
+}
+
+// TraceKind classifies a TraceEvent.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TraceRequest: an application request arrived at From.
+	TraceRequest TraceKind = iota + 1
+	// TraceSend: From transmitted Msg to To.
+	TraceSend
+	// TraceDeliver: Msg from From was delivered at To.
+	TraceDeliver
+	// TraceEnterCS: From entered the critical section.
+	TraceEnterCS
+	// TraceExitCS: From completed the critical section.
+	TraceExitCS
+)
+
+// String names the kind for trace dumps.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceRequest:
+		return "request"
+	case TraceSend:
+		return "send"
+	case TraceDeliver:
+		return "deliver"
+	case TraceEnterCS:
+		return "enter-cs"
+	case TraceExitCS:
+		return "exit-cs"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent is one observed simulation event.
+type TraceEvent struct {
+	Time float64
+	Kind TraceKind
+	From NodeID
+	To   NodeID  // valid for Send/Deliver
+	Msg  Message // valid for Send/Deliver
+}
+
+// GeneratorFunc yields the next interarrival time. It adapts
+// workload.Generator to a plain function so dme does not import workload.
+type GeneratorFunc func() float64
+
+// Param returns the named algorithm parameter or def when absent.
+func (c Config) Param(name string, def float64) float64 {
+	if v, ok := c.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Validate checks the configuration for obvious errors.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("dme: N must be ≥ 1, got %d", c.N)
+	}
+	if c.Texec < 0 {
+		return fmt.Errorf("dme: Texec must be ≥ 0, got %v", c.Texec)
+	}
+	if c.TotalRequests == 0 {
+		return fmt.Errorf("dme: TotalRequests must be ≥ 1")
+	}
+	if c.WarmupRequests >= c.TotalRequests {
+		return fmt.Errorf("dme: warmup (%d) must be below total requests (%d)",
+			c.WarmupRequests, c.TotalRequests)
+	}
+	return nil
+}
+
+// FaultAction tells the harness what to do with an intercepted message.
+type FaultAction int
+
+// Fault actions, in increasing order of mischief.
+const (
+	// Deliver passes the message through normally.
+	Deliver FaultAction = iota + 1
+	// Drop silently discards the message (it still counts as sent).
+	Drop
+	// Duplicate delivers the message twice, with independent delays.
+	Duplicate
+)
+
+// Interceptor inspects an outgoing message and decides its fate.
+type Interceptor func(now float64, from, to NodeID, msg Message) FaultAction

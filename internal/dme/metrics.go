@@ -1,0 +1,128 @@
+package dme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tokenarbiter/internal/stats"
+)
+
+// Metrics aggregates the observables of one simulation run. All counters
+// honour the warmup window: nothing is recorded until WarmupRequests
+// critical sections have completed, so steady-state figures are not
+// polluted by the initial transient.
+type Metrics struct {
+	// Issued is the number of application requests delivered to nodes
+	// within the measured window.
+	Issued uint64
+	// CSCompleted is the number of critical sections completed within
+	// the measured window.
+	CSCompleted uint64
+	// TotalMessages is the number of network messages sent within the
+	// measured window (self-sends excluded, broadcasts counted as N−1).
+	TotalMessages uint64
+	// MsgByKind breaks TotalMessages down by Message.Kind.
+	MsgByKind map[string]uint64
+	// TotalUnits is the total message volume in abstract payload units
+	// (see the Sized interface); messages without a size count as 1.
+	TotalUnits uint64
+	// Service accumulates per-CS service time: request arrival to CS
+	// exit, inclusive of the CS execution itself (the paper's X̄).
+	Service stats.Welford
+	// Waiting accumulates per-CS waiting time: request arrival to CS
+	// entry (the conventional "response time" of [Singhal 93]).
+	Waiting stats.Welford
+	// PerNodeCS counts completed critical sections per node (fairness).
+	PerNodeCS []uint64
+	// PerNodeWait accumulates waiting time per requesting node — the
+	// observable that the prioritized-access variant (§5.2) shifts.
+	PerNodeWait []stats.Welford
+	// MeasuredTime is the virtual time spanned by the measured window.
+	MeasuredTime float64
+	// EndTime is the virtual time when the run finished draining.
+	EndTime float64
+}
+
+// MessagesPerCS returns the average number of messages per critical
+// section invocation — the paper's primary metric.
+func (m *Metrics) MessagesPerCS() float64 {
+	if m.CSCompleted == 0 {
+		return 0
+	}
+	return float64(m.TotalMessages) / float64(m.CSCompleted)
+}
+
+// KindPerCS returns the average number of messages of one kind per CS.
+func (m *Metrics) KindPerCS(kind string) float64 {
+	if m.CSCompleted == 0 {
+		return 0
+	}
+	return float64(m.MsgByKind[kind]) / float64(m.CSCompleted)
+}
+
+// KindFraction returns count(kind) / sum over kinds of count, i.e. the
+// fraction of all messages that are of the given kind (Figure 5 uses the
+// fraction of forwarded requests).
+func (m *Metrics) KindFraction(kind string) float64 {
+	if m.TotalMessages == 0 {
+		return 0
+	}
+	return float64(m.MsgByKind[kind]) / float64(m.TotalMessages)
+}
+
+// UnitsPerCS returns the average message volume per critical section in
+// abstract payload units.
+func (m *Metrics) UnitsPerCS() float64 {
+	if m.CSCompleted == 0 {
+		return 0
+	}
+	return float64(m.TotalUnits) / float64(m.CSCompleted)
+}
+
+// Throughput returns completed critical sections per unit virtual time
+// over the measured window.
+func (m *Metrics) Throughput() float64 {
+	if m.MeasuredTime <= 0 {
+		return 0
+	}
+	return float64(m.CSCompleted) / m.MeasuredTime
+}
+
+// JainFairness returns Jain's fairness index over per-node CS completion
+// counts: (Σx)² / (n·Σx²). 1.0 is perfectly fair; 1/n is maximally unfair.
+// Nodes that issued no requests are excluded.
+func (m *Metrics) JainFairness() float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, c := range m.PerNodeCS {
+		if c == 0 {
+			continue
+		}
+		x := float64(c)
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// String renders a compact single-run summary.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cs=%d msgs=%d (%.3f/cs) service=%s wait=%s fair=%.4f",
+		m.CSCompleted, m.TotalMessages, m.MessagesPerCS(),
+		m.Service.String(), m.Waiting.String(), m.JainFairness())
+	kinds := make([]string, 0, len(m.MsgByKind))
+	for k := range m.MsgByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, m.MsgByKind[k])
+	}
+	return b.String()
+}

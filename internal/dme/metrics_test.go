@@ -1,0 +1,107 @@
+package dme
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMetricsDerivedQuantities(t *testing.T) {
+	m := Metrics{
+		CSCompleted:   100,
+		TotalMessages: 280,
+		MsgByKind:     map[string]uint64{"REQUEST": 90, "PRIVILEGE": 95, "NEW-ARBITER": 95},
+		MeasuredTime:  50,
+		PerNodeCS:     []uint64{25, 25, 25, 25},
+	}
+	if got := m.MessagesPerCS(); got != 2.8 {
+		t.Errorf("MessagesPerCS = %v, want 2.8", got)
+	}
+	if got := m.KindPerCS("REQUEST"); got != 0.9 {
+		t.Errorf("KindPerCS(REQUEST) = %v, want 0.9", got)
+	}
+	if got := m.KindFraction("PRIVILEGE"); math.Abs(got-95.0/280) > 1e-12 {
+		t.Errorf("KindFraction = %v", got)
+	}
+	if got := m.Throughput(); got != 2 {
+		t.Errorf("Throughput = %v, want 2", got)
+	}
+	if got := m.JainFairness(); got != 1 {
+		t.Errorf("JainFairness = %v, want 1 for perfectly equal counts", got)
+	}
+}
+
+func TestMetricsZeroSafe(t *testing.T) {
+	var m Metrics
+	if m.MessagesPerCS() != 0 || m.Throughput() != 0 || m.KindPerCS("X") != 0 ||
+		m.KindFraction("X") != 0 {
+		t.Error("zero metrics not zero-safe")
+	}
+	if m.JainFairness() != 1 {
+		t.Error("empty fairness should be vacuously 1")
+	}
+}
+
+func TestJainFairnessSkew(t *testing.T) {
+	m := Metrics{PerNodeCS: []uint64{100, 0, 0, 0}}
+	// Zeros excluded: only one active node → index 1.
+	if got := m.JainFairness(); got != 1 {
+		t.Errorf("single active node fairness = %v, want 1", got)
+	}
+	m = Metrics{PerNodeCS: []uint64{100, 1, 1, 1}}
+	got := m.JainFairness()
+	if got > 0.3 {
+		t.Errorf("heavily skewed fairness = %v, want low", got)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{
+		CSCompleted:   5,
+		TotalMessages: 15,
+		MsgByKind:     map[string]uint64{"B": 10, "A": 5},
+	}
+	s := m.String()
+	if !strings.Contains(s, "A=5") || !strings.Contains(s, "B=10") {
+		t.Errorf("String() missing kind counts: %s", s)
+	}
+	if strings.Index(s, "A=5") > strings.Index(s, "B=10") {
+		t.Errorf("kinds not sorted: %s", s)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{N: 3, Texec: 0.1, TotalRequests: 10}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cases := []Config{
+		{N: 0, TotalRequests: 10},
+		{N: 3, Texec: -1, TotalRequests: 10},
+		{N: 3, TotalRequests: 0},
+		{N: 3, TotalRequests: 10, WarmupRequests: 10},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestConfigParam(t *testing.T) {
+	c := Config{Params: map[string]float64{"treq": 0.2}}
+	if got := c.Param("treq", 0.1); got != 0.2 {
+		t.Errorf("Param(treq) = %v, want 0.2", got)
+	}
+	if got := c.Param("missing", 0.7); got != 0.7 {
+		t.Errorf("Param default = %v, want 0.7", got)
+	}
+}
+
+func TestSafetyViolationErrorMessage(t *testing.T) {
+	err := &SafetyViolationError{Time: 1.5, Holder: 2, Intruder: 4}
+	s := err.Error()
+	if !strings.Contains(s, "node 4") || !strings.Contains(s, "node 2") {
+		t.Errorf("unhelpful violation message: %s", s)
+	}
+}

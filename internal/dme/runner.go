@@ -1,0 +1,428 @@
+package dme
+
+import (
+	"errors"
+	"fmt"
+
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/stats"
+)
+
+// SafetyViolationError reports that two nodes were observed inside the
+// critical section at the same virtual time — the one thing a mutual
+// exclusion algorithm must never allow.
+type SafetyViolationError struct {
+	Time             float64
+	Holder, Intruder NodeID
+}
+
+// Error implements error.
+func (e *SafetyViolationError) Error() string {
+	return fmt.Sprintf("dme: safety violation at t=%v: node %d entered the CS while node %d holds it",
+		e.Time, e.Intruder, e.Holder)
+}
+
+// ErrLivenessTimeout is returned when a run exceeds Config.MaxVirtualTime
+// before completing all issued requests — the liveness backstop.
+var ErrLivenessTimeout = errors.New("dme: run exceeded MaxVirtualTime before all requests completed (liveness failure?)")
+
+// ErrStalled is returned when the event queue drains while requests are
+// still outstanding — a deadlock in the algorithm under test.
+var ErrStalled = errors.New("dme: event queue drained with requests outstanding (algorithm deadlock?)")
+
+// Runner executes one algorithm instance under one configuration. Create
+// it with NewRunner, optionally inject external events (crashes, probes)
+// with ScheduleAt, then call Run.
+type Runner struct {
+	cfg   Config
+	sim   *sim.Simulator
+	algo  Algorithm
+	nodes []Node
+
+	pending   []pendingQueue // per-node FIFO of request arrival times
+	inCS      NodeID         // -1 when the CS is free
+	csArrival float64        // arrival time of the request being served
+
+	planned   uint64 // arrivals reserved (scheduled or delivered)
+	issued    uint64 // arrivals delivered to nodes
+	completed uint64 // critical sections completed
+
+	measuring   bool
+	measureFrom float64
+	met         Metrics
+
+	crashed []bool
+	fatal   error
+	gens    []GeneratorFunc
+
+	// lastDelivery[from*N+to] is the latest delivery time scheduled on
+	// that ordered pair, for Config.FIFO clamping.
+	lastDelivery []float64
+}
+
+// pendingQueue is a slice-backed FIFO with an advancing head index, so a
+// million pushes/pops don't thrash the allocator.
+type pendingQueue struct {
+	buf  []float64
+	head int
+}
+
+func (q *pendingQueue) push(t float64) { q.buf = append(q.buf, t) }
+
+func (q *pendingQueue) pop() (float64, bool) {
+	if q.head >= len(q.buf) {
+		return 0, false
+	}
+	t := q.buf[q.head]
+	q.head++
+	if q.head > 1024 && q.head*2 >= len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return t, true
+}
+
+func (q *pendingQueue) len() int { return len(q.buf) - q.head }
+
+// NewRunner validates cfg, builds the algorithm's nodes and prepares the
+// simulation without running it.
+func NewRunner(algo Algorithm, cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = sim.ConstantDelay{D: 0.1}
+	}
+	r := &Runner{
+		cfg:     cfg,
+		sim:     sim.New(cfg.Seed),
+		algo:    algo,
+		inCS:    -1,
+		pending: make([]pendingQueue, cfg.N),
+		crashed: make([]bool, cfg.N),
+	}
+	r.met.MsgByKind = make(map[string]uint64)
+	r.met.PerNodeCS = make([]uint64, cfg.N)
+	r.met.PerNodeWait = make([]stats.Welford, cfg.N)
+	if cfg.FIFO {
+		r.lastDelivery = make([]float64, cfg.N*cfg.N)
+	}
+	r.measuring = cfg.WarmupRequests == 0
+
+	nodes, err := algo.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dme: building %s: %w", algo.Name(), err)
+	}
+	if len(nodes) != cfg.N {
+		return nil, fmt.Errorf("dme: %s built %d nodes, config wants %d", algo.Name(), len(nodes), cfg.N)
+	}
+	for i, n := range nodes {
+		if n.ID() != i {
+			return nil, fmt.Errorf("dme: %s node at index %d reports ID %d", algo.Name(), i, n.ID())
+		}
+	}
+	r.nodes = nodes
+	return r, nil
+}
+
+// Node returns the i-th node, for experiment scripts that need to inspect
+// algorithm-specific state (type-asserting to the concrete node type).
+func (r *Runner) Node(i NodeID) Node { return r.nodes[i] }
+
+// Now returns the current virtual time.
+func (r *Runner) Now() float64 { return r.sim.Now() }
+
+// ScheduleAt registers an external event (fault injection, probes) at
+// absolute virtual time t. Must be called before Run.
+func (r *Runner) ScheduleAt(t float64, fn func()) {
+	r.sim.At(t, fn)
+}
+
+// InjectRequest delivers one application request to node at the current
+// virtual time. It is the scripted-workload alternative to Config.Gen:
+// wrap calls in ScheduleAt and set Config.TotalRequests to the number of
+// injections so the run drains exactly when all are served.
+func (r *Runner) InjectRequest(node NodeID) {
+	r.planned++
+	r.issued++
+	r.pending[node].push(r.sim.Now())
+	if r.measuring {
+		r.met.Issued++
+	}
+	r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceRequest, From: node})
+	if !r.crashed[node] {
+		r.nodes[node].OnRequest(r)
+	} else {
+		r.pending[node].pop()
+		r.completed++
+	}
+}
+
+func (r *Runner) trace(ev TraceEvent) {
+	if r.cfg.Trace != nil {
+		r.cfg.Trace(ev)
+	}
+}
+
+// Crash marks a node as failed: all messages addressed to it are discarded
+// on delivery and its pending timers are suppressed when they fire. The
+// node's queued application requests are abandoned (completed vacuously)
+// — a crashed client cannot be served, and the run must still drain.
+func (r *Runner) Crash(node NodeID) {
+	r.crashed[node] = true
+	for {
+		if _, ok := r.pending[node].pop(); !ok {
+			break
+		}
+		r.completed++
+	}
+}
+
+// Restore clears a node's crashed flag. The node resumes with whatever
+// state it had; algorithms with recovery support re-synchronize via their
+// own protocol.
+func (r *Runner) Restore(node NodeID) { r.crashed[node] = false }
+
+// Crashed reports whether the node is currently marked failed.
+func (r *Runner) Crashed(node NodeID) bool { return r.crashed[node] }
+
+// Run executes the simulation: Init on every node, workload arrivals until
+// Config.TotalRequests have been issued, then draining until every issued
+// request has completed its critical section. It returns the collected
+// metrics.
+//
+// A safety violation (two nodes in the CS) is returned as
+// *SafetyViolationError. Exceeding MaxVirtualTime returns
+// ErrLivenessTimeout; a drained event queue with outstanding requests
+// returns ErrStalled.
+func (r *Runner) Run() (met *Metrics, err error) {
+	defer func() {
+		// Safety violations abort the event loop via panic; convert the
+		// typed ones back into errors and re-raise everything else.
+		if p := recover(); p != nil {
+			if sv, ok := p.(*SafetyViolationError); ok {
+				met, err = nil, sv
+				return
+			}
+			panic(p)
+		}
+	}()
+
+	for _, n := range r.nodes {
+		n.Init(r)
+	}
+	if r.cfg.Gen != nil {
+		r.gens = make([]GeneratorFunc, r.cfg.N)
+		for i := range r.nodes {
+			if gen := r.cfg.Gen(i); gen != nil {
+				r.gens[i] = gen
+				r.scheduleArrival(i, gen)
+			}
+		}
+	}
+
+	stop := func() bool {
+		if r.fatal != nil {
+			return true
+		}
+		if r.cfg.MaxVirtualTime > 0 && r.sim.Now() > r.cfg.MaxVirtualTime {
+			r.fatal = ErrLivenessTimeout
+			return true
+		}
+		return r.planned >= r.cfg.TotalRequests &&
+			r.issued == r.planned &&
+			r.completed == r.issued
+	}
+	finished := r.sim.RunUntil(stop)
+	if r.fatal != nil {
+		return nil, r.fatal
+	}
+	if !finished && !stop() {
+		return nil, fmt.Errorf("%w: issued=%d completed=%d at t=%v",
+			ErrStalled, r.issued, r.completed, r.sim.Now())
+	}
+	r.met.EndTime = r.sim.Now()
+	r.met.MeasuredTime = r.sim.Now() - r.measureFrom
+	m := r.met
+	return &m, nil
+}
+
+func (r *Runner) scheduleArrival(node NodeID, gen GeneratorFunc) {
+	if r.planned >= r.cfg.TotalRequests {
+		return
+	}
+	r.planned++
+	delay := gen()
+	r.sim.Schedule(delay, func() {
+		r.issued++
+		r.pending[node].push(r.sim.Now())
+		if r.measuring {
+			r.met.Issued++
+		}
+		r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceRequest, From: node})
+		if !r.crashed[node] {
+			r.nodes[node].OnRequest(r)
+		} else {
+			// A crashed node cannot serve its application; the request
+			// completes vacuously so the run can drain. Recovery
+			// experiments restore nodes before draining when they want
+			// the request actually served.
+			r.pending[node].pop()
+			r.completed++
+			if r.cfg.ClosedLoop {
+				r.scheduleArrival(node, gen)
+			}
+		}
+		if !r.cfg.ClosedLoop {
+			r.scheduleArrival(node, gen)
+		}
+	})
+}
+
+// --- Context implementation -------------------------------------------
+
+var _ Context = (*Runner)(nil)
+
+// N implements Context.
+func (r *Runner) N() int { return r.cfg.N }
+
+// Rand implements Context.
+func (r *Runner) Rand() float64 { return r.sim.RNG().Float64() }
+
+// Send implements Context. Self-sends deliver after zero delay and are not
+// counted as network messages.
+func (r *Runner) Send(from, to NodeID, msg Message) {
+	if to < 0 || to >= r.cfg.N {
+		panic(fmt.Sprintf("dme: node %d sent %s to invalid node %d", from, msg.Kind(), to))
+	}
+	if from == to {
+		r.sim.Schedule(0, func() {
+			if !r.crashed[to] {
+				r.nodes[to].OnMessage(r, from, msg)
+			}
+		})
+		return
+	}
+	r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceSend, From: from, To: to, Msg: msg})
+	r.countMessage(msg)
+	action := Deliver
+	if r.cfg.Fault != nil {
+		action = r.cfg.Fault(r.sim.Now(), from, to, msg)
+	}
+	switch action {
+	case Drop:
+		return
+	case Duplicate:
+		r.deliver(from, to, msg)
+		r.deliver(from, to, msg)
+	default:
+		r.deliver(from, to, msg)
+	}
+}
+
+func (r *Runner) deliver(from, to NodeID, msg Message) {
+	delay := r.cfg.Delay.Delay(r.sim.RNG(), from, to)
+	if r.lastDelivery != nil {
+		idx := from*r.cfg.N + to
+		at := r.sim.Now() + delay
+		if at < r.lastDelivery[idx] {
+			at = r.lastDelivery[idx]
+			delay = at - r.sim.Now()
+		}
+		r.lastDelivery[idx] = at
+	}
+	r.sim.Schedule(delay, func() {
+		if !r.crashed[to] {
+			r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceDeliver, From: from, To: to, Msg: msg})
+			r.nodes[to].OnMessage(r, from, msg)
+		}
+	})
+}
+
+// Broadcast implements Context: N−1 point-to-point messages.
+func (r *Runner) Broadcast(from NodeID, msg Message) {
+	for to := 0; to < r.cfg.N; to++ {
+		if to != from {
+			r.Send(from, to, msg)
+		}
+	}
+}
+
+// After implements Context. The callback is suppressed if the node is
+// crashed when the timer fires.
+func (r *Runner) After(node NodeID, delay float64, fn func()) Timer {
+	return r.sim.Schedule(delay, func() {
+		if !r.crashed[node] {
+			fn()
+		}
+	})
+}
+
+// Cancel implements Context; safe on nil timers.
+func (r *Runner) Cancel(t Timer) {
+	if t != nil {
+		t.Cancel()
+	}
+}
+
+// EnterCS implements Context: asserts mutual exclusion, starts the
+// critical section and schedules OnCSDone after Texec.
+func (r *Runner) EnterCS(node NodeID) {
+	if r.inCS != -1 {
+		panic(&SafetyViolationError{Time: r.sim.Now(), Holder: r.inCS, Intruder: node})
+	}
+	arrival, ok := r.pending[node].pop()
+	if !ok {
+		panic(fmt.Sprintf("dme: node %d entered the CS with no pending request at t=%v", node, r.sim.Now()))
+	}
+	r.inCS = node
+	r.csArrival = arrival
+	enterTime := r.sim.Now()
+	r.trace(TraceEvent{Time: enterTime, Kind: TraceEnterCS, From: node})
+	r.sim.Schedule(r.cfg.Texec, func() {
+		r.inCS = -1
+		r.completed++
+		r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceExitCS, From: node})
+		if r.measuring {
+			r.met.CSCompleted++
+			r.met.PerNodeCS[node]++
+			r.met.Waiting.Add(enterTime - arrival)
+			r.met.PerNodeWait[node].Add(enterTime - arrival)
+			r.met.Service.Add(r.sim.Now() - arrival)
+		} else if r.completed >= r.cfg.WarmupRequests {
+			r.measuring = true
+			r.measureFrom = r.sim.Now()
+		}
+		if !r.crashed[node] {
+			r.nodes[node].OnCSDone(r)
+		}
+		if r.cfg.ClosedLoop && r.gens != nil && r.gens[node] != nil {
+			r.scheduleArrival(node, r.gens[node])
+		}
+	})
+}
+
+func (r *Runner) countMessage(msg Message) {
+	if !r.measuring {
+		return
+	}
+	r.met.TotalMessages++
+	r.met.MsgByKind[msg.Kind()]++
+	units := 1
+	if s, ok := msg.(Sized); ok {
+		units = s.SizeUnits()
+		if units < 1 {
+			units = 1
+		}
+	}
+	r.met.TotalUnits += uint64(units)
+}
+
+// Run is the one-shot convenience wrapper: build a Runner and execute it.
+func Run(algo Algorithm, cfg Config) (*Metrics, error) {
+	r, err := NewRunner(algo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}

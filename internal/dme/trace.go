@@ -1,0 +1,80 @@
+package dme
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceRecorder collects TraceEvents for later inspection — plug its
+// Record method into Config.Trace. It is not safe for concurrent use;
+// the simulation is single-threaded, so that is fine.
+type TraceRecorder struct {
+	Events []TraceEvent
+}
+
+// Record appends an event; pass it as Config.Trace.
+func (r *TraceRecorder) Record(ev TraceEvent) {
+	r.Events = append(r.Events, ev)
+}
+
+// Filter returns the events matching every provided predicate.
+func (r *TraceRecorder) Filter(preds ...func(TraceEvent) bool) []TraceEvent {
+	var out []TraceEvent
+outer:
+	for _, ev := range r.Events {
+		for _, p := range preds {
+			if !p(ev) {
+				continue outer
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// ByKind selects events of one kind.
+func ByKind(k TraceKind) func(TraceEvent) bool {
+	return func(ev TraceEvent) bool { return ev.Kind == k }
+}
+
+// ByMsgKind selects Send/Deliver events whose message has the given kind.
+func ByMsgKind(kind string) func(TraceEvent) bool {
+	return func(ev TraceEvent) bool { return ev.Msg != nil && ev.Msg.Kind() == kind }
+}
+
+// ByNode selects events originating at the given node.
+func ByNode(node NodeID) func(TraceEvent) bool {
+	return func(ev TraceEvent) bool { return ev.From == node }
+}
+
+// Between selects events in the half-open virtual-time interval [lo, hi).
+func Between(lo, hi float64) func(TraceEvent) bool {
+	return func(ev TraceEvent) bool { return ev.Time >= lo && ev.Time < hi }
+}
+
+// CSOrder returns the sequence of nodes in the order they entered the
+// critical section.
+func (r *TraceRecorder) CSOrder() []NodeID {
+	var out []NodeID
+	for _, ev := range r.Events {
+		if ev.Kind == TraceEnterCS {
+			out = append(out, ev.From)
+		}
+	}
+	return out
+}
+
+// String renders the trace as one line per event, for golden tests and
+// debugging sessions.
+func (r *TraceRecorder) String() string {
+	var b strings.Builder
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case TraceSend, TraceDeliver:
+			fmt.Fprintf(&b, "%10.4f %-8s %d→%d %s\n", ev.Time, ev.Kind, ev.From, ev.To, ev.Msg.Kind())
+		default:
+			fmt.Fprintf(&b, "%10.4f %-8s node %d\n", ev.Time, ev.Kind, ev.From)
+		}
+	}
+	return b.String()
+}

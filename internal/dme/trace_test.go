@@ -1,0 +1,71 @@
+package dme
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *TraceRecorder {
+	r := &TraceRecorder{}
+	r.Record(TraceEvent{Time: 0.5, Kind: TraceRequest, From: 1})
+	r.Record(TraceEvent{Time: 1.0, Kind: TraceSend, From: 1, To: 0, Msg: grant{}})
+	r.Record(TraceEvent{Time: 1.1, Kind: TraceDeliver, From: 1, To: 0, Msg: grant{}})
+	r.Record(TraceEvent{Time: 2.0, Kind: TraceEnterCS, From: 1})
+	r.Record(TraceEvent{Time: 2.5, Kind: TraceExitCS, From: 1})
+	r.Record(TraceEvent{Time: 3.0, Kind: TraceEnterCS, From: 2})
+	return r
+}
+
+func TestTraceFilter(t *testing.T) {
+	r := sampleTrace()
+	sends := r.Filter(ByKind(TraceSend))
+	if len(sends) != 1 || sends[0].To != 0 {
+		t.Errorf("ByKind(Send) = %v", sends)
+	}
+	grants := r.Filter(ByMsgKind("GRANT"))
+	if len(grants) != 2 {
+		t.Errorf("ByMsgKind(GRANT) found %d, want 2", len(grants))
+	}
+	early := r.Filter(Between(0, 2))
+	if len(early) != 3 {
+		t.Errorf("Between(0,2) found %d, want 3", len(early))
+	}
+	node1 := r.Filter(ByNode(1), ByKind(TraceEnterCS))
+	if len(node1) != 1 {
+		t.Errorf("combined filter found %d, want 1", len(node1))
+	}
+}
+
+func TestTraceCSOrder(t *testing.T) {
+	r := sampleTrace()
+	order := r.CSOrder()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("CSOrder = %v, want [1 2]", order)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	s := sampleTrace().String()
+	if !strings.Contains(s, "1→0 GRANT") {
+		t.Errorf("trace dump missing send line:\n%s", s)
+	}
+	if !strings.Contains(s, "enter-cs") {
+		t.Errorf("trace dump missing enter-cs:\n%s", s)
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	kinds := map[TraceKind]string{
+		TraceRequest:  "request",
+		TraceSend:     "send",
+		TraceDeliver:  "deliver",
+		TraceEnterCS:  "enter-cs",
+		TraceExitCS:   "exit-cs",
+		TraceKind(99): "unknown",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("TraceKind(%d) = %q, want %q", k, got, want)
+		}
+	}
+}

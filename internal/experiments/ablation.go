@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tokenarbiter/internal/core"
+)
+
+// AblationCell is one (Treq, Tfwd) operating point of experiment E10.
+type AblationCell struct {
+	Treq, Tfwd float64
+	MsgsPerCS  float64
+	Service    float64
+	FwdFrac    float64
+}
+
+// AblationResult is the E10 grid: the paper calls the collection and
+// forwarding durations "parameters that can be tuned for the best
+// performance" (§2.1, §7); this experiment maps the trade-off the
+// two-curve contrast of Figures 3–5 only samples.
+type AblationResult struct {
+	Lambda float64
+	Cells  []AblationCell
+}
+
+// Table renders E10.
+func (r *AblationResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E10 — collection/forwarding phase ablation at λ=%g\n", r.Lambda)
+	fmt.Fprintf(&b, "%6s | %6s | %9s | %9s | %9s\n", "Treq", "Tfwd", "msgs/cs", "service", "fwd frac")
+	b.WriteString(strings.Repeat("-", 52) + "\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%6.2f | %6.2f | %9.4f | %9.4f | %9.5f\n",
+			c.Treq, c.Tfwd, c.MsgsPerCS, c.Service, c.FwdFrac)
+	}
+	return b.String()
+}
+
+// DefaultTreqs and DefaultTfwds are the E10 grid axes.
+var (
+	DefaultTreqs = []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+	DefaultTfwds = []float64{0.05, 0.1, 0.2}
+)
+
+// RunPhaseAblation executes E10 at one load: sweep the collection and
+// forwarding durations and record the message/delay/forwarding trade-off.
+// Expected shape: longer Treq → fewer messages per CS, higher delay,
+// lower forwarded fraction (the paper's stated trend).
+func RunPhaseAblation(s Setup, lambda float64, treqs, tfwds []float64) (*AblationResult, error) {
+	if lambda <= 0 {
+		lambda = 0.2
+	}
+	if treqs == nil {
+		treqs = DefaultTreqs
+	}
+	if tfwds == nil {
+		tfwds = DefaultTfwds
+	}
+	res := &AblationResult{Lambda: lambda}
+	for _, treq := range treqs {
+		for _, tfwd := range tfwds {
+			algo := core.New(arbiterOptions(treq, tfwd))
+			rs, err := runReps(algo, s, lambda)
+			if err != nil {
+				return nil, fmt.Errorf("treq=%v tfwd=%v: %w", treq, tfwd, err)
+			}
+			res.Cells = append(res.Cells, AblationCell{
+				Treq:      treq,
+				Tfwd:      tfwd,
+				MsgsPerCS: rs.MsgsPerCS.Mean(),
+				Service:   rs.Service.Mean(),
+				FwdFrac:   rs.FwdFrac.Mean(),
+			})
+		}
+	}
+	return res, nil
+}

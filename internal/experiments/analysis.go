@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tokenarbiter/internal/analytic"
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/workload"
+)
+
+// AnalysisRow compares one closed-form prediction of §3 with the
+// corresponding simulation measurement.
+type AnalysisRow struct {
+	Name      string
+	Predicted float64
+	Measured  float64
+	CI        float64
+	RelErr    float64
+}
+
+// AnalysisResult is the E5/E6 validation table: Eq. (1)/(3) against a
+// light-load simulation and Eq. (4)/(6) against a heavy-load (closed
+// loop, all nodes pending) simulation.
+type AnalysisResult struct {
+	Rows []AnalysisRow
+}
+
+// Table renders the validation table.
+func (r *AnalysisResult) Table() string {
+	var b strings.Builder
+	b.WriteString("Analytic bounds (§3, Eq. 1–6) vs. simulation\n")
+	fmt.Fprintf(&b, "%-34s | %10s | %10s | %8s | %7s\n", "quantity", "predicted", "measured", "ci95", "relerr")
+	b.WriteString(strings.Repeat("-", 82) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-34s | %10.4f | %10.4f | %8.4f | %6.1f%%\n",
+			row.Name, row.Predicted, row.Measured, row.CI, 100*row.RelErr)
+	}
+	return b.String()
+}
+
+func newRow(name string, predicted, measured, ci float64) AnalysisRow {
+	rel := 0.0
+	if predicted != 0 {
+		rel = (measured - predicted) / predicted
+	}
+	return AnalysisRow{Name: name, Predicted: predicted, Measured: measured, CI: ci, RelErr: rel}
+}
+
+// heavyConfig builds the closed-loop saturation workload of §3.2: every
+// node re-requests shortly after completing its CS (short exponential
+// think time randomizes arrival order like the paper's Poisson sources at
+// high λ, while keeping every node essentially always pending).
+func (s Setup) heavyConfig(rep int) dme.Config {
+	cfg := s.config(1, rep)
+	cfg.ClosedLoop = true
+	think := workload.Poisson{Lambda: 1 / (2 * (s.Tmsg + s.Texec))}
+	cfg.Gen = func(node int) dme.GeneratorFunc {
+		return workload.Stream(think, cfg.Seed, node)
+	}
+	return cfg
+}
+
+// RunAnalysis executes experiments E5 (light-load bound) and E6
+// (heavy-load bound) and returns the comparison table.
+func RunAnalysis(s Setup, treq float64) (*AnalysisResult, error) {
+	if treq <= 0 {
+		treq = 0.1
+	}
+	p := analytic.Params{N: s.N, Tmsg: s.Tmsg, Texec: s.Texec, Treq: treq}
+	algo := core.New(arbiterOptions(treq, 0.1))
+	res := &AnalysisResult{}
+
+	// E5: light load — a per-node rate low enough that two requests are
+	// almost never outstanding together.
+	lightLambda := 0.01 / float64(s.N)
+	var light RepStats
+	lightSetup := s
+	if lightSetup.Requests > 20_000 {
+		lightSetup.Requests = 20_000 // light-load runs span huge virtual time
+	}
+	light, err := runReps(algo, lightSetup, lightLambda)
+	if err != nil {
+		return nil, fmt.Errorf("light-load run: %w", err)
+	}
+	res.Rows = append(res.Rows,
+		newRow("E5 messages/CS  (Eq.1 (N²−1)/N)", analytic.MessagesLightLoad(s.N),
+			light.MsgsPerCS.Mean(), light.MsgsPerCS.CI95()),
+		newRow("E5 service time (Eq.3)", analytic.ServiceLightLoad(p),
+			light.Service.Mean(), light.Service.CI95()),
+	)
+
+	// E6: heavy load — closed loop, every node always pending.
+	var heavy RepStats
+	for rep := 0; rep < s.Reps; rep++ {
+		cfg := s.heavyConfig(rep)
+		cfg.Params = map[string]float64{"treq": treq}
+		m, err := dme.Run(algo, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("heavy-load rep %d: %w", rep, err)
+		}
+		heavy.MsgsPerCS.Add(m.MessagesPerCS())
+		heavy.Waiting.Add(m.Waiting.Mean())
+		heavy.Service.Add(m.Service.Mean())
+	}
+	res.Rows = append(res.Rows,
+		newRow("E6 messages/CS  (Eq.4 3−2/N)", analytic.MessagesHeavyLoad(s.N),
+			heavy.MsgsPerCS.Mean(), heavy.MsgsPerCS.CI95()),
+		newRow("E6 service time (Eq.6)", analytic.ServiceHeavyLoad(p),
+			heavy.Service.Mean(), heavy.Service.CI95()),
+	)
+	return res, nil
+}

@@ -1,0 +1,133 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§3.3 Figures 3–5, §3.3/Figure 6, the §3.1–3.2 closed-form
+// bounds, the §4.1 starvation-free overhead claims and the §6 recovery
+// behaviour), plus the scaling and parameter ablations DESIGN.md commits
+// to. Each experiment returns structured results that cmd/mutexsim
+// renders as tables/CSV and bench_test.go wraps as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/stats"
+	"tokenarbiter/internal/workload"
+)
+
+// Setup carries the common simulation parameters of the paper's §3.3:
+// message delay, forwarding time and CS execution time all 0.1 units,
+// N = 10 nodes, Poisson arrivals with identical per-node rate.
+type Setup struct {
+	N        int
+	Tmsg     float64
+	Texec    float64
+	Requests uint64 // total CS requests per run
+	Reps     int    // independent replications (for 95% CIs)
+	Seed     uint64
+}
+
+// DefaultSetup mirrors the paper's simulation parameters at a size that
+// completes in seconds; cmd/mutexsim exposes flags to push Requests up to
+// the paper's 10⁶.
+func DefaultSetup() Setup {
+	return Setup{
+		N:        10,
+		Tmsg:     0.1,
+		Texec:    0.1,
+		Requests: 50_000,
+		Reps:     5,
+		Seed:     1,
+	}
+}
+
+// config assembles a dme.Config for one replication.
+func (s Setup) config(lambda float64, rep int) dme.Config {
+	seed := s.Seed + uint64(rep)*1_000_003
+	return dme.Config{
+		N:              s.N,
+		Seed:           seed,
+		Delay:          sim.ConstantDelay{D: s.Tmsg},
+		Texec:          s.Texec,
+		TotalRequests:  s.Requests,
+		WarmupRequests: s.Requests / 10,
+		MaxVirtualTime: 1e12,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: lambda}, seed, node)
+		},
+	}
+}
+
+// RepStats aggregates per-replication observables; the CIs reported in
+// the figures are Student-t 95% intervals across replications, matching
+// the paper's multiple-run methodology.
+type RepStats struct {
+	MsgsPerCS stats.Welford
+	Service   stats.Welford
+	Waiting   stats.Welford
+	FwdFrac   stats.Welford // forwarded requests / all request messages
+	FwdOfAll  stats.Welford // forwarded requests / all messages
+	Fairness  stats.Welford
+}
+
+// requestKinds are the message kinds that carry a CS request in the
+// arbiter algorithm.
+func requestMessageTotal(m *dme.Metrics) uint64 {
+	return m.MsgByKind[core.KindRequest] +
+		m.MsgByKind[core.KindRequestFwd] +
+		m.MsgByKind[core.KindRequestRetx] +
+		m.MsgByKind[core.KindRequestMon]
+}
+
+// runReps executes Reps independent replications — concurrently, since
+// every replication is its own deterministic simulator — and aggregates
+// them in replication order so the reported statistics stay reproducible
+// regardless of scheduling.
+func runReps(algo dme.Algorithm, s Setup, lambda float64) (RepStats, error) {
+	results := make([]*dme.Metrics, s.Reps)
+	errs := make([]error, s.Reps)
+	var wg sync.WaitGroup
+	for rep := 0; rep < s.Reps; rep++ {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			results[rep], errs[rep] = dme.Run(algo, s.config(lambda, rep))
+		}(rep)
+	}
+	wg.Wait()
+
+	var rs RepStats
+	for rep, m := range results {
+		if errs[rep] != nil {
+			return rs, fmt.Errorf("%s λ=%v rep %d: %w", algo.Name(), lambda, rep, errs[rep])
+		}
+		rs.MsgsPerCS.Add(m.MessagesPerCS())
+		rs.Service.Add(m.Service.Mean())
+		rs.Waiting.Add(m.Waiting.Mean())
+		if rt := requestMessageTotal(m); rt > 0 {
+			rs.FwdFrac.Add(float64(m.MsgByKind[core.KindRequestFwd]) / float64(rt))
+		} else {
+			rs.FwdFrac.Add(0)
+		}
+		if m.TotalMessages > 0 {
+			rs.FwdOfAll.Add(float64(m.MsgByKind[core.KindRequestFwd]) / float64(m.TotalMessages))
+		} else {
+			rs.FwdOfAll.Add(0)
+		}
+		rs.Fairness.Add(m.JainFairness())
+	}
+	return rs, nil
+}
+
+// arbiterOptions returns the standard options used by the figure
+// experiments: the basic algorithm with the §6 timeout-retransmission
+// enabled so finite runs always drain (see DESIGN.md substitutions).
+func arbiterOptions(treq, tfwd float64) core.Options {
+	return core.Options{
+		Treq:              treq,
+		Tfwd:              tfwd,
+		RetransmitTimeout: 25,
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDelayAblationRobustMessages(t *testing.T) {
+	s := testSetup()
+	s.Requests = 4_000
+	s.Reps = 2
+	msgs, delay, err := RunDelayAblation(s, []float64{0.05, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s\n%s", msgs.Table(), delay.Table())
+
+	m := seriesMap(t, msgs)
+	// E11 claim: message counts are robust to the delay distribution
+	// (same mean): within ~15% across models at each load.
+	for i := range m["constant"] {
+		c := m["constant"][i].Y
+		for _, model := range []string{"uniform", "exponential"} {
+			v := m[model][i].Y
+			if math.Abs(v-c)/c > 0.20 {
+				t.Errorf("messages under %s delay (%.3f) far from constant (%.3f) at λ=%g",
+					model, v, c, m[model][i].X)
+			}
+		}
+	}
+}
+
+func TestVolumeComparisonShapes(t *testing.T) {
+	s := testSetup()
+	s.Requests = 4_000
+	s.Reps = 2
+	fig, err := RunVolumeComparison(s, []float64{0.05, 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", fig.Table())
+	m := seriesMap(t, fig)
+
+	// The finding this experiment exists to record: by *count* the
+	// arbiter algorithm beats Suzuki-Kasami (≈N vs N at light load, ≈3
+	// vs ≈N at heavy), but by *volume* the N−1 NEW-ARBITER broadcasts
+	// each carrying the Q-list erase the light-load advantage — the
+	// arbiter's light-load volume exceeds its own message count and
+	// also exceeds Suzuki-Kasami's volume (whose per-message payloads
+	// are mostly tiny REQUESTs).
+	if m["arbiter"][0].Y <= 10 {
+		t.Errorf("arbiter light-load volume %.2f should exceed its ≈9.9 message count (Q-list copies)",
+			m["arbiter"][0].Y)
+	}
+	if m["arbiter"][0].Y <= m["suzuki-kasami"][0].Y {
+		t.Errorf("expected the honest negative result: arbiter volume %.2f above suzuki-kasami %.2f at light load",
+			m["arbiter"][0].Y, m["suzuki-kasami"][0].Y)
+	}
+	// Ricart-Agrawala messages are fixed-size: volume == count == 18.
+	if v := m["ricart-agrawala"][0].Y; math.Abs(v-18) > 0.3 {
+		t.Errorf("ricart-agrawala volume %.2f, want ≈18 (fixed-size messages)", v)
+	}
+	// Raymond's tree hops carry no payload: by volume it dominates the
+	// whole field.
+	for i := range m["raymond"] {
+		for _, other := range []string{"arbiter", "suzuki-kasami", "ricart-agrawala", "maekawa"} {
+			if m["raymond"][i].Y >= m[other][i].Y {
+				t.Errorf("raymond volume %.2f not below %s %.2f at λ=%g",
+					m["raymond"][i].Y, other, m[other][i].Y, m["raymond"][i].X)
+			}
+		}
+	}
+}
+
+func TestFairnessComparison(t *testing.T) {
+	s := testSetup()
+	s.Requests = 8_000
+	s.Reps = 2
+	res, err := RunFairnessComparison(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Table())
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(res.Rows))
+	}
+	fcfs, fair := res.Rows[0], res.Rows[1]
+	// Least-served-first must shift waiting from the cold nodes onto the
+	// hot node relative to FCFS.
+	fcfsGap := fcfs.ColdWait / fcfs.HotWait
+	fairGap := fair.ColdWait / fair.HotWait
+	if fairGap >= fcfsGap {
+		t.Errorf("strict fairness did not help the cold nodes: ratio %.3f (FCFS) → %.3f",
+			fcfsGap, fairGap)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tokenarbiter/internal/core"
+)
+
+// DefaultLambdas is the per-node Poisson arrival-rate sweep of Figures
+// 3–5. With N = 10 and Texec = 0.1 the CS service capacity is 10 per time
+// unit handed out over 10 nodes, but token transfers halve that: the
+// system saturates just below λ ≈ 0.5, so the sweep spans the paper's
+// light-to-heavy range.
+var DefaultLambdas = []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45}
+
+// Fig345Result bundles the three figures produced by the §3.3 sweep: the
+// same runs yield the message count (Fig 3), the per-CS delay (Fig 4) and
+// the forwarded fraction (Fig 5).
+type Fig345Result struct {
+	Messages  *Figure // Figure 3
+	Delay     *Figure // Figure 4
+	Forwarded *Figure // Figure 5
+}
+
+// RunFig345 reproduces Figures 3, 4 and 5: the arbiter algorithm under a
+// Poisson load sweep with the request-collection phase at 0.1 (continuous
+// curve) and 0.2 (dotted curve) time units; Tmsg = Tfwd = Texec = 0.1.
+func RunFig345(s Setup, lambdas []float64) (*Fig345Result, error) {
+	if lambdas == nil {
+		lambdas = DefaultLambdas
+	}
+	res := &Fig345Result{
+		Messages: &Figure{
+			ID:     "fig3",
+			Title:  "Average number of messages generated per CS invocation",
+			XLabel: "lambda",
+			YLabel: "messages per CS",
+		},
+		Delay: &Figure{
+			ID:     "fig4",
+			Title:  "Average delay per critical section (service time X̄)",
+			XLabel: "lambda",
+			YLabel: "time units",
+		},
+		Forwarded: &Figure{
+			ID:     "fig5",
+			Title:  "Fraction of request messages forwarded",
+			XLabel: "lambda",
+			YLabel: "forwarded fraction",
+		},
+	}
+	for _, treq := range []float64{0.1, 0.2} {
+		series := fmt.Sprintf("Treq=%.1f", treq)
+		algo := core.New(arbiterOptions(treq, 0.1))
+		for _, lambda := range lambdas {
+			rs, err := runReps(algo, s, lambda)
+			if err != nil {
+				return nil, err
+			}
+			res.Messages.AddPoint(series, Point{X: lambda, Y: rs.MsgsPerCS.Mean(), CI: rs.MsgsPerCS.CI95()})
+			res.Delay.AddPoint(series, Point{X: lambda, Y: rs.Service.Mean(), CI: rs.Service.CI95()})
+			res.Forwarded.AddPoint(series, Point{X: lambda, Y: rs.FwdFrac.Mean(), CI: rs.FwdFrac.CI95()})
+		}
+	}
+	return res, nil
+}

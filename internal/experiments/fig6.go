@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"tokenarbiter/internal/baseline/central"
+	"tokenarbiter/internal/baseline/maekawa"
+	"tokenarbiter/internal/baseline/naimitrehel"
+	"tokenarbiter/internal/baseline/raymond"
+	"tokenarbiter/internal/baseline/ricartagrawala"
+	"tokenarbiter/internal/baseline/singhal"
+	"tokenarbiter/internal/baseline/suzukikasami"
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+)
+
+// RunFig6 reproduces Figure 6: average messages per critical section
+// versus load for the arbiter algorithm against Ricart-Agrawala (static
+// class) and Singhal's dynamic algorithm (dynamic class), the two
+// comparators the paper plots. When extras is true the other baselines
+// in the repository (Suzuki-Kasami, Raymond, centralized) are added —
+// the paper excludes Raymond only to keep the comparison
+// topology-independent, but the curve is informative.
+func RunFig6(s Setup, lambdas []float64, extras bool) (*Figure, error) {
+	if lambdas == nil {
+		lambdas = DefaultLambdas
+	}
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "Comparison with other algorithms (messages per CS)",
+		XLabel: "lambda",
+		YLabel: "messages per CS",
+	}
+	algos := []dme.Algorithm{
+		core.New(arbiterOptions(0.1, 0.1)),
+		&ricartagrawala.Algorithm{},
+		&singhal.Algorithm{},
+	}
+	if extras {
+		algos = append(algos,
+			&suzukikasami.Algorithm{},
+			&raymond.Algorithm{},
+			&maekawa.Algorithm{},
+			&naimitrehel.Algorithm{},
+			&central.Algorithm{},
+		)
+	}
+	for _, algo := range algos {
+		for _, lambda := range lambdas {
+			rs, err := runReps(algo, s, lambda)
+			if err != nil {
+				return nil, err
+			}
+			fig.AddPoint(algo.Name(), Point{X: lambda, Y: rs.MsgsPerCS.Mean(), CI: rs.MsgsPerCS.CI95()})
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tokenarbiter/internal/plot"
+)
+
+// Point is one (x, y ± ci) sample of a figure series.
+type Point struct {
+	X  float64
+	Y  float64
+	CI float64 // 95% CI half-width across replications
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced paper figure: named series over a common x-axis.
+type Figure struct {
+	ID     string // e.g. "fig3"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddPoint appends a sample to the named series, creating it on first use.
+func (f *Figure) AddPoint(series string, p Point) {
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			f.Series[i].Points = append(f.Series[i].Points, p)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: series, Points: []Point{p}})
+}
+
+// CSV renders the figure as series,x,y,ci lines with a header.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,%s,ci95\n", csvSafe(f.XLabel), csvSafe(f.YLabel))
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%g,%g,%g\n", csvSafe(s.Name), p.X, p.Y, p.CI)
+		}
+	}
+	return b.String()
+}
+
+func csvSafe(s string) string {
+	return strings.NewReplacer(",", ";", "\n", " ").Replace(s)
+}
+
+// Table renders the figure as an aligned text table, one row per x value
+// and one column per series, in the style of the EXPERIMENTS.md records.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "y: %s\n", f.YLabel)
+
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "%12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " | %24s", s.Name)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 12+len(f.Series)*27))
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%12.4g", x)
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.4f ± %.4f", p.Y, p.CI)
+					break
+				}
+			}
+			fmt.Fprintf(&b, " | %24s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart converts the figure into a renderable SVG line chart.
+func (f *Figure) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("%s — %s", f.ID, f.Title),
+		XLabel: f.XLabel,
+		YLabel: f.YLabel,
+	}
+	for _, s := range f.Series {
+		ps := plot.Series{Name: s.Name}
+		for _, p := range s.Points {
+			ps.X = append(ps.X, p.X)
+			ps.Y = append(ps.Y, p.Y)
+			ps.Err = append(ps.Err, p.CI)
+		}
+		c.Series = append(c.Series, ps)
+	}
+	return c
+}
+
+// Sparkline renders a crude unicode plot of each series for terminal
+// eyeballing of curve shapes.
+func (f *Figure) Sparkline(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, s := range f.Series {
+		lo, hi := s.Points[0].Y, s.Points[0].Y
+		for _, p := range s.Points {
+			if p.Y < lo {
+				lo = p.Y
+			}
+			if p.Y > hi {
+				hi = p.Y
+			}
+		}
+		b.WriteString(fmt.Sprintf("%-28s ", s.Name))
+		for _, p := range s.Points {
+			frac := 0.0
+			if hi > lo {
+				frac = (p.Y - lo) / (hi - lo)
+			}
+			idx := int(frac * float64(len(blocks)-1))
+			b.WriteRune(blocks[idx])
+		}
+		b.WriteString(fmt.Sprintf("  [%.3g … %.3g]\n", lo, hi))
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	f := &Figure{ID: "figX", Title: "Sample, with comma", XLabel: "lambda", YLabel: "msgs"}
+	f.AddPoint("a", Point{X: 0.1, Y: 9.5, CI: 0.2})
+	f.AddPoint("a", Point{X: 0.2, Y: 7.0, CI: 0.1})
+	f.AddPoint("b", Point{X: 0.1, Y: 18.0, CI: 0.0})
+	f.AddPoint("b", Point{X: 0.2, Y: 18.0, CI: 0.0})
+	return f
+}
+
+func TestFigureAddPointGroupsSeries(t *testing.T) {
+	f := sampleFigure()
+	if len(f.Series) != 2 {
+		t.Fatalf("series count %d, want 2", len(f.Series))
+	}
+	if len(f.Series[0].Points) != 2 || f.Series[0].Name != "a" {
+		t.Errorf("series[0] = %+v", f.Series[0])
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	csv := sampleFigure().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want header + 4 rows:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "series,lambda,msgs,ci95") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(csv, "a,0.1,9.5,0.2") {
+		t.Errorf("missing data row:\n%s", csv)
+	}
+}
+
+func TestFigureTableAlignsSeries(t *testing.T) {
+	tab := sampleFigure().Table()
+	if !strings.Contains(tab, "figX") || !strings.Contains(tab, "Sample, with comma") {
+		t.Errorf("table missing title:\n%s", tab)
+	}
+	if !strings.Contains(tab, "9.5000 ± 0.2000") {
+		t.Errorf("table missing formatted cell:\n%s", tab)
+	}
+	// Two x rows.
+	if got := strings.Count(tab, "\n"); got < 5 {
+		t.Errorf("table too short:\n%s", tab)
+	}
+}
+
+func TestFigureSparkline(t *testing.T) {
+	s := sampleFigure().Sparkline(0)
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") {
+		t.Errorf("sparkline missing series labels:\n%s", s)
+	}
+	if !strings.ContainsAny(s, "▁▂▃▄▅▆▇█") {
+		t.Errorf("sparkline has no blocks:\n%s", s)
+	}
+}
+
+func TestFigureChartConversion(t *testing.T) {
+	c := sampleFigure().Chart()
+	if len(c.Series) != 2 {
+		t.Fatalf("chart series %d, want 2", len(c.Series))
+	}
+	if c.Series[0].Name != "a" || len(c.Series[0].X) != 2 {
+		t.Errorf("chart series[0] = %+v", c.Series[0])
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatalf("chart does not render: %v", err)
+	}
+	if !strings.Contains(svg, "figX") {
+		t.Error("chart SVG missing figure id")
+	}
+}

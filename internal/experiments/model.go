@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tokenarbiter/internal/analytic"
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+)
+
+// ModelRow compares the batch-polling model of internal/analytic with one
+// simulated load point.
+type ModelRow struct {
+	Lambda     float64
+	MsgsModel  float64
+	MsgsSim    float64
+	DelayModel float64
+	DelaySim   float64
+	BatchModel float64
+	BatchSim   float64 // inferred from NEW-ARBITER messages per CS
+}
+
+// ModelResult is the intermediate-load model validation table (an
+// extension beyond the paper, which analyzes only the load extremes).
+type ModelResult struct {
+	Rows []ModelRow
+}
+
+// Table renders the validation.
+func (r *ModelResult) Table() string {
+	var b strings.Builder
+	b.WriteString("Batch-polling model vs. simulation (intermediate loads; model ignores forwarding)\n")
+	fmt.Fprintf(&b, "%8s | %9s %9s | %9s %9s | %9s %9s\n",
+		"lambda", "M̂ model", "M sim", "X̂ model", "X sim", "k̂ model", "k sim")
+	b.WriteString(strings.Repeat("-", 74) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8.3g | %9.3f %9.3f | %9.3f %9.3f | %9.2f %9.2f\n",
+			row.Lambda, row.MsgsModel, row.MsgsSim,
+			row.DelayModel, row.DelaySim, row.BatchModel, row.BatchSim)
+	}
+	return b.String()
+}
+
+// RunModelValidation measures the arbiter algorithm across the load sweep
+// and sets the batch-polling model's predictions beside the measurements,
+// including the mean Q-list size inferred from NEW-ARBITER traffic.
+func RunModelValidation(s Setup, lambdas []float64) (*ModelResult, error) {
+	if lambdas == nil {
+		lambdas = DefaultLambdas
+	}
+	p := analytic.Params{N: s.N, Tmsg: s.Tmsg, Texec: s.Texec, Treq: 0.1}
+	algo := core.New(arbiterOptions(0.1, 0.1))
+	res := &ModelResult{}
+	for _, lambda := range lambdas {
+		var msgs, delay, naPerCS float64
+		for rep := 0; rep < s.Reps; rep++ {
+			m, err := dme.Run(algo, s.config(lambda, rep))
+			if err != nil {
+				return nil, fmt.Errorf("model validation λ=%v rep %d: %w", lambda, rep, err)
+			}
+			msgs += m.MessagesPerCS()
+			delay += m.Service.Mean()
+			naPerCS += m.KindPerCS(core.KindNewArbiter)
+		}
+		reps := float64(s.Reps)
+		msgs, delay, naPerCS = msgs/reps, delay/reps, naPerCS/reps
+
+		mm, err := analytic.MessagesIntermediate(p, lambda)
+		if err != nil {
+			return nil, err
+		}
+		xm, err := analytic.ServiceIntermediate(p, lambda)
+		if err != nil {
+			return nil, err
+		}
+		km, err := analytic.BatchSize(p, lambda)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ModelRow{
+			Lambda:     lambda,
+			MsgsModel:  mm,
+			MsgsSim:    msgs,
+			DelayModel: xm,
+			DelaySim:   delay,
+			BatchModel: km,
+			BatchSim:   analytic.InferBatchSize(s.N, naPerCS),
+		})
+	}
+	return res, nil
+}

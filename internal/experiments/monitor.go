@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"tokenarbiter/internal/core"
+)
+
+// RunMonitorOverhead is experiment E7: the message overhead of the
+// starvation-free monitor variant (§4.1) against the basic algorithm
+// across the load sweep. The paper claims roughly one extra message per
+// CS at very low load (one token diversion per period with a single CS
+// per period) and a negligible difference at high load (many CS per
+// period amortize the diversion).
+func RunMonitorOverhead(s Setup, lambdas []float64) (*Figure, error) {
+	if lambdas == nil {
+		lambdas = DefaultLambdas
+	}
+	fig := &Figure{
+		ID:     "e7",
+		Title:  "Starvation-free monitor variant overhead (§4.1)",
+		XLabel: "lambda",
+		YLabel: "messages per CS",
+	}
+
+	basic := core.New(arbiterOptions(0.1, 0.1))
+	monOpts := arbiterOptions(0.1, 0.1)
+	monOpts.Monitor = true
+	monOpts.MonitorFlushTimeout = 50
+	monitor := core.New(monOpts)
+	rotOpts := monOpts
+	rotOpts.RotatingMonitor = true
+	rotating := core.New(rotOpts)
+
+	for _, lambda := range lambdas {
+		b, err := runReps(basic, s, lambda)
+		if err != nil {
+			return nil, err
+		}
+		m, err := runReps(monitor, s, lambda)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runReps(rotating, s, lambda)
+		if err != nil {
+			return nil, err
+		}
+		fig.AddPoint("basic", Point{X: lambda, Y: b.MsgsPerCS.Mean(), CI: b.MsgsPerCS.CI95()})
+		fig.AddPoint("monitor", Point{X: lambda, Y: m.MsgsPerCS.Mean(), CI: m.MsgsPerCS.CI95()})
+		fig.AddPoint("rotating-monitor", Point{X: lambda, Y: r.MsgsPerCS.Mean(), CI: r.MsgsPerCS.CI95()})
+	}
+	return fig, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tokenarbiter/internal/analytic"
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+)
+
+// ScalingRow compares simulated and analytic messages/CS at one system
+// size, at both load extremes (experiment E9, the N ≫ 1 limits of §3).
+type ScalingRow struct {
+	N            int
+	LightSim     float64
+	LightSimCI   float64
+	LightPredict float64 // Eq. (1): (N²−1)/N
+	HeavySim     float64
+	HeavySimCI   float64
+	HeavyPredict float64 // Eq. (4): 3 − 2/N
+}
+
+// ScalingResult is the E9 table.
+type ScalingResult struct {
+	Rows []ScalingRow
+}
+
+// Table renders E9.
+func (r *ScalingResult) Table() string {
+	var b strings.Builder
+	b.WriteString("E9 — scaling: messages/CS vs. N at the load extremes (§3 limits)\n")
+	fmt.Fprintf(&b, "%4s | %10s | %10s | %10s | %10s | %10s | %10s\n",
+		"N", "light sim", "±ci", "Eq.1", "heavy sim", "±ci", "Eq.4")
+	b.WriteString(strings.Repeat("-", 80) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%4d | %10.3f | %10.3f | %10.3f | %10.3f | %10.3f | %10.3f\n",
+			row.N, row.LightSim, row.LightSimCI, row.LightPredict,
+			row.HeavySim, row.HeavySimCI, row.HeavyPredict)
+	}
+	return b.String()
+}
+
+// DefaultNs is the E9 system-size sweep.
+var DefaultNs = []int{5, 10, 20, 50, 100}
+
+// RunScaling executes E9: for each N, measure messages/CS at light load
+// (open loop, tiny λ) and heavy load (closed loop) against Eq. (1)/(4).
+func RunScaling(s Setup, ns []int) (*ScalingResult, error) {
+	if ns == nil {
+		ns = DefaultNs
+	}
+	res := &ScalingResult{}
+	for _, n := range ns {
+		setup := s
+		setup.N = n
+		if setup.Requests > 20_000 {
+			setup.Requests = 20_000
+		}
+		algo := core.New(arbiterOptions(0.1, 0.1))
+
+		light, err := runReps(algo, setup, 0.001)
+		if err != nil {
+			return nil, fmt.Errorf("N=%d light: %w", n, err)
+		}
+
+		var heavy RepStats
+		for rep := 0; rep < setup.Reps; rep++ {
+			cfg := setup.heavyConfig(rep)
+			m, err := dme.Run(algo, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("N=%d heavy rep %d: %w", n, rep, err)
+			}
+			heavy.MsgsPerCS.Add(m.MessagesPerCS())
+		}
+
+		res.Rows = append(res.Rows, ScalingRow{
+			N:            n,
+			LightSim:     light.MsgsPerCS.Mean(),
+			LightSimCI:   light.MsgsPerCS.CI95(),
+			LightPredict: analytic.MessagesLightLoad(n),
+			HeavySim:     heavy.MsgsPerCS.Mean(),
+			HeavySimCI:   heavy.MsgsPerCS.CI95(),
+			HeavyPredict: analytic.MessagesHeavyLoad(n),
+		})
+	}
+	return res, nil
+}

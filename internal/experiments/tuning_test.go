@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestRecoveryTuningUShape(t *testing.T) {
+	s := testSetup()
+	s.Requests = 6_000
+	res, err := RunRecoveryTuning(s, 0.005, []float64{1, 3, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Table())
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(res.Rows))
+	}
+	mid := res.Rows[1]
+	if !mid.Completed {
+		t.Fatal("the proportionate timeout (3 cycles) failed to complete — the sweet spot is gone")
+	}
+	if mid.Throughput < 1 {
+		t.Errorf("mid-timeout throughput %.3f, want near offered load 3/unit", mid.Throughput)
+	}
+	// At least one of the extreme settings must do strictly worse than
+	// the middle (in practice both collapse: too-short timeouts cause
+	// invalidation storms, too-long ones stall per loss).
+	low, high := res.Rows[0], res.Rows[2]
+	lowWorse := !low.Completed || low.Throughput < mid.Throughput/2
+	highWorse := !high.Completed || high.Throughput < mid.Throughput/2
+	if !lowWorse && !highWorse {
+		t.Errorf("no timeout sensitivity observed: low=%+v high=%+v mid=%+v", low, high, mid)
+	}
+}

@@ -1,0 +1,111 @@
+package live_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/transport"
+)
+
+// TestLiveArbiterCrashTakeover kills the node acting as arbiter while it
+// waits for the token (not the token holder!) and checks the previous
+// arbiter's watchdog (§6, failed arbiter) gets the cluster going again:
+// PROBE goes unanswered, takeover is proclaimed, the invalidation round
+// finds the live token or regenerates it, and survivors keep locking.
+func TestLiveArbiterCrashTakeover(t *testing.T) {
+	opts := fastOptions()
+	opts.Recovery = core.RecoveryOptions{
+		Enabled:        true,
+		TokenTimeout:   0.2,
+		RoundTimeout:   0.05,
+		ArbiterTimeout: 0.3,
+		ProbeTimeout:   0.05,
+	}
+	nodes, net := memCluster(t, 5, opts, transport.MemOptions{Delay: 200 * time.Microsecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Background load keeps the arbiter role circulating.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, nd := range nodes {
+		wg.Add(1)
+		go func(nd *live.Node) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := nd.Lock(ctx); err != nil {
+					return
+				}
+				time.Sleep(time.Millisecond)
+				nd.Unlock()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(nd)
+	}
+
+	// Find a node that is the designated arbiter without the token and
+	// kill it. Retry for a while — the state is transient.
+	time.Sleep(100 * time.Millisecond)
+	victim := -1
+	deadline := time.Now().Add(10 * time.Second)
+	for victim < 0 && time.Now().Before(deadline) {
+		for i, nd := range nodes {
+			ins, err := nd.Inspect(ctx)
+			if err != nil {
+				continue
+			}
+			if ins.IsArbiter && !ins.HasToken {
+				victim = i
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		t.Skip("never caught a tokenless designated arbiter; load too light")
+	}
+	net.Disconnect(victim)
+	_ = nodes[victim].Close()
+	t.Logf("killed designated arbiter node %d", victim)
+
+	// Survivors must keep making progress through the takeover.
+	okCount := 0
+	for i, nd := range nodes {
+		if i == victim {
+			continue
+		}
+		func() {
+			lctx, lcancel := context.WithTimeout(ctx, 20*time.Second)
+			defer lcancel()
+			if err := nd.Lock(lctx); err != nil {
+				t.Errorf("survivor %d after arbiter crash: %v", i, err)
+				return
+			}
+			nd.Unlock()
+			okCount++
+		}()
+	}
+	close(stop)
+	wg.Wait()
+	if okCount == 0 {
+		ictx, icancel := context.WithTimeout(context.Background(), time.Second)
+		defer icancel()
+		for i, nd := range nodes {
+			if i == victim {
+				continue
+			}
+			ins, err := nd.Inspect(ictx)
+			t.Logf("post-failure node %d: %+v err=%v", i, ins, err)
+		}
+		t.Fatal("no survivor acquired the mutex after the arbiter crash")
+	}
+}

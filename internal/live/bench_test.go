@@ -1,0 +1,65 @@
+package live_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/transport"
+)
+
+func benchCluster(b *testing.B, n int) []*live.Node {
+	b.Helper()
+	net := transport.NewMemNetwork(n, transport.MemOptions{})
+	nodes := make([]*live.Node, n)
+	for i := 0; i < n; i++ {
+		nd, err := live.NewNode(live.Config{
+			ID: i, N: n, Transport: net.Endpoint(i),
+			Options: core.Options{Treq: 0.001, Tfwd: 0.001, RetransmitTimeout: 0.5},
+			Seed:    uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	b.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+		net.Close()
+	})
+	return nodes
+}
+
+// BenchmarkLiveLockUnlockUncontended measures the full Lock/Unlock round
+// trip on the node that already holds the token.
+func BenchmarkLiveLockUnlockUncontended(b *testing.B) {
+	nodes := benchCluster(b, 3)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nodes[0].Lock(ctx); err != nil {
+			b.Fatal(err)
+		}
+		nodes[0].Unlock()
+	}
+}
+
+// BenchmarkLiveLockUnlockRoundRobin bounces the mutex between all nodes,
+// forcing a token transfer per acquisition.
+func BenchmarkLiveLockUnlockRoundRobin(b *testing.B) {
+	nodes := benchCluster(b, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nd := nodes[i%len(nodes)]
+		if err := nd.Lock(ctx); err != nil {
+			b.Fatal(err)
+		}
+		nd.Unlock()
+	}
+}

@@ -1,0 +1,132 @@
+package live_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/transport"
+)
+
+// TestFencingTokensStrictlyIncrease acquires the mutex from many
+// goroutines across the cluster and checks the fencing tokens form a
+// strictly increasing sequence in acquisition order.
+func TestFencingTokensStrictlyIncrease(t *testing.T) {
+	nodes, _ := memCluster(t, 4, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var (
+		mu     sync.Mutex
+		fences []uint64
+		wg     sync.WaitGroup
+	)
+	for _, nd := range nodes {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(nd *live.Node) {
+				defer wg.Done()
+				for r := 0; r < 6; r++ {
+					fence, err := nd.LockFence(ctx)
+					if err != nil {
+						t.Errorf("node %d: %v", nd.ID(), err)
+						return
+					}
+					mu.Lock()
+					fences = append(fences, fence)
+					mu.Unlock()
+					nd.Unlock()
+				}
+			}(nd)
+		}
+	}
+	wg.Wait()
+
+	if len(fences) != 4*2*6 {
+		t.Fatalf("collected %d fences, want %d", len(fences), 4*2*6)
+	}
+	for i := 1; i < len(fences); i++ {
+		if fences[i] <= fences[i-1] {
+			t.Fatalf("fences not strictly increasing at %d: %d then %d",
+				i, fences[i-1], fences[i])
+		}
+	}
+	if fences[0] == 0 {
+		t.Error("first fence is 0; fences must start at 1")
+	}
+}
+
+// TestFencingSurvivesTokenRegeneration drops the token mid-run and checks
+// that post-recovery fences are strictly above every pre-recovery fence —
+// the property a fencing-token consumer relies on.
+func TestFencingSurvivesTokenRegeneration(t *testing.T) {
+	opts := fastOptions()
+	opts.Recovery = core.RecoveryOptions{
+		Enabled:        true,
+		TokenTimeout:   0.15,
+		RoundTimeout:   0.05,
+		ArbiterTimeout: 0.4,
+		ProbeTimeout:   0.05,
+	}
+	var dropped atomic.Bool
+	mo := transport.MemOptions{
+		Interceptor: func(from, to dme.NodeID, msg dme.Message) transport.MemAction {
+			if !dropped.Load() && msg.Kind() == core.KindPrivilege {
+				if p, ok := msg.(core.Privilege); ok && p.Fence >= 5 && len(p.Q) > 0 {
+					dropped.Store(true)
+					return transport.MemDrop
+				}
+			}
+			return transport.MemDeliver
+		},
+	}
+	nodes, _ := memCluster(t, 4, opts, mo)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var (
+		mu     sync.Mutex
+		fences []uint64
+		wg     sync.WaitGroup
+	)
+	for _, nd := range nodes {
+		wg.Add(1)
+		go func(nd *live.Node) {
+			defer wg.Done()
+			for r := 0; r < 8; r++ {
+				fence, err := nd.LockFence(ctx)
+				if err != nil {
+					t.Errorf("node %d: %v", nd.ID(), err)
+					return
+				}
+				mu.Lock()
+				fences = append(fences, fence)
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				nd.Unlock()
+			}
+		}(nd)
+	}
+	wg.Wait()
+
+	if !dropped.Load() {
+		t.Skip("token was never dropped at the scripted point")
+	}
+	for i := 1; i < len(fences); i++ {
+		if fences[i] <= fences[i-1] {
+			t.Fatalf("fence regression across recovery at %d: %d then %d",
+				i, fences[i-1], fences[i])
+		}
+	}
+	// The regeneration jump must be visible: max fence well above count.
+	max := fences[len(fences)-1]
+	if max <= uint64(len(fences)) {
+		t.Errorf("max fence %d not above grant count %d — regeneration jump missing",
+			max, len(fences))
+	}
+}

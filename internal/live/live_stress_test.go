@@ -1,0 +1,191 @@
+package live_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/transport"
+)
+
+func hammer(t *testing.T, ctx context.Context, nodes []*live.Node, workers, rounds int) int64 {
+	t.Helper()
+	var (
+		inCS  atomic.Int64
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	for _, nd := range nodes {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(nd *live.Node) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					if err := nd.Lock(ctx); err != nil {
+						t.Errorf("node %d: %v", nd.ID(), err)
+						return
+					}
+					if got := inCS.Add(1); got != 1 {
+						t.Errorf("%d concurrent CS holders", got)
+					}
+					total.Add(1)
+					inCS.Add(-1)
+					nd.Unlock()
+				}
+			}(nd)
+		}
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+func TestLiveMonitorVariant(t *testing.T) {
+	opts := fastOptions()
+	opts.Monitor = true
+	opts.MonitorFlushTimeout = 1
+	opts.Tau = 2
+	nodes, _ := memCluster(t, 5, opts, transport.MemOptions{Delay: 100 * time.Microsecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if got := hammer(t, ctx, nodes, 2, 6); got != 5*2*6 {
+		t.Errorf("completed %d acquisitions, want %d", got, 5*2*6)
+	}
+}
+
+func TestLiveRotatingMonitor(t *testing.T) {
+	opts := fastOptions()
+	opts.Monitor = true
+	opts.RotatingMonitor = true
+	opts.MonitorFlushTimeout = 1
+	nodes, _ := memCluster(t, 4, opts, transport.MemOptions{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if got := hammer(t, ctx, nodes, 2, 5); got != 4*2*5 {
+		t.Errorf("completed %d acquisitions, want %d", got, 4*2*5)
+	}
+}
+
+func TestLiveSequenceNumbers(t *testing.T) {
+	opts := fastOptions()
+	opts.SeqNumbers = true
+	opts.RetransmitTimeout = 0.05 // aggressive: force duplicate requests
+	nodes, _ := memCluster(t, 4, opts, transport.MemOptions{Delay: 200 * time.Microsecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if got := hammer(t, ctx, nodes, 2, 6); got != 4*2*6 {
+		t.Errorf("completed %d acquisitions, want %d", got, 4*2*6)
+	}
+}
+
+func TestLiveLossyNetworkWithRecovery(t *testing.T) {
+	opts := fastOptions()
+	opts.RetransmitTimeout = 0.1
+	opts.Recovery = core.RecoveryOptions{
+		Enabled:        true,
+		TokenTimeout:   0.2,
+		RoundTimeout:   0.05,
+		ArbiterTimeout: 0.5,
+		ProbeTimeout:   0.05,
+	}
+	nodes, _ := memCluster(t, 4, opts, transport.MemOptions{
+		LossRate: 0.01, // 1% of every message type, including tokens
+		Seed:     7,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if got := hammer(t, ctx, nodes, 2, 8); got != 4*2*8 {
+		t.Errorf("completed %d acquisitions, want %d", got, 4*2*8)
+	}
+}
+
+func TestLiveEightNodeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	nodes, _ := memCluster(t, 8, fastOptions(), transport.MemOptions{
+		Delay:  100 * time.Microsecond,
+		Jitter: 200 * time.Microsecond,
+		Seed:   3,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	want := int64(8 * 4 * 10)
+	if got := hammer(t, ctx, nodes, 4, 10); got != want {
+		t.Errorf("completed %d acquisitions, want %d", got, want)
+	}
+	// Fairness smoke check: every node got a share.
+	for _, nd := range nodes {
+		granted, released := nd.Stats()
+		if granted != released {
+			t.Errorf("node %d: %d granted vs %d released", nd.ID(), granted, released)
+		}
+		if granted < 40 {
+			t.Errorf("node %d starved: only %d grants", nd.ID(), granted)
+		}
+	}
+}
+
+func TestLiveCloseUnblocksWaiters(t *testing.T) {
+	nodes, _ := memCluster(t, 3, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// Node 0 holds; node 1 waits; closing node 1 must unblock its Lock.
+	if err := nodes[0].Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- nodes[1].Lock(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	_ = nodes[1].Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			nodes[1].Unlock()
+			t.Fatal("Lock succeeded on a closed node")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Lock on closed node never returned")
+	}
+	nodes[0].Unlock()
+
+	// Lock after close fails fast.
+	if err := nodes[1].Lock(ctx); err == nil {
+		t.Fatal("Lock on closed node returned nil")
+	}
+}
+
+func TestLiveUnlockPanicsWhenNotHolding(t *testing.T) {
+	nodes, _ := memCluster(t, 1, fastOptions(), transport.MemOptions{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock without Lock did not panic")
+		}
+	}()
+	nodes[0].Unlock()
+}
+
+func TestLiveInspect(t *testing.T) {
+	nodes, _ := memCluster(t, 3, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	ins, err := nodes[0].Inspect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins.HasToken || !ins.IsArbiter {
+		t.Errorf("node 0 at start: %+v, want initial arbiter with token", ins)
+	}
+	if ins.ID != 0 {
+		t.Errorf("ID = %d, want 0", ins.ID)
+	}
+}

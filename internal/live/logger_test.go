@@ -1,0 +1,85 @@
+package live_test
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/transport"
+)
+
+// syncBuffer guards the log sink: slog handlers run on every node's event
+// loop concurrently.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestLoggerEmitsProtocolTransitions(t *testing.T) {
+	var sink syncBuffer
+	logger := slog.New(slog.NewTextHandler(&sink, nil))
+
+	net := transport.NewMemNetwork(3, transport.MemOptions{})
+	defer net.Close()
+	nodes := make([]*live.Node, 3)
+	for i := range nodes {
+		nd, err := live.NewNode(live.Config{
+			ID: i, N: 3, Transport: net.Endpoint(i),
+			Options: core.Options{Treq: 0.005, Tfwd: 0.005},
+			Logger:  logger,
+			Seed:    uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+		defer nd.Close() //nolint:errcheck
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for _, nd := range nodes {
+		if err := nd.Lock(ctx); err != nil {
+			t.Fatal(err)
+		}
+		nd.Unlock()
+	}
+
+	out := sink.String()
+	for _, want := range []string{"protocol dispatched", "protocol became-arbiter", "node="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoggerConflictsWithObserver(t *testing.T) {
+	net := transport.NewMemNetwork(1, transport.MemOptions{})
+	defer net.Close()
+	_, err := live.NewNode(live.Config{
+		ID: 0, N: 1, Transport: net.Endpoint(0),
+		Options: core.Options{Observer: func(core.Event) {}},
+		Logger:  slog.Default(),
+	})
+	if err == nil {
+		t.Fatal("Logger + Observer accepted together")
+	}
+}

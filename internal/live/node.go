@@ -1,0 +1,415 @@
+// Package live is the deployable runtime of the arbiter token-passing
+// mutual exclusion protocol: one Node per process (or per goroutine
+// cluster member), real wall-clock timers, and any transport.Transport
+// underneath. The protocol state machine is the very same code that the
+// simulation validates (internal/core); this package adapts it to real
+// time and exposes a context-aware Lock/Unlock API.
+//
+// Typical use:
+//
+//	net := transport.NewMemNetwork(5, transport.MemOptions{})
+//	nodes := make([]*live.Node, 5)
+//	for i := range nodes {
+//	    nodes[i], _ = live.NewNode(live.Config{
+//	        ID: i, N: 5, Transport: net.Endpoint(i),
+//	    })
+//	}
+//	...
+//	if err := nodes[2].Lock(ctx); err != nil { ... }
+//	defer nodes[2].Unlock()
+//
+// Node 0 is the initial arbiter and token holder, matching the paper's
+// initialization.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/transport"
+)
+
+// ErrClosed is returned by Lock when the node has been shut down.
+var ErrClosed = errors.New("live: node is closed")
+
+// Config parameterizes one live node.
+type Config struct {
+	// ID is this node's identity in [0, N); node 0 starts as arbiter.
+	ID int
+	// N is the cluster size.
+	N int
+	// Transport connects this node to its peers.
+	Transport transport.Transport
+	// Options selects the protocol variant and tuning. Durations are in
+	// seconds (float64), exactly as in the simulation; the zero value
+	// plus defaults gives the basic algorithm with 100 ms phases.
+	Options core.Options
+	// Seed seeds node-local randomness (0 derives one from the clock —
+	// live runs, unlike simulations, need no reproducibility).
+	Seed uint64
+	// Logger, when non-nil, receives structured protocol-transition logs
+	// (arbiter changes, dispatches, recovery actions) at Info level and
+	// grant/release events at Debug level. It composes with — and is
+	// installed as — Options.Observer; setting both is an error.
+	Logger *slog.Logger
+}
+
+// Node is a live protocol participant. All protocol state is confined to
+// the node's event-loop goroutine; the public API is safe for concurrent
+// use from any goroutine.
+type Node struct {
+	cfg   Config
+	inner dme.Node
+	tr    transport.Transport
+	start time.Time
+	rng   *rand.Rand
+
+	mu      sync.Mutex
+	queue   []func()
+	wake    chan struct{}
+	waiters []*waiter
+	holder  *waiter
+
+	holding atomic.Bool // public-API view: between Lock return and Unlock
+	closed  atomic.Bool
+	quit    chan struct{}
+	loopWG  sync.WaitGroup
+
+	granted  atomic.Uint64
+	released atomic.Uint64
+}
+
+// waiter tracks one Lock call from issuance to grant.
+type waiter struct {
+	grant    chan struct{}
+	granted  bool
+	canceled bool
+	fence    uint64 // fencing token of the grant, set before grant closes
+}
+
+// NewNode builds and starts a live node: the protocol state machine is
+// initialized (node 0 mints the token) and the event loop starts.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("live: config needs a transport")
+	}
+	if cfg.Transport.Self() != cfg.ID {
+		return nil, fmt.Errorf("live: transport self %d does not match node id %d",
+			cfg.Transport.Self(), cfg.ID)
+	}
+	if cfg.Logger != nil {
+		if cfg.Options.Observer != nil {
+			return nil, errors.New("live: set Config.Logger or Options.Observer, not both")
+		}
+		logger := cfg.Logger.With("node", cfg.ID)
+		cfg.Options.Observer = func(ev core.Event) {
+			logger.Info("protocol "+ev.Kind.String(),
+				"arbiter", ev.Arbiter,
+				"batch", ev.Batch,
+				"epoch", ev.Epoch,
+				"fence", ev.Fence,
+			)
+		}
+	}
+	inner, err := core.NewNode(cfg.ID, cfg.N, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano()) + uint64(cfg.ID)<<32
+	}
+	n := &Node{
+		cfg:   cfg,
+		inner: inner,
+		tr:    cfg.Transport,
+		start: time.Now(),
+		rng:   rand.New(rand.NewPCG(seed, seed^0x5deece66d)),
+		wake:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+	}
+	n.tr.SetHandler(func(from dme.NodeID, msg dme.Message) {
+		n.post(func() { n.inner.OnMessage(n, from, msg) })
+	})
+	n.loopWG.Add(1)
+	go n.loop()
+	n.post(func() { n.inner.Init(n) })
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// post enqueues fn onto the event loop; it never blocks, so protocol code
+// running inside the loop may post freely (e.g. self-sends).
+func (n *Node) post(fn func()) {
+	if n.closed.Load() {
+		return
+	}
+	n.mu.Lock()
+	n.queue = append(n.queue, fn)
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (n *Node) loop() {
+	defer n.loopWG.Done()
+	var batch []func()
+	for {
+		n.mu.Lock()
+		batch = append(batch[:0], n.queue...)
+		n.queue = n.queue[:0]
+		n.mu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+		if len(batch) > 0 {
+			continue
+		}
+		select {
+		case <-n.wake:
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// Lock acquires the distributed mutex, blocking until the token grants
+// this node the critical section or ctx is cancelled. On cancellation the
+// request stays in the system (the protocol has no un-request message);
+// if it is granted later the grant is released immediately.
+func (n *Node) Lock(ctx context.Context) error {
+	_, err := n.LockFence(ctx)
+	return err
+}
+
+// LockFence is Lock returning the grant's fencing token: a counter that
+// increases with every critical-section grant across the cluster,
+// including across §6 token regenerations. A resource that stores the
+// highest fence it has accepted can reject operations from a holder that
+// stalled while the system recovered past it — the standard defense
+// against the paused-lock-holder hazard of distributed locks.
+func (n *Node) LockFence(ctx context.Context) (uint64, error) {
+	if n.closed.Load() {
+		return 0, ErrClosed
+	}
+	w := &waiter{grant: make(chan struct{})}
+	n.post(func() {
+		n.waiters = append(n.waiters, w)
+		n.inner.OnRequest(n)
+	})
+	select {
+	case <-w.grant:
+		n.holding.Store(true)
+		return w.fence, nil
+	case <-ctx.Done():
+		n.post(func() {
+			if w.granted {
+				// The grant raced the cancellation: give the CS back.
+				n.finishCS(w)
+			} else {
+				w.canceled = true
+			}
+		})
+		return 0, ctx.Err()
+	case <-n.quit:
+		return 0, ErrClosed
+	}
+}
+
+// TryLock acquires the mutex only if it can be granted within the given
+// wait; it is Lock with a deadline and a boolean result.
+func (n *Node) TryLock(wait time.Duration) (bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	err := n.Lock(ctx)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Unlock releases the critical section acquired by Lock; when it returns,
+// the node has handed the token onward. Unlocking a node that is not
+// holding panics, mirroring sync.Mutex semantics. Do not call Unlock from
+// inside protocol callbacks (there is no reason to).
+func (n *Node) Unlock() {
+	if !n.holding.CompareAndSwap(true, false) {
+		panic("live: Unlock of a node that is not holding the critical section")
+	}
+	done := make(chan struct{})
+	n.post(func() {
+		defer close(done)
+		if n.holder != nil {
+			n.finishCS(n.holder)
+		}
+	})
+	select {
+	case <-done:
+	case <-n.quit:
+	}
+}
+
+// finishCS completes the critical section held by w (loop context only).
+func (n *Node) finishCS(w *waiter) {
+	if n.holder == w {
+		n.holder = nil
+	}
+	w.granted = false
+	n.released.Add(1)
+	n.inner.OnCSDone(n)
+}
+
+// Stats reports how many critical sections this node has been granted
+// and has released.
+func (n *Node) Stats() (granted, released uint64) {
+	return n.granted.Load(), n.released.Load()
+}
+
+// Inspect returns a read-only snapshot of the protocol state, taken on
+// the event loop.
+func (n *Node) Inspect(ctx context.Context) (core.Introspection, error) {
+	type result struct {
+		ins core.Introspection
+		ok  bool
+	}
+	ch := make(chan result, 1)
+	n.post(func() {
+		ins, ok := core.Inspect(n.inner)
+		ch <- result{ins, ok}
+	})
+	select {
+	case r := <-ch:
+		if !r.ok {
+			return core.Introspection{}, errors.New("live: inner node is not a core node")
+		}
+		return r.ins, nil
+	case <-ctx.Done():
+		return core.Introspection{}, ctx.Err()
+	case <-n.quit:
+		return core.Introspection{}, ErrClosed
+	}
+}
+
+// Close shuts the node down: the event loop stops, pending Lock calls
+// fail with ErrClosed, and the transport endpoint is closed. A crashed
+// node is simulated by Close — the rest of the cluster recovers via the
+// §6 protocol when recovery options are enabled.
+func (n *Node) Close() error {
+	if !n.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(n.quit)
+	n.loopWG.Wait()
+	return n.tr.Close()
+}
+
+// --- dme.Context implementation (loop goroutine only) -------------------
+
+var _ dme.Context = (*Node)(nil)
+
+// Now implements dme.Context: seconds since the node started.
+func (n *Node) Now() float64 { return time.Since(n.start).Seconds() }
+
+// N implements dme.Context.
+func (n *Node) N() int { return n.cfg.N }
+
+// Rand implements dme.Context.
+func (n *Node) Rand() float64 { return n.rng.Float64() }
+
+// Send implements dme.Context.
+func (n *Node) Send(from, to dme.NodeID, msg dme.Message) {
+	if to == n.cfg.ID {
+		n.post(func() { n.inner.OnMessage(n, from, msg) })
+		return
+	}
+	// Best-effort: transport errors are equivalent to message loss,
+	// which the protocol already tolerates.
+	_ = n.tr.Send(to, msg)
+}
+
+// Broadcast implements dme.Context.
+func (n *Node) Broadcast(from dme.NodeID, msg dme.Message) {
+	for to := 0; to < n.cfg.N; to++ {
+		if to != from {
+			n.Send(from, to, msg)
+		}
+	}
+}
+
+// liveTimer adapts time.AfterFunc to dme.Timer with a cancellation flag
+// checked on the loop, closing the stop/fire race.
+type liveTimer struct {
+	t        *time.Timer
+	canceled atomic.Bool
+}
+
+// Cancel implements dme.Timer.
+func (lt *liveTimer) Cancel() {
+	lt.canceled.Store(true)
+	lt.t.Stop()
+}
+
+// After implements dme.Context: delay is in seconds, matching the
+// simulation's time unit.
+func (n *Node) After(_ dme.NodeID, delay float64, fn func()) dme.Timer {
+	lt := &liveTimer{}
+	lt.t = time.AfterFunc(time.Duration(delay*float64(time.Second)), func() {
+		n.post(func() {
+			if !lt.canceled.Load() {
+				fn()
+			}
+		})
+	})
+	return lt
+}
+
+// Cancel implements dme.Context.
+func (n *Node) Cancel(t dme.Timer) {
+	if t != nil {
+		t.Cancel()
+	}
+}
+
+// EnterCS implements dme.Context: the protocol granted us the critical
+// section; hand it to the oldest live Lock waiter.
+func (n *Node) EnterCS(_ dme.NodeID) {
+	for len(n.waiters) > 0 {
+		w := n.waiters[0]
+		n.waiters = n.waiters[1:]
+		if w.canceled {
+			// The Lock call gave up; release the CS immediately so the
+			// token keeps moving. Posted rather than called inline so
+			// the protocol's EnterCS call finishes before OnCSDone runs.
+			n.granted.Add(1)
+			n.released.Add(1)
+			n.post(func() { n.inner.OnCSDone(n) })
+			return
+		}
+		w.granted = true
+		n.holder = w
+		n.granted.Add(1)
+		if ins, ok := core.Inspect(n.inner); ok {
+			w.fence = ins.LastFence
+		}
+		close(w.grant)
+		return
+	}
+	// No waiter (should not happen: one OnRequest per waiter); release.
+	n.post(func() { n.inner.OnCSDone(n) })
+}

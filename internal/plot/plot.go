@@ -1,0 +1,241 @@
+// Package plot renders experiment figures as standalone SVG files using
+// only the standard library — line charts with axes, tick labels, error
+// bars (95% CIs) and a legend, enough to eyeball every reproduced paper
+// figure without external tooling. cmd/mutexsim wires it to the -svg
+// flag.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline with optional per-point error bars.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	Err  []float64 // CI half-widths; nil or zeros for none
+}
+
+// Chart is a renderable line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the SVG dimensions in pixels; zero values
+	// default to 720×440.
+	Width, Height int
+	// LogY switches the y-axis to log₁₀ scale (all values must be > 0).
+	LogY bool
+}
+
+// palette holds line colors with reasonable contrast on white.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 16.0
+	marginTop    = 36.0
+	marginBottom = 48.0
+	legendRow    = 16.0
+)
+
+// SVG renders the chart. It returns an error when there is nothing to
+// plot or the data violates the axis mode.
+func (c *Chart) SVG() (string, error) {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 440
+	}
+	var xs, ys []float64
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			e := 0.0
+			if i < len(s.Err) {
+				e = s.Err[i]
+			}
+			xs = append(xs, s.X[i])
+			ys = append(ys, s.Y[i]-e, s.Y[i]+e)
+		}
+	}
+	if len(xs) == 0 {
+		return "", fmt.Errorf("plot: no data")
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if c.LogY {
+		if ymin <= 0 {
+			return "", fmt.Errorf("plot: log y-axis requires positive values, got %v", ymin)
+		}
+		ymin, ymax = math.Log10(ymin), math.Log10(ymax)
+	}
+	// Pad degenerate ranges so a flat series still renders.
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom on y.
+	pad := (ymax - ymin) * 0.06
+	ymin -= pad
+	ymax += pad
+
+	plotW := float64(w) - marginLeft - marginRight
+	plotH := float64(h) - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+
+	// Ticks.
+	for _, t := range ticks(xmin, xmax, 6) {
+		x := px(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			x, marginTop+plotH, x, marginTop+plotH+4)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+plotH+16, fmtTick(t))
+	}
+	for _, t := range ticks(ymin, ymax, 6) {
+		label := t
+		if c.LogY {
+			label = math.Pow(10, t)
+		}
+		y := marginTop + plotH - (t-ymin)/(ymax-ymin)*plotH
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			marginLeft-4, y, marginLeft, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-7, y+3, fmtTick(label))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#eeeeee"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(h)-10, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, esc(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for i := range s.X {
+			x, y := px(s.X[i]), py(s.Y[i])
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="2.5" fill="%s"/>`+"\n", x, y, color)
+			if i < len(s.Err) && s.Err[i] > 0 {
+				lo, hi := py(s.Y[i]-s.Err[i]), py(s.Y[i]+s.Err[i])
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+					x, lo, x, hi, color)
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+					x-3, lo, x+3, lo, color)
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+					x-3, hi, x+3, hi, color)
+			}
+		}
+		// Legend entry.
+		ly := marginTop + 6 + float64(si)*legendRow
+		lx := marginLeft + plotW - 150
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+24, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// ticks picks ≈n "nice" tick positions spanning [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 || math.IsNaN(span) || math.IsInf(span, 0) {
+		return []float64{lo}
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e9; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	a := math.Abs(v)
+	switch {
+	case a >= 1e5 || a < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	case a >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func esc(s string) string {
+	return strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;").Replace(s)
+}

@@ -1,0 +1,137 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:  "Sample & title",
+		XLabel: "lambda",
+		YLabel: "messages per CS",
+		Series: []Series{
+			{
+				Name: "Treq=0.1",
+				X:    []float64{0.1, 0.2, 0.3},
+				Y:    []float64{9.5, 7.0, 4.0},
+				Err:  []float64{0.2, 0.1, 0.3},
+			},
+			{
+				Name: "Treq=0.2",
+				X:    []float64{0.1, 0.2, 0.3},
+				Y:    []float64{9.0, 6.0, 3.2},
+			},
+		},
+	}
+}
+
+func TestSVGBasicStructure(t *testing.T) {
+	svg, err := sample().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"Sample &amp; title",        // escaped title
+		"lambda", "messages per CS", // axis labels
+		"Treq=0.1", "Treq=0.2", // legend
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	// Error bars only on the first series: 3 points × 3 line segments.
+	if got := strings.Count(svg, `stroke-width="1"`); got != 9 {
+		t.Errorf("%d error-bar segments, want 9", got)
+	}
+	// 6 data points total.
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("%d point markers, want 6", got)
+	}
+}
+
+func TestSVGRejectsBadInput(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("mismatched series lengths accepted")
+	}
+	if _, err := (&Chart{}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	lg := &Chart{LogY: true, Series: []Series{{X: []float64{1}, Y: []float64{0}}}}
+	if _, err := lg.SVG(); err == nil {
+		t.Error("log axis with zero value accepted")
+	}
+}
+
+func TestSVGLogAxis(t *testing.T) {
+	c := &Chart{
+		LogY: true,
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{1, 2, 3},
+			Y:    []float64{1, 100, 10000},
+		}},
+	}
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVGFlatSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	if _, err := c.SVG(); err != nil {
+		t.Fatalf("flat series should render: %v", err)
+	}
+}
+
+func TestTicksAreNice(t *testing.T) {
+	ts := ticks(0, 10, 6)
+	if len(ts) < 4 || len(ts) > 12 {
+		t.Errorf("ticks(0,10,6) produced %d ticks: %v", len(ts), ts)
+	}
+	for _, x := range ts {
+		if x < 0 || x > 10+1e-9 {
+			t.Errorf("tick %v outside range", x)
+		}
+	}
+	// Nice steps divide evenly into powers of 10.
+	step := ts[1] - ts[0]
+	mant := step / math.Pow(10, math.Floor(math.Log10(step)))
+	ok := false
+	for _, m := range []float64{1, 2, 5, 10} {
+		if math.Abs(mant-m) < 1e-9 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("tick step %v is not a 1/2/5 multiple", step)
+	}
+}
+
+func TestTicksDegenerate(t *testing.T) {
+	if ts := ticks(5, 5, 6); len(ts) != 1 {
+		t.Errorf("degenerate range ticks = %v", ts)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		123456:  "1.2e+05",
+		0.00001: "1.0e-05",
+		42:      "42",
+		3.25:    "3.2",
+		0.5:     "0.5",
+	}
+	for in, want := range cases {
+		if got := fmtTick(in); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

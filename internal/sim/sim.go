@@ -1,0 +1,205 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel is intentionally small: a virtual clock, a cancellable event
+// queue ordered by (time, insertion sequence), and a seeded random source.
+// Determinism is a hard requirement — two runs with the same seed and the
+// same sequence of Schedule calls produce bit-identical trajectories — so
+// that every figure in EXPERIMENTS.md is exactly reproducible.
+//
+// Virtual time is a float64 in abstract "time units", matching the paper's
+// parameterization (message delay 0.1 units, etc.). Ties are broken by
+// insertion order, so simultaneous events run in the order they were
+// scheduled.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Event is a scheduled callback. It is returned by Schedule/At so callers
+// can cancel pending timers (e.g. an arbiter abandoning its forwarding
+// phase when it crashes).
+type Event struct {
+	time     float64
+	seq      uint64
+	index    int // heap index; -1 once popped or cancelled
+	fn       func()
+	canceled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel marks the event as cancelled; its callback will not run.
+// Cancelling an already-fired event is a no-op. It also satisfies the
+// dme.Timer interface so simulation timers and live wall-clock timers are
+// interchangeable to the protocol code.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Simulator owns the virtual clock and the pending-event queue.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now       float64
+	queue     eventQueue
+	seq       uint64
+	rng       *rand.Rand
+	processed uint64
+}
+
+// New returns a simulator whose random source is seeded with seed.
+// The same seed always yields the same random stream.
+func New(seed uint64) *Simulator {
+	return &Simulator{
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// RNG returns the simulator's deterministic random source.
+func (s *Simulator) RNG() *rand.Rand { return s.rng }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events waiting in the queue,
+// including cancelled events that have not yet been discarded.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Schedule arranges for fn to run after delay units of virtual time.
+// A negative or NaN delay panics: it always indicates a logic error in the
+// model (an event in the past would silently corrupt causality).
+func (s *Simulator) Schedule(delay float64, fn func()) *Event {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule called with invalid delay %v at t=%v", delay, s.now))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute virtual time t, which must not be
+// in the past.
+func (s *Simulator) At(t float64, fn func()) *Event {
+	if math.IsNaN(t) || t < s.now {
+		panic(fmt.Sprintf("sim: At called with time %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	ev := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// Cancel marks ev as cancelled. The event stays in the queue but its
+// callback will not run. Cancelling an already-fired or already-cancelled
+// event is a no-op, so callers may Cancel unconditionally.
+func (s *Simulator) Cancel(ev *Event) {
+	if ev != nil {
+		ev.canceled = true
+	}
+}
+
+// Step executes the single next event. It reports false when the queue
+// holds no runnable events.
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.time
+		s.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is exhausted or the next event would
+// fire after horizon. Events at exactly t == horizon still run. It returns
+// the number of events executed.
+func (s *Simulator) Run(horizon float64) uint64 {
+	start := s.processed
+	for {
+		ev := s.peek()
+		if ev == nil || ev.time > horizon {
+			break
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return s.processed - start
+}
+
+// RunUntil executes events until stop returns true (checked after every
+// event) or the queue drains. It returns true if stop triggered the exit.
+func (s *Simulator) RunUntil(stop func() bool) bool {
+	for !stop() {
+		if !s.Step() {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain executes every remaining event with no time bound. It is intended
+// for tests; production experiments should always bound by Run or RunUntil.
+func (s *Simulator) Drain() {
+	for s.Step() {
+	}
+}
+
+func (s *Simulator) peek() *Event {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// eventQueue is a binary heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

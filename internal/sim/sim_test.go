@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []float64
+	for _, d := range []float64{3, 1, 2, 0.5, 2.5} {
+		d := d
+		s.Schedule(d, func() { got = append(got, d) })
+	}
+	s.Drain()
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events ran out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("ran %d events, want 5", len(got))
+	}
+}
+
+func TestTieBreakByInsertionOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1.0, func() { got = append(got, i) })
+	}
+	s.Drain()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events ran as %v, want insertion order", got)
+		}
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	s := New(1)
+	ran := false
+	ev := s.Schedule(1, func() { ran = true })
+	s.Cancel(ev)
+	s.Drain()
+	if ran {
+		t.Error("cancelled event still ran")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	// Cancelling again (and cancelling nil) must be harmless.
+	ev.Cancel()
+	s.Cancel(nil)
+}
+
+func TestCancelViaTimerInterface(t *testing.T) {
+	s := New(1)
+	ran := false
+	ev := s.Schedule(1, func() { ran = true })
+	ev.Cancel() // the dme.Timer path
+	s.Drain()
+	if ran {
+		t.Error("event ran despite Timer.Cancel")
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New(1)
+	var ran []float64
+	for _, d := range []float64{1, 2, 3, 4, 5} {
+		d := d
+		s.Schedule(d, func() { ran = append(ran, d) })
+	}
+	n := s.Run(3)
+	if n != 3 {
+		t.Errorf("Run(3) executed %d events, want 3 (inclusive boundary)", n)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now() = %v after Run(3), want 3", s.Now())
+	}
+	s.Run(10)
+	if len(ran) != 5 {
+		t.Errorf("total %d events, want 5", len(ran))
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now() = %v, want horizon 10 even with queue empty", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		s.Schedule(1, reschedule)
+	}
+	s.Schedule(1, reschedule)
+	stopped := s.RunUntil(func() bool { return count >= 7 })
+	if !stopped {
+		t.Error("RunUntil reported queue exhaustion, want stop condition")
+	}
+	if count != 7 {
+		t.Errorf("count = %d, want exactly 7 (checked after each event)", count)
+	}
+}
+
+func TestRunUntilQueueDrains(t *testing.T) {
+	s := New(1)
+	s.Schedule(1, func() {})
+	if s.RunUntil(func() bool { return false }) {
+		t.Error("RunUntil returned true although the condition never held")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Schedule(1, func() {
+		order = append(order, "a")
+		s.Schedule(0, func() { order = append(order, "a0") })
+		s.Schedule(2, func() { order = append(order, "a2") })
+	})
+	s.Schedule(2, func() { order = append(order, "b") })
+	s.Drain()
+	want := []string{"a", "a0", "b", "a2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestInvalidScheduleArgumentsPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*Simulator)
+	}{
+		{"negative delay", func(s *Simulator) { s.Schedule(-1, func() {}) }},
+		{"NaN delay", func(s *Simulator) { s.Schedule(math.NaN(), func() {}) }},
+		{"past time", func(s *Simulator) { s.Schedule(5, func() {}); s.Run(5); s.At(1, func() {}) }},
+		{"nil callback", func(s *Simulator) { s.At(1, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn(New(1))
+		})
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed uint64) []float64 {
+		s := New(seed)
+		var out []float64
+		var step func()
+		step = func() {
+			out = append(out, s.Now())
+			if len(out) < 100 {
+				s.Schedule(s.RNG().Float64(), step)
+			}
+		}
+		s.Schedule(0.1, step)
+		s.Drain()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestEventOrderProperty is the heap-correctness property test: any batch
+// of random delays must execute in nondecreasing time order.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(seed uint64, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := New(seed)
+		var fired []float64
+		for _, r := range raw {
+			d := float64(r) / 100.0
+			s.Schedule(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Drain()
+		return len(fired) == len(raw) && sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessedAndPendingCounters(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.Schedule(float64(i), func() {})
+	}
+	if s.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", s.Pending())
+	}
+	s.Drain()
+	if s.Processed() != 5 {
+		t.Errorf("Processed = %d, want 5", s.Processed())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after drain, want 0", s.Pending())
+	}
+}
+
+// --- delay models -------------------------------------------------------
+
+func TestConstantDelay(t *testing.T) {
+	d := ConstantDelay{D: 0.25}
+	if got := d.Delay(nil, 1, 2); got != 0.25 {
+		t.Errorf("remote delay = %v, want 0.25", got)
+	}
+	if got := d.Delay(nil, 3, 3); got != 0 {
+		t.Errorf("local delay = %v, want 0", got)
+	}
+}
+
+func TestUniformDelayBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	d := UniformDelay{Min: 0.1, Max: 0.4}
+	for i := 0; i < 1000; i++ {
+		got := d.Delay(rng, 0, 1)
+		if got < 0.1 || got > 0.4 {
+			t.Fatalf("uniform delay %v outside [0.1, 0.4]", got)
+		}
+	}
+	if d.Delay(rng, 2, 2) != 0 {
+		t.Error("local uniform delay not zero")
+	}
+	deg := UniformDelay{Min: 0.3, Max: 0.3}
+	if got := deg.Delay(rng, 0, 1); got != 0.3 {
+		t.Errorf("degenerate uniform = %v, want 0.3", got)
+	}
+}
+
+func TestExponentialDelayPositive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	d := ExponentialDelay{Base: 0.05, Mean: 0.1}
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		got := d.Delay(rng, 0, 1)
+		if got < 0.05 {
+			t.Fatalf("exponential delay %v below base", got)
+		}
+		sum += got
+	}
+	mean := sum / n
+	if math.Abs(mean-0.15) > 0.01 {
+		t.Errorf("empirical mean %v, want ≈0.15", mean)
+	}
+}
+
+func TestMatrixDelayValidation(t *testing.T) {
+	if _, err := NewMatrixDelay([][]float64{{0, 1}, {1}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := NewMatrixDelay([][]float64{{0, -1}, {1, 0}}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	m, err := NewMatrixDelay([][]float64{{0, 2}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Delay(nil, 0, 1); got != 2 {
+		t.Errorf("m[0][1] = %v, want 2", got)
+	}
+	if got := m.Delay(nil, 1, 0); got != 3 {
+		t.Errorf("m[1][0] = %v, want 3", got)
+	}
+	if got := m.Delay(nil, 1, 1); got != 0 {
+		t.Errorf("m[1][1] = %v, want 0 (local)", got)
+	}
+}

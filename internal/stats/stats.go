@@ -1,0 +1,302 @@
+// Package stats provides the statistics toolkit used by the simulation
+// experiments: numerically stable running moments (Welford), Student-t
+// 95% confidence intervals (the paper plots 95% CIs on every point),
+// moving-window averages (the adaptive monitor period of §4.1 of the
+// paper), histograms, and batch-means output analysis.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford accumulates count, mean and variance in a single pass using
+// Welford's online algorithm. The zero value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// AddN folds x in n times (used for weighted tallies).
+func (w *Welford) AddN(x float64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		w.Add(x)
+	}
+}
+
+// Merge combines another accumulator into w (Chan et al. parallel update).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// Count returns the number of samples.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the unbiased sample variance (n−1 denominator).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean,
+// using the Student-t distribution with n−1 degrees of freedom.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return TCritical95(w.n-1) * w.StdErr()
+}
+
+// String formats the accumulator as "mean ± ci95 (n=count)".
+func (w *Welford) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", w.Mean(), w.CI95(), w.n)
+}
+
+// tTable holds two-sided 97.5% quantiles of the Student-t distribution for
+// small degrees of freedom; beyond the table we use the asymptotic normal
+// quantile with a second-order correction.
+var tTable = []float64{
+	math.Inf(1), // df=0 (unused)
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the critical value t such that a Student-t variable
+// with df degrees of freedom lies within ±t with probability 0.95.
+func TCritical95(df uint64) float64 {
+	if df == 0 {
+		return math.Inf(1)
+	}
+	if df < uint64(len(tTable)) {
+		return tTable[df]
+	}
+	// Cornish-Fisher style correction around the normal quantile 1.95996.
+	z := 1.959964
+	d := float64(df)
+	return z + (z*z*z+z)/(4*d) + (5*z*z*z*z*z+16*z*z*z+3*z)/(96*d*d)
+}
+
+// MovingWindow maintains the mean of the last Size samples. It implements
+// the moving-window average of the Q-list size that drives the adaptive
+// monitor period in the starvation-free variant (§4.1).
+type MovingWindow struct {
+	size int
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+// NewMovingWindow returns a window of the given size (minimum 1).
+func NewMovingWindow(size int) *MovingWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &MovingWindow{size: size, buf: make([]float64, size)}
+}
+
+// Add inserts a sample, evicting the oldest once the window is full.
+func (m *MovingWindow) Add(x float64) {
+	if m.full {
+		m.sum -= m.buf[m.next]
+	}
+	m.buf[m.next] = x
+	m.sum += x
+	m.next++
+	if m.next == m.size {
+		m.next = 0
+		m.full = true
+	}
+}
+
+// Count returns the number of samples currently in the window.
+func (m *MovingWindow) Count() int {
+	if m.full {
+		return m.size
+	}
+	return m.next
+}
+
+// Mean returns the window mean, or 0 when empty.
+func (m *MovingWindow) Mean() float64 {
+	n := m.Count()
+	if n == 0 {
+		return 0
+	}
+	return m.sum / float64(n)
+}
+
+// Histogram tallies samples into uniform-width bins over [Lo, Hi), with
+// overflow/underflow buckets. Used for delay distribution reporting.
+type Histogram struct {
+	lo, hi   float64
+	binWidth float64
+	bins     []uint64
+	under    uint64
+	over     uint64
+	n        uint64
+}
+
+// NewHistogram returns a histogram with nbins uniform bins over [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) (*Histogram, error) {
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram bounds [%v, %v) are empty", lo, hi)
+	}
+	if nbins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bin, got %d", nbins)
+	}
+	return &Histogram{
+		lo:       lo,
+		hi:       hi,
+		binWidth: (hi - lo) / float64(nbins),
+		bins:     make([]uint64, nbins),
+	}, nil
+}
+
+// Add tallies one sample.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.binWidth)
+		if i >= len(h.bins) { // float round-up at the boundary
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the total number of samples including out-of-range ones.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Bin returns the count and [lo, hi) bounds of bin i.
+func (h *Histogram) Bin(i int) (count uint64, lo, hi float64) {
+	return h.bins[i], h.lo + float64(i)*h.binWidth, h.lo + float64(i+1)*h.binWidth
+}
+
+// NumBins returns the number of in-range bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.under, h.over }
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) assuming
+// samples are uniform within bins. Out-of-range samples clamp to bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.bins {
+		if cum+float64(c) >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.binWidth
+		}
+		cum += float64(c)
+	}
+	return h.hi
+}
+
+// BatchMeans implements the classic batch-means method for steady-state
+// output analysis: the sample stream is cut into fixed-size batches and a
+// CI is computed over the (approximately independent) batch averages.
+type BatchMeans struct {
+	batchSize uint64
+	cur       Welford
+	batches   Welford
+}
+
+// NewBatchMeans returns an analyzer with the given batch size (minimum 1).
+func NewBatchMeans(batchSize uint64) *BatchMeans {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add folds one observation into the current batch.
+func (b *BatchMeans) Add(x float64) {
+	b.cur.Add(x)
+	if b.cur.Count() == b.batchSize {
+		b.batches.Add(b.cur.Mean())
+		b.cur = Welford{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() uint64 { return b.batches.Count() }
+
+// Mean returns the grand mean over completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// CI95 returns the 95% CI half-width over completed batch means.
+func (b *BatchMeans) CI95() float64 { return b.batches.CI95() }

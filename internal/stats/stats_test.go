@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.Count() != 0 {
+		t.Error("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("count = %d, want 8", w.Count())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Population variance of this classic dataset is 4; sample variance
+	// is 4·8/7.
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+}
+
+// TestWelfordMatchesNaive is the property test: the online algorithm must
+// agree with the two-pass formula on random data.
+func TestWelfordMatchesNaive(t *testing.T) {
+	prop := func(seed uint64, n uint8) bool {
+		if n < 2 {
+			return true
+		}
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			w.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(n-1)
+		return almostEqual(w.Mean(), mean, 1e-9) && almostEqual(w.Variance(), naiveVar, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWelfordMergeEquivalence: merging two accumulators must equal one
+// accumulator over the concatenated stream.
+func TestWelfordMergeEquivalence(t *testing.T) {
+	prop := func(seed uint64, na, nb uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^7))
+		var a, b, all Welford
+		for i := 0; i < int(na); i++ {
+			x := rng.Float64() * 100
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < int(nb); i++ {
+			x := rng.Float64() * 100
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		return a.Count() == all.Count() &&
+			almostEqual(a.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(a.Variance(), all.Variance(), 1e-6) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   uint64
+		want float64
+		tol  float64
+	}{
+		{1, 12.706, 1e-3},
+		{5, 2.571, 1e-3},
+		{29, 2.045, 1e-3},
+		{30, 2.042, 5e-3}, // first asymptotic value
+		{100, 1.984, 5e-3},
+		{1000, 1.962, 5e-3},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); !almostEqual(got, c.want, c.tol) {
+			t.Errorf("TCritical95(%d) = %v, want ≈%v", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCritical95(0), 1) {
+		t.Error("TCritical95(0) should be +Inf")
+	}
+}
+
+func TestCI95ShrinksWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	var small, large Welford
+	for i := 0; i < 10; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if small.CI95() <= large.CI95() {
+		t.Errorf("CI95 did not shrink: n=10 → %v, n=10000 → %v", small.CI95(), large.CI95())
+	}
+	// For a standard normal with n=10000, the CI half-width is ≈0.0196.
+	if large.CI95() > 0.05 {
+		t.Errorf("CI95 = %v for 10k standard normals, want ≈0.02", large.CI95())
+	}
+}
+
+func TestMovingWindow(t *testing.T) {
+	w := NewMovingWindow(3)
+	if w.Mean() != 0 || w.Count() != 0 {
+		t.Error("empty window not zeroed")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Count() != 1 {
+		t.Errorf("after one add: mean=%v count=%d", w.Mean(), w.Count())
+	}
+	w.Add(6)
+	w.Add(9)
+	if w.Mean() != 6 || w.Count() != 3 {
+		t.Errorf("full window: mean=%v count=%d, want 6/3", w.Mean(), w.Count())
+	}
+	w.Add(12) // evicts 3 → window {6,9,12}
+	if w.Mean() != 9 {
+		t.Errorf("after eviction mean=%v, want 9", w.Mean())
+	}
+	w.Add(0)
+	w.Add(0)
+	w.Add(0)
+	if w.Mean() != 0 {
+		t.Errorf("fully replaced window mean=%v, want 0", w.Mean())
+	}
+}
+
+func TestMovingWindowDegenerateSize(t *testing.T) {
+	w := NewMovingWindow(0) // clamps to 1
+	w.Add(5)
+	w.Add(7)
+	if w.Mean() != 7 || w.Count() != 1 {
+		t.Errorf("size-1 window: mean=%v count=%d, want 7/1", w.Mean(), w.Count())
+	}
+}
+
+// TestMovingWindowMatchesNaive: the incremental sum must track a naive
+// recomputation over arbitrary input, including float jitter.
+func TestMovingWindowMatchesNaive(t *testing.T) {
+	prop := func(seed uint64, sizeRaw uint8, n uint8) bool {
+		size := int(sizeRaw%16) + 1
+		w := NewMovingWindow(size)
+		rng := rand.New(rand.NewPCG(seed, 3))
+		var hist []float64
+		for i := 0; i < int(n); i++ {
+			x := rng.Float64()*200 - 100
+			w.Add(x)
+			hist = append(hist, x)
+			lo := len(hist) - size
+			if lo < 0 {
+				lo = 0
+			}
+			var sum float64
+			for _, v := range hist[lo:] {
+				sum += v
+			}
+			want := sum / float64(len(hist[lo:]))
+			if !almostEqual(w.Mean(), want, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("out of range = (%d, %d), want (1, 2)", under, over)
+	}
+	c0, lo, hi := h.Bin(0)
+	if c0 != 2 || lo != 0 || hi != 2 {
+		t.Errorf("bin 0 = (%d, %v, %v), want (2, 0, 2)", c0, lo, hi)
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if h.NumBins() != 5 {
+		t.Errorf("NumBins = %d, want 5", h.NumBins())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		h.Add(float64(i % 100))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got := h.Quantile(q)
+		want := q * 100
+		if math.Abs(got-want) > 2 {
+			t.Errorf("Quantile(%v) = %v, want ≈%v", q, got, want)
+		}
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	bm := NewBatchMeans(10)
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 1000; i++ {
+		bm.Add(rng.NormFloat64() + 3)
+	}
+	if bm.Batches() != 100 {
+		t.Errorf("batches = %d, want 100", bm.Batches())
+	}
+	if !almostEqual(bm.Mean(), 3, 0.1) {
+		t.Errorf("batch-means grand mean = %v, want ≈3", bm.Mean())
+	}
+	if bm.CI95() <= 0 || bm.CI95() > 0.2 {
+		t.Errorf("CI95 = %v, implausible for 100 batches of N(3,1)", bm.CI95())
+	}
+}
+
+func TestWelfordAddN(t *testing.T) {
+	var a, b Welford
+	a.AddN(4, 3)
+	for i := 0; i < 3; i++ {
+		b.Add(4)
+	}
+	if a.Count() != b.Count() || a.Mean() != b.Mean() {
+		t.Errorf("AddN mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestWelfordString(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	if s := w.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

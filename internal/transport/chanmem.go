@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"tokenarbiter/internal/dme"
+)
+
+// MemAction tells the in-memory network what to do with a message,
+// mirroring dme.FaultAction for live failure-injection tests.
+type MemAction int
+
+// Actions for MemOptions.Interceptor.
+const (
+	MemDeliver MemAction = iota + 1
+	MemDrop
+	MemDuplicate
+)
+
+// MemOptions configures the in-memory network's fault and latency model.
+type MemOptions struct {
+	// Delay is the base one-way latency applied to every message.
+	Delay time.Duration
+	// Jitter adds a uniform random extra latency in [0, Jitter).
+	Jitter time.Duration
+	// LossRate drops each message independently with this probability.
+	LossRate float64
+	// Seed seeds the loss/jitter randomness.
+	Seed uint64
+	// Interceptor, when non-nil, decides each message's fate explicitly
+	// (it runs before LossRate); use it to drop a specific PRIVILEGE
+	// message in recovery tests.
+	Interceptor func(from, to dme.NodeID, msg dme.Message) MemAction
+}
+
+// MemNetwork is an in-process network of N endpoints connected by
+// goroutine timers. It implements the latency/loss model of MemOptions
+// and supports disconnecting endpoints to simulate crashes/partitions.
+type MemNetwork struct {
+	opts MemOptions
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	endpoints    []*MemEndpoint
+	disconnected []bool
+	closed       bool
+}
+
+// NewMemNetwork builds a network of n endpoints.
+func NewMemNetwork(n int, opts MemOptions) *MemNetwork {
+	net := &MemNetwork{
+		opts:         opts,
+		rng:          rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xabcdef123456)),
+		disconnected: make([]bool, n),
+	}
+	net.endpoints = make([]*MemEndpoint, n)
+	for i := 0; i < n; i++ {
+		net.endpoints[i] = &MemEndpoint{net: net, self: i}
+	}
+	return net
+}
+
+// Endpoint returns node i's transport.
+func (m *MemNetwork) Endpoint(i dme.NodeID) *MemEndpoint { return m.endpoints[i] }
+
+// Disconnect simulates a crash or partition of node i: messages to and
+// from it are silently dropped until Reconnect.
+func (m *MemNetwork) Disconnect(i dme.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.disconnected[i] = true
+}
+
+// Reconnect restores node i's connectivity.
+func (m *MemNetwork) Reconnect(i dme.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.disconnected[i] = false
+}
+
+// Close shuts the whole network down; in-flight messages are discarded.
+func (m *MemNetwork) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+}
+
+func (m *MemNetwork) send(from, to dme.NodeID, msg dme.Message) error {
+	if to < 0 || to >= len(m.endpoints) {
+		return fmt.Errorf("chanmem: send to unknown node %d", to)
+	}
+	m.mu.Lock()
+	if m.closed || m.disconnected[from] || m.disconnected[to] {
+		m.mu.Unlock()
+		return nil // best-effort semantics: unreachable peers drop
+	}
+	action := MemDeliver
+	if m.opts.Interceptor != nil {
+		action = m.opts.Interceptor(from, to, msg)
+	}
+	if action == MemDrop {
+		m.mu.Unlock()
+		return nil
+	}
+	if m.opts.LossRate > 0 && m.rng.Float64() < m.opts.LossRate {
+		m.mu.Unlock()
+		return nil
+	}
+	copies := 1
+	if action == MemDuplicate {
+		copies = 2
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		d := m.opts.Delay
+		if m.opts.Jitter > 0 {
+			d += time.Duration(m.rng.Int64N(int64(m.opts.Jitter)))
+		}
+		delays[i] = d
+	}
+	m.mu.Unlock()
+
+	for _, d := range delays {
+		m.deliverAfter(d, from, to, msg)
+	}
+	return nil
+}
+
+func (m *MemNetwork) deliverAfter(d time.Duration, from, to dme.NodeID, msg dme.Message) {
+	deliver := func() {
+		m.mu.Lock()
+		if m.closed || m.disconnected[to] {
+			m.mu.Unlock()
+			return
+		}
+		ep := m.endpoints[to]
+		m.mu.Unlock()
+
+		ep.hmu.RLock()
+		h := ep.handler
+		ep.hmu.RUnlock()
+		if h != nil {
+			h(from, msg)
+		}
+	}
+	if d <= 0 {
+		go deliver()
+		return
+	}
+	time.AfterFunc(d, deliver)
+}
+
+// MemEndpoint is one node's view of a MemNetwork.
+type MemEndpoint struct {
+	net  *MemNetwork
+	self dme.NodeID
+
+	hmu     sync.RWMutex
+	handler Handler
+}
+
+var _ Transport = (*MemEndpoint)(nil)
+
+// Self implements Transport.
+func (e *MemEndpoint) Self() dme.NodeID { return e.self }
+
+// Send implements Transport.
+func (e *MemEndpoint) Send(to dme.NodeID, msg dme.Message) error {
+	return e.net.send(e.self, to, msg)
+}
+
+// SetHandler implements Transport.
+func (e *MemEndpoint) SetHandler(h Handler) {
+	e.hmu.Lock()
+	defer e.hmu.Unlock()
+	e.handler = h
+}
+
+// Close implements Transport: it disconnects this endpoint only.
+func (e *MemEndpoint) Close() error {
+	e.net.Disconnect(e.self)
+	return nil
+}

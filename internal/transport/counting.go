@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tokenarbiter/internal/dme"
+)
+
+// Counting wraps a Transport and tallies traffic by message kind, giving
+// live deployments the same messages-per-CS observability the simulation
+// metrics provide. Wrap each node's endpoint before passing it to
+// live.NewNode:
+//
+//	ct := transport.NewCounting(net.Endpoint(i))
+//	node, _ := live.NewNode(live.Config{..., Transport: ct})
+//	...
+//	sent, received := ct.Totals()
+type Counting struct {
+	inner Transport
+
+	sent     atomic.Uint64
+	received atomic.Uint64
+
+	mu     sync.Mutex
+	byKind map[string]uint64
+}
+
+var _ Transport = (*Counting)(nil)
+
+// NewCounting wraps t.
+func NewCounting(t Transport) *Counting {
+	return &Counting{inner: t, byKind: make(map[string]uint64)}
+}
+
+// Self implements Transport.
+func (c *Counting) Self() dme.NodeID { return c.inner.Self() }
+
+// Send implements Transport, counting the outbound message.
+func (c *Counting) Send(to dme.NodeID, msg dme.Message) error {
+	if to != c.inner.Self() {
+		c.sent.Add(1)
+		c.mu.Lock()
+		c.byKind[msg.Kind()]++
+		c.mu.Unlock()
+	}
+	return c.inner.Send(to, msg)
+}
+
+// SetHandler implements Transport, counting inbound messages.
+func (c *Counting) SetHandler(h Handler) {
+	c.inner.SetHandler(func(from dme.NodeID, msg dme.Message) {
+		c.received.Add(1)
+		h(from, msg)
+	})
+}
+
+// Close implements Transport.
+func (c *Counting) Close() error { return c.inner.Close() }
+
+// Totals returns the number of messages sent to and received from peers.
+func (c *Counting) Totals() (sent, received uint64) {
+	return c.sent.Load(), c.received.Load()
+}
+
+// SentByKind returns a copy of the per-kind outbound tally.
+func (c *Counting) SentByKind() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.byKind))
+	for k, v := range c.byKind {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/wire"
+)
+
+// TCPTransport moves protocol messages between cluster nodes over TCP
+// with gob framing. One endpoint per process: it listens on its own
+// address and dials peers lazily, caching one outbound connection per
+// peer and redialling once on failure. Delivery is best-effort — if a
+// peer is unreachable the message is dropped, which the arbiter protocol
+// tolerates by design (§6 of the paper).
+type TCPTransport struct {
+	self  dme.NodeID
+	addrs map[dme.NodeID]string
+	ln    net.Listener
+
+	hmu     sync.RWMutex
+	handler Handler
+
+	cmu   sync.Mutex
+	conns map[dme.NodeID]*outConn
+
+	imu     sync.Mutex
+	inbound map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	quit   chan struct{}
+	closed sync.Once
+
+	// DialTimeout bounds each outbound connection attempt.
+	DialTimeout time.Duration
+}
+
+type outConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	mu  sync.Mutex
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCP creates the endpoint for node self, listening on addrs[self].
+// Call SetHandler immediately afterwards, before peers start sending.
+func NewTCP(self dme.NodeID, addrs map[dme.NodeID]string) (*TCPTransport, error) {
+	wire.Register()
+	addr, ok := addrs[self]
+	if !ok {
+		return nil, fmt.Errorf("tcp: no address for self node %d", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		self:        self,
+		addrs:       addrs,
+		ln:          ln,
+		conns:       make(map[dme.NodeID]*outConn),
+		inbound:     make(map[net.Conn]struct{}),
+		quit:        make(chan struct{}),
+		DialTimeout: 2 * time.Second,
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener's actual address (useful with ":0" ports).
+func (t *TCPTransport) Addr() net.Addr { return t.ln.Addr() }
+
+// SetPeers replaces the peer address map. Use it when nodes bind
+// OS-assigned ports first and exchange real addresses afterwards; call it
+// before the first Send to the affected peers.
+func (t *TCPTransport) SetPeers(addrs map[dme.NodeID]string) {
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	merged := make(map[dme.NodeID]string, len(addrs))
+	for id, a := range addrs {
+		merged[id] = a
+	}
+	t.addrs = merged
+}
+
+// Self implements Transport.
+func (t *TCPTransport) Self() dme.NodeID { return t.self }
+
+// SetHandler implements Transport.
+func (t *TCPTransport) SetHandler(h Handler) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.handler = h
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.quit:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.imu.Lock()
+		t.inbound[conn] = struct{}{}
+		t.imu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.imu.Lock()
+		delete(t.inbound, conn)
+		t.imu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env wire.Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		t.hmu.RLock()
+		h := t.handler
+		t.hmu.RUnlock()
+		if h != nil && env.Payload != nil {
+			h(env.From, env.Payload)
+		}
+	}
+}
+
+// Send implements Transport. Self-sends loop back synchronously through
+// the handler.
+func (t *TCPTransport) Send(to dme.NodeID, msg dme.Message) error {
+	if to == t.self {
+		t.hmu.RLock()
+		h := t.handler
+		t.hmu.RUnlock()
+		if h != nil {
+			h(t.self, msg)
+		}
+		return nil
+	}
+	env := wire.Envelope{From: t.self, Payload: msg}
+	oc, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	oc.mu.Lock()
+	err = oc.enc.Encode(&env)
+	oc.mu.Unlock()
+	if err == nil {
+		return nil
+	}
+	// The cached connection went bad: drop it and retry once on a fresh
+	// connection; a second failure drops the message (best-effort).
+	t.dropConn(to, oc)
+	oc, err = t.conn(to)
+	if err != nil {
+		return err
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if err := oc.enc.Encode(&env); err != nil {
+		return fmt.Errorf("tcp: send to node %d: %w", to, err)
+	}
+	return nil
+}
+
+func (t *TCPTransport) conn(to dme.NodeID) (*outConn, error) {
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	if oc, ok := t.conns[to]; ok {
+		return oc, nil
+	}
+	addr, ok := t.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("tcp: no address for node %d", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial node %d (%s): %w", to, addr, err)
+	}
+	oc := &outConn{c: c, enc: gob.NewEncoder(c)}
+	t.conns[to] = oc
+	return oc, nil
+}
+
+func (t *TCPTransport) dropConn(to dme.NodeID, oc *outConn) {
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	if cur, ok := t.conns[to]; ok && cur == oc {
+		delete(t.conns, to)
+		_ = oc.c.Close()
+	}
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	var err error
+	t.closed.Do(func() {
+		close(t.quit)
+		err = t.ln.Close()
+		t.cmu.Lock()
+		for to, oc := range t.conns {
+			_ = oc.c.Close()
+			delete(t.conns, to)
+		}
+		t.cmu.Unlock()
+		t.imu.Lock()
+		for conn := range t.inbound {
+			_ = conn.Close()
+		}
+		t.imu.Unlock()
+		t.wg.Wait()
+	})
+	return err
+}

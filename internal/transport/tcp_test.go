@@ -1,0 +1,132 @@
+package transport_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/transport"
+)
+
+// tcpCluster starts n live nodes connected over loopback TCP with
+// OS-assigned ports.
+func tcpCluster(t *testing.T, n int, opts core.Options) []*live.Node {
+	t.Helper()
+	// Bind each transport on :0 sequentially, collecting real addresses.
+	addrs := make(map[dme.NodeID]string, n)
+	trs := make([]*transport.TCPTransport, n)
+	for i := 0; i < n; i++ {
+		tr, err := transport.NewTCP(i, map[dme.NodeID]string{i: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatalf("listen node %d: %v", i, err)
+		}
+		trs[i] = tr
+		addrs[i] = tr.Addr().String()
+	}
+	// Everyone learns everyone's address.
+	for i := 0; i < n; i++ {
+		trs[i].SetPeers(addrs)
+	}
+	nodes := make([]*live.Node, n)
+	for i := 0; i < n; i++ {
+		nd, err := live.NewNode(live.Config{
+			ID:        i,
+			N:         n,
+			Transport: trs[i],
+			Options:   opts,
+			Seed:      uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = nd
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	})
+	return nodes
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := transport.NewTCP(0, map[dme.NodeID]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close() //nolint:errcheck
+	b, err := transport.NewTCP(1, map[dme.NodeID]string{1: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close() //nolint:errcheck
+	addrs := map[dme.NodeID]string{0: a.Addr().String(), 1: b.Addr().String()}
+	a.SetPeers(addrs)
+	b.SetPeers(addrs)
+
+	got := make(chan dme.Message, 1)
+	b.SetHandler(func(from dme.NodeID, msg dme.Message) {
+		if from == 0 {
+			got <- msg
+		}
+	})
+	a.SetHandler(func(dme.NodeID, dme.Message) {})
+
+	want := core.Request{Entry: core.QEntry{Node: 0, Seq: 42}}
+	if err := a.Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		req, ok := msg.(core.Request)
+		if !ok || req.Entry != want.Entry {
+			t.Fatalf("received %#v, want %#v", msg, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never arrived over TCP")
+	}
+}
+
+func TestTCPClusterMutualExclusion(t *testing.T) {
+	nodes := tcpCluster(t, 3, core.Options{
+		Treq:              0.005,
+		Tfwd:              0.005,
+		RetransmitTimeout: 0.5,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var (
+		inCS    atomic.Int64
+		counter int64
+		wg      sync.WaitGroup
+	)
+	const rounds = 6
+	for _, nd := range nodes {
+		wg.Add(1)
+		go func(nd *live.Node) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := nd.Lock(ctx); err != nil {
+					t.Errorf("node %d: %v", nd.ID(), err)
+					return
+				}
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("%d concurrent holders over TCP", got)
+				}
+				counter++
+				inCS.Add(-1)
+				nd.Unlock()
+			}
+		}(nd)
+	}
+	wg.Wait()
+	if want := int64(len(nodes) * rounds); counter != want {
+		t.Errorf("counter = %d, want %d", counter, want)
+	}
+}

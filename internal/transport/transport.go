@@ -1,0 +1,30 @@
+// Package transport defines the message transport abstraction used by the
+// live runtime (internal/live), with two implementations: an in-process
+// channel-based network (chanmem.go) for tests, examples and single-
+// process deployments, and a TCP/gob network (tcp.go) for real clusters.
+package transport
+
+import "tokenarbiter/internal/dme"
+
+// Handler receives inbound messages. Implementations of Transport invoke
+// it from their receive goroutines; it must be safe for concurrent calls
+// and must not block for long (the live runtime hands the message to its
+// event loop immediately).
+type Handler func(from dme.NodeID, msg dme.Message)
+
+// Transport moves protocol messages between nodes. Implementations must
+// be safe for concurrent Send calls. Delivery is best-effort: the arbiter
+// protocol tolerates loss by design (§6 of the paper), so transports drop
+// rather than block when a peer is unreachable.
+type Transport interface {
+	// Self returns the node id this endpoint sends as.
+	Self() dme.NodeID
+	// Send transmits msg to the given node. Sending to self is allowed
+	// and loops back through the handler.
+	Send(to dme.NodeID, msg dme.Message) error
+	// SetHandler installs the inbound message callback. It must be
+	// called exactly once, before any message can be delivered.
+	SetHandler(h Handler)
+	// Close releases the endpoint's resources and stops delivery.
+	Close() error
+}

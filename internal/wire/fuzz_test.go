@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"tokenarbiter/internal/core"
+)
+
+// FuzzEnvelopeRoundTrip builds a Privilege from arbitrary bytes and
+// checks gob round-trips it exactly — the property the TCP transport
+// depends on for every token transfer.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	f.Add(3, []byte{0x10, 0x21}, uint64(5), uint64(2), true)
+	f.Add(0, []byte{}, uint64(0), uint64(0), false)
+	f.Fuzz(func(t *testing.T, from int, qbytes []byte, epoch, fence uint64, toMon bool) {
+		if len(qbytes) > 32 {
+			qbytes = qbytes[:32]
+		}
+		q := make(core.QList, 0, len(qbytes))
+		for _, b := range qbytes {
+			q = append(q, core.QEntry{Node: int(b >> 4), Seq: uint64(b & 0x0f)})
+		}
+		in := Envelope{
+			From: from,
+			Payload: core.Privilege{
+				Q:         q,
+				Granted:   []uint64{epoch, fence, epoch ^ fence},
+				Epoch:     epoch,
+				Fence:     fence,
+				ToMonitor: toMon,
+			},
+		}
+		Register()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var out Envelope
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if out.From != in.From {
+			t.Fatalf("From %d → %d", in.From, out.From)
+		}
+		got, ok := out.Payload.(core.Privilege)
+		if !ok {
+			t.Fatalf("payload type %T", out.Payload)
+		}
+		want := in.Payload.(core.Privilege)
+		// gob encodes empty slices and nil identically; normalize.
+		if len(got.Q) == 0 && len(want.Q) == 0 {
+			got.Q, want.Q = nil, nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", want, got)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+// Package wire defines the on-the-wire representation shared by the live
+// transports: a gob-encoded Envelope carrying the sender id and one of
+// the protocol messages defined in internal/core. Both ends of a
+// connection must call Register before encoding or decoding.
+package wire
+
+import (
+	"sync"
+
+	"encoding/gob"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+)
+
+// Envelope frames one protocol message with its sender.
+type Envelope struct {
+	From    int
+	Payload dme.Message
+}
+
+var registerOnce sync.Once
+
+// Register records every concrete protocol message type with the gob
+// runtime. It is idempotent and safe for concurrent use; transports call
+// it when they are constructed (we deliberately avoid init()).
+func Register() {
+	registerOnce.Do(func() {
+		gob.Register(core.Request{})
+		gob.Register(core.MonitorRequest{})
+		gob.Register(core.Privilege{})
+		gob.Register(core.NewArbiter{})
+		gob.Register(core.Warning{})
+		gob.Register(core.Enquiry{})
+		gob.Register(core.EnquiryAck{})
+		gob.Register(core.Resume{})
+		gob.Register(core.Invalidate{})
+		gob.Register(core.Probe{})
+		gob.Register(core.ProbeAck{})
+	})
+}

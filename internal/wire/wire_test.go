@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+)
+
+// roundTrip encodes and decodes an envelope through gob.
+func roundTrip(t *testing.T, env Envelope) Envelope {
+	t.Helper()
+	Register()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out Envelope
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func TestEnvelopeRoundTripAllMessageTypes(t *testing.T) {
+	msgs := []dme.Message{
+		core.Request{Entry: core.QEntry{Node: 3, Seq: 9}, Hops: 1, Retransmit: true},
+		core.MonitorRequest{Entry: core.QEntry{Node: 1, Seq: 2}},
+		core.Privilege{
+			Q:       core.QList{{Node: 1, Seq: 2}, {Node: 3, Seq: 4}},
+			Granted: []uint64{5, 6, 7},
+			Counter: 8,
+			Epoch:   9,
+		},
+		core.NewArbiter{Arbiter: 2, Q: core.QList{{Node: 2, Seq: 1}}, Counter: 3, Monitor: 4, Epoch: 5},
+		core.Warning{Entry: core.QEntry{Node: 0, Seq: 1}},
+		core.Enquiry{Round: 11},
+		core.EnquiryAck{Round: 11, Status: core.StatusWaiting},
+		core.Resume{Round: 11},
+		core.Invalidate{Epoch: 12},
+		core.Probe{},
+		core.ProbeAck{},
+	}
+	for _, msg := range msgs {
+		out := roundTrip(t, Envelope{From: 6, Payload: msg})
+		if out.From != 6 {
+			t.Errorf("%T: From = %d, want 6", msg, out.From)
+		}
+		if !reflect.DeepEqual(out.Payload, msg) {
+			t.Errorf("%T: payload %#v, want %#v", msg, out.Payload, msg)
+		}
+		if out.Payload.Kind() != msg.Kind() {
+			t.Errorf("%T: kind %q, want %q", msg, out.Payload.Kind(), msg.Kind())
+		}
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	Register()
+	Register() // must not panic on double registration
+}
+
+func TestPrivilegeWithToMonitorFlag(t *testing.T) {
+	// gob drops zero-valued fields; a set flag must survive.
+	out := roundTrip(t, Envelope{Payload: core.Privilege{ToMonitor: true, Epoch: 1}})
+	p, ok := out.Payload.(core.Privilege)
+	if !ok || !p.ToMonitor {
+		t.Errorf("ToMonitor flag lost: %#v", out.Payload)
+	}
+}

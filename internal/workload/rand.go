@@ -1,0 +1,24 @@
+package workload
+
+import "math/rand/v2"
+
+// NewRand returns a deterministic random source for one node's arrival
+// stream, derived from the experiment seed and the node id so that
+// changing either produces an independent stream while keeping runs
+// reproducible.
+func NewRand(seed uint64, node int) *rand.Rand {
+	// splitmix64-style avalanche of the (seed, node) pair into the two
+	// PCG state words.
+	z := seed + 0x9e3779b97f4a7c15*uint64(node+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewPCG(z, z^0xda942042e4dd58b5))
+}
+
+// Stream binds a Generator to its own deterministic source, yielding the
+// plain function shape the dme harness consumes.
+func Stream(g Generator, seed uint64, node int) func() float64 {
+	rng := NewRand(seed, node)
+	return func() float64 { return g.Next(rng) }
+}

@@ -1,0 +1,191 @@
+// Package workload provides the arrival processes that drive the mutual
+// exclusion experiments. The paper's simulation uses independent Poisson
+// request streams with identical rate λ at each of the N nodes; the other
+// generators here support the ablation experiments (deterministic,
+// uniform, bursty/hyperexponential and on-off sources).
+//
+// A Generator produces successive interarrival times; the harness in
+// internal/dme turns one generator per node into scheduled CS requests.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Generator yields successive interarrival times for one request source.
+// Implementations must be pure functions of the supplied random source so
+// that experiments are reproducible.
+type Generator interface {
+	// Next returns the time until the next request, strictly ≥ 0.
+	Next(rng *rand.Rand) float64
+	// Rate returns the long-run average request rate (requests per time
+	// unit), used for reporting and for analytic comparisons.
+	Rate() float64
+	// Name identifies the process in experiment output.
+	Name() string
+}
+
+// Poisson is a Poisson process with rate Lambda: exponential interarrival
+// times with mean 1/Lambda. This is the paper's workload.
+type Poisson struct {
+	Lambda float64
+}
+
+// NewPoisson validates lambda > 0.
+func NewPoisson(lambda float64) (Poisson, error) {
+	if lambda <= 0 {
+		return Poisson{}, fmt.Errorf("workload: Poisson rate must be positive, got %v", lambda)
+	}
+	return Poisson{Lambda: lambda}, nil
+}
+
+// Next implements Generator.
+func (p Poisson) Next(rng *rand.Rand) float64 { return rng.ExpFloat64() / p.Lambda }
+
+// Rate implements Generator.
+func (p Poisson) Rate() float64 { return p.Lambda }
+
+// Name implements Generator.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(λ=%g)", p.Lambda) }
+
+// Deterministic issues requests at exactly fixed intervals.
+type Deterministic struct {
+	Interval float64
+}
+
+// Next implements Generator.
+func (d Deterministic) Next(_ *rand.Rand) float64 { return d.Interval }
+
+// Rate implements Generator.
+func (d Deterministic) Rate() float64 {
+	if d.Interval <= 0 {
+		return 0
+	}
+	return 1 / d.Interval
+}
+
+// Name implements Generator.
+func (d Deterministic) Name() string { return fmt.Sprintf("deterministic(T=%g)", d.Interval) }
+
+// Uniform draws interarrival times uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max float64
+}
+
+// Next implements Generator.
+func (u Uniform) Next(rng *rand.Rand) float64 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Float64()*(u.Max-u.Min)
+}
+
+// Rate implements Generator.
+func (u Uniform) Rate() float64 {
+	mean := (u.Min + u.Max) / 2
+	if mean <= 0 {
+		return 0
+	}
+	return 1 / mean
+}
+
+// Name implements Generator.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%g,%g)", u.Min, u.Max) }
+
+// Hyperexponential is a two-phase hyperexponential: with probability P the
+// interarrival is exponential with rate Fast, otherwise with rate Slow.
+// It produces bursty traffic (squared coefficient of variation > 1) and is
+// used in the burstiness ablation.
+type Hyperexponential struct {
+	P          float64 // probability of the fast phase, in [0, 1]
+	Fast, Slow float64 // rates of the two exponential phases
+}
+
+// NewHyperexponential validates the parameters.
+func NewHyperexponential(p, fast, slow float64) (Hyperexponential, error) {
+	if p < 0 || p > 1 {
+		return Hyperexponential{}, fmt.Errorf("workload: phase probability %v outside [0,1]", p)
+	}
+	if fast <= 0 || slow <= 0 {
+		return Hyperexponential{}, fmt.Errorf("workload: rates must be positive, got fast=%v slow=%v", fast, slow)
+	}
+	return Hyperexponential{P: p, Fast: fast, Slow: slow}, nil
+}
+
+// Next implements Generator.
+func (h Hyperexponential) Next(rng *rand.Rand) float64 {
+	if rng.Float64() < h.P {
+		return rng.ExpFloat64() / h.Fast
+	}
+	return rng.ExpFloat64() / h.Slow
+}
+
+// Rate implements Generator.
+func (h Hyperexponential) Rate() float64 {
+	mean := h.P/h.Fast + (1-h.P)/h.Slow
+	return 1 / mean
+}
+
+// Name implements Generator.
+func (h Hyperexponential) Name() string {
+	return fmt.Sprintf("hyperexp(p=%g,fast=%g,slow=%g)", h.P, h.Fast, h.Slow)
+}
+
+// OnOff alternates between an active period, during which requests arrive
+// as a Poisson process with rate Lambda, and a silent period. Both period
+// lengths are exponentially distributed. It models nodes that only
+// occasionally contend for the resource.
+type OnOff struct {
+	Lambda  float64 // request rate while on
+	MeanOn  float64 // mean duration of the on period
+	MeanOff float64 // mean duration of the off period
+
+	remainingOn float64 // time left in the current on period
+}
+
+// NewOnOff validates the parameters.
+func NewOnOff(lambda, meanOn, meanOff float64) (*OnOff, error) {
+	if lambda <= 0 || meanOn <= 0 || meanOff < 0 {
+		return nil, fmt.Errorf("workload: invalid on-off parameters λ=%v on=%v off=%v", lambda, meanOn, meanOff)
+	}
+	return &OnOff{Lambda: lambda, MeanOn: meanOn, MeanOff: meanOff}, nil
+}
+
+// Next implements Generator. The generator is stateful (tracks the residual
+// on-period), so each node needs its own instance.
+func (o *OnOff) Next(rng *rand.Rand) float64 {
+	elapsed := 0.0
+	for {
+		if o.remainingOn <= 0 {
+			elapsed += rng.ExpFloat64() * o.MeanOff
+			o.remainingOn = rng.ExpFloat64() * o.MeanOn
+		}
+		gap := rng.ExpFloat64() / o.Lambda
+		if gap <= o.remainingOn {
+			o.remainingOn -= gap
+			return elapsed + gap
+		}
+		elapsed += o.remainingOn
+		o.remainingOn = 0
+	}
+}
+
+// Rate implements Generator.
+func (o *OnOff) Rate() float64 {
+	duty := o.MeanOn / (o.MeanOn + o.MeanOff)
+	return o.Lambda * duty
+}
+
+// Name implements Generator.
+func (o *OnOff) Name() string {
+	return fmt.Sprintf("onoff(λ=%g,on=%g,off=%g)", o.Lambda, o.MeanOn, o.MeanOff)
+}
+
+var (
+	_ Generator = Poisson{}
+	_ Generator = Deterministic{}
+	_ Generator = Uniform{}
+	_ Generator = Hyperexponential{}
+	_ Generator = (*OnOff)(nil)
+)

@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// empiricalRate runs n draws of the generator and returns draws/time.
+func empiricalRate(t *testing.T, g Generator, seed uint64, n int) float64 {
+	t.Helper()
+	rng := NewRand(seed, 0)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		d := g.Next(rng)
+		if d < 0 {
+			t.Fatalf("%s produced negative interarrival %v", g.Name(), d)
+		}
+		total += d
+	}
+	return float64(n) / total
+}
+
+func TestPoissonRate(t *testing.T) {
+	for _, lambda := range []float64{0.1, 1, 10} {
+		g, err := NewPoisson(lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := empiricalRate(t, g, 7, 200000)
+		if math.Abs(got-lambda)/lambda > 0.02 {
+			t.Errorf("Poisson(%v): empirical rate %v", lambda, got)
+		}
+		if g.Rate() != lambda {
+			t.Errorf("Rate() = %v, want %v", g.Rate(), lambda)
+		}
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := NewPoisson(0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewPoisson(-1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestPoissonMemoryless(t *testing.T) {
+	// Coefficient of variation of exponential interarrivals is 1.
+	g := Poisson{Lambda: 2}
+	rng := NewRand(3, 0)
+	var sum, sumSq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d := g.Next(rng)
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	cv2 := variance / (mean * mean)
+	if math.Abs(cv2-1) > 0.05 {
+		t.Errorf("squared CV = %v, want ≈1 for exponential", cv2)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := Deterministic{Interval: 0.5}
+	rng := NewRand(1, 0)
+	for i := 0; i < 10; i++ {
+		if got := g.Next(rng); got != 0.5 {
+			t.Fatalf("interval = %v, want 0.5", got)
+		}
+	}
+	if g.Rate() != 2 {
+		t.Errorf("Rate() = %v, want 2", g.Rate())
+	}
+	if (Deterministic{}).Rate() != 0 {
+		t.Error("zero-interval rate should be 0")
+	}
+}
+
+func TestUniformBoundsAndRate(t *testing.T) {
+	g := Uniform{Min: 0.2, Max: 0.6}
+	rng := NewRand(5, 0)
+	for i := 0; i < 10000; i++ {
+		d := g.Next(rng)
+		if d < 0.2 || d > 0.6 {
+			t.Fatalf("uniform draw %v outside bounds", d)
+		}
+	}
+	if got := g.Rate(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Rate() = %v, want 2.5 (1/mean)", got)
+	}
+}
+
+func TestHyperexponential(t *testing.T) {
+	g, err := NewHyperexponential(0.9, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := empiricalRate(t, g, 11, 400000)
+	want := g.Rate()
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("hyperexp empirical rate %v, want ≈%v", got, want)
+	}
+
+	// Burstiness: squared CV must exceed 1 (the reason to use it).
+	rng := NewRand(13, 0)
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		d := g.Next(rng)
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / n
+	cv2 := (sumSq/n - mean*mean) / (mean * mean)
+	if cv2 <= 1.2 {
+		t.Errorf("squared CV = %v, want > 1.2 (bursty)", cv2)
+	}
+}
+
+func TestHyperexponentialValidation(t *testing.T) {
+	if _, err := NewHyperexponential(-0.1, 1, 1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := NewHyperexponential(1.1, 1, 1); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := NewHyperexponential(0.5, 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestOnOffRate(t *testing.T) {
+	g, err := NewOnOff(10, 1, 1) // 50% duty cycle of a rate-10 source
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Rate()-5) > 1e-12 {
+		t.Errorf("Rate() = %v, want 5", g.Rate())
+	}
+	got := empiricalRate(t, g, 17, 200000)
+	if math.Abs(got-5)/5 > 0.05 {
+		t.Errorf("on-off empirical rate %v, want ≈5", got)
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	if _, err := NewOnOff(0, 1, 1); err == nil {
+		t.Error("zero lambda accepted")
+	}
+	if _, err := NewOnOff(1, 0, 1); err == nil {
+		t.Error("zero on-period accepted")
+	}
+}
+
+func TestNewRandIndependence(t *testing.T) {
+	// Different nodes must get different streams; same (seed, node) must
+	// be identical.
+	a1 := NewRand(1, 0)
+	a2 := NewRand(1, 0)
+	b := NewRand(1, 1)
+	same, diff := 0, 0
+	for i := 0; i < 100; i++ {
+		x, y, z := a1.Float64(), a2.Float64(), b.Float64()
+		if x == y {
+			same++
+		}
+		if x != z {
+			diff++
+		}
+	}
+	if same != 100 {
+		t.Errorf("same (seed,node) streams diverged (%d/100 equal)", same)
+	}
+	if diff < 95 {
+		t.Errorf("different nodes produced near-identical streams (%d/100 differ)", diff)
+	}
+}
+
+func TestStreamMatchesGenerator(t *testing.T) {
+	g := Poisson{Lambda: 3}
+	s := Stream(g, 9, 4)
+	rng := NewRand(9, 4)
+	for i := 0; i < 50; i++ {
+		if got, want := s(), g.Next(rng); got != want {
+			t.Fatalf("Stream diverged at draw %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+// TestAllGeneratorsNonNegative is the safety property every generator
+// must satisfy: interarrival times are never negative (the simulator
+// panics on negative delays).
+func TestAllGeneratorsNonNegative(t *testing.T) {
+	gens := []Generator{
+		Poisson{Lambda: 0.3},
+		Deterministic{Interval: 0.1},
+		Uniform{Min: 0, Max: 1},
+		Hyperexponential{P: 0.5, Fast: 5, Slow: 0.2},
+		mustOnOff(t),
+	}
+	prop := func(seed uint64) bool {
+		rng := NewRand(seed, 0)
+		for _, g := range gens {
+			for i := 0; i < 50; i++ {
+				if g.Next(rng) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustOnOff(t *testing.T) *OnOff {
+	t.Helper()
+	g, err := NewOnOff(5, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeneratorNames(t *testing.T) {
+	for _, g := range []Generator{
+		Poisson{Lambda: 1},
+		Deterministic{Interval: 1},
+		Uniform{Min: 0, Max: 1},
+		Hyperexponential{P: 0.5, Fast: 1, Slow: 1},
+		&OnOff{Lambda: 1, MeanOn: 1, MeanOff: 1},
+	} {
+		if g.Name() == "" {
+			t.Errorf("%T has empty name", g)
+		}
+	}
+}
