@@ -23,6 +23,7 @@ import (
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/live"
 	"tokenarbiter/internal/stats"
+	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -47,6 +48,7 @@ func run(args []string) error {
 		recover  = fs.Bool("recovery", true, "enable the §6 recovery protocol")
 		netDelay = fs.Duration("netdelay", 200*time.Microsecond, "in-memory network one-way delay")
 		loss     = fs.Float64("loss", 0, "in-memory network loss rate (requires -recovery)")
+		perNodeS = fs.Bool("pernode", true, "print a per-node metrics summary at the end of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -157,22 +159,53 @@ func run(args []string) error {
 	fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f mean=%.2f\n",
 		pct(0.50), pct(0.90), pct(0.99), latencies[n-1]*1000, lat.Mean()*1000)
 	fmt.Printf("messages per CS: %.2f (%d messages total)\n", float64(sent)/float64(n), sent)
+	if *perNodeS {
+		printPerNode(cluster, counters)
+	}
 	return nil
 }
 
+// printPerNode scrapes each node's telemetry registry and prints the live
+// counterparts of the simulation observables: grants, token passes,
+// dispatches, lock-wait percentiles and the node's message traffic.
+func printPerNode(cluster []*live.Node, counters []*transport.Counting) {
+	fmt.Println("per-node metrics:")
+	fmt.Printf("  %-4s %8s %8s %8s %8s %12s %12s %10s %10s\n",
+		"node", "grants", "tokpass", "dispatch", "retx", "wait-p50-ms", "wait-p99-ms", "sent", "recv")
+	for i, nd := range cluster {
+		s := nd.Metrics().Snapshot()
+		wait := s.Histograms["lock_wait_seconds"]
+		sent, recv := counters[i].Totals()
+		fmt.Printf("  %-4d %8d %8d %8d %8d %12.2f %12.2f %10d %10d\n",
+			i,
+			s.Counters["cs_granted_total"],
+			s.Counters["token_passes_total"],
+			s.Counters["dispatches_total"],
+			s.Counters["requests_retransmitted_total"],
+			wait.P50*1000, wait.P99*1000,
+			sent, recv)
+	}
+}
+
 // buildCluster assembles the live nodes over the chosen transport, each
-// wrapped in a counting layer.
+// wrapped in a counting layer sharing the node's telemetry registry (the
+// same wiring cmd/mutexnode uses), so the end-of-run summary can scrape
+// protocol and transport metrics together.
 func buildCluster(kind string, n int, opts core.Options, delay time.Duration, loss float64) ([]*live.Node, []*transport.Counting, func(), error) {
 	counters := make([]*transport.Counting, n)
+	regs := make([]*telemetry.Registry, n)
 	nodes := make([]*live.Node, n)
 	var closers []func()
+	for i := 0; i < n; i++ {
+		regs[i] = telemetry.NewRegistry()
+	}
 
 	switch kind {
 	case "mem":
 		net := transport.NewMemNetwork(n, transport.MemOptions{Delay: delay, LossRate: loss, Seed: 1})
 		closers = append(closers, net.Close)
 		for i := 0; i < n; i++ {
-			counters[i] = transport.NewCounting(net.Endpoint(i))
+			counters[i] = transport.NewCountingIn(net.Endpoint(i), regs[i])
 		}
 	case "tcp":
 		trs := make([]*transport.TCPTransport, n)
@@ -187,7 +220,7 @@ func buildCluster(kind string, n int, opts core.Options, delay time.Duration, lo
 		}
 		for i := 0; i < n; i++ {
 			trs[i].SetPeers(addrs)
-			counters[i] = transport.NewCounting(trs[i])
+			counters[i] = transport.NewCountingIn(trs[i], regs[i])
 		}
 	default:
 		return nil, nil, func() {}, fmt.Errorf("unknown transport %q (mem or tcp)", kind)
@@ -196,6 +229,7 @@ func buildCluster(kind string, n int, opts core.Options, delay time.Duration, lo
 	for i := 0; i < n; i++ {
 		nd, err := live.NewNode(live.Config{
 			ID: i, N: n, Transport: counters[i], Options: opts, Seed: uint64(i + 1),
+			Metrics: regs[i],
 		})
 		if err != nil {
 			return nil, nil, func() {}, err

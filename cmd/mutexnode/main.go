@@ -5,13 +5,19 @@
 //
 // Example, three nodes on one machine:
 //
-//	mutexnode -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
-//	mutexnode -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
-//	mutexnode -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//	mutexnode -id 0 -http :8080 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	mutexnode -id 1 -http :8081 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	mutexnode -id 2 -http :8082 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
 //
 // Each node acquires the mutex -count times with -think pause between
 // acquisitions, holds it for -hold, and prints a line per grant. With
 // -count 0 the node only serves the protocol (a pure participant).
+//
+// With -http the node serves its admin endpoints: /metrics (Prometheus
+// text), /statusz (JSON state snapshot including the current role),
+// /healthz, and /debug/trace (recent protocol transitions as JSONL). On
+// shutdown every node — including a -count 0 pure participant — prints a
+// per-kind message summary with the messages-per-CS ratio.
 package main
 
 import (
@@ -19,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -28,6 +36,7 @@ import (
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -49,6 +58,7 @@ func run() error {
 		tfwd     = flag.Float64("tfwd", 0.05, "request forwarding phase (seconds)")
 		monitor  = flag.Bool("monitor", false, "enable the starvation-free monitor variant")
 		recovery = flag.Bool("recovery", true, "enable the §6 failure recovery protocol")
+		httpAddr = flag.String("http", "", "admin endpoint address (e.g. :8080) serving /metrics, /statusz, /healthz, /debug/trace; empty disables")
 		verbose  = flag.Bool("v", false, "log protocol transitions (slog, stderr)")
 	)
 	flag.Parse()
@@ -87,19 +97,43 @@ func run() error {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
-	tr, err := transport.NewTCP(*id, addrs)
+	tcp, err := transport.NewTCP(*id, addrs)
 	if err != nil {
 		return err
 	}
-	node, err := live.NewNode(live.Config{ID: *id, N: n, Transport: tr, Options: opts, Logger: logger})
+	// One registry serves the protocol metrics and the transport tallies;
+	// the counting layer is on by default so every node can report its
+	// message volume (and the /metrics endpoint its per-kind counters).
+	reg := telemetry.NewRegistry()
+	ct := transport.NewCountingIn(tcp, reg)
+	node, err := live.NewNode(live.Config{
+		ID: *id, N: n, Transport: ct, Options: opts, Logger: logger, Metrics: reg,
+	})
 	if err != nil {
-		_ = tr.Close()
+		_ = tcp.Close()
 		return err
 	}
 	defer node.Close() //nolint:errcheck // shutdown path
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *httpAddr != "" {
+		srv := &http.Server{Addr: *httpAddr, Handler: node.AdminHandler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "mutexnode: admin server:", err)
+			}
+		}()
+		defer func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shCtx)
+		}()
+		fmt.Printf("node %d: admin endpoints on %s (/metrics /statusz /healthz /debug/trace)\n",
+			*id, *httpAddr)
+	}
+	defer printSummary(*id, node, ct)
 
 	fmt.Printf("node %d/%d listening on %s (arbiter protocol: treq=%.3fs tfwd=%.3fs monitor=%v recovery=%v)\n",
 		*id, n, addrs[*id], *treq, *tfwd, *monitor, *recovery)
@@ -125,7 +159,46 @@ func run() error {
 			return nil
 		}
 	}
-	granted, released := node.Stats()
-	fmt.Printf("node %d: done (%d granted, %d released)\n", *id, granted, released)
 	return nil
+}
+
+// printSummary reports the node's lifetime protocol traffic: grants,
+// per-kind sent/received counts, payload units, wire bytes, and the
+// local messages-per-CS ratio (which under a symmetric workload matches
+// the cluster-wide figure the simulation reports).
+func printSummary(id int, node *live.Node, ct *transport.Counting) {
+	granted, released := node.Stats()
+	sent, received := ct.Totals()
+	sentU, recvU := ct.UnitTotals()
+	fmt.Printf("node %d: done (%d granted, %d released)\n", id, granted, released)
+	fmt.Printf("node %d: messages sent=%d received=%d units sent=%d received=%d",
+		id, sent, received, sentU, recvU)
+	if snap := node.Metrics().Snapshot(); snap.Counters["transport_wire_bytes_sent_total"] > 0 {
+		fmt.Printf(" wire bytes sent=%d received=%d",
+			snap.Counters["transport_wire_bytes_sent_total"],
+			snap.Counters["transport_wire_bytes_received_total"])
+	}
+	fmt.Println()
+	byKind := ct.SentByKind()
+	inKind := ct.ReceivedByKind()
+	kinds := make(map[string]struct{}, len(byKind)+len(inKind))
+	for k := range byKind {
+		kinds[k] = struct{}{}
+	}
+	for k := range inKind {
+		kinds[k] = struct{}{}
+	}
+	sorted := make([]string, 0, len(kinds))
+	for k := range kinds {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		fmt.Printf("node %d:   %-14s sent=%-6d received=%d\n", id, k, byKind[k], inKind[k])
+	}
+	if granted > 0 {
+		fmt.Printf("node %d: messages per CS: %.2f sent, %.2f incl. received\n",
+			id, float64(sent)/float64(granted),
+			float64(sent+received)/float64(granted))
+	}
 }

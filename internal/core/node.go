@@ -158,6 +158,7 @@ func (nd *node) armRetransmit(ctx dme.Context, st *reqState) {
 			return
 		}
 		entry := QEntry{Node: nd.id, Seq: st.seq}
+		nd.observe(Event{Kind: EventRequestRetransmitted, Arbiter: nd.arbiter})
 		if nd.collecting {
 			nd.acceptRequest(ctx, entry)
 		} else {
@@ -235,16 +236,19 @@ func (nd *node) onRequestMsg(ctx dme.Context, m Request) {
 		if m.Hops+1 >= nd.opts.Tau {
 			// Forwarded too many times; drop (§4.1). The requester will
 			// notice via the implicit-ACK mechanism and resubmit.
+			nd.observe(Event{Kind: EventRequestDropped, Arbiter: m.Entry.Node})
 			return
 		}
 		fwd := m
 		fwd.Hops++
 		ctx.Send(nd.id, nd.arbiter, fwd)
+		nd.observe(Event{Kind: EventRequestForwarded, Arbiter: nd.arbiter})
 	case nd.opts.Monitor && nd.monitor == nd.id:
 		// The monitor stores, never forwards (§4.1).
 		nd.storeAtMonitor(ctx, m.Entry)
 	default:
 		// Arrived after the forwarding phase: dropped (§2.1).
+		nd.observe(Event{Kind: EventRequestDropped, Arbiter: m.Entry.Node})
 	}
 }
 
@@ -331,6 +335,7 @@ func (nd *node) handleToken(ctx dme.Context, tok Privilege) {
 		if head.Node != nd.id {
 			nd.haveToken = false
 			ctx.Send(nd.id, head.Node, tok)
+			nd.observe(Event{Kind: EventTokenPassed, Arbiter: head.Node, Batch: len(tok.Q)})
 			return
 		}
 		if st := nd.findOutstanding(head.Seq); st != nil {
@@ -424,6 +429,7 @@ func (nd *node) becomeTokenHoldingArbiter(ctx dme.Context, tok Privilege) {
 		nd.haveToken = false
 		tok.ToMonitor = false
 		ctx.Send(nd.id, nd.arbiter, tok)
+		nd.observe(Event{Kind: EventTokenPassed, Arbiter: nd.arbiter, Batch: len(tok.Q)})
 		return
 	}
 	nd.haveToken = true
@@ -511,6 +517,7 @@ func (nd *node) dispatch(ctx dme.Context) {
 		nd.windowDone = false
 		nd.observe(Event{Kind: EventMonitorDiverted, Arbiter: nd.monitor, Batch: len(batch)})
 		ctx.Send(nd.id, nd.monitor, tok)
+		nd.observe(Event{Kind: EventTokenPassed, Arbiter: nd.monitor, Batch: len(batch)})
 		// Requests arriving now are forwarded to the monitor, which
 		// stores them (§4.1) until it forwards the token.
 		nd.arbiter = nd.monitor
@@ -588,6 +595,7 @@ func (nd *node) sendBatch(ctx dme.Context, batch QList, fromMonitor bool) {
 	}
 	nd.haveToken = false
 	ctx.Send(nd.id, head.Node, tok)
+	nd.observe(Event{Kind: EventTokenPassed, Arbiter: head.Node, Batch: len(batch)})
 	if nd.collecting {
 		// We stayed arbiter (tail is us) but the token left to serve the
 		// batch: wait for it like a freshly designated arbiter would, so
@@ -675,6 +683,7 @@ func (nd *node) onNewArbiter(ctx dme.Context, from int, m NewArbiter) {
 // starvation-free variant (§4.1), to the announced arbiter otherwise.
 func (nd *node) resubmit(ctx dme.Context, st *reqState) {
 	entry := QEntry{Node: nd.id, Seq: st.seq}
+	nd.observe(Event{Kind: EventRequestRetransmitted, Arbiter: nd.arbiter})
 	if nd.opts.Monitor {
 		if nd.monitor == nd.id {
 			nd.storeAtMonitor(ctx, entry)

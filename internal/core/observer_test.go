@@ -41,6 +41,50 @@ func TestObserverSeesDispatchAndDesignation(t *testing.T) {
 	}
 }
 
+// TestObserverSeesTokenPass checks that dispatching a remote-headed batch
+// reports a token-passed event naming the destination.
+func TestObserverSeesTokenPass(t *testing.T) {
+	var events []Event
+	opts := Options{Observer: func(ev Event) { events = append(events, ev) }}
+
+	ctx := newFakeCtx(t, 3)
+	nd := testNode(t, 0, 3, opts)
+	nd.Init(ctx)
+	nd.OnMessage(ctx, 1, Request{Entry: QEntry{Node: 1, Seq: 1}})
+	ctx.firePending() // collection window → dispatch → token to node 1
+
+	var pass *Event
+	for i := range events {
+		if events[i].Kind == EventTokenPassed {
+			pass = &events[i]
+		}
+	}
+	if pass == nil {
+		t.Fatalf("no token-passed event in %+v", events)
+	}
+	if pass.Arbiter != 1 || pass.Batch != 1 {
+		t.Errorf("token-passed fields %+v, want dest 1 batch 1", pass)
+	}
+}
+
+// TestFanOut checks observer composition and nil-skipping.
+func TestFanOut(t *testing.T) {
+	if FanOut() != nil || FanOut(nil, nil) != nil {
+		t.Error("empty fan-out should be nil")
+	}
+	var a, b int
+	obs := FanOut(func(Event) { a++ }, nil, func(Event) { b++ })
+	obs(Event{Kind: EventDispatched})
+	obs(Event{Kind: EventDispatched})
+	if a != 2 || b != 2 {
+		t.Errorf("fan-out delivered a=%d b=%d, want 2/2", a, b)
+	}
+	single := func(Event) { a++ }
+	if FanOut(nil, single) == nil {
+		t.Error("single fan-out should not be nil")
+	}
+}
+
 // TestObserverSeesRegeneration drives a lost-token invalidation round and
 // checks the invalidation-started and token-regenerated events with the
 // fence jump.

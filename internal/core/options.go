@@ -103,6 +103,20 @@ const (
 	// EventTakeover: the previous-arbiter watchdog replaced a silent
 	// arbiter (§6).
 	EventTakeover
+	// EventTokenPassed: this node sent the token (PRIVILEGE) to another
+	// node (Arbiter holds the destination, Batch the Q-list length).
+	EventTokenPassed
+	// EventRequestForwarded: a REQUEST was forwarded one hop toward the
+	// current arbiter during the forwarding phase (§2.1).
+	EventRequestForwarded
+	// EventRequestDropped: a REQUEST was discarded — it exceeded the τ
+	// forwarding bound of §4.1 or arrived after the forwarding phase
+	// (§2.1). The requester recovers via the implicit-ACK resubmission.
+	EventRequestDropped
+	// EventRequestRetransmitted: one of this node's own requests was
+	// re-sent — the RetransmitTimeout fallback fired or the request
+	// missed τ consecutive NEW-ARBITER Q-lists.
+	EventRequestRetransmitted
 )
 
 // String names the kind for logs.
@@ -122,8 +136,39 @@ func (k EventKind) String() string {
 		return "token-regenerated"
 	case EventTakeover:
 		return "takeover"
+	case EventTokenPassed:
+		return "token-passed"
+	case EventRequestForwarded:
+		return "request-forwarded"
+	case EventRequestDropped:
+		return "request-dropped"
+	case EventRequestRetransmitted:
+		return "request-retransmitted"
 	default:
 		return "unknown"
+	}
+}
+
+// FanOut composes observers into one that invokes each in order; nil
+// entries are skipped. It lets metrics, tracing and logging share the
+// single Options.Observer hook instead of displacing each other.
+func FanOut(obs ...func(Event)) func(Event) {
+	live := obs[:0:0]
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(ev Event) {
+		for _, o := range live {
+			o(ev)
+		}
 	}
 }
 

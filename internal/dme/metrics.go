@@ -12,6 +12,13 @@ import (
 // honour the warmup window: nothing is recorded until WarmupRequests
 // critical sections have completed, so steady-state figures are not
 // polluted by the initial transient.
+//
+// The zero value is valid and safe to query: every derived quantity
+// (MessagesPerCS, KindPerCS, KindFraction, UnitsPerCS, Throughput,
+// JainFairness, String) returns a well-defined result — zero ratios, a
+// vacuous fairness of 1 — with no divide-by-zero, NaN, or nil-map panic,
+// so callers may report a Metrics that recorded nothing (e.g. a run that
+// ended inside the warmup window).
 type Metrics struct {
 	// Issued is the number of application requests delivered to nodes
 	// within the measured window.

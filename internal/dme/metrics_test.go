@@ -34,11 +34,25 @@ func TestMetricsDerivedQuantities(t *testing.T) {
 func TestMetricsZeroSafe(t *testing.T) {
 	var m Metrics
 	if m.MessagesPerCS() != 0 || m.Throughput() != 0 || m.KindPerCS("X") != 0 ||
-		m.KindFraction("X") != 0 {
+		m.KindFraction("X") != 0 || m.UnitsPerCS() != 0 {
 		t.Error("zero metrics not zero-safe")
 	}
 	if m.JainFairness() != 1 {
 		t.Error("empty fairness should be vacuously 1")
+	}
+	for _, v := range []float64{
+		m.MessagesPerCS(), m.Throughput(), m.KindPerCS("X"),
+		m.KindFraction("X"), m.UnitsPerCS(), m.JainFairness(),
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("zero metrics produced NaN/Inf: %v", v)
+		}
+	}
+	// String must render (not panic) on the zero value: nil MsgByKind,
+	// zero Welford accumulators, zero counts.
+	s := m.String()
+	if !strings.Contains(s, "cs=0") || strings.Contains(s, "NaN") {
+		t.Errorf("zero-value String() = %q", s)
 	}
 }
 

@@ -1,0 +1,124 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"tokenarbiter/internal/telemetry"
+)
+
+// Status is the /statusz document: the node's protocol role and state
+// snapshot plus every metric. Role is "holder" while the node is inside
+// (or its application holds) the critical section, "arbiter" while it is
+// collecting requests, "waiting" with requests outstanding, else "idle".
+type Status struct {
+	ID            int     `json:"id"`
+	N             int     `json:"n"`
+	Role          string  `json:"role"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Arbiter     int    `json:"arbiter"`
+	Monitor     int    `json:"monitor"`
+	HasToken    bool   `json:"has_token"`
+	InCS        bool   `json:"in_cs"`
+	Forwarding  bool   `json:"forwarding"`
+	Epoch       uint64 `json:"epoch"`
+	LastFence   uint64 `json:"last_fence"`
+	MaxFence    uint64 `json:"max_fence"`
+	BatchLen    int    `json:"batch_len"`
+	StoredLen   int    `json:"stored_len"`
+	Outstanding int    `json:"outstanding"`
+
+	Granted  uint64 `json:"granted"`
+	Released uint64 `json:"released"`
+
+	Metrics telemetry.Snapshot `json:"metrics"`
+}
+
+// Status assembles the /statusz document, taking the protocol snapshot
+// on the event loop.
+func (n *Node) Status(ctx context.Context) (Status, error) {
+	ins, err := n.Inspect(ctx)
+	if err != nil {
+		return Status{}, err
+	}
+	granted, released := n.Stats()
+	role := "idle"
+	switch {
+	case ins.InCS || n.holding.Load():
+		role = "holder"
+	case ins.IsArbiter:
+		role = "arbiter"
+	case ins.Outstanding > 0:
+		role = "waiting"
+	}
+	return Status{
+		ID:            n.cfg.ID,
+		N:             n.cfg.N,
+		Role:          role,
+		UptimeSeconds: time.Since(n.start).Seconds(),
+		Arbiter:       ins.Arbiter,
+		Monitor:       ins.Monitor,
+		HasToken:      ins.HasToken,
+		InCS:          ins.InCS,
+		Forwarding:    ins.Forwarding,
+		Epoch:         ins.Epoch,
+		LastFence:     ins.LastFence,
+		MaxFence:      ins.MaxFence,
+		BatchLen:      ins.BatchLen,
+		StoredLen:     ins.StoredLen,
+		Outstanding:   ins.Outstanding,
+		Granted:       granted,
+		Released:      released,
+		Metrics:       n.reg.Snapshot(),
+	}, nil
+}
+
+// AdminHandler returns the node's admin HTTP surface:
+//
+//	/healthz      liveness: 200 "ok" while the node runs, 503 once closed
+//	/metrics      Prometheus text exposition of the telemetry registry
+//	/statusz      JSON Status document (role, protocol state, metrics)
+//	/debug/trace  recent protocol transitions as JSONL, oldest first
+//
+// Mount it on any mux or serve it directly; cmd/mutexnode's -http flag
+// does the latter.
+func (n *Node) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if n.closed.Load() {
+			http.Error(w, "closed", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = n.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		defer cancel()
+		st, err := n.Status(ctx)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if n.trace == nil {
+			http.Error(w, "tracing disabled (Config.TraceDepth < 0)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = n.trace.WriteJSONL(w)
+	})
+	return mux
+}

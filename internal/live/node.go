@@ -34,6 +34,7 @@ import (
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -55,12 +56,28 @@ type Config struct {
 	// Seed seeds node-local randomness (0 derives one from the clock —
 	// live runs, unlike simulations, need no reproducibility).
 	Seed uint64
-	// Logger, when non-nil, receives structured protocol-transition logs
-	// (arbiter changes, dispatches, recovery actions) at Info level and
-	// grant/release events at Debug level. It composes with — and is
-	// installed as — Options.Observer; setting both is an error.
+	// Logger, when non-nil, receives structured protocol-transition logs:
+	// arbiter changes, dispatches and recovery actions at Info level,
+	// high-frequency events (token passes, request forwarding) at Debug.
+	// It composes with the built-in metrics and tracing through a
+	// core.FanOut on Options.Observer; setting both Logger and a custom
+	// Options.Observer is an error (pass your own fan-out instead).
 	Logger *slog.Logger
+	// Metrics, when non-nil, is the registry protocol metrics are
+	// recorded into — share one registry with the transport's counting
+	// wrapper (transport.NewCountingIn) to serve both from one /metrics
+	// endpoint. Nil creates a private registry, available via
+	// Node.Metrics.
+	Metrics *telemetry.Registry
+	// TraceDepth sizes the ring buffer of recent protocol transitions
+	// (Node.Trace, the /debug/trace endpoint). 0 means DefaultTraceDepth;
+	// negative disables tracing.
+	TraceDepth int
 }
+
+// DefaultTraceDepth is the event-trace ring capacity when
+// Config.TraceDepth is zero.
+const DefaultTraceDepth = 256
 
 // Node is a live protocol participant. All protocol state is confined to
 // the node's event-loop goroutine; the public API is safe for concurrent
@@ -85,14 +102,20 @@ type Node struct {
 
 	granted  atomic.Uint64
 	released atomic.Uint64
+
+	reg     *telemetry.Registry
+	metrics *liveMetrics
+	trace   *telemetry.Ring // nil when tracing is disabled
 }
 
 // waiter tracks one Lock call from issuance to grant.
 type waiter struct {
-	grant    chan struct{}
-	granted  bool
-	canceled bool
-	fence    uint64 // fencing token of the grant, set before grant closes
+	grant     chan struct{}
+	granted   bool
+	canceled  bool
+	fence     uint64    // fencing token of the grant, set before grant closes
+	issuedAt  time.Time // Lock call time, for the lock-wait histogram
+	grantedAt time.Time // grant time, for the CS-hold histogram
 }
 
 // NewNode builds and starts a live node: the protocol state machine is
@@ -105,13 +128,42 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("live: transport self %d does not match node id %d",
 			cfg.Transport.Self(), cfg.ID)
 	}
-	if cfg.Logger != nil {
-		if cfg.Options.Observer != nil {
-			return nil, errors.New("live: set Config.Logger or Options.Observer, not both")
+	if cfg.Logger != nil && cfg.Options.Observer != nil {
+		return nil, errors.New("live: set Config.Logger or Options.Observer, not both")
+	}
+
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	metrics := newLiveMetrics(reg)
+	if cfg.ID == 0 {
+		// Node 0 is the initial arbiter (Init designates it without a
+		// became-arbiter event); its first tenure starts now.
+		metrics.tenureStart = time.Now()
+	}
+	var ring *telemetry.Ring
+	if cfg.TraceDepth >= 0 {
+		depth := cfg.TraceDepth
+		if depth == 0 {
+			depth = DefaultTraceDepth
 		}
+		ring = telemetry.NewRing(depth)
+	}
+
+	// Metrics, tracing, and the user's logger/observer all share the one
+	// Observer hook via fan-out, so none displaces another.
+	userObs := cfg.Options.Observer
+	if cfg.Logger != nil {
 		logger := cfg.Logger.With("node", cfg.ID)
-		cfg.Options.Observer = func(ev core.Event) {
-			logger.Info("protocol "+ev.Kind.String(),
+		userObs = func(ev core.Event) {
+			level := slog.LevelInfo
+			switch ev.Kind {
+			case core.EventTokenPassed, core.EventRequestForwarded,
+				core.EventRequestDropped, core.EventRequestRetransmitted:
+				level = slog.LevelDebug
+			}
+			logger.Log(context.Background(), level, "protocol "+ev.Kind.String(),
 				"arbiter", ev.Arbiter,
 				"batch", ev.Batch,
 				"epoch", ev.Epoch,
@@ -119,6 +171,12 @@ func NewNode(cfg Config) (*Node, error) {
 			)
 		}
 	}
+	traceObs := func(core.Event) {}
+	if ring != nil {
+		traceObs = traceObserver(ring)
+	}
+	cfg.Options.Observer = core.FanOut(metrics.observer(), traceObs, userObs)
+
 	inner, err := core.NewNode(cfg.ID, cfg.N, cfg.Options)
 	if err != nil {
 		return nil, err
@@ -128,13 +186,16 @@ func NewNode(cfg Config) (*Node, error) {
 		seed = uint64(time.Now().UnixNano()) + uint64(cfg.ID)<<32
 	}
 	n := &Node{
-		cfg:   cfg,
-		inner: inner,
-		tr:    cfg.Transport,
-		start: time.Now(),
-		rng:   rand.New(rand.NewPCG(seed, seed^0x5deece66d)),
-		wake:  make(chan struct{}, 1),
-		quit:  make(chan struct{}),
+		cfg:     cfg,
+		inner:   inner,
+		tr:      cfg.Transport,
+		start:   time.Now(),
+		rng:     rand.New(rand.NewPCG(seed, seed^0x5deece66d)),
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		reg:     reg,
+		metrics: metrics,
+		trace:   ring,
 	}
 	n.tr.SetHandler(func(from dme.NodeID, msg dme.Message) {
 		n.post(func() { n.inner.OnMessage(n, from, msg) })
@@ -204,16 +265,21 @@ func (n *Node) LockFence(ctx context.Context) (uint64, error) {
 	if n.closed.Load() {
 		return 0, ErrClosed
 	}
-	w := &waiter{grant: make(chan struct{})}
+	w := &waiter{grant: make(chan struct{}), issuedAt: time.Now()}
+	n.metrics.lockWaiters.Add(1)
 	n.post(func() {
 		n.waiters = append(n.waiters, w)
 		n.inner.OnRequest(n)
 	})
 	select {
 	case <-w.grant:
+		n.metrics.lockWaiters.Add(-1)
+		n.metrics.lockWait.Observe(time.Since(w.issuedAt).Seconds())
 		n.holding.Store(true)
 		return w.fence, nil
 	case <-ctx.Done():
+		n.metrics.lockWaiters.Add(-1)
+		n.metrics.lockCancels.Inc()
 		n.post(func() {
 			if w.granted {
 				// The grant raced the cancellation: give the CS back.
@@ -224,6 +290,7 @@ func (n *Node) LockFence(ctx context.Context) (uint64, error) {
 		})
 		return 0, ctx.Err()
 	case <-n.quit:
+		n.metrics.lockWaiters.Add(-1)
 		return 0, ErrClosed
 	}
 }
@@ -272,6 +339,10 @@ func (n *Node) finishCS(w *waiter) {
 	}
 	w.granted = false
 	n.released.Add(1)
+	n.metrics.releases.Inc()
+	if !w.grantedAt.IsZero() {
+		n.metrics.csHold.Observe(time.Since(w.grantedAt).Seconds())
+	}
 	n.inner.OnCSDone(n)
 }
 
@@ -280,6 +351,16 @@ func (n *Node) finishCS(w *waiter) {
 func (n *Node) Stats() (granted, released uint64) {
 	return n.granted.Load(), n.released.Load()
 }
+
+// Metrics returns the node's telemetry registry — the one passed in
+// Config.Metrics, or the private one created when none was. Protocol
+// metrics (token passes, tenures, lock-wait and CS-hold histograms,
+// recovery activity) accumulate here from node start.
+func (n *Node) Metrics() *telemetry.Registry { return n.reg }
+
+// Trace returns the ring buffer of recent protocol transitions, or nil
+// when Config.TraceDepth is negative.
+func (n *Node) Trace() *telemetry.Ring { return n.trace }
 
 // Inspect returns a read-only snapshot of the protocol state, taken on
 // the event loop.
@@ -398,12 +479,16 @@ func (n *Node) EnterCS(_ dme.NodeID) {
 			// the protocol's EnterCS call finishes before OnCSDone runs.
 			n.granted.Add(1)
 			n.released.Add(1)
+			n.metrics.grants.Inc()
+			n.metrics.releases.Inc()
 			n.post(func() { n.inner.OnCSDone(n) })
 			return
 		}
 		w.granted = true
+		w.grantedAt = time.Now()
 		n.holder = w
 		n.granted.Add(1)
+		n.metrics.grants.Inc()
 		if ins, ok := core.Inspect(n.inner); ok {
 			w.fence = ins.LastFence
 		}

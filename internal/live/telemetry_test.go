@@ -1,0 +1,232 @@
+package live_test
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/telemetry"
+	"tokenarbiter/internal/transport"
+)
+
+// startCluster builds an n-node in-memory cluster with telemetry wired
+// the way cmd/mutexnode does: one registry per node, shared between the
+// protocol metrics and the transport counting layer.
+func startCluster(t *testing.T, n int) ([]*live.Node, []*transport.Counting) {
+	t.Helper()
+	net := transport.NewMemNetwork(n, transport.MemOptions{})
+	t.Cleanup(net.Close)
+	nodes := make([]*live.Node, n)
+	counters := make([]*transport.Counting, n)
+	for i := range nodes {
+		reg := telemetry.NewRegistry()
+		counters[i] = transport.NewCountingIn(net.Endpoint(i), reg)
+		nd, err := live.NewNode(live.Config{
+			ID: i, N: n, Transport: counters[i],
+			Options: core.Options{Treq: 0.005, Tfwd: 0.005},
+			Metrics: reg,
+			Seed:    uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+		t.Cleanup(func() { _ = nd.Close() })
+	}
+	return nodes, counters
+}
+
+func TestLiveMetricsRecordProtocolActivity(t *testing.T) {
+	nodes, counters := startCluster(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		for _, nd := range nodes {
+			if err := nd.Lock(ctx); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+			nd.Unlock()
+		}
+	}
+
+	var tokenPasses, grants uint64
+	for i, nd := range nodes {
+		s := nd.Metrics().Snapshot()
+		tokenPasses += s.Counters["token_passes_total"]
+		grants += s.Counters["cs_granted_total"]
+		if s.Counters["cs_granted_total"] != rounds {
+			t.Errorf("node %d grants = %d, want %d", i, s.Counters["cs_granted_total"], rounds)
+		}
+		h := s.Histograms["lock_wait_seconds"]
+		if h.Count != rounds {
+			t.Errorf("node %d lock_wait count = %d, want %d", i, h.Count, rounds)
+		}
+		hold := s.Histograms["cs_hold_seconds"]
+		if hold.Count != rounds {
+			t.Errorf("node %d cs_hold count = %d, want %d", i, hold.Count, rounds)
+		}
+		// Transport counters share the registry.
+		sent, _ := counters[i].Totals()
+		var regSent uint64
+		for _, v := range s.Kinds["transport_sent_total"] {
+			regSent += v
+		}
+		if regSent != sent {
+			t.Errorf("node %d registry sent %d != counting %d", i, regSent, sent)
+		}
+	}
+	if tokenPasses == 0 {
+		t.Error("no token passes recorded across the cluster")
+	}
+	if grants != 3*rounds {
+		t.Errorf("cluster grants = %d, want %d", grants, 3*rounds)
+	}
+
+	// Dispatches and tenures happened somewhere, and the trace saw them.
+	var dispatches, traceEvents uint64
+	for _, nd := range nodes {
+		dispatches += nd.Metrics().Snapshot().Counters["dispatches_total"]
+		traceEvents += nd.Trace().Total()
+	}
+	if dispatches == 0 {
+		t.Error("no dispatches recorded")
+	}
+	if traceEvents == 0 {
+		t.Error("trace rings are empty")
+	}
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	nodes, _ := startCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for _, nd := range nodes {
+		if err := nd.Lock(ctx); err != nil {
+			t.Fatal(err)
+		}
+		nd.Unlock()
+	}
+
+	srv := httptest.NewServer(nodes[1].AdminHandler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close() //nolint:errcheck
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"token_passes_total",
+		"lock_wait_seconds_bucket{le=",
+		"cs_granted_total 1",
+		"transport_sent_total{kind=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	for _, want := range []string{`"role"`, `"id": 1`, `"metrics"`, `"lock_wait_seconds"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/statusz missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/debug/trace")
+	if code != 200 {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+	if !strings.Contains(body, `"kind"`) {
+		t.Errorf("/debug/trace has no events:\n%s", body)
+	}
+}
+
+func TestStatusRoles(t *testing.T) {
+	net := transport.NewMemNetwork(1, transport.MemOptions{})
+	defer net.Close()
+	nd, err := live.NewNode(live.Config{
+		ID: 0, N: 1, Transport: net.Endpoint(0),
+		Options: core.Options{Treq: 0.001, Tfwd: 0.001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close() //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	st, err := nd.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "arbiter" {
+		t.Errorf("initial role %q, want arbiter (node 0 mints the token)", st.Role)
+	}
+
+	if err := nd.Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err = nd.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "holder" {
+		t.Errorf("locked role %q, want holder", st.Role)
+	}
+	nd.Unlock()
+}
+
+func TestTraceDisabled(t *testing.T) {
+	net := transport.NewMemNetwork(1, transport.MemOptions{})
+	defer net.Close()
+	nd, err := live.NewNode(live.Config{
+		ID: 0, N: 1, Transport: net.Endpoint(0), TraceDepth: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close() //nolint:errcheck
+	if nd.Trace() != nil {
+		t.Error("trace ring exists despite TraceDepth -1")
+	}
+	srv := httptest.NewServer(nd.AdminHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != 404 {
+		t.Errorf("/debug/trace with tracing off = %d, want 404", resp.StatusCode)
+	}
+}

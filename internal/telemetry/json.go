@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, shaped
+// for JSON consumers (the /statusz endpoint, the mutexload end-of-run
+// summary). Counter functions appear under Counters; CounterVec families
+// under Kinds, keyed by family name then label value.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Kinds      map[string]map[string]uint64 `json:"kinds,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is the exported state of one histogram. Buckets are
+// non-cumulative; the entry beyond the last bound is the overflow count.
+type HistogramSnapshot struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+	P50     float64   `json:"p50"`
+	P99     float64   `json:"p99"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Kinds:      make(map[string]map[string]uint64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.name] = m.counter.Value()
+		case kindCounterFunc:
+			s.Counters[m.name] = m.fn()
+		case kindGauge:
+			s.Gauges[m.name] = m.gauge.Value()
+		case kindCounterVec:
+			s.Kinds[m.name] = m.vec.Values()
+		case kindHistogram:
+			bounds, counts := m.hist.Buckets()
+			s.Histograms[m.name] = HistogramSnapshot{
+				Count:   m.hist.Count(),
+				Sum:     m.hist.Sum(),
+				Bounds:  bounds,
+				Buckets: counts,
+				P50:     m.hist.Quantile(0.50),
+				P99:     m.hist.Quantile(0.99),
+			}
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

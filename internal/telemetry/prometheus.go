@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, histograms
+// as cumulative _bucket{le=...} series plus _sum and _count. Metrics
+// appear in registration order; label values within a CounterVec are
+// sorted for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshotMetrics() {
+		if err := writeMetric(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMetric(w io.Writer, m *metric) error {
+	if m.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+			return err
+		}
+	}
+	switch m.kind {
+	case kindCounter:
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value()); err != nil {
+			return err
+		}
+	case kindCounterFunc:
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.fn()); err != nil {
+			return err
+		}
+	case kindGauge:
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value()); err != nil {
+			return err
+		}
+	case kindCounterVec:
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", m.name); err != nil {
+			return err
+		}
+		vals := m.vec.Values()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			// %q escapes quotes, backslashes and newlines exactly as the
+			// exposition format requires.
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", m.name, m.vec.label, k, vals[k]); err != nil {
+				return err
+			}
+		}
+	case kindHistogram:
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+			return err
+		}
+		bounds, counts := m.hist.Buckets()
+		var cum uint64
+		for i, b := range bounds {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			m.name, formatFloat(m.hist.Sum()), m.name, m.hist.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest exact
+// decimal, no exponent for the magnitudes we use.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}

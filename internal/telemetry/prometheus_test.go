@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden locks the exact text exposition: header lines,
+// cumulative histogram buckets, sorted vec labels, registration order.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("token_passes_total", "times the token was sent to a peer").Add(5)
+	reg.Gauge("queue_len", "").Set(3)
+	v := reg.CounterVec("sent_total", "messages sent by kind", "kind")
+	v.With("REQUEST").Add(2)
+	v.With("PRIVILEGE").Add(1)
+	h := reg.Histogram("lock_wait_seconds", "lock wait", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+	reg.CounterFunc("wire_bytes_total", "", func() uint64 { return 99 })
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP token_passes_total times the token was sent to a peer
+# TYPE token_passes_total counter
+token_passes_total 5
+# TYPE queue_len gauge
+queue_len 3
+# HELP sent_total messages sent by kind
+# TYPE sent_total counter
+sent_total{kind="PRIVILEGE"} 1
+sent_total{kind="REQUEST"} 2
+# HELP lock_wait_seconds lock wait
+# TYPE lock_wait_seconds histogram
+lock_wait_seconds_bucket{le="0.5"} 1
+lock_wait_seconds_bucket{le="1"} 2
+lock_wait_seconds_bucket{le="+Inf"} 3
+lock_wait_seconds_sum 3
+lock_wait_seconds_count 3
+# TYPE wire_bytes_total counter
+wire_bytes_total 99
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1:      "1",
+		0.5:    "0.5",
+		0.0001: "0.0001",
+		2.5:    "2.5",
+		10:     "10",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

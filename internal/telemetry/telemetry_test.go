@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits_total", "test counter")
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	// Get-or-create returns the same counter.
+	if reg.Counter("hits_total", "") != c {
+		t.Error("second lookup returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("depth", "")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	// Zero lands in the first bucket (le="1"); exact bounds are
+	// inclusive; values past the top bound land in +Inf.
+	for _, v := range []float64{0, 1, 1.5, 2, 5, 5.0001, math.MaxFloat64} {
+		h.Observe(v)
+	}
+	_, counts := h.Buckets()
+	want := []uint64{2, 2, 1, 2} // le=1: {0,1}; le=2: {1.5,2}; le=5: {5}; +Inf: {5.0001, max}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if got := h.Sum(); got != 8.5001+math.MaxFloat64 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("lat", "", []float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 20000 {
+		t.Errorf("count = %d, want 20000", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5000) > 1e-6 {
+		t.Errorf("sum = %v, want 5000", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%4) + 0.5) // 25 each in (0,1], (1,2], (2,3], (3,4]
+	}
+	if p50 := h.Quantile(0.50); p50 < 1.5 || p50 > 2.5 {
+		t.Errorf("p50 = %v, want ≈2", p50)
+	}
+	if p100 := h.Quantile(1); p100 != 4 {
+		t.Errorf("p100 = %v, want 4", p100)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	v := NewRegistry().CounterVec("msgs_total", "", "kind")
+	v.With("REQUEST").Add(3)
+	v.With("PRIVILEGE").Inc()
+	v.With("REQUEST").Inc()
+	vals := v.Values()
+	if vals["REQUEST"] != 4 || vals["PRIVILEGE"] != 1 {
+		t.Errorf("vec values %v", vals)
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different type did not panic")
+		}
+	}()
+	reg.Gauge("x", "")
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Add(7)
+	reg.Gauge("b", "").Set(-2)
+	reg.CounterVec("c_total", "", "kind").With("X").Inc()
+	reg.Histogram("d_seconds", "", []float64{1}).Observe(0.5)
+	reg.CounterFunc("e_total", "", func() uint64 { return 42 })
+
+	s := reg.Snapshot()
+	if s.Counters["a_total"] != 7 || s.Counters["e_total"] != 42 {
+		t.Errorf("counters %v", s.Counters)
+	}
+	if s.Gauges["b"] != -2 {
+		t.Errorf("gauges %v", s.Gauges)
+	}
+	if s.Kinds["c_total"]["X"] != 1 {
+		t.Errorf("kinds %v", s.Kinds)
+	}
+	h := s.Histograms["d_seconds"]
+	if h.Count != 1 || h.Sum != 0.5 || len(h.Buckets) != 2 {
+		t.Errorf("histogram snapshot %+v", h)
+	}
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one recorded protocol transition with its wall-clock
+// timestamp. The fields mirror core.Event (telemetry must not import
+// core, so the live runtime converts); Seq is the record's position in
+// the node's whole event stream, so a reader of a wrapped ring can tell
+// how many older events were overwritten.
+type TraceEvent struct {
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"`
+	Node    int       `json:"node"`
+	Arbiter int       `json:"arbiter,omitempty"`
+	Batch   int       `json:"batch,omitempty"`
+	Epoch   uint64    `json:"epoch,omitempty"`
+	Fence   uint64    `json:"fence,omitempty"`
+}
+
+// Ring is a bounded buffer of the most recent trace events. Recording
+// overwrites the oldest entry once the buffer is full; readers get a
+// copy, oldest first. Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []TraceEvent
+	total uint64 // events ever recorded; buf[total%cap] is the next slot
+}
+
+// NewRing returns a ring holding the last capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Record appends an event, stamping Seq and, when ev.Time is zero, the
+// current wall-clock time.
+func (r *Ring) Record(ev TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	ev.Seq = r.total
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = ev
+	}
+	r.total++
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEvent, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	start := r.total % uint64(cap(r.buf))
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}
+
+// Total returns how many events have ever been recorded (≥ len(Events());
+// the difference is how many were overwritten).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// WriteJSONL dumps the buffered events as one JSON object per line,
+// oldest first — the /debug/trace format.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

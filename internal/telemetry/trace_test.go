@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(TraceEvent{Kind: "dispatched", Batch: i})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := 6 + i; ev.Batch != want || ev.Seq != uint64(want) {
+			t.Errorf("event %d = {batch %d, seq %d}, want batch/seq %d", i, ev.Batch, ev.Seq, want)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d has no timestamp", i)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("total = %d, want 10", r.Total())
+	}
+}
+
+func TestRingPartiallyFull(t *testing.T) {
+	r := NewRing(8)
+	r.Record(TraceEvent{Kind: "a"})
+	r.Record(TraceEvent{Kind: "b"})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Kind != "a" || evs[1].Kind != "b" {
+		t.Errorf("events %+v", evs)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Record(TraceEvent{Kind: "a"})
+	r.Record(TraceEvent{Kind: "b"})
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Kind != "b" {
+		t.Errorf("events %+v", evs)
+	}
+}
+
+func TestRingJSONL(t *testing.T) {
+	r := NewRing(4)
+	ts := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	r.Record(TraceEvent{Kind: "became-arbiter", Node: 1, Time: ts})
+	r.Record(TraceEvent{Kind: "dispatched", Node: 1, Batch: 3, Time: ts})
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[0], `"kind":"became-arbiter"`) ||
+		!strings.Contains(lines[1], `"batch":3`) {
+		t.Errorf("JSONL content:\n%s", b.String())
+	}
+}

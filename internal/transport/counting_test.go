@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/telemetry"
+)
+
+// deliver sends from a's endpoint and waits for b's handler.
+func waitFor(t *testing.T, ch <-chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestCountingByKindAndUnits(t *testing.T) {
+	net := NewMemNetwork(2, MemOptions{})
+	defer net.Close()
+
+	a := NewCounting(net.Endpoint(0))
+	b := NewCounting(net.Endpoint(1))
+
+	var mu sync.Mutex
+	got := make(chan struct{}, 16)
+	a.SetHandler(func(dme.NodeID, dme.Message) {})
+	b.SetHandler(func(from dme.NodeID, msg dme.Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		got <- struct{}{}
+	})
+
+	// One plain request (1 unit) and one token with a 2-entry Q-list and
+	// no L table (1+2 = 3 units).
+	if err := a.Send(1, core.Request{Entry: core.QEntry{Node: 0, Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, core.Privilege{Q: core.QList{{Node: 1, Seq: 1}, {Node: 0, Seq: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, got)
+	waitFor(t, got)
+
+	if sent, _ := a.Totals(); sent != 2 {
+		t.Errorf("a sent = %d, want 2", sent)
+	}
+	if _, recv := b.Totals(); recv != 2 {
+		t.Errorf("b received = %d, want 2", recv)
+	}
+	if sentU, _ := a.UnitTotals(); sentU != 4 {
+		t.Errorf("a sent units = %d, want 4", sentU)
+	}
+	if _, recvU := b.UnitTotals(); recvU != 4 {
+		t.Errorf("b received units = %d, want 4", recvU)
+	}
+	sk := a.SentByKind()
+	if sk[core.KindRequest] != 1 || sk[core.KindPrivilege] != 1 {
+		t.Errorf("a sent by kind %v", sk)
+	}
+	rk := b.ReceivedByKind()
+	if rk[core.KindRequest] != 1 || rk[core.KindPrivilege] != 1 {
+		t.Errorf("b received by kind %v", rk)
+	}
+	if len(a.ReceivedByKind()) != 0 {
+		t.Errorf("a received by kind %v, want empty", a.ReceivedByKind())
+	}
+}
+
+func TestCountingInPublishesToRegistry(t *testing.T) {
+	net := NewMemNetwork(2, MemOptions{})
+	defer net.Close()
+	reg := telemetry.NewRegistry()
+
+	a := NewCountingIn(net.Endpoint(0), reg)
+	got := make(chan struct{}, 1)
+	a.SetHandler(func(dme.NodeID, dme.Message) { got <- struct{}{} })
+
+	regB := telemetry.NewRegistry()
+	b := NewCountingIn(net.Endpoint(1), regB)
+	b.SetHandler(func(dme.NodeID, dme.Message) {})
+
+	if err := b.Send(0, core.Probe{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, got)
+
+	if v := regB.Snapshot().Kinds["transport_sent_total"][core.KindProbe]; v != 1 {
+		t.Errorf("sender registry PROBE count = %d, want 1", v)
+	}
+	snap := reg.Snapshot()
+	if v := snap.Kinds["transport_received_total"][core.KindProbe]; v != 1 {
+		t.Errorf("receiver registry PROBE count = %d, want 1", v)
+	}
+	if v := snap.Counters["transport_received_units_total"]; v != 1 {
+		t.Errorf("received units = %d, want 1", v)
+	}
+}
+
+func TestTCPWireBytes(t *testing.T) {
+	a, err := NewTCP(0, map[dme.NodeID]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close() //nolint:errcheck
+	b, err := NewTCP(1, map[dme.NodeID]string{1: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close() //nolint:errcheck
+	addrs := map[dme.NodeID]string{0: a.Addr().String(), 1: b.Addr().String()}
+	a.SetPeers(addrs)
+	b.SetPeers(addrs)
+
+	got := make(chan struct{}, 1)
+	a.SetHandler(func(dme.NodeID, dme.Message) {})
+	b.SetHandler(func(dme.NodeID, dme.Message) { got <- struct{}{} })
+
+	if err := a.Send(1, core.Request{Entry: core.QEntry{Node: 0, Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, got)
+
+	sent, _ := a.WireBytes()
+	if sent == 0 {
+		t.Error("sender recorded no wire bytes")
+	}
+	// The reader may still be mid-Read; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, recv := b.WireBytes(); recv >= sent {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, recv := b.WireBytes()
+			t.Fatalf("receiver wire bytes %d never reached sender's %d", recv, sent)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Registry wiring picks the bytes up through the WireByteser interface.
+	reg := telemetry.NewRegistry()
+	_ = NewCountingIn(a, reg)
+	if v := reg.Snapshot().Counters["transport_wire_bytes_sent_total"]; v != sent {
+		t.Errorf("registry wire bytes = %d, want %d", v, sent)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tokenarbiter/internal/dme"
@@ -36,8 +38,43 @@ type TCPTransport struct {
 	quit   chan struct{}
 	closed sync.Once
 
+	// Wire-byte totals (gob frames incl. the per-connection type
+	// preamble), kept always — the cost is one atomic add per I/O call.
+	bytesOut atomic.Uint64
+	bytesIn  atomic.Uint64
+
 	// DialTimeout bounds each outbound connection attempt.
 	DialTimeout time.Duration
+}
+
+// WireBytes reports the bytes written to and read from peer connections;
+// it implements the WireByteser interface used by NewCountingIn.
+func (t *TCPTransport) WireBytes() (sent, received uint64) {
+	return t.bytesOut.Load(), t.bytesIn.Load()
+}
+
+// countingWriter and countingReader tap a connection's byte flow into an
+// atomic total.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Uint64
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(uint64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(uint64(n))
+	return n, err
 }
 
 type outConn struct {
@@ -131,7 +168,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		t.imu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(countingReader{conn, &t.bytesIn})
 	for {
 		var env wire.Envelope
 		if err := dec.Decode(&env); err != nil {
@@ -198,7 +235,7 @@ func (t *TCPTransport) conn(to dme.NodeID) (*outConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcp: dial node %d (%s): %w", to, addr, err)
 	}
-	oc := &outConn{c: c, enc: gob.NewEncoder(c)}
+	oc := &outConn{c: c, enc: gob.NewEncoder(countingWriter{c, &t.bytesOut})}
 	t.conns[to] = oc
 	return oc, nil
 }
