@@ -1,11 +1,17 @@
-// Command mutexload drives a live arbiter-mutex cluster under load and
-// reports acquisition-latency percentiles, throughput and messages per
-// critical section — the operational counterpart of the simulation
+// Command mutexload drives a live distributed-mutex cluster under load
+// and reports acquisition-latency percentiles, throughput and messages
+// per critical section — the operational counterpart of the simulation
 // experiments, measured on the real runtime (goroutines + timers) over
 // an in-memory or loopback-TCP transport.
 //
+// -algo selects any algorithm in internal/registry, so the same harness
+// compares the paper's arbiter protocol against the nine baselines on
+// identical workloads:
+//
 //	mutexload -nodes 5 -duration 5s -rate 200
 //	mutexload -transport tcp -nodes 3 -duration 3s -hold 2ms
+//	mutexload -algo raymond -nodes 5 -duration 5s -rate 200
+//	mutexload -algo ricartagrawala -transport tcp -nodes 3 -duration 3s
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +29,7 @@ import (
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/stats"
 	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
@@ -39,15 +47,16 @@ func run(args []string) error {
 	var (
 		nodes    = fs.Int("nodes", 5, "cluster size")
 		trans    = fs.String("transport", "mem", "transport: mem or tcp")
+		algoFlag = fs.String("algo", "core", "algorithm to load-test (any registry name; see mutexnode -algo list)")
 		duration = fs.Duration("duration", 5*time.Second, "measurement duration")
 		rate     = fs.Float64("rate", 200, "aggregate lock attempts per second (0 = closed loop)")
 		hold     = fs.Duration("hold", time.Millisecond, "critical-section hold time")
-		treq     = fs.Float64("treq", 0.002, "request collection phase (seconds)")
-		tfwd     = fs.Float64("tfwd", 0.002, "request forwarding phase (seconds)")
-		monitor  = fs.Bool("monitor", false, "enable the §4.1 starvation-free variant")
-		recover  = fs.Bool("recovery", true, "enable the §6 recovery protocol")
+		treq     = fs.Float64("treq", 0.002, "core: request collection phase (seconds)")
+		tfwd     = fs.Float64("tfwd", 0.002, "core: request forwarding phase (seconds)")
+		monitor  = fs.Bool("monitor", false, "core: enable the §4.1 starvation-free variant")
+		recover  = fs.Bool("recovery", true, "core: enable the §6 recovery protocol")
 		netDelay = fs.Duration("netdelay", 200*time.Microsecond, "in-memory network one-way delay")
-		loss     = fs.Float64("loss", 0, "in-memory network loss rate (requires -recovery)")
+		loss     = fs.Float64("loss", 0, "in-memory network loss rate (requires -recovery, core only)")
 		perNodeS = fs.Bool("pernode", true, "print a per-node metrics summary at the end of the run")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -56,34 +65,53 @@ func run(args []string) error {
 	if *nodes < 1 {
 		return fmt.Errorf("need at least one node")
 	}
+	entry, ok := registry.Lookup(*algoFlag)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (have %s)",
+			*algoFlag, strings.Join(registry.Names(), ", "))
+	}
+	algo := entry.Name
+	if algo != registry.Core && *loss > 0 {
+		return fmt.Errorf("-loss requires the core algorithm's recovery protocol; %s has none", algo)
+	}
 
-	opts := core.Options{
-		Treq:              *treq,
-		Tfwd:              *tfwd,
-		Monitor:           *monitor,
-		RetransmitTimeout: 1,
-	}
-	if *monitor {
-		opts.MonitorFlushTimeout = 2
-	}
-	if *recover {
-		opts.Recovery = core.RecoveryOptions{
-			Enabled:        true,
-			TokenTimeout:   1,
-			RoundTimeout:   0.25,
-			ArbiterTimeout: 3,
-			ProbeTimeout:   0.25,
+	var factory live.Factory
+	if algo == registry.Core {
+		opts := core.Options{
+			Treq:              *treq,
+			Tfwd:              *tfwd,
+			Monitor:           *monitor,
+			RetransmitTimeout: 1,
+		}
+		if *monitor {
+			opts.MonitorFlushTimeout = 2
+		}
+		if *recover {
+			opts.Recovery = core.RecoveryOptions{
+				Enabled:        true,
+				TokenTimeout:   1,
+				RoundTimeout:   0.25,
+				ArbiterTimeout: 3,
+				ProbeTimeout:   0.25,
+			}
+		}
+		factory = registry.CoreLiveFactory(opts)
+	} else {
+		var err error
+		factory, err = registry.NewLiveFactory(algo, nil)
+		if err != nil {
+			return err
 		}
 	}
 
-	cluster, counters, cleanup, err := buildCluster(*trans, *nodes, opts, *netDelay, *loss)
+	cluster, counters, cleanup, err := buildCluster(*trans, *nodes, algo, factory, *netDelay, *loss)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
 
-	fmt.Printf("cluster: %d nodes over %s, rate=%.0f/s, hold=%v, duration=%v, monitor=%v recovery=%v loss=%.2f%%\n",
-		*nodes, *trans, *rate, *hold, *duration, *monitor, *recover, 100**loss)
+	fmt.Printf("cluster: %d nodes over %s, algorithm=%s, rate=%.0f/s, hold=%v, duration=%v, monitor=%v recovery=%v loss=%.2f%%\n",
+		*nodes, *trans, algo, *rate, *hold, *duration, *monitor, *recover, 100**loss)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration+30*time.Second)
 	defer cancel()
@@ -158,26 +186,33 @@ func run(args []string) error {
 		n, float64(n)/duration.Seconds(), errs.Load())
 	fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f mean=%.2f\n",
 		pct(0.50), pct(0.90), pct(0.99), latencies[n-1]*1000, lat.Mean()*1000)
-	fmt.Printf("messages per CS: %.2f (%d messages total)\n", float64(sent)/float64(n), sent)
 	if *perNodeS {
-		printPerNode(cluster, counters)
+		printPerNode(algo, cluster, counters)
 	}
+	// The comparison footer: this is the live counterpart of the paper's
+	// Figure 6 message-complexity comparison. Run once per -algo on the
+	// same workload and compare the line directly.
+	fmt.Printf("algorithm=%s: %.2f messages per CS (%d messages, %d critical sections, %d nodes)\n",
+		algo, float64(sent)/float64(n), sent, n, *nodes)
 	return nil
 }
 
 // printPerNode scrapes each node's telemetry registry and prints the live
 // counterparts of the simulation observables: grants, token passes,
-// dispatches, lock-wait percentiles and the node's message traffic.
-func printPerNode(cluster []*live.Node, counters []*transport.Counting) {
+// dispatches, lock-wait percentiles and the node's message traffic. The
+// token/dispatch/retransmit columns are core-protocol observables and
+// read zero under baseline algorithms; grants, waits and traffic are
+// algorithm-agnostic.
+func printPerNode(algo string, cluster []*live.Node, counters []*transport.Counting) {
 	fmt.Println("per-node metrics:")
-	fmt.Printf("  %-4s %8s %8s %8s %8s %12s %12s %10s %10s\n",
-		"node", "grants", "tokpass", "dispatch", "retx", "wait-p50-ms", "wait-p99-ms", "sent", "recv")
+	fmt.Printf("  %-4s %-14s %8s %8s %8s %8s %12s %12s %10s %10s\n",
+		"node", "algorithm", "grants", "tokpass", "dispatch", "retx", "wait-p50-ms", "wait-p99-ms", "sent", "recv")
 	for i, nd := range cluster {
 		s := nd.Metrics().Snapshot()
 		wait := s.Histograms["lock_wait_seconds"]
 		sent, recv := counters[i].Totals()
-		fmt.Printf("  %-4d %8d %8d %8d %8d %12.2f %12.2f %10d %10d\n",
-			i,
+		fmt.Printf("  %-4d %-14s %8d %8d %8d %8d %12.2f %12.2f %10d %10d\n",
+			i, algo,
 			s.Counters["cs_granted_total"],
 			s.Counters["token_passes_total"],
 			s.Counters["dispatches_total"],
@@ -190,8 +225,9 @@ func printPerNode(cluster []*live.Node, counters []*transport.Counting) {
 // buildCluster assembles the live nodes over the chosen transport, each
 // wrapped in a counting layer sharing the node's telemetry registry (the
 // same wiring cmd/mutexnode uses), so the end-of-run summary can scrape
-// protocol and transport metrics together.
-func buildCluster(kind string, n int, opts core.Options, delay time.Duration, loss float64) ([]*live.Node, []*transport.Counting, func(), error) {
+// protocol and transport metrics together. Baseline algorithms get FIFO
+// in-memory channels (Lamport requires them; TCP is FIFO by nature).
+func buildCluster(kind string, n int, algo string, factory live.Factory, delay time.Duration, loss float64) ([]*live.Node, []*transport.Counting, func(), error) {
 	counters := make([]*transport.Counting, n)
 	regs := make([]*telemetry.Registry, n)
 	nodes := make([]*live.Node, n)
@@ -202,7 +238,10 @@ func buildCluster(kind string, n int, opts core.Options, delay time.Duration, lo
 
 	switch kind {
 	case "mem":
-		net := transport.NewMemNetwork(n, transport.MemOptions{Delay: delay, LossRate: loss, Seed: 1})
+		net := transport.NewMemNetwork(n, transport.MemOptions{
+			Delay: delay, LossRate: loss, Seed: 1,
+			FIFO: algo != registry.Core,
+		})
 		closers = append(closers, net.Close)
 		for i := 0; i < n; i++ {
 			counters[i] = transport.NewCountingIn(net.Endpoint(i), regs[i])
@@ -211,7 +250,8 @@ func buildCluster(kind string, n int, opts core.Options, delay time.Duration, lo
 		trs := make([]*transport.TCPTransport, n)
 		addrs := make(map[dme.NodeID]string, n)
 		for i := 0; i < n; i++ {
-			tr, err := transport.NewTCP(i, map[dme.NodeID]string{i: "127.0.0.1:0"})
+			tr, err := transport.NewTCPOpt(i, map[dme.NodeID]string{i: "127.0.0.1:0"},
+				transport.TCPOptions{Algo: algo})
 			if err != nil {
 				return nil, nil, func() {}, err
 			}
@@ -228,8 +268,8 @@ func buildCluster(kind string, n int, opts core.Options, delay time.Duration, lo
 
 	for i := 0; i < n; i++ {
 		nd, err := live.NewNode(live.Config{
-			ID: i, N: n, Transport: counters[i], Options: opts, Seed: uint64(i + 1),
-			Metrics: regs[i],
+			ID: i, N: n, Transport: counters[i], Factory: factory, Algo: algo,
+			Seed: uint64(i + 1), Metrics: regs[i],
 		})
 		if err != nil {
 			return nil, nil, func() {}, err

@@ -9,6 +9,12 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-transport", "carrier-pigeon", "-duration", "10ms"}); err == nil {
 		t.Error("unknown transport accepted")
 	}
+	if err := run([]string{"-algo", "paxos-deluxe", "-duration", "10ms"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-algo", "raymond", "-loss", "0.1", "-duration", "10ms"}); err == nil {
+		t.Error("loss accepted for a baseline without recovery")
+	}
 }
 
 func TestRunShortMemLoad(t *testing.T) {
@@ -28,6 +34,16 @@ func TestRunShortTCPLoad(t *testing.T) {
 	err := run([]string{"-transport", "tcp", "-nodes", "2", "-duration", "500ms", "-rate", "50"})
 	if err != nil {
 		t.Fatalf("tcp load: %v", err)
+	}
+}
+
+func TestRunShortBaselineLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real cluster")
+	}
+	err := run([]string{"-algo", "raymond", "-nodes", "3", "-duration", "500ms", "-rate", "100", "-hold", "200us"})
+	if err != nil {
+		t.Fatalf("raymond mem load: %v", err)
 	}
 }
 

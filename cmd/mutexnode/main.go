@@ -1,13 +1,20 @@
-// Command mutexnode runs one live arbiter-mutex node over TCP and drives
-// a demo workload against it, printing each critical-section grant. Start
-// N copies (one per node id) with the same -peers list; node 0 mints the
-// initial token.
+// Command mutexnode runs one live distributed-mutex node over TCP and
+// drives a demo workload against it, printing each critical-section
+// grant. Start N copies (one per node id) with the same -peers list and
+// the same -algo; node 0 starts as the token holder / arbiter /
+// coordinator of the chosen algorithm.
 //
-// Example, three nodes on one machine:
+// Example, three nodes on one machine running Raymond's tree algorithm:
 //
-//	mutexnode -id 0 -http :8080 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
-//	mutexnode -id 1 -http :8081 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
-//	mutexnode -id 2 -http :8082 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//	mutexnode -algo raymond -id 0 -http :8080 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	mutexnode -algo raymond -id 1 -http :8081 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	mutexnode -algo raymond -id 2 -http :8082 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// -algo selects any algorithm in internal/registry (core — the paper's
+// arbiter protocol — plus the nine baselines); `-algo list` prints the
+// catalog. Peers must agree on the algorithm: the wire envelope is
+// tagged, and a mismatched peer is rejected with a logged error instead
+// of a garbage decode.
 //
 // Each node acquires the mutex -count times with -think pause between
 // acquisitions, holds it for -hold, and prints a line per grant. With
@@ -36,6 +43,7 @@ import (
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
 )
@@ -51,17 +59,32 @@ func run() error {
 	var (
 		id       = flag.Int("id", 0, "this node's id (index into -peers)")
 		peers    = flag.String("peers", "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002", "comma-separated peer addresses, one per node id")
+		algoFlag = flag.String("algo", "core", "algorithm to run (see -algo list); every peer must match")
 		count    = flag.Int("count", 10, "critical sections to execute (0: serve only)")
 		hold     = flag.Duration("hold", 50*time.Millisecond, "time to hold the mutex per acquisition")
 		think    = flag.Duration("think", 100*time.Millisecond, "pause between acquisitions")
-		treq     = flag.Float64("treq", 0.05, "request collection phase (seconds)")
-		tfwd     = flag.Float64("tfwd", 0.05, "request forwarding phase (seconds)")
-		monitor  = flag.Bool("monitor", false, "enable the starvation-free monitor variant")
-		recovery = flag.Bool("recovery", true, "enable the §6 failure recovery protocol")
+		linger   = flag.Duration("linger", 3*time.Second, "keep serving the protocol after finishing -count acquisitions (baselines have no recovery: an exiting node strands peers that still need the token)")
+		treq     = flag.Float64("treq", 0.05, "core: request collection phase (seconds)")
+		tfwd     = flag.Float64("tfwd", 0.05, "core: request forwarding phase (seconds)")
+		monitor  = flag.Bool("monitor", false, "core: enable the starvation-free monitor variant")
+		recovery = flag.Bool("recovery", true, "core: enable the §6 failure recovery protocol")
 		httpAddr = flag.String("http", "", "admin endpoint address (e.g. :8080) serving /metrics, /statusz, /healthz, /debug/trace; empty disables")
-		verbose  = flag.Bool("v", false, "log protocol transitions (slog, stderr)")
+		verbose  = flag.Bool("v", false, "log protocol transitions (slog, stderr; core only)")
 	)
 	flag.Parse()
+
+	if *algoFlag == "list" {
+		for _, e := range registry.Entries() {
+			fmt.Printf("  %-16s %s\n", e.Name, e.Description)
+		}
+		return nil
+	}
+	entry, ok := registry.Lookup(*algoFlag)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (have %s)",
+			*algoFlag, strings.Join(registry.Names(), ", "))
+	}
+	algo := entry.Name
 
 	addrList := strings.Split(*peers, ",")
 	n := len(addrList)
@@ -73,31 +96,48 @@ func run() error {
 		addrs[i] = strings.TrimSpace(a)
 	}
 
-	opts := core.Options{
-		Treq:              *treq,
-		Tfwd:              *tfwd,
-		Monitor:           *monitor,
-		RetransmitTimeout: 2,
-	}
-	if *monitor {
-		opts.MonitorFlushTimeout = 5
-	}
-	if *recovery {
-		opts.Recovery = core.RecoveryOptions{
-			Enabled:        true,
-			TokenTimeout:   3,
-			RoundTimeout:   1,
-			ArbiterTimeout: 10,
-			ProbeTimeout:   1,
-		}
-	}
-
 	var logger *slog.Logger
 	if *verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
-	tcp, err := transport.NewTCP(*id, addrs)
+	// The paper's algorithm keeps its full option surface (variant,
+	// recovery, phase tuning); the baselines build from the registry.
+	var factory live.Factory
+	if algo == registry.Core {
+		opts := core.Options{
+			Treq:              *treq,
+			Tfwd:              *tfwd,
+			Monitor:           *monitor,
+			RetransmitTimeout: 2,
+		}
+		if *monitor {
+			opts.MonitorFlushTimeout = 5
+		}
+		if *recovery {
+			opts.Recovery = core.RecoveryOptions{
+				Enabled:        true,
+				TokenTimeout:   3,
+				RoundTimeout:   1,
+				ArbiterTimeout: 10,
+				ProbeTimeout:   1,
+			}
+		}
+		factory = registry.CoreLiveFactory(opts)
+	} else {
+		var err error
+		factory, err = registry.NewLiveFactory(algo, nil)
+		if err != nil {
+			return err
+		}
+	}
+
+	tcp, err := transport.NewTCPOpt(*id, addrs, transport.TCPOptions{
+		Algo: algo,
+		OnWireError: func(err error) {
+			fmt.Fprintln(os.Stderr, "mutexnode:", err)
+		},
+	})
 	if err != nil {
 		return err
 	}
@@ -107,7 +147,8 @@ func run() error {
 	reg := telemetry.NewRegistry()
 	ct := transport.NewCountingIn(tcp, reg)
 	node, err := live.NewNode(live.Config{
-		ID: *id, N: n, Transport: ct, Options: opts, Logger: logger, Metrics: reg,
+		ID: *id, N: n, Transport: ct, Factory: factory, Algo: algo,
+		Logger: logger, Metrics: reg,
 	})
 	if err != nil {
 		_ = tcp.Close()
@@ -133,10 +174,14 @@ func run() error {
 		fmt.Printf("node %d: admin endpoints on %s (/metrics /statusz /healthz /debug/trace)\n",
 			*id, *httpAddr)
 	}
-	defer printSummary(*id, node, ct)
+	defer printSummary(*id, algo, node, ct, tcp)
 
-	fmt.Printf("node %d/%d listening on %s (arbiter protocol: treq=%.3fs tfwd=%.3fs monitor=%v recovery=%v)\n",
-		*id, n, addrs[*id], *treq, *tfwd, *monitor, *recovery)
+	if algo == registry.Core {
+		fmt.Printf("node %d/%d listening on %s (arbiter protocol: treq=%.3fs tfwd=%.3fs monitor=%v recovery=%v)\n",
+			*id, n, addrs[*id], *treq, *tfwd, *monitor, *recovery)
+	} else {
+		fmt.Printf("node %d/%d listening on %s (algorithm: %s)\n", *id, n, addrs[*id], algo)
+	}
 
 	if *count == 0 {
 		<-ctx.Done()
@@ -159,6 +204,12 @@ func run() error {
 			return nil
 		}
 	}
+	if *linger > 0 {
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+		}
+	}
 	return nil
 }
 
@@ -166,11 +217,11 @@ func run() error {
 // per-kind sent/received counts, payload units, wire bytes, and the
 // local messages-per-CS ratio (which under a symmetric workload matches
 // the cluster-wide figure the simulation reports).
-func printSummary(id int, node *live.Node, ct *transport.Counting) {
+func printSummary(id int, algo string, node *live.Node, ct *transport.Counting, tcp *transport.TCPTransport) {
 	granted, released := node.Stats()
 	sent, received := ct.Totals()
 	sentU, recvU := ct.UnitTotals()
-	fmt.Printf("node %d: done (%d granted, %d released)\n", id, granted, released)
+	fmt.Printf("node %d: done (algorithm %s, %d granted, %d released)\n", id, algo, granted, released)
 	fmt.Printf("node %d: messages sent=%d received=%d units sent=%d received=%d",
 		id, sent, received, sentU, recvU)
 	if snap := node.Metrics().Snapshot(); snap.Counters["transport_wire_bytes_sent_total"] > 0 {
@@ -179,6 +230,10 @@ func printSummary(id int, node *live.Node, ct *transport.Counting) {
 			snap.Counters["transport_wire_bytes_received_total"])
 	}
 	fmt.Println()
+	if mism, dec := tcp.WireErrors(); mism > 0 || dec > 0 {
+		fmt.Printf("node %d: WIRE ERRORS: %d algorithm/version mismatches, %d undecodable payloads (check every peer's -algo)\n",
+			id, mism, dec)
+	}
 	byKind := ct.SentByKind()
 	inKind := ct.ReceivedByKind()
 	kinds := make(map[string]struct{}, len(byKind)+len(inKind))

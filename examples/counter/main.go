@@ -18,6 +18,7 @@ import (
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -35,6 +36,11 @@ func main() {
 	})
 	defer net.Close()
 
+	factory := registry.CoreLiveFactory(core.Options{
+		Treq:              0.002,
+		Tfwd:              0.002,
+		RetransmitTimeout: 0.5,
+	})
 	counters := make([]*transport.Counting, nodesN)
 	nodes := make([]*live.Node, nodesN)
 	for i := range nodes {
@@ -43,11 +49,7 @@ func main() {
 			ID:        i,
 			N:         nodesN,
 			Transport: counters[i],
-			Options: core.Options{
-				Treq:              0.002,
-				Tfwd:              0.002,
-				RetransmitTimeout: 0.5,
-			},
+			Factory:   factory,
 		})
 		if err != nil {
 			log.Fatalf("node %d: %v", i, err)

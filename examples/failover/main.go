@@ -22,6 +22,7 @@ import (
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -55,10 +56,11 @@ func main() {
 			ProbeTimeout:   0.1,
 		},
 	}
+	factory := registry.CoreLiveFactory(opts)
 	nodes := make([]*live.Node, n)
 	for i := 0; i < n; i++ {
 		node, err := live.NewNode(live.Config{
-			ID: i, N: n, Transport: net.Endpoint(i), Options: opts,
+			ID: i, N: n, Transport: net.Endpoint(i), Factory: factory,
 		})
 		if err != nil {
 			log.Fatalf("node %d: %v", i, err)

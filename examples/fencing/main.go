@@ -26,6 +26,7 @@ import (
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -68,9 +69,10 @@ func main() {
 			ProbeTimeout:   0.1,
 		},
 	}
+	factory := registry.CoreLiveFactory(opts)
 	nodes := make([]*live.Node, n)
 	for i := 0; i < n; i++ {
-		node, err := live.NewNode(live.Config{ID: i, N: n, Transport: net.Endpoint(i), Options: opts})
+		node, err := live.NewNode(live.Config{ID: i, N: n, Transport: net.Endpoint(i), Factory: factory})
 		if err != nil {
 			log.Fatalf("node %d: %v", i, err)
 		}

@@ -17,6 +17,7 @@ import (
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -27,16 +28,20 @@ func main() {
 	})
 	defer net.Close()
 
+	// The factory picks the protocol each node runs; swap it for
+	// registry.NewLiveFactory("raymond", nil) (or any registry name) to
+	// run a baseline on the same harness.
+	factory := registry.CoreLiveFactory(core.Options{
+		Treq: 0.01, // 10 ms request-collection phase
+		Tfwd: 0.01, // 10 ms request-forwarding phase
+	})
 	nodes := make([]*live.Node, n)
 	for i := 0; i < n; i++ {
 		node, err := live.NewNode(live.Config{
 			ID:        i,
 			N:         n,
 			Transport: net.Endpoint(i),
-			Options: core.Options{
-				Treq: 0.01, // 10 ms request-collection phase
-				Tfwd: 0.01, // 10 ms request-forwarding phase
-			},
+			Factory:   factory,
 		})
 		if err != nil {
 			log.Fatalf("starting node %d: %v", i, err)

@@ -19,6 +19,7 @@ import (
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -45,22 +46,23 @@ func main() {
 		fmt.Printf("  node %d: %s\n", i, addrs[i])
 	}
 
+	factory := registry.CoreLiveFactory(core.Options{
+		Treq:              0.01,
+		Tfwd:              0.01,
+		RetransmitTimeout: 1,
+		Recovery: core.RecoveryOptions{
+			Enabled:      true,
+			TokenTimeout: 2,
+			RoundTimeout: 0.5,
+		},
+	})
 	nodes := make([]*live.Node, n)
 	for i := 0; i < n; i++ {
 		node, err := live.NewNode(live.Config{
 			ID:        i,
 			N:         n,
 			Transport: transports[i],
-			Options: core.Options{
-				Treq:              0.01,
-				Tfwd:              0.01,
-				RetransmitTimeout: 1,
-				Recovery: core.RecoveryOptions{
-					Enabled:      true,
-					TokenTimeout: 2,
-					RoundTimeout: 0.5,
-				},
-			},
+			Factory:   factory,
 		})
 		if err != nil {
 			log.Fatalf("node %d: %v", i, err)

@@ -18,17 +18,17 @@ const (
 	KindRelease = "RELEASE"
 )
 
-type request struct{}
+type Request struct{}
 
-func (request) Kind() string { return KindRequest }
+func (Request) Kind() string { return KindRequest }
 
-type grant struct{}
+type Grant struct{}
 
-func (grant) Kind() string { return KindGrant }
+func (Grant) Kind() string { return KindGrant }
 
-type release struct{}
+type Release struct{}
 
-func (release) Kind() string { return KindRelease }
+func (Release) Kind() string { return KindRelease }
 
 // Algorithm builds a centralized-coordinator instance. Coordinator is the
 // coordinator's node id.
@@ -84,29 +84,29 @@ func (nd *node) maybeRequest(ctx dme.Context) {
 		return
 	}
 	nd.inFlight = true
-	ctx.Send(nd.id, nd.coord, request{})
+	ctx.Send(nd.id, nd.coord, Request{})
 }
 
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	switch msg.(type) {
-	case request:
+	case Request:
 		if nd.busy {
 			nd.queue = append(nd.queue, from)
 			return
 		}
 		nd.busy = true
-		ctx.Send(nd.id, from, grant{})
-	case grant:
+		ctx.Send(nd.id, from, Grant{})
+	case Grant:
 		ctx.EnterCS(nd.id)
-	case release:
+	case Release:
 		if len(nd.queue) == 0 {
 			nd.busy = false
 			return
 		}
 		next := nd.queue[0]
 		nd.queue = nd.queue[1:]
-		ctx.Send(nd.id, next, grant{})
+		ctx.Send(nd.id, next, Grant{})
 	default:
 		panic(fmt.Sprintf("central: unknown message %T", msg))
 	}
@@ -116,6 +116,6 @@ func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 func (nd *node) OnCSDone(ctx dme.Context) {
 	nd.pending--
 	nd.inFlight = false
-	ctx.Send(nd.id, nd.coord, release{})
+	ctx.Send(nd.id, nd.coord, Release{})
 	nd.maybeRequest(ctx)
 }

@@ -21,30 +21,30 @@ const (
 	KindRelease = "RELEASE"
 )
 
-type stamp struct {
+type Stamp struct {
 	TS   uint64
 	Node int
 }
 
 // less orders stamps by (timestamp, node id).
-func (s stamp) less(o stamp) bool {
+func (s Stamp) less(o Stamp) bool {
 	return s.TS < o.TS || (s.TS == o.TS && s.Node < o.Node)
 }
 
-type request struct{ S stamp }
+type Request struct{ S Stamp }
 
-func (request) Kind() string { return KindRequest }
+func (Request) Kind() string { return KindRequest }
 
-type ack struct{ TS uint64 }
+type Ack struct{ TS uint64 }
 
-func (ack) Kind() string { return KindAck }
+func (Ack) Kind() string { return KindAck }
 
-type release struct {
-	S  stamp
+type Release struct {
+	S  Stamp
 	TS uint64 // sender's clock at release time, for the lastSeen check
 }
 
-func (release) Kind() string { return KindRelease }
+func (Release) Kind() string { return KindRelease }
 
 // Algorithm builds a Lamport-queue instance.
 type Algorithm struct{}
@@ -71,12 +71,12 @@ type node struct {
 	id, n int
 
 	clock    uint64
-	queue    []stamp  // local replica of the request queue, kept sorted
+	queue    []Stamp  // local replica of the request queue, kept sorted
 	lastSeen []uint64 // highest timestamp received from each node
 
 	requesting bool
 	executing  bool
-	myStamp    stamp
+	myStamp    Stamp
 	pending    int
 }
 
@@ -105,20 +105,20 @@ func (nd *node) maybeStart(ctx dme.Context) {
 	}
 	nd.requesting = true
 	nd.clock++
-	nd.myStamp = stamp{TS: nd.clock, Node: nd.id}
+	nd.myStamp = Stamp{TS: nd.clock, Node: nd.id}
 	nd.insert(nd.myStamp)
-	ctx.Broadcast(nd.id, request{S: nd.myStamp})
+	ctx.Broadcast(nd.id, Request{S: nd.myStamp})
 	nd.maybeEnter(ctx)
 }
 
-func (nd *node) insert(s stamp) {
+func (nd *node) insert(s Stamp) {
 	i := sort.Search(len(nd.queue), func(i int) bool { return s.less(nd.queue[i]) })
-	nd.queue = append(nd.queue, stamp{})
+	nd.queue = append(nd.queue, Stamp{})
 	copy(nd.queue[i+1:], nd.queue[i:])
 	nd.queue[i] = s
 }
 
-func (nd *node) remove(s stamp) {
+func (nd *node) remove(s Stamp) {
 	for i, x := range nd.queue {
 		if x == s {
 			nd.queue = append(nd.queue[:i], nd.queue[i+1:]...)
@@ -151,21 +151,21 @@ func (nd *node) maybeEnter(ctx dme.Context) {
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	switch m := msg.(type) {
-	case request:
+	case Request:
 		nd.tick(m.S.TS)
 		nd.insert(m.S)
 		if m.S.TS >= nd.lastSeen[from] {
 			nd.lastSeen[from] = m.S.TS
 		}
-		ctx.Send(nd.id, from, ack{TS: nd.clock})
+		ctx.Send(nd.id, from, Ack{TS: nd.clock})
 		nd.maybeEnter(ctx)
-	case ack:
+	case Ack:
 		nd.tick(m.TS)
 		if m.TS > nd.lastSeen[from] {
 			nd.lastSeen[from] = m.TS
 		}
 		nd.maybeEnter(ctx)
-	case release:
+	case Release:
 		nd.tick(m.TS)
 		nd.remove(m.S)
 		if m.TS > nd.lastSeen[from] {
@@ -184,6 +184,6 @@ func (nd *node) OnCSDone(ctx dme.Context) {
 	nd.executing = false
 	nd.remove(nd.myStamp)
 	nd.clock++
-	ctx.Broadcast(nd.id, release{S: nd.myStamp, TS: nd.clock})
+	ctx.Broadcast(nd.id, Release{S: nd.myStamp, TS: nd.clock})
 	nd.maybeStart(ctx)
 }

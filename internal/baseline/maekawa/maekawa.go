@@ -33,40 +33,40 @@ const (
 	KindFailed     = "FAILED"
 )
 
-type stamp struct {
+type Stamp struct {
 	TS   uint64
 	Node int
 }
 
 // older reports whether s has priority over o (smaller timestamp, node id
 // breaking ties).
-func (s stamp) older(o stamp) bool {
+func (s Stamp) older(o Stamp) bool {
 	return s.TS < o.TS || (s.TS == o.TS && s.Node < o.Node)
 }
 
-type request struct{ S stamp }
+type Request struct{ S Stamp }
 
-func (request) Kind() string { return KindRequest }
+func (Request) Kind() string { return KindRequest }
 
-type grantMsg struct{}
+type Grant struct{}
 
-func (grantMsg) Kind() string { return KindGrant }
+func (Grant) Kind() string { return KindGrant }
 
-type release struct{}
+type Release struct{}
 
-func (release) Kind() string { return KindRelease }
+func (Release) Kind() string { return KindRelease }
 
-type inquire struct{ S stamp }
+type Inquire struct{ S Stamp }
 
-func (inquire) Kind() string { return KindInquire }
+func (Inquire) Kind() string { return KindInquire }
 
-type relinquish struct{}
+type Relinquish struct{}
 
-func (relinquish) Kind() string { return KindRelinquish }
+func (Relinquish) Kind() string { return KindRelinquish }
 
-type failed struct{}
+type Failed struct{}
 
-func (failed) Kind() string { return KindFailed }
+func (Failed) Kind() string { return KindFailed }
 
 // GridQuorums builds the row+column quorum of each node in a ⌈√N⌉-wide
 // grid; ragged last rows borrow column members cyclically so every
@@ -184,7 +184,7 @@ type node struct {
 	// Requester side.
 	requesting bool
 	executing  bool
-	myStamp    stamp
+	myStamp    Stamp
 	grants     map[int]bool
 	nGrants    int
 	pending    int
@@ -195,10 +195,10 @@ type node struct {
 	inquiredBy map[int]bool
 
 	// Lock-manager side (this node as a quorum member).
-	cur      stamp // granted request; zero Node==-1 marker via curSet
+	cur      Stamp // granted request; zero Node==-1 marker via curSet
 	curSet   bool
 	inquired bool
-	waiting  []stamp // pending requests, kept priority-sorted
+	waiting  []Stamp // pending requests, kept priority-sorted
 }
 
 // ID implements dme.Node.
@@ -226,7 +226,7 @@ func (nd *node) maybeStart(ctx dme.Context) {
 	}
 	nd.requesting = true
 	nd.clock++
-	nd.myStamp = stamp{TS: nd.clock, Node: nd.id}
+	nd.myStamp = Stamp{TS: nd.clock, Node: nd.id}
 	nd.nGrants = 0
 	for k := range nd.grants {
 		delete(nd.grants, k)
@@ -235,25 +235,25 @@ func (nd *node) maybeStart(ctx dme.Context) {
 		delete(nd.inquiredBy, k)
 	}
 	for _, j := range nd.quorum {
-		ctx.Send(nd.id, j, request{S: nd.myStamp})
+		ctx.Send(nd.id, j, Request{S: nd.myStamp})
 	}
 }
 
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	switch m := msg.(type) {
-	case request:
+	case Request:
 		nd.tick(m.S.TS)
 		nd.onRequest(ctx, m.S)
-	case grantMsg:
+	case Grant:
 		nd.onGrant(ctx, from)
-	case release:
+	case Release:
 		nd.onRelease(ctx)
-	case inquire:
+	case Inquire:
 		nd.onInquire(ctx, from, m)
-	case relinquish:
+	case Relinquish:
 		nd.onRelinquish(ctx)
-	case failed:
+	case Failed:
 		// Informational: an older request holds our quorum member; we
 		// simply keep waiting, our queued request will be granted in
 		// timestamp order.
@@ -263,12 +263,12 @@ func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 }
 
 // onRequest is the lock-manager path.
-func (nd *node) onRequest(ctx dme.Context, s stamp) {
+func (nd *node) onRequest(ctx dme.Context, s Stamp) {
 	if !nd.curSet {
 		nd.cur = s
 		nd.curSet = true
 		nd.inquired = false
-		ctx.Send(nd.id, s.Node, grantMsg{})
+		ctx.Send(nd.id, s.Node, Grant{})
 		return
 	}
 	nd.enqueue(s)
@@ -277,16 +277,16 @@ func (nd *node) onRequest(ctx dme.Context, s stamp) {
 		// give it back unless we already did.
 		if !nd.inquired {
 			nd.inquired = true
-			ctx.Send(nd.id, nd.cur.Node, inquire{S: nd.cur})
+			ctx.Send(nd.id, nd.cur.Node, Inquire{S: nd.cur})
 		}
 	} else {
-		ctx.Send(nd.id, s.Node, failed{})
+		ctx.Send(nd.id, s.Node, Failed{})
 	}
 }
 
-func (nd *node) enqueue(s stamp) {
+func (nd *node) enqueue(s Stamp) {
 	i := sort.Search(len(nd.waiting), func(i int) bool { return s.older(nd.waiting[i]) })
-	nd.waiting = append(nd.waiting, stamp{})
+	nd.waiting = append(nd.waiting, Stamp{})
 	copy(nd.waiting[i+1:], nd.waiting[i:])
 	nd.waiting[i] = s
 }
@@ -302,7 +302,7 @@ func (nd *node) grantNext(ctx dme.Context) {
 	nd.waiting = nd.waiting[1:]
 	nd.curSet = true
 	nd.inquired = false
-	ctx.Send(nd.id, nd.cur.Node, grantMsg{})
+	ctx.Send(nd.id, nd.cur.Node, Grant{})
 }
 
 // onGrant is the requester path.
@@ -313,13 +313,13 @@ func (nd *node) onGrant(ctx dme.Context, from int) {
 	if !nd.requesting {
 		// A stale grant for a request we no longer hold: hand the lock
 		// straight back so the member is not stranded.
-		ctx.Send(nd.id, from, release{})
+		ctx.Send(nd.id, from, Release{})
 		return
 	}
 	if nd.inquiredBy[from] {
 		// The member's INQUIRE overtook this grant: yield immediately.
 		delete(nd.inquiredBy, from)
-		ctx.Send(nd.id, from, relinquish{})
+		ctx.Send(nd.id, from, Relinquish{})
 		return
 	}
 	nd.grants[from] = true
@@ -337,7 +337,7 @@ func (nd *node) onRelease(ctx dme.Context) {
 // onInquire: a quorum member wants its grant back for an older request.
 // Yield unless we are already executing (then the imminent RELEASE
 // resolves it).
-func (nd *node) onInquire(ctx dme.Context, from int, m inquire) {
+func (nd *node) onInquire(ctx dme.Context, from int, m Inquire) {
 	if nd.executing || !nd.requesting {
 		return
 	}
@@ -348,7 +348,7 @@ func (nd *node) onInquire(ctx dme.Context, from int, m inquire) {
 	if nd.grants[from] {
 		delete(nd.grants, from)
 		nd.nGrants--
-		ctx.Send(nd.id, from, relinquish{})
+		ctx.Send(nd.id, from, Relinquish{})
 		return
 	}
 	// The INQUIRE overtook the member's GRANT (non-FIFO delivery):
@@ -372,7 +372,7 @@ func (nd *node) OnCSDone(ctx dme.Context) {
 	nd.requesting = false
 	nd.executing = false
 	for _, j := range nd.quorum {
-		ctx.Send(nd.id, j, release{})
+		ctx.Send(nd.id, j, Release{})
 	}
 	nd.maybeStart(ctx)
 }

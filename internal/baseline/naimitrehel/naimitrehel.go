@@ -19,15 +19,15 @@ const (
 	KindToken   = "TOKEN"
 )
 
-type request struct {
+type Request struct {
 	Origin int // the requesting node (requests are forwarded)
 }
 
-func (request) Kind() string { return KindRequest }
+func (Request) Kind() string { return KindRequest }
 
-type token struct{}
+type Token struct{}
 
-func (token) Kind() string { return KindToken }
+func (Token) Kind() string { return KindToken }
 
 // Algorithm builds a Naimi-Trehel instance; node 0 is the initial owner.
 type Algorithm struct{}
@@ -93,7 +93,7 @@ func (nd *node) maybeStart(ctx dme.Context) {
 	}
 	// Ask the probable owner and become the new root: subsequent
 	// requests that reach the old path get forwarded to us.
-	ctx.Send(nd.id, nd.owner, request{Origin: nd.id})
+	ctx.Send(nd.id, nd.owner, Request{Origin: nd.id})
 	nd.owner = -1
 }
 
@@ -105,9 +105,9 @@ func (nd *node) enter(ctx dme.Context) {
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	switch m := msg.(type) {
-	case request:
+	case Request:
 		nd.onRequest(ctx, m.Origin)
-	case token:
+	case Token:
 		nd.hasToken = true
 		if nd.requesting && !nd.executing {
 			nd.enter(ctx)
@@ -125,7 +125,7 @@ func (nd *node) onRequest(ctx dme.Context, origin int) {
 			nd.next = origin
 		} else if nd.hasToken {
 			nd.hasToken = false
-			ctx.Send(nd.id, origin, token{})
+			ctx.Send(nd.id, origin, Token{})
 		} else {
 			// Root without token and not requesting: we are waiting for
 			// the token solely to pass it to a previous next... cannot
@@ -135,7 +135,7 @@ func (nd *node) onRequest(ctx dme.Context, origin int) {
 		}
 	} else {
 		// Not the root: forward toward the probable owner.
-		ctx.Send(nd.id, nd.owner, request{Origin: origin})
+		ctx.Send(nd.id, nd.owner, Request{Origin: origin})
 	}
 	// Path compression: the requester is the new probable owner.
 	nd.owner = origin
@@ -148,7 +148,7 @@ func (nd *node) OnCSDone(ctx dme.Context) {
 	nd.executing = false
 	if nd.next != -1 {
 		nd.hasToken = false
-		ctx.Send(nd.id, nd.next, token{})
+		ctx.Send(nd.id, nd.next, Token{})
 		nd.next = -1
 	}
 	nd.maybeStart(ctx)

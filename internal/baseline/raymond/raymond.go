@@ -18,13 +18,13 @@ const (
 	KindToken   = "TOKEN"
 )
 
-type request struct{}
+type Request struct{}
 
-func (request) Kind() string { return KindRequest }
+func (Request) Kind() string { return KindRequest }
 
-type token struct{}
+type Token struct{}
 
-func (token) Kind() string { return KindToken }
+func (Token) Kind() string { return KindToken }
 
 // Topology names the spanning-tree shapes available.
 type Topology int
@@ -147,15 +147,15 @@ func (nd *node) assignOrAsk(ctx dme.Context) {
 			return
 		}
 		nd.holder = head
-		ctx.Send(nd.id, head, token{})
+		ctx.Send(nd.id, head, Token{})
 		if len(nd.queue) > 0 {
-			ctx.Send(nd.id, nd.holder, request{})
+			ctx.Send(nd.id, nd.holder, Request{})
 			nd.asked = true
 		}
 		return
 	}
 	if nd.holder != nd.id && len(nd.queue) > 0 && !nd.asked {
-		ctx.Send(nd.id, nd.holder, request{})
+		ctx.Send(nd.id, nd.holder, Request{})
 		nd.asked = true
 	}
 }
@@ -163,12 +163,12 @@ func (nd *node) assignOrAsk(ctx dme.Context) {
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	switch msg.(type) {
-	case request:
+	case Request:
 		if !nd.inQueue(from) {
 			nd.queue = append(nd.queue, from)
 		}
 		nd.assignOrAsk(ctx)
-	case token:
+	case Token:
 		nd.holder = nd.id
 		nd.assignOrAsk(ctx)
 	default:

@@ -19,16 +19,16 @@ const (
 	KindReply   = "REPLY"
 )
 
-type request struct {
+type Request struct {
 	TS   uint64
 	Node int
 }
 
-func (request) Kind() string { return KindRequest }
+func (Request) Kind() string { return KindRequest }
 
-type reply struct{}
+type Reply struct{}
 
-func (reply) Kind() string { return KindReply }
+func (Reply) Kind() string { return KindReply }
 
 // Algorithm builds a Ricart-Agrawala instance.
 type Algorithm struct{}
@@ -83,7 +83,7 @@ func (nd *node) maybeStart(ctx dme.Context) {
 		nd.enter(ctx)
 		return
 	}
-	ctx.Broadcast(nd.id, request{TS: nd.myTS, Node: nd.id})
+	ctx.Broadcast(nd.id, Request{TS: nd.myTS, Node: nd.id})
 }
 
 func (nd *node) enter(ctx dme.Context) {
@@ -94,7 +94,7 @@ func (nd *node) enter(ctx dme.Context) {
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	switch m := msg.(type) {
-	case request:
+	case Request:
 		if m.TS > nd.clock {
 			nd.clock = m.TS
 		}
@@ -106,8 +106,8 @@ func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 			nd.deferred = append(nd.deferred, from)
 			return
 		}
-		ctx.Send(nd.id, from, reply{})
-	case reply:
+		ctx.Send(nd.id, from, Reply{})
+	case Reply:
 		if !nd.requesting {
 			return
 		}
@@ -126,7 +126,7 @@ func (nd *node) OnCSDone(ctx dme.Context) {
 	nd.requesting = false
 	nd.executing = false
 	for _, to := range nd.deferred {
-		ctx.Send(nd.id, to, reply{})
+		ctx.Send(nd.id, to, Reply{})
 	}
 	nd.deferred = nd.deferred[:0]
 	nd.maybeStart(ctx)

@@ -26,20 +26,20 @@ const (
 	KindWake  = "WAKE"
 )
 
-type token struct {
+type Token struct {
 	// Idle counts consecutive hops that served no critical section; at
 	// N hops the token parks at the current node.
 	Idle int
 }
 
-func (token) Kind() string { return KindToken }
+func (Token) Kind() string { return KindToken }
 
 // wake travels the ring until it finds the parked token.
-type wake struct {
+type Wake struct {
 	Hops int
 }
 
-func (wake) Kind() string { return KindWake }
+func (Wake) Kind() string { return KindWake }
 
 // Algorithm builds a token ring; node 0 initially parks the token.
 type Algorithm struct{}
@@ -47,7 +47,7 @@ type Algorithm struct{}
 var _ dme.Algorithm = (*Algorithm)(nil)
 
 // Name implements dme.Algorithm.
-func (a *Algorithm) Name() string { return "token-ring" }
+func (a *Algorithm) Name() string { return "Token-ring" }
 
 // Build implements dme.Algorithm.
 func (a *Algorithm) Build(cfg dme.Config) ([]dme.Node, error) {
@@ -98,7 +98,7 @@ func (nd *node) OnRequest(ctx dme.Context) {
 	if !nd.hasToken && !nd.wakeSent && !nd.executing && nd.mayBePark {
 		// Nudge the ring: the WAKE hops until it finds the token.
 		nd.wakeSent = true
-		ctx.Send(nd.id, nd.succ(), wake{})
+		ctx.Send(nd.id, nd.succ(), Wake{})
 	}
 }
 
@@ -119,13 +119,13 @@ func (nd *node) passToken(ctx dme.Context, idle int) {
 		return
 	}
 	nd.hasToken = false
-	ctx.Send(nd.id, nd.succ(), token{Idle: idle})
+	ctx.Send(nd.id, nd.succ(), Token{Idle: idle})
 }
 
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	switch m := msg.(type) {
-	case token:
+	case Token:
 		nd.hasToken = true
 		nd.wakeSent = false
 		if nd.pending > 0 && !nd.executing {
@@ -141,7 +141,7 @@ func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 		// parking lap, so a future request here must send a WAKE.
 		nd.mayBePark = true
 		nd.passToken(ctx, m.Idle+1)
-	case wake:
+	case Wake:
 		if nd.hasToken {
 			if !nd.executing {
 				nd.serveOrPass(ctx)
@@ -149,7 +149,7 @@ func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 			return
 		}
 		if m.Hops+1 < nd.n {
-			ctx.Send(nd.id, nd.succ(), wake{Hops: m.Hops + 1})
+			ctx.Send(nd.id, nd.succ(), Wake{Hops: m.Hops + 1})
 		}
 	default:
 		panic(fmt.Sprintf("ring: unknown message %T", msg))

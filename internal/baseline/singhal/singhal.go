@@ -43,16 +43,16 @@ const (
 	KindReply   = "REPLY"
 )
 
-type request struct {
+type Request struct {
 	TS   uint64
 	Node int
 }
 
-func (request) Kind() string { return KindRequest }
+func (Request) Kind() string { return KindRequest }
 
-type reply struct{}
+type Reply struct{}
 
-func (reply) Kind() string { return KindReply }
+func (Reply) Kind() string { return KindReply }
 
 // Algorithm builds a Singhal dynamic-information-structure instance.
 type Algorithm struct{}
@@ -134,7 +134,7 @@ func (nd *node) maybeStart(ctx dme.Context) {
 		}
 		nd.waiting[j] = true
 		nd.nwaiting++
-		ctx.Send(nd.id, j, request{TS: nd.myTS, Node: nd.id})
+		ctx.Send(nd.id, j, Request{TS: nd.myTS, Node: nd.id})
 	}
 	if nd.nwaiting == 0 {
 		nd.enter(ctx)
@@ -155,7 +155,7 @@ func (nd *node) wins(ts uint64, j int) bool {
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	switch m := msg.(type) {
-	case request:
+	case Request:
 		if m.TS > nd.clock {
 			nd.clock = m.TS
 		}
@@ -163,12 +163,12 @@ func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 		switch nd.st {
 		case stateN:
 			nd.reqSet[m.Node] = true
-			ctx.Send(nd.id, from, reply{})
+			ctx.Send(nd.id, from, Reply{})
 		case stateE:
 			nd.infSet[m.Node] = true
 		case stateR:
 			if nd.wins(m.TS, m.Node) {
-				ctx.Send(nd.id, from, reply{})
+				ctx.Send(nd.id, from, Reply{})
 				if !nd.reqSet[m.Node] {
 					// The dynamic step: we just learned about a site
 					// ahead of us that we had not asked; ask it now so
@@ -178,13 +178,13 @@ func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 						nd.waiting[m.Node] = true
 						nd.nwaiting++
 					}
-					ctx.Send(nd.id, from, request{TS: nd.myTS, Node: nd.id})
+					ctx.Send(nd.id, from, Request{TS: nd.myTS, Node: nd.id})
 				}
 			} else {
 				nd.infSet[m.Node] = true
 			}
 		}
-	case reply:
+	case Reply:
 		if nd.st != stateR || !nd.waiting[from] {
 			return
 		}
@@ -206,7 +206,7 @@ func (nd *node) OnCSDone(ctx dme.Context) {
 	nd.st = stateN
 	for j := 0; j < nd.n; j++ {
 		if j != nd.id && nd.infSet[j] {
-			ctx.Send(nd.id, j, reply{})
+			ctx.Send(nd.id, j, Reply{})
 		}
 	}
 	for j := 0; j < nd.n; j++ {

@@ -20,27 +20,27 @@ const (
 	KindToken   = "TOKEN"
 )
 
-type request struct {
+type Request struct {
 	Node int
 	N    uint64 // request number
 }
 
-func (request) Kind() string { return KindRequest }
+func (Request) Kind() string { return KindRequest }
 
-type token struct {
+type Token struct {
 	LN    []uint64 // LN[j]: request number of node j's last granted CS
 	Queue []int
 }
 
-func (token) Kind() string { return KindToken }
+func (Token) Kind() string { return KindToken }
 
 // SizeUnits implements dme.Sized: the Suzuki-Kasami token always carries
 // the full N-entry LN table plus its queue — the volume cost hidden
 // behind the algorithm's low message count.
-func (t token) SizeUnits() int { return 1 + len(t.LN) + len(t.Queue) }
+func (t Token) SizeUnits() int { return 1 + len(t.LN) + len(t.Queue) }
 
-func (t token) clone() token {
-	out := token{LN: make([]uint64, len(t.LN)), Queue: make([]int, len(t.Queue))}
+func (t Token) clone() Token {
+	out := Token{LN: make([]uint64, len(t.LN)), Queue: make([]int, len(t.Queue))}
 	copy(out.LN, t.LN)
 	copy(out.Queue, t.Queue)
 	return out
@@ -69,7 +69,7 @@ type node struct {
 
 	rn         []uint64 // RN[j]: highest request number seen from node j
 	hasToken   bool
-	tok        token
+	tok        Token
 	requesting bool // waiting for the token for our current request
 	executing  bool
 	pending    int
@@ -82,7 +82,7 @@ func (nd *node) ID() int { return nd.id }
 func (nd *node) Init(dme.Context) {
 	if nd.id == 0 {
 		nd.hasToken = true
-		nd.tok = token{LN: make([]uint64, nd.n)}
+		nd.tok = Token{LN: make([]uint64, nd.n)}
 	}
 }
 
@@ -102,7 +102,7 @@ func (nd *node) maybeStart(ctx dme.Context) {
 		nd.enter(ctx)
 		return
 	}
-	ctx.Broadcast(nd.id, request{Node: nd.id, N: nd.rn[nd.id]})
+	ctx.Broadcast(nd.id, Request{Node: nd.id, N: nd.rn[nd.id]})
 }
 
 func (nd *node) enter(ctx dme.Context) {
@@ -113,7 +113,7 @@ func (nd *node) enter(ctx dme.Context) {
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	switch m := msg.(type) {
-	case request:
+	case Request:
 		if m.N > nd.rn[m.Node] {
 			nd.rn[m.Node] = m.N
 		}
@@ -125,7 +125,7 @@ func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 			t := nd.tok.clone()
 			ctx.Send(nd.id, m.Node, t)
 		}
-	case token:
+	case Token:
 		nd.hasToken = true
 		nd.tok = m.clone()
 		if nd.requesting && !nd.executing {

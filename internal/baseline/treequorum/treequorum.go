@@ -26,17 +26,17 @@ const (
 	KindRelease = "RELEASE"
 )
 
-type request struct{}
+type Request struct{}
 
-func (request) Kind() string { return KindRequest }
+func (Request) Kind() string { return KindRequest }
 
-type grant struct{}
+type Grant struct{}
 
-func (grant) Kind() string { return KindGrant }
+func (Grant) Kind() string { return KindGrant }
 
-type release struct{}
+type Release struct{}
 
-func (release) Kind() string { return KindRelease }
+func (Release) Kind() string { return KindRelease }
 
 // Algorithm builds a tree-quorum instance over the complete binary tree
 // rooted at node 0 (children of i are 2i+1 and 2i+2).
@@ -163,7 +163,7 @@ func (nd *node) advance(ctx dme.Context) {
 			continue
 		}
 		nd.waitingOn = next
-		ctx.Send(nd.id, next, request{})
+		ctx.Send(nd.id, next, Request{})
 		if nd.timeout > 0 {
 			member := next
 			nd.waitTimer = ctx.After(nd.id, nd.timeout, func() {
@@ -189,7 +189,7 @@ func (nd *node) onMemberTimeout(ctx dme.Context, member int) {
 		// A failed leaf: re-request the same member and keep waiting —
 		// with the leaf dead this branch cannot regain the quorum, but
 		// retrying preserves correctness if the timeout was spurious.
-		ctx.Send(nd.id, member, request{})
+		ctx.Send(nd.id, member, Request{})
 		nd.waitTimer = ctx.After(nd.id, nd.timeout, func() {
 			nd.onMemberTimeout(ctx, member)
 		})
@@ -214,10 +214,10 @@ func (nd *node) onMemberTimeout(ctx dme.Context, member int) {
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	switch msg.(type) {
-	case request:
+	case Request:
 		if nd.lockedBy == -1 {
 			nd.lockedBy = from
-			ctx.Send(nd.id, from, grant{})
+			ctx.Send(nd.id, from, Grant{})
 		} else if !contains(nd.queue, from) {
 			// Queued even when from == lockedBy: on a reordering network
 			// the holder's next REQUEST can overtake its own RELEASE;
@@ -225,9 +225,9 @@ func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 			// that never comes.
 			nd.queue = append(nd.queue, from)
 		}
-	case grant:
+	case Grant:
 		nd.onGrant(ctx, from)
-	case release:
+	case Release:
 		if nd.lockedBy != from {
 			return // stale release (e.g. from an abandoned grant)
 		}
@@ -244,7 +244,7 @@ func (nd *node) grantNext(ctx dme.Context) {
 	}
 	nd.lockedBy = nd.queue[0]
 	nd.queue = nd.queue[1:]
-	ctx.Send(nd.id, nd.lockedBy, grant{})
+	ctx.Send(nd.id, nd.lockedBy, Grant{})
 }
 
 func (nd *node) onGrant(ctx dme.Context, from int) {
@@ -252,7 +252,7 @@ func (nd *node) onGrant(ctx dme.Context, from int) {
 		// A grant we no longer want (substituted member answering late,
 		// or we already released): give it straight back.
 		if !nd.requesting {
-			ctx.Send(nd.id, from, release{})
+			ctx.Send(nd.id, from, Release{})
 		}
 		return
 	}
@@ -288,7 +288,7 @@ func (nd *node) OnCSDone(ctx dme.Context) {
 	sort.Ints(members)
 	for _, m := range members {
 		delete(nd.granted, m)
-		ctx.Send(nd.id, m, release{})
+		ctx.Send(nd.id, m, Release{})
 	}
 	nd.maybeStart(ctx)
 }

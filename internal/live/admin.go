@@ -3,6 +3,7 @@ package live
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"time"
 
@@ -13,9 +14,15 @@ import (
 // snapshot plus every metric. Role is "holder" while the node is inside
 // (or its application holds) the critical section, "arbiter" while it is
 // collecting requests, "waiting" with requests outstanding, else "idle".
+//
+// For algorithms without core introspection the document degrades: Algo,
+// ID, N, Role (holder/waiting/idle from the live runtime's own view),
+// uptime, grant counts and metrics are filled; the protocol-state fields
+// stay zero.
 type Status struct {
 	ID            int     `json:"id"`
 	N             int     `json:"n"`
+	Algo          string  `json:"algo,omitempty"`
 	Role          string  `json:"role"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
@@ -38,9 +45,30 @@ type Status struct {
 }
 
 // Status assembles the /statusz document, taking the protocol snapshot
-// on the event loop.
+// on the event loop. Algorithms without core introspection get the
+// degraded generic document rather than an error.
 func (n *Node) Status(ctx context.Context) (Status, error) {
 	ins, err := n.Inspect(ctx)
+	if errors.Is(err, ErrNotCore) {
+		granted, released := n.Stats()
+		role := "idle"
+		switch {
+		case n.holding.Load():
+			role = "holder"
+		case n.metrics.lockWaiters.Value() > 0:
+			role = "waiting"
+		}
+		return Status{
+			ID:            n.cfg.ID,
+			N:             n.cfg.N,
+			Algo:          n.cfg.Algo,
+			Role:          role,
+			UptimeSeconds: time.Since(n.start).Seconds(),
+			Granted:       granted,
+			Released:      released,
+			Metrics:       n.reg.Snapshot(),
+		}, nil
+	}
 	if err != nil {
 		return Status{}, err
 	}
@@ -57,6 +85,7 @@ func (n *Node) Status(ctx context.Context) (Status, error) {
 	return Status{
 		ID:            n.cfg.ID,
 		N:             n.cfg.N,
+		Algo:          n.cfg.Algo,
 		Role:          role,
 		UptimeSeconds: time.Since(n.start).Seconds(),
 		Arbiter:       ins.Arbiter,

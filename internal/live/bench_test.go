@@ -7,6 +7,7 @@ import (
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -17,7 +18,7 @@ func benchCluster(b *testing.B, n int) []*live.Node {
 	for i := 0; i < n; i++ {
 		nd, err := live.NewNode(live.Config{
 			ID: i, N: n, Transport: net.Endpoint(i),
-			Options: core.Options{Treq: 0.001, Tfwd: 0.001, RetransmitTimeout: 0.5},
+			Factory: registry.CoreLiveFactory(core.Options{Treq: 0.001, Tfwd: 0.001, RetransmitTimeout: 0.5}),
 			Seed:    uint64(i + 1),
 		})
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -24,7 +25,7 @@ func Example() {
 			ID:        i,
 			N:         n,
 			Transport: net.Endpoint(i),
-			Options:   core.Options{Treq: 0.005, Tfwd: 0.005},
+			Factory:   registry.CoreLiveFactory(core.Options{Treq: 0.005, Tfwd: 0.005}),
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,219 @@
+package live_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/transport"
+)
+
+// TestEveryAlgorithmLiveMutualExclusion runs each registered algorithm —
+// the paper's arbiter protocol and all nine baselines — on a live
+// in-memory cluster: real wall-clock timers, concurrent goroutine
+// workers, FIFO channels (Lamport requires them; the others are
+// indifferent). Every node must get exactly its own grants and no two
+// workers may ever overlap in the critical section. This is the
+// registry's contract test: a factory that built the wrong node, or an
+// algorithm whose state machine misbehaves under real time, fails here.
+func TestEveryAlgorithmLiveMutualExclusion(t *testing.T) {
+	const (
+		n      = 4
+		rounds = 3
+	)
+	for _, name := range registry.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var factory live.Factory
+			if name == registry.Core {
+				factory = registry.CoreLiveFactory(fastOptions())
+			} else {
+				var err error
+				factory, err = registry.NewLiveFactory(name, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			net := transport.NewMemNetwork(n, transport.MemOptions{
+				Delay: 200 * time.Microsecond,
+				FIFO:  true,
+			})
+			defer net.Close()
+			nodes := make([]*live.Node, n)
+			for i := 0; i < n; i++ {
+				nd, err := live.NewNode(live.Config{
+					ID: i, N: n, Transport: net.Endpoint(i),
+					Factory: factory, Algo: name, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					t.Fatalf("node %d: %v", i, err)
+				}
+				nodes[i] = nd
+				defer nd.Close() //nolint:errcheck
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			var (
+				inCS atomic.Int64
+				wg   sync.WaitGroup
+			)
+			for _, nd := range nodes {
+				wg.Add(1)
+				go func(nd *live.Node) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						if err := nd.Lock(ctx); err != nil {
+							t.Errorf("%s node %d lock: %v", name, nd.ID(), err)
+							return
+						}
+						if got := inCS.Add(1); got != 1 {
+							t.Errorf("%s: %d concurrent critical-section holders", name, got)
+						}
+						time.Sleep(100 * time.Microsecond)
+						inCS.Add(-1)
+						nd.Unlock()
+					}
+				}(nd)
+			}
+			wg.Wait()
+
+			for i, nd := range nodes {
+				granted, released := nd.Stats()
+				if granted != rounds || released != rounds {
+					t.Errorf("%s node %d stats = (%d granted, %d released), want (%d, %d)",
+						name, i, granted, released, rounds, rounds)
+				}
+			}
+		})
+	}
+}
+
+// TestBaselineOverTCP runs a non-core algorithm over real loopback TCP —
+// the full wire path: registry factory, per-algorithm gob registration,
+// tagged envelopes. Skipped under -short (real sockets, real timers).
+func TestBaselineOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP cluster")
+	}
+	const (
+		algo   = "raymond"
+		n      = 3
+		rounds = 4
+	)
+	factory, err := registry.NewLiveFactory(algo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make(map[dme.NodeID]string, n)
+	trs := make([]*transport.TCPTransport, n)
+	for i := 0; i < n; i++ {
+		tr, err := transport.NewTCPOpt(i, map[dme.NodeID]string{i: "127.0.0.1:0"},
+			transport.TCPOptions{Algo: algo})
+		if err != nil {
+			t.Fatalf("listen node %d: %v", i, err)
+		}
+		trs[i] = tr
+		addrs[i] = tr.Addr().String()
+	}
+	nodes := make([]*live.Node, n)
+	for i := 0; i < n; i++ {
+		trs[i].SetPeers(addrs)
+		nd, err := live.NewNode(live.Config{
+			ID: i, N: n, Transport: trs[i],
+			Factory: factory, Algo: algo, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = nd
+		defer nd.Close() //nolint:errcheck
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var (
+		inCS atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for _, nd := range nodes {
+		wg.Add(1)
+		go func(nd *live.Node) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := nd.Lock(ctx); err != nil {
+					t.Errorf("node %d lock: %v", nd.ID(), err)
+					return
+				}
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("%d concurrent holders over TCP", got)
+				}
+				inCS.Add(-1)
+				nd.Unlock()
+			}
+		}(nd)
+	}
+	wg.Wait()
+
+	for i, nd := range nodes {
+		if granted, _ := nd.Stats(); granted != rounds {
+			t.Errorf("node %d granted %d, want %d", i, granted, rounds)
+		}
+	}
+	for i, tr := range trs {
+		if mism, dec := tr.WireErrors(); mism != 0 || dec != 0 {
+			t.Errorf("node %d wire errors: %d mismatches, %d decode failures", i, mism, dec)
+		}
+	}
+}
+
+// TestBaselineStatusDegrades: /statusz on a baseline node reports the
+// generic role view instead of failing, and Inspect reports ErrNotCore.
+func TestBaselineStatusDegrades(t *testing.T) {
+	factory, err := registry.NewLiveFactory("suzukikasami", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemNetwork(2, transport.MemOptions{FIFO: true})
+	defer net.Close()
+	nodes := make([]*live.Node, 2)
+	for i := range nodes {
+		nodes[i], err = live.NewNode(live.Config{
+			ID: i, N: 2, Transport: net.Endpoint(i),
+			Factory: factory, Algo: "suzukikasami",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nodes[i].Close() //nolint:errcheck
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	if _, err := nodes[0].Inspect(ctx); !errors.Is(err, live.ErrNotCore) {
+		t.Errorf("Inspect on a baseline = %v, want ErrNotCore", err)
+	}
+	if err := nodes[0].Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := nodes[0].Status(ctx)
+	if err != nil {
+		t.Fatalf("Status on a baseline: %v", err)
+	}
+	if st.Role != "holder" {
+		t.Errorf("holding node role %q, want holder", st.Role)
+	}
+	if st.Algo != "suzukikasami" {
+		t.Errorf("status algo %q, want suzukikasami", st.Algo)
+	}
+	if st.Granted != 1 {
+		t.Errorf("status granted %d, want 1", st.Granted)
+	}
+	nodes[0].Unlock()
+}

@@ -11,6 +11,7 @@ import (
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -33,7 +34,7 @@ func memCluster(t *testing.T, n int, opts core.Options, mo transport.MemOptions)
 			ID:        i,
 			N:         n,
 			Transport: net.Endpoint(i),
-			Options:   opts,
+			Factory:   registry.CoreLiveFactory(opts),
 			Seed:      uint64(i + 1),
 		})
 		if err != nil {

@@ -6,11 +6,13 @@ import (
 	"log/slog"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
 )
 
@@ -43,7 +45,7 @@ func TestLoggerEmitsProtocolTransitions(t *testing.T) {
 	for i := range nodes {
 		nd, err := live.NewNode(live.Config{
 			ID: i, N: 3, Transport: net.Endpoint(i),
-			Options: core.Options{Treq: 0.005, Tfwd: 0.005},
+			Factory: registry.CoreLiveFactory(core.Options{Treq: 0.005, Tfwd: 0.005}),
 			Logger:  logger,
 			Seed:    uint64(i + 1),
 		})
@@ -71,15 +73,41 @@ func TestLoggerEmitsProtocolTransitions(t *testing.T) {
 	}
 }
 
-func TestLoggerConflictsWithObserver(t *testing.T) {
+// TestLoggerComposesWithObserver: the logger joins — rather than
+// displaces — an observer the factory installs itself; both must see the
+// protocol events.
+func TestLoggerComposesWithObserver(t *testing.T) {
+	var sink syncBuffer
+	logger := slog.New(slog.NewTextHandler(&sink, nil))
+
+	var seen atomic.Int64
 	net := transport.NewMemNetwork(1, transport.MemOptions{})
 	defer net.Close()
-	_, err := live.NewNode(live.Config{
+	nd, err := live.NewNode(live.Config{
 		ID: 0, N: 1, Transport: net.Endpoint(0),
-		Options: core.Options{Observer: func(core.Event) {}},
-		Logger:  slog.Default(),
+		Factory: registry.CoreLiveFactory(core.Options{
+			Treq: 0.002, Tfwd: 0.002,
+			Observer: func(core.Event) { seen.Add(1) },
+		}),
+		Logger: logger,
 	})
-	if err == nil {
-		t.Fatal("Logger + Observer accepted together")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close() //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := nd.Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	nd.Unlock()
+	// The dispatch that granted the CS reaches both sinks synchronously
+	// before Lock returns.
+	if seen.Load() == 0 {
+		t.Error("factory-installed observer saw no events")
+	}
+	if !strings.Contains(sink.String(), "protocol dispatched") {
+		t.Errorf("logger saw no dispatch event:\n%s", sink.String())
 	}
 }

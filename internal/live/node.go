@@ -1,25 +1,33 @@
-// Package live is the deployable runtime of the arbiter token-passing
-// mutual exclusion protocol: one Node per process (or per goroutine
-// cluster member), real wall-clock timers, and any transport.Transport
-// underneath. The protocol state machine is the very same code that the
-// simulation validates (internal/core); this package adapts it to real
-// time and exposes a context-aware Lock/Unlock API.
+// Package live is the deployable runtime for distributed mutual
+// exclusion protocols: one Node per process (or per goroutine cluster
+// member), real wall-clock timers, and any transport.Transport
+// underneath. The protocol state machine is injected through a Factory —
+// the paper's arbiter algorithm (internal/core) or any baseline from
+// internal/registry — and is the very same code the simulation
+// validates; this package adapts it to real time and exposes a
+// context-aware Lock/Unlock API.
 //
 // Typical use:
 //
+//	factory, _ := registry.NewLiveFactory("raymond", nil)
 //	net := transport.NewMemNetwork(5, transport.MemOptions{})
 //	nodes := make([]*live.Node, 5)
 //	for i := range nodes {
 //	    nodes[i], _ = live.NewNode(live.Config{
-//	        ID: i, N: 5, Transport: net.Endpoint(i),
+//	        ID: i, N: 5, Transport: net.Endpoint(i), Factory: factory,
 //	    })
 //	}
 //	...
 //	if err := nodes[2].Lock(ctx); err != nil { ... }
 //	defer nodes[2].Unlock()
 //
-// Node 0 is the initial arbiter and token holder, matching the paper's
-// initialization.
+// Node 0 is the initial token holder / arbiter / coordinator in every
+// registered algorithm, matching the paper's initialization.
+//
+// Core-only features degrade gracefully for other algorithms: Inspect
+// and the protocol-transition metrics/logging report nothing (the
+// observer hook is an arbiter-protocol concept), fencing tokens stay
+// zero, and /statusz falls back to the generic role view.
 package live
 
 import (
@@ -41,27 +49,47 @@ import (
 // ErrClosed is returned by Lock when the node has been shut down.
 var ErrClosed = errors.New("live: node is closed")
 
+// ErrNotCore is returned by Inspect (and wrapped into /statusz's
+// degraded view) when the node runs an algorithm without the core
+// protocol's introspection hooks.
+var ErrNotCore = errors.New("live: algorithm does not support core introspection")
+
+// Factory builds one node's protocol state machine. The obs callback is
+// the live runtime's observer fan-out (metrics, tracing, and the
+// configured Logger); factories for the core algorithm install it as
+// core.Options.Observer — registry.CoreLiveFactory does — while baseline
+// algorithms, which have no observer hook, ignore it. The type is an
+// alias so internal/registry can produce factories without importing
+// this package.
+type Factory = func(id, n int, obs func(core.Event)) (dme.Node, error)
+
 // Config parameterizes one live node.
 type Config struct {
-	// ID is this node's identity in [0, N); node 0 starts as arbiter.
+	// ID is this node's identity in [0, N); node 0 starts as the
+	// initial token holder / arbiter.
 	ID int
 	// N is the cluster size.
 	N int
 	// Transport connects this node to its peers.
 	Transport transport.Transport
-	// Options selects the protocol variant and tuning. Durations are in
-	// seconds (float64), exactly as in the simulation; the zero value
-	// plus defaults gives the basic algorithm with 100 ms phases.
-	Options core.Options
+	// Factory builds the protocol state machine this node runs:
+	// registry.CoreLiveFactory(opts) for the paper's algorithm with full
+	// option control, or registry.NewLiveFactory(name, params) for any
+	// registered algorithm. Required.
+	Factory Factory
+	// Algo optionally names the algorithm for display surfaces
+	// (/statusz); it does not affect the protocol. Transports carry
+	// their own algorithm tag.
+	Algo string
 	// Seed seeds node-local randomness (0 derives one from the clock —
 	// live runs, unlike simulations, need no reproducibility).
 	Seed uint64
 	// Logger, when non-nil, receives structured protocol-transition logs:
 	// arbiter changes, dispatches and recovery actions at Info level,
 	// high-frequency events (token passes, request forwarding) at Debug.
-	// It composes with the built-in metrics and tracing through a
-	// core.FanOut on Options.Observer; setting both Logger and a custom
-	// Options.Observer is an error (pass your own fan-out instead).
+	// It joins the metrics and tracing observers in the fan-out handed
+	// to Factory, so it composes with any observer the factory itself
+	// installs. Core-only: baseline algorithms emit no protocol events.
 	Logger *slog.Logger
 	// Metrics, when non-nil, is the registry protocol metrics are
 	// recorded into — share one registry with the transport's counting
@@ -119,7 +147,8 @@ type waiter struct {
 }
 
 // NewNode builds and starts a live node: the protocol state machine is
-// initialized (node 0 mints the token) and the event loop starts.
+// built by the configured factory, initialized (node 0 mints the token),
+// and the event loop starts.
 func NewNode(cfg Config) (*Node, error) {
 	if cfg.Transport == nil {
 		return nil, errors.New("live: config needs a transport")
@@ -128,8 +157,8 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("live: transport self %d does not match node id %d",
 			cfg.Transport.Self(), cfg.ID)
 	}
-	if cfg.Logger != nil && cfg.Options.Observer != nil {
-		return nil, errors.New("live: set Config.Logger or Options.Observer, not both")
+	if cfg.Factory == nil {
+		return nil, errors.New("live: config needs a Factory (see registry.NewLiveFactory / registry.CoreLiveFactory)")
 	}
 
 	reg := cfg.Metrics
@@ -151,9 +180,9 @@ func NewNode(cfg Config) (*Node, error) {
 		ring = telemetry.NewRing(depth)
 	}
 
-	// Metrics, tracing, and the user's logger/observer all share the one
-	// Observer hook via fan-out, so none displaces another.
-	userObs := cfg.Options.Observer
+	// Metrics, tracing, and the configured logger all share the one
+	// observer fan-out handed to the factory, so none displaces another.
+	var userObs func(core.Event)
 	if cfg.Logger != nil {
 		logger := cfg.Logger.With("node", cfg.ID)
 		userObs = func(ev core.Event) {
@@ -175,11 +204,17 @@ func NewNode(cfg Config) (*Node, error) {
 	if ring != nil {
 		traceObs = traceObserver(ring)
 	}
-	cfg.Options.Observer = core.FanOut(metrics.observer(), traceObs, userObs)
+	obs := core.FanOut(metrics.observer(), traceObs, userObs)
 
-	inner, err := core.NewNode(cfg.ID, cfg.N, cfg.Options)
+	inner, err := cfg.Factory(cfg.ID, cfg.N, obs)
 	if err != nil {
 		return nil, err
+	}
+	if inner == nil {
+		return nil, errors.New("live: factory returned a nil node")
+	}
+	if inner.ID() != cfg.ID {
+		return nil, fmt.Errorf("live: factory built node %d, want %d", inner.ID(), cfg.ID)
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -363,7 +398,9 @@ func (n *Node) Metrics() *telemetry.Registry { return n.reg }
 func (n *Node) Trace() *telemetry.Ring { return n.trace }
 
 // Inspect returns a read-only snapshot of the protocol state, taken on
-// the event loop.
+// the event loop. Algorithms other than the paper's arbiter protocol
+// have no introspection hooks; Inspect then reports ErrNotCore, and
+// callers that can degrade (the /statusz endpoint does) should.
 func (n *Node) Inspect(ctx context.Context) (core.Introspection, error) {
 	type result struct {
 		ins core.Introspection
@@ -377,7 +414,7 @@ func (n *Node) Inspect(ctx context.Context) (core.Introspection, error) {
 	select {
 	case r := <-ch:
 		if !r.ok {
-			return core.Introspection{}, errors.New("live: inner node is not a core node")
+			return core.Introspection{}, ErrNotCore
 		}
 		return r.ins, nil
 	case <-ctx.Done():

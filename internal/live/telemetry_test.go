@@ -10,6 +10,7 @@ import (
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
 )
@@ -28,7 +29,7 @@ func startCluster(t *testing.T, n int) ([]*live.Node, []*transport.Counting) {
 		counters[i] = transport.NewCountingIn(net.Endpoint(i), reg)
 		nd, err := live.NewNode(live.Config{
 			ID: i, N: n, Transport: counters[i],
-			Options: core.Options{Treq: 0.005, Tfwd: 0.005},
+			Factory: registry.CoreLiveFactory(core.Options{Treq: 0.005, Tfwd: 0.005}),
 			Metrics: reg,
 			Seed:    uint64(i + 1),
 		})
@@ -175,7 +176,7 @@ func TestStatusRoles(t *testing.T) {
 	defer net.Close()
 	nd, err := live.NewNode(live.Config{
 		ID: 0, N: 1, Transport: net.Endpoint(0),
-		Options: core.Options{Treq: 0.001, Tfwd: 0.001},
+		Factory: registry.CoreLiveFactory(core.Options{Treq: 0.001, Tfwd: 0.001}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -211,6 +212,7 @@ func TestTraceDisabled(t *testing.T) {
 	defer net.Close()
 	nd, err := live.NewNode(live.Config{
 		ID: 0, N: 1, Transport: net.Endpoint(0), TraceDepth: -1,
+		Factory: registry.CoreLiveFactory(core.Options{Treq: 0.001, Tfwd: 0.001}),
 	})
 	if err != nil {
 		t.Fatal(err)

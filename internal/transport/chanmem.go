@@ -30,6 +30,12 @@ type MemOptions struct {
 	LossRate float64
 	// Seed seeds the loss/jitter randomness.
 	Seed uint64
+	// FIFO forces per-(sender, receiver) in-order delivery, emulating
+	// TCP-like channels — the live counterpart of dme.Config.FIFO.
+	// Lamport's algorithm requires it; token algorithms merely benefit.
+	// Without it, messages race through independent timers/goroutines
+	// and may reorder even at equal delays.
+	FIFO bool
 	// Interceptor, when non-nil, decides each message's fate explicitly
 	// (it runs before LossRate); use it to drop a specific PRIVILEGE
 	// message in recovery tests.
@@ -47,6 +53,25 @@ type MemNetwork struct {
 	endpoints    []*MemEndpoint
 	disconnected []bool
 	closed       bool
+	pairs        map[pairKey]*pairQueue // per-ordered-pair FIFO queues
+}
+
+// pairKey identifies one ordered (sender, receiver) channel.
+type pairKey struct {
+	from, to dme.NodeID
+}
+
+// pairQueue is the in-order delivery queue of one ordered pair; a single
+// drain goroutine per pair preserves send order regardless of delay.
+type pairQueue struct {
+	q       []memPending
+	running bool
+}
+
+type memPending struct {
+	from dme.NodeID
+	msg  dme.Message
+	due  time.Time
 }
 
 // NewMemNetwork builds a network of n endpoints.
@@ -55,6 +80,7 @@ func NewMemNetwork(n int, opts MemOptions) *MemNetwork {
 		opts:         opts,
 		rng:          rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xabcdef123456)),
 		disconnected: make([]bool, n),
+		pairs:        make(map[pairKey]*pairQueue),
 	}
 	net.endpoints = make([]*MemEndpoint, n)
 	for i := 0; i < n; i++ {
@@ -121,6 +147,23 @@ func (m *MemNetwork) send(from, to dme.NodeID, msg dme.Message) error {
 		}
 		delays[i] = d
 	}
+	if m.opts.FIFO {
+		pq := m.pairs[pairKey{from, to}]
+		if pq == nil {
+			pq = &pairQueue{}
+			m.pairs[pairKey{from, to}] = pq
+		}
+		now := time.Now()
+		for _, d := range delays {
+			pq.q = append(pq.q, memPending{from: from, msg: msg, due: now.Add(d)})
+		}
+		if !pq.running && len(pq.q) > 0 {
+			pq.running = true
+			go m.drainPair(pairKey{from, to})
+		}
+		m.mu.Unlock()
+		return nil
+	}
 	m.mu.Unlock()
 
 	for _, d := range delays {
@@ -129,28 +172,51 @@ func (m *MemNetwork) send(from, to dme.NodeID, msg dme.Message) error {
 	return nil
 }
 
-func (m *MemNetwork) deliverAfter(d time.Duration, from, to dme.NodeID, msg dme.Message) {
-	deliver := func() {
+// drainPair delivers one ordered pair's queue in send order, sleeping
+// each message's remaining delay before handing it to the endpoint.
+func (m *MemNetwork) drainPair(key pairKey) {
+	for {
 		m.mu.Lock()
-		if m.closed || m.disconnected[to] {
+		pq := m.pairs[key]
+		if len(pq.q) == 0 {
+			pq.running = false
 			m.mu.Unlock()
 			return
 		}
-		ep := m.endpoints[to]
+		item := pq.q[0]
+		pq.q = pq.q[1:]
 		m.mu.Unlock()
-
-		ep.hmu.RLock()
-		h := ep.handler
-		ep.hmu.RUnlock()
-		if h != nil {
-			h(from, msg)
+		if d := time.Until(item.due); d > 0 {
+			time.Sleep(d)
 		}
+		m.deliverNow(item.from, key.to, item.msg)
 	}
-	if d <= 0 {
-		go deliver()
+}
+
+// deliverNow hands msg to the destination endpoint if it is reachable.
+func (m *MemNetwork) deliverNow(from, to dme.NodeID, msg dme.Message) {
+	m.mu.Lock()
+	if m.closed || m.disconnected[to] {
+		m.mu.Unlock()
 		return
 	}
-	time.AfterFunc(d, deliver)
+	ep := m.endpoints[to]
+	m.mu.Unlock()
+
+	ep.hmu.RLock()
+	h := ep.handler
+	ep.hmu.RUnlock()
+	if h != nil {
+		h(from, msg)
+	}
+}
+
+func (m *MemNetwork) deliverAfter(d time.Duration, from, to dme.NodeID, msg dme.Message) {
+	if d <= 0 {
+		go m.deliverNow(from, to, msg)
+		return
+	}
+	time.AfterFunc(d, func() { m.deliverNow(from, to, msg) })
 }
 
 // MemEndpoint is one node's view of a MemNetwork.

@@ -11,8 +11,28 @@ import (
 	"time"
 
 	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/wire"
 )
+
+// TCPOptions tunes a TCPTransport beyond the address map.
+type TCPOptions struct {
+	// Algo is the registry name of the algorithm whose messages this
+	// endpoint carries; it is stamped on every outgoing envelope and
+	// required on every inbound one. Empty means the paper's core
+	// algorithm. NewTCPOpt registers the algorithm's wire types itself,
+	// and rejects names the registry does not know.
+	Algo string
+	// DialTimeout bounds each outbound connection attempt; zero means
+	// 2 s.
+	DialTimeout time.Duration
+	// OnWireError, when non-nil, receives every inbound envelope error:
+	// *wire.MismatchError when a peer runs a different algorithm or wire
+	// format, *wire.DecodeError when a payload fails to decode. Called
+	// from receive goroutines; must be safe for concurrent use. The
+	// errors are also counted (see WireErrors) regardless.
+	OnWireError func(error)
+}
 
 // TCPTransport moves protocol messages between cluster nodes over TCP
 // with gob framing. One endpoint per process: it listens on its own
@@ -22,6 +42,8 @@ import (
 // tolerates by design (§6 of the paper).
 type TCPTransport struct {
 	self  dme.NodeID
+	algo  string
+	onErr func(error)
 	addrs map[dme.NodeID]string
 	ln    net.Listener
 
@@ -43,8 +65,24 @@ type TCPTransport struct {
 	bytesOut atomic.Uint64
 	bytesIn  atomic.Uint64
 
+	// Inbound envelope rejections, by class.
+	wireMismatches atomic.Uint64
+	wireDecodeErrs atomic.Uint64
+
 	// DialTimeout bounds each outbound connection attempt.
 	DialTimeout time.Duration
+}
+
+// Algo returns the canonical registry name of the algorithm this
+// endpoint is configured for.
+func (t *TCPTransport) Algo() string { return t.algo }
+
+// WireErrors reports how many inbound envelopes were rejected: mismatches
+// (peer speaks another algorithm or wire version) and decode failures
+// (corrupted or unknown payloads). Nonzero mismatches almost always mean
+// the cluster was started with inconsistent -algo flags.
+func (t *TCPTransport) WireErrors() (mismatches, decodeErrs uint64) {
+	return t.wireMismatches.Load(), t.wireDecodeErrs.Load()
 }
 
 // WireBytes reports the bytes written to and read from peer connections;
@@ -85,13 +123,32 @@ type outConn struct {
 
 var _ Transport = (*TCPTransport)(nil)
 
-// NewTCP creates the endpoint for node self, listening on addrs[self].
-// Call SetHandler immediately afterwards, before peers start sending.
+// NewTCP creates the endpoint for node self, listening on addrs[self],
+// carrying the core arbiter protocol. Call SetHandler immediately
+// afterwards, before peers start sending.
 func NewTCP(self dme.NodeID, addrs map[dme.NodeID]string) (*TCPTransport, error) {
-	wire.Register()
+	return NewTCPOpt(self, addrs, TCPOptions{})
+}
+
+// NewTCPOpt is NewTCP with explicit options; use it to carry any
+// registered algorithm (the -algo seam of cmd/mutexnode and
+// cmd/mutexload).
+func NewTCPOpt(self dme.NodeID, addrs map[dme.NodeID]string, opts TCPOptions) (*TCPTransport, error) {
+	name := opts.Algo
+	if name == "" {
+		name = registry.Core
+	}
+	algo, err := registry.RegisterWire(name)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: %w", err)
+	}
 	addr, ok := addrs[self]
 	if !ok {
 		return nil, fmt.Errorf("tcp: no address for self node %d", self)
+	}
+	dialTimeout := opts.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -99,12 +156,14 @@ func NewTCP(self dme.NodeID, addrs map[dme.NodeID]string) (*TCPTransport, error)
 	}
 	t := &TCPTransport{
 		self:        self,
+		algo:        algo,
+		onErr:       opts.OnWireError,
 		addrs:       addrs,
 		ln:          ln,
 		conns:       make(map[dme.NodeID]*outConn),
 		inbound:     make(map[net.Conn]struct{}),
 		quit:        make(chan struct{}),
-		DialTimeout: 2 * time.Second,
+		DialTimeout: dialTimeout,
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -174,12 +233,36 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
+		msg, err := env.Open(t.algo)
+		if err != nil {
+			var mm *wire.MismatchError
+			if errors.As(err, &mm) {
+				// The peer speaks another algorithm or wire format;
+				// every envelope on this connection will be rejected,
+				// so count it, surface it, and drop the connection.
+				t.wireMismatches.Add(1)
+				t.reportWireError(err)
+				return
+			}
+			// A single undecodable payload: the envelope stream itself
+			// is still in sync (payloads are self-contained), so skip
+			// the message and keep the connection.
+			t.wireDecodeErrs.Add(1)
+			t.reportWireError(err)
+			continue
+		}
 		t.hmu.RLock()
 		h := t.handler
 		t.hmu.RUnlock()
-		if h != nil && env.Payload != nil {
-			h(env.From, env.Payload)
+		if h != nil {
+			h(env.From, msg)
 		}
+	}
+}
+
+func (t *TCPTransport) reportWireError(err error) {
+	if t.onErr != nil {
+		t.onErr(err)
 	}
 }
 
@@ -195,7 +278,10 @@ func (t *TCPTransport) Send(to dme.NodeID, msg dme.Message) error {
 		}
 		return nil
 	}
-	env := wire.Envelope{From: t.self, Payload: msg}
+	env, err := wire.Seal(t.algo, t.self, msg)
+	if err != nil {
+		return err
+	}
 	oc, err := t.conn(to)
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package transport_test
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,7 +11,9 @@ import (
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
+	"tokenarbiter/internal/wire"
 )
 
 // tcpCluster starts n live nodes connected over loopback TCP with
@@ -38,7 +41,7 @@ func tcpCluster(t *testing.T, n int, opts core.Options) []*live.Node {
 			ID:        i,
 			N:         n,
 			Transport: trs[i],
-			Options:   opts,
+			Factory:   registry.CoreLiveFactory(opts),
 			Seed:      uint64(i + 1),
 		})
 		if err != nil {
@@ -128,5 +131,67 @@ func TestTCPClusterMutualExclusion(t *testing.T) {
 	wg.Wait()
 	if want := int64(len(nodes) * rounds); counter != want {
 		t.Errorf("counter = %d, want %d", counter, want)
+	}
+}
+
+// TestTCPAlgorithmMismatch: two endpoints configured for different
+// algorithms must not exchange messages — the receiver rejects the
+// tagged envelope with a typed *wire.MismatchError, surfaces it through
+// OnWireError, counts it, and drops the connection instead of feeding
+// gob garbage to the protocol.
+func TestTCPAlgorithmMismatch(t *testing.T) {
+	coreEnd, err := transport.NewTCPOpt(0, map[dme.NodeID]string{0: "127.0.0.1:0"},
+		transport.TCPOptions{Algo: "core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coreEnd.Close() //nolint:errcheck
+
+	errCh := make(chan error, 4)
+	rayEnd, err := transport.NewTCPOpt(1, map[dme.NodeID]string{1: "127.0.0.1:0"},
+		transport.TCPOptions{
+			Algo:        "raymond",
+			OnWireError: func(err error) { errCh <- err },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rayEnd.Close() //nolint:errcheck
+	if rayEnd.Algo() != "raymond" {
+		t.Fatalf("Algo() = %q, want raymond", rayEnd.Algo())
+	}
+
+	addrs := map[dme.NodeID]string{0: coreEnd.Addr().String(), 1: rayEnd.Addr().String()}
+	coreEnd.SetPeers(addrs)
+	rayEnd.SetPeers(addrs)
+
+	delivered := make(chan dme.Message, 1)
+	rayEnd.SetHandler(func(from dme.NodeID, msg dme.Message) { delivered <- msg })
+
+	if err := coreEnd.Send(1, core.Request{Entry: core.QEntry{Node: 0, Seq: 7}}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-errCh:
+		var mm *wire.MismatchError
+		if !errors.As(err, &mm) {
+			t.Fatalf("OnWireError got %T (%v), want *wire.MismatchError", err, err)
+		}
+		if mm.LocalAlgo != "raymond" || mm.RemoteAlgo != "core" || mm.From != 0 {
+			t.Errorf("mismatch fields = %+v", mm)
+		}
+	case msg := <-delivered:
+		t.Fatalf("cross-algorithm message delivered to the handler: %#v", msg)
+	case <-time.After(5 * time.Second):
+		t.Fatal("mismatched envelope neither rejected nor delivered")
+	}
+	if mism, _ := rayEnd.WireErrors(); mism != 1 {
+		t.Errorf("mismatch counter = %d, want 1", mism)
+	}
+	select {
+	case msg := <-delivered:
+		t.Fatalf("message delivered despite the mismatch: %#v", msg)
+	default:
 	}
 }

@@ -1,4 +1,4 @@
-package wire
+package wire_test
 
 import (
 	"bytes"
@@ -7,12 +7,18 @@ import (
 	"testing"
 
 	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/wire"
 )
 
 // FuzzEnvelopeRoundTrip builds a Privilege from arbitrary bytes and
-// checks gob round-trips it exactly — the property the TCP transport
-// depends on for every token transfer.
+// checks Seal/Open round-trips it exactly through a gob stream — the
+// property the TCP transport depends on for every token transfer.
 func FuzzEnvelopeRoundTrip(f *testing.F) {
+	algo, err := registry.RegisterWire(registry.Core)
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(3, []byte{0x10, 0x21}, uint64(5), uint64(2), true)
 	f.Add(0, []byte{}, uint64(0), uint64(0), false)
 	f.Fuzz(func(t *testing.T, from int, qbytes []byte, epoch, fence uint64, toMon bool) {
@@ -23,33 +29,36 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 		for _, b := range qbytes {
 			q = append(q, core.QEntry{Node: int(b >> 4), Seq: uint64(b & 0x0f)})
 		}
-		in := Envelope{
-			From: from,
-			Payload: core.Privilege{
-				Q:         q,
-				Granted:   []uint64{epoch, fence, epoch ^ fence},
-				Epoch:     epoch,
-				Fence:     fence,
-				ToMonitor: toMon,
-			},
+		want := core.Privilege{
+			Q:         q,
+			Granted:   []uint64{epoch, fence, epoch ^ fence},
+			Epoch:     epoch,
+			Fence:     fence,
+			ToMonitor: toMon,
 		}
-		Register()
+		env, err := wire.Seal(algo, from, want)
+		if err != nil {
+			t.Fatalf("seal: %v", err)
+		}
 		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
 			t.Fatalf("encode: %v", err)
 		}
-		var out Envelope
+		var out wire.Envelope
 		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
 			t.Fatalf("decode: %v", err)
 		}
-		if out.From != in.From {
-			t.Fatalf("From %d → %d", in.From, out.From)
+		if out.From != from {
+			t.Fatalf("From %d → %d", from, out.From)
 		}
-		got, ok := out.Payload.(core.Privilege)
+		msg, err := out.Open(algo)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		got, ok := msg.(core.Privilege)
 		if !ok {
-			t.Fatalf("payload type %T", out.Payload)
+			t.Fatalf("payload type %T", msg)
 		}
-		want := in.Payload.(core.Privilege)
 		// gob encodes empty slices and nil identically; normalize.
 		if len(got.Q) == 0 && len(want.Q) == 0 {
 			got.Q, want.Q = nil, nil

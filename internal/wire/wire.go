@@ -1,41 +1,187 @@
 // Package wire defines the on-the-wire representation shared by the live
-// transports: a gob-encoded Envelope carrying the sender id and one of
-// the protocol messages defined in internal/core. Both ends of a
-// connection must call Register before encoding or decoding.
+// transports: a versioned, algorithm-tagged Envelope carrying the sender
+// id and one gob-encoded protocol message.
+//
+// Every algorithm that runs over a real transport first registers its
+// concrete message types under its registry name with RegisterAlgorithm;
+// registration is idempotent per algorithm, so any number of algorithms
+// can coexist in one process (a load generator running core and Raymond
+// clusters side by side, say). Peers must agree on both the wire format
+// version and the algorithm; a disagreement surfaces as a typed
+// *MismatchError from Open rather than a gob panic or a garbage decode.
 package wire
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
 	"sync"
 
-	"encoding/gob"
-
-	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
 )
 
-// Envelope frames one protocol message with its sender.
+// FormatVersion is the envelope format generation. Version 1 was the
+// untagged single-algorithm envelope; version 2 added the Algo tag and
+// the self-contained payload encoding.
+const FormatVersion = 2
+
+// Envelope frames one protocol message with its sender and enough
+// metadata to reject it cheaply when the peers disagree. The Payload is a
+// self-contained gob stream (see Seal), so decoding the envelope itself
+// never depends on which algorithm's message types this process has
+// registered — mismatches are detected from Algo before the payload is
+// touched.
 type Envelope struct {
-	From    int
-	Payload dme.Message
+	// Version is the wire format generation (FormatVersion).
+	Version int
+	// Algo is the registry name of the algorithm that owns Payload.
+	Algo string
+	// From is the sender's node id.
+	From int
+	// Kind is the payload message's Kind(), carried in clear for
+	// diagnostics on envelopes that cannot be opened.
+	Kind string
+	// Payload is the gob encoding of a box wrapping the dme.Message.
+	Payload []byte
 }
 
-var registerOnce sync.Once
+// box is the gob top-level value inside Envelope.Payload; the interface
+// field is what forces concrete message types to be gob-registered.
+type box struct {
+	M dme.Message
+}
 
-// Register records every concrete protocol message type with the gob
-// runtime. It is idempotent and safe for concurrent use; transports call
-// it when they are constructed (we deliberately avoid init()).
-func Register() {
-	registerOnce.Do(func() {
-		gob.Register(core.Request{})
-		gob.Register(core.MonitorRequest{})
-		gob.Register(core.Privilege{})
-		gob.Register(core.NewArbiter{})
-		gob.Register(core.Warning{})
-		gob.Register(core.Enquiry{})
-		gob.Register(core.EnquiryAck{})
-		gob.Register(core.Resume{})
-		gob.Register(core.Invalidate{})
-		gob.Register(core.Probe{})
-		gob.Register(core.ProbeAck{})
-	})
+// MismatchError reports an envelope from a peer speaking a different
+// wire format version or a different algorithm.
+type MismatchError struct {
+	From          int    // sender node id, as claimed by the envelope
+	LocalAlgo     string // algorithm this process runs
+	RemoteAlgo    string // algorithm tagged on the envelope
+	LocalVersion  int
+	RemoteVersion int
+}
+
+// Error implements error.
+func (e *MismatchError) Error() string {
+	if e.LocalVersion != e.RemoteVersion {
+		return fmt.Sprintf(
+			"wire: version mismatch with node %d: local format v%d, remote sent v%d (upgrade both peers to the same build)",
+			e.From, e.LocalVersion, e.RemoteVersion)
+	}
+	return fmt.Sprintf(
+		"wire: algorithm mismatch with node %d: this node runs %q, peer sent %q (start every node with the same -algo)",
+		e.From, e.LocalAlgo, e.RemoteAlgo)
+}
+
+// DecodeError reports a payload that could not be decoded even though the
+// envelope's version and algorithm matched — a corrupted stream or a
+// message type the local build does not know.
+type DecodeError struct {
+	From int
+	Algo string
+	Kind string
+	Err  error
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("wire: node %d sent undecodable %s message (kind %q): %v",
+		e.From, e.Algo, e.Kind, e.Err)
+}
+
+// Unwrap exposes the underlying gob error.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+var (
+	regMu sync.Mutex
+	// algos maps a registered algorithm name to the kinds of its
+	// messages, in registration order (introspection and tests).
+	algos = map[string][]string{}
+)
+
+// RegisterAlgorithm records an algorithm's concrete protocol message
+// types with the gob runtime under the given registry name. It is
+// idempotent per algorithm — repeated calls for the same name are no-ops
+// — and any number of distinct algorithms may register in one process;
+// registration order does not matter. Transports call it (via
+// internal/registry) when they are constructed; we deliberately avoid
+// init().
+func RegisterAlgorithm(name string, msgs ...dme.Message) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := algos[name]; ok {
+		return
+	}
+	kinds := make([]string, 0, len(msgs))
+	for _, m := range msgs {
+		gob.Register(m)
+		kinds = append(kinds, m.Kind())
+	}
+	algos[name] = kinds
+}
+
+// Registered reports whether RegisterAlgorithm has been called for name.
+func Registered(name string) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	_, ok := algos[name]
+	return ok
+}
+
+// Algorithms returns the sorted names of every registered algorithm.
+func Algorithms() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(algos))
+	for name := range algos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Seal wraps msg in an envelope tagged with the given algorithm name.
+// The algorithm must have been registered first.
+func Seal(algo string, from int, msg dme.Message) (Envelope, error) {
+	if !Registered(algo) {
+		return Envelope{}, fmt.Errorf("wire: algorithm %q is not registered", algo)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&box{M: msg}); err != nil {
+		return Envelope{}, fmt.Errorf("wire: encode %s %q payload: %w", algo, msg.Kind(), err)
+	}
+	return Envelope{
+		Version: FormatVersion,
+		Algo:    algo,
+		From:    from,
+		Kind:    msg.Kind(),
+		Payload: buf.Bytes(),
+	}, nil
+}
+
+// Open validates the envelope against the local algorithm and decodes its
+// payload. A version or algorithm disagreement returns *MismatchError; a
+// payload that fails to decode returns *DecodeError. Both identify the
+// peer, so a misconfigured cluster diagnoses itself from either side's
+// logs.
+func (e Envelope) Open(localAlgo string) (dme.Message, error) {
+	if e.Version != FormatVersion || e.Algo != localAlgo {
+		return nil, &MismatchError{
+			From:          e.From,
+			LocalAlgo:     localAlgo,
+			RemoteAlgo:    e.Algo,
+			LocalVersion:  FormatVersion,
+			RemoteVersion: e.Version,
+		}
+	}
+	var b box
+	if err := gob.NewDecoder(bytes.NewReader(e.Payload)).Decode(&b); err != nil {
+		return nil, &DecodeError{From: e.From, Algo: e.Algo, Kind: e.Kind, Err: err}
+	}
+	if b.M == nil {
+		return nil, &DecodeError{From: e.From, Algo: e.Algo, Kind: e.Kind,
+			Err: fmt.Errorf("empty payload")}
+	}
+	return b.M, nil
 }

@@ -1,31 +1,63 @@
-package wire
+package wire_test
 
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
+	"tokenarbiter/internal/baseline/raymond"
+	"tokenarbiter/internal/baseline/suzukikasami"
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/wire"
 )
 
-// roundTrip encodes and decodes an envelope through gob.
-func roundTrip(t *testing.T, env Envelope) Envelope {
+// register pulls the named algorithm's types in via the registry, the
+// same path the transports use.
+func register(t *testing.T, name string) string {
 	t.Helper()
-	Register()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
-		t.Fatalf("encode: %v", err)
+	algo, err := registry.RegisterWire(name)
+	if err != nil {
+		t.Fatalf("RegisterWire(%s): %v", name, err)
 	}
-	var out Envelope
-	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
-		t.Fatalf("decode: %v", err)
-	}
-	return out
+	return algo
 }
 
-func TestEnvelopeRoundTripAllMessageTypes(t *testing.T) {
+// sealOpen round-trips msg through a gob-encoded envelope, as the TCP
+// transport does, and returns the decoded message.
+func sealOpen(t *testing.T, algo string, from int, msg dme.Message) dme.Message {
+	t.Helper()
+	env, err := wire.Seal(algo, from, msg)
+	if err != nil {
+		t.Fatalf("seal %T: %v", msg, err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		t.Fatalf("encode envelope: %v", err)
+	}
+	var out wire.Envelope
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if out.From != from {
+		t.Errorf("%T: From = %d, want %d", msg, out.From, from)
+	}
+	if out.Kind != msg.Kind() {
+		t.Errorf("%T: Kind = %q, want %q", msg, out.Kind, msg.Kind())
+	}
+	got, err := out.Open(algo)
+	if err != nil {
+		t.Fatalf("open %T: %v", msg, err)
+	}
+	return got
+}
+
+func TestEnvelopeRoundTripCoreMessageTypes(t *testing.T) {
+	algo := register(t, registry.Core)
 	msgs := []dme.Message{
 		core.Request{Entry: core.QEntry{Node: 3, Seq: 9}, Hops: 1, Retransmit: true},
 		core.MonitorRequest{Entry: core.QEntry{Node: 1, Seq: 2}},
@@ -45,29 +77,135 @@ func TestEnvelopeRoundTripAllMessageTypes(t *testing.T) {
 		core.ProbeAck{},
 	}
 	for _, msg := range msgs {
-		out := roundTrip(t, Envelope{From: 6, Payload: msg})
-		if out.From != 6 {
-			t.Errorf("%T: From = %d, want 6", msg, out.From)
-		}
-		if !reflect.DeepEqual(out.Payload, msg) {
-			t.Errorf("%T: payload %#v, want %#v", msg, out.Payload, msg)
-		}
-		if out.Payload.Kind() != msg.Kind() {
-			t.Errorf("%T: kind %q, want %q", msg, out.Payload.Kind(), msg.Kind())
+		out := sealOpen(t, algo, 6, msg)
+		if !reflect.DeepEqual(out, msg) {
+			t.Errorf("%T: payload %#v, want %#v", msg, out, msg)
 		}
 	}
 }
 
-func TestRegisterIdempotent(t *testing.T) {
-	Register()
-	Register() // must not panic on double registration
-}
-
 func TestPrivilegeWithToMonitorFlag(t *testing.T) {
 	// gob drops zero-valued fields; a set flag must survive.
-	out := roundTrip(t, Envelope{Payload: core.Privilege{ToMonitor: true, Epoch: 1}})
-	p, ok := out.Payload.(core.Privilege)
+	algo := register(t, registry.Core)
+	out := sealOpen(t, algo, 0, core.Privilege{ToMonitor: true, Epoch: 1})
+	p, ok := out.(core.Privilege)
 	if !ok || !p.ToMonitor {
-		t.Errorf("ToMonitor flag lost: %#v", out.Payload)
+		t.Errorf("ToMonitor flag lost: %#v", out)
+	}
+}
+
+func TestEnvelopeRoundTripBaselineMessages(t *testing.T) {
+	algo := register(t, "suzukikasami")
+	msg := suzukikasami.Token{LN: []uint64{1, 2, 3}, Queue: []int{2, 0}}
+	out := sealOpen(t, algo, 1, msg)
+	tok, ok := out.(suzukikasami.Token)
+	if !ok {
+		t.Fatalf("payload type %T, want suzukikasami.Token", out)
+	}
+	if !reflect.DeepEqual(tok, msg) {
+		t.Errorf("token %#v, want %#v", tok, msg)
+	}
+	if tok.SizeUnits() != msg.SizeUnits() {
+		t.Errorf("SizeUnits %d, want %d", tok.SizeUnits(), msg.SizeUnits())
+	}
+
+	// Zero-field messages must survive too (gob of empty structs).
+	ralgo := register(t, "raymond")
+	if out := sealOpen(t, ralgo, 2, raymond.Token{}); out.Kind() != raymond.KindToken {
+		t.Errorf("raymond token kind %q", out.Kind())
+	}
+}
+
+func TestTwoAlgorithmsInOneProcess(t *testing.T) {
+	// The old wire.Register was a process-wide sync.Once: whichever
+	// algorithm registered first won, and every other algorithm's
+	// messages failed to encode. Per-algorithm registration must let two
+	// algorithms coexist in one process.
+	a := register(t, "raymond")
+	b := register(t, "suzukikasami")
+	if out := sealOpen(t, a, 0, raymond.Request{}); out.Kind() != raymond.KindRequest {
+		t.Errorf("raymond request kind %q", out.Kind())
+	}
+	if out := sealOpen(t, b, 0, suzukikasami.Request{Node: 1, N: 2}); out.Kind() != suzukikasami.KindRequest {
+		t.Errorf("suzukikasami request kind %q", out.Kind())
+	}
+	for _, name := range []string{a, b} {
+		if !wire.Registered(name) {
+			t.Errorf("Registered(%q) = false after registration", name)
+		}
+	}
+}
+
+func TestRegisterAlgorithmIdempotent(t *testing.T) {
+	// Double registration of the same algorithm must not panic (gob
+	// panics on conflicting re-registration; the per-algorithm guard
+	// must make repeats no-ops).
+	wire.RegisterAlgorithm("idem-test", raymond.Request{})
+	wire.RegisterAlgorithm("idem-test", raymond.Request{})
+	if !wire.Registered("idem-test") {
+		t.Fatal("algorithm not registered")
+	}
+}
+
+func TestSealUnregisteredAlgorithm(t *testing.T) {
+	if _, err := wire.Seal("no-such-algo", 0, raymond.Request{}); err == nil {
+		t.Fatal("Seal accepted an unregistered algorithm")
+	}
+}
+
+func TestOpenAlgorithmMismatch(t *testing.T) {
+	a := register(t, "raymond")
+	b := register(t, "suzukikasami")
+	env, err := wire.Seal(a, 3, raymond.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = env.Open(b)
+	var mm *wire.MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("Open returned %v (%T), want *wire.MismatchError", err, err)
+	}
+	if mm.LocalAlgo != b || mm.RemoteAlgo != a || mm.From != 3 {
+		t.Errorf("mismatch fields %+v, want local=%q remote=%q from=3", mm, b, a)
+	}
+	if !strings.Contains(mm.Error(), "algorithm mismatch") {
+		t.Errorf("unhelpful error text: %q", mm.Error())
+	}
+}
+
+func TestOpenVersionMismatch(t *testing.T) {
+	algo := register(t, "raymond")
+	env, err := wire.Seal(algo, 1, raymond.Token{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Version = wire.FormatVersion + 1
+	_, err = env.Open(algo)
+	var mm *wire.MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("Open returned %v, want *wire.MismatchError", err)
+	}
+	if mm.RemoteVersion != wire.FormatVersion+1 || mm.LocalVersion != wire.FormatVersion {
+		t.Errorf("version fields %+v", mm)
+	}
+	if !strings.Contains(mm.Error(), "version mismatch") {
+		t.Errorf("unhelpful error text: %q", mm.Error())
+	}
+}
+
+func TestOpenCorruptPayload(t *testing.T) {
+	algo := register(t, "raymond")
+	env, err := wire.Seal(algo, 2, raymond.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Payload = []byte{0xff, 0x00, 0x13, 0x37}
+	_, err = env.Open(algo)
+	var de *wire.DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("Open returned %v (%T), want *wire.DecodeError", err, err)
+	}
+	if de.Kind != raymond.KindRequest || de.From != 2 {
+		t.Errorf("decode-error fields %+v", de)
 	}
 }
