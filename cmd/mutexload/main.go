@@ -12,6 +12,12 @@
 //	mutexload -transport tcp -nodes 3 -duration 3s -hold 2ms
 //	mutexload -algo raymond -nodes 5 -duration 5s -rate 200
 //	mutexload -algo ricartagrawala -transport tcp -nodes 3 -duration 3s
+//	mutexload -nodes 5 -duration 10s -chaos drop=0.05,dup=0.02,corrupt=0.01,seed=7
+//
+// -chaos threads every node's outbound traffic through a shared, seeded
+// fault injector (internal/faultnet) and reports the injected-fault
+// tallies at the end — measuring how the core protocol's recovery holds
+// latency under a reproducible fault mix.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/faultnet"
 	"tokenarbiter/internal/live"
 	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/stats"
@@ -57,6 +64,7 @@ func run(args []string) error {
 		recover  = fs.Bool("recovery", true, "core: enable the §6 recovery protocol")
 		netDelay = fs.Duration("netdelay", 200*time.Microsecond, "in-memory network one-way delay")
 		loss     = fs.Float64("loss", 0, "in-memory network loss rate (requires -recovery, core only)")
+		chaosStr = fs.String("chaos", "", "fault-injection spec applied to every node's outbound traffic, e.g. drop=0.05,dup=0.02,corrupt=0.01,delay=1ms,seed=7 (requires -recovery, core only)")
 		perNodeS = fs.Bool("pernode", true, "print a per-node metrics summary at the end of the run")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +81,9 @@ func run(args []string) error {
 	algo := entry.Name
 	if algo != registry.Core && *loss > 0 {
 		return fmt.Errorf("-loss requires the core algorithm's recovery protocol; %s has none", algo)
+	}
+	if algo != registry.Core && *chaosStr != "" {
+		return fmt.Errorf("-chaos requires the core algorithm's recovery protocol; %s has none", algo)
 	}
 
 	var factory live.Factory
@@ -104,7 +115,18 @@ func run(args []string) error {
 		}
 	}
 
-	cluster, counters, cleanup, err := buildCluster(*trans, *nodes, algo, factory, *netDelay, *loss)
+	// One shared injector covers every node's outbound link, so a single
+	// seed reproduces the whole cluster's fault schedule.
+	var inj *faultnet.Injector
+	if *chaosStr != "" {
+		spec, err := faultnet.ParseSpec(*chaosStr)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		inj = faultnet.New(faultnet.Options{Seed: spec.Seed, Faults: spec.Faults, Algo: algo})
+	}
+
+	cluster, counters, cleanup, err := buildCluster(*trans, *nodes, algo, factory, *netDelay, *loss, inj)
 	if err != nil {
 		return err
 	}
@@ -194,6 +216,11 @@ func run(args []string) error {
 	// same workload and compare the line directly.
 	fmt.Printf("algorithm=%s: %.2f messages per CS (%d messages, %d critical sections, %d nodes)\n",
 		algo, float64(sent)/float64(n), sent, n, *nodes)
+	if inj != nil {
+		c := inj.Counters()
+		fmt.Printf("chaos: dropped=%d duplicated=%d corrupted=%d delayed=%d reordered=%d\n",
+			c.Drops, c.Dups, c.Corruptions, c.Delayed, c.Reordered)
+	}
 	return nil
 }
 
@@ -227,13 +254,25 @@ func printPerNode(algo string, cluster []*live.Node, counters []*transport.Count
 // same wiring cmd/mutexnode uses), so the end-of-run summary can scrape
 // protocol and transport metrics together. Baseline algorithms get FIFO
 // in-memory channels (Lamport requires them; TCP is FIFO by nature).
-func buildCluster(kind string, n int, algo string, factory live.Factory, delay time.Duration, loss float64) ([]*live.Node, []*transport.Counting, func(), error) {
+func buildCluster(kind string, n int, algo string, factory live.Factory, delay time.Duration, loss float64, inj *faultnet.Injector) ([]*live.Node, []*transport.Counting, func(), error) {
 	counters := make([]*transport.Counting, n)
+	trans := make([]transport.Transport, n)
 	regs := make([]*telemetry.Registry, n)
 	nodes := make([]*live.Node, n)
 	var closers []func()
 	for i := 0; i < n; i++ {
 		regs[i] = telemetry.NewRegistry()
+	}
+	// Counting outermost (it tallies what the protocol attempted), the
+	// optional fault injector innermost, directly over the wire.
+	chain := func(i int, base transport.Transport) {
+		var faultMW transport.Middleware
+		if inj != nil {
+			faultMW = inj.Middleware()
+			inj.RegisterMetrics(regs[i])
+		}
+		trans[i] = transport.Chain(base, transport.CountingMW(regs[i]), faultMW)
+		counters[i], _ = transport.Find[*transport.Counting](trans[i])
 	}
 
 	switch kind {
@@ -244,7 +283,7 @@ func buildCluster(kind string, n int, algo string, factory live.Factory, delay t
 		})
 		closers = append(closers, net.Close)
 		for i := 0; i < n; i++ {
-			counters[i] = transport.NewCountingIn(net.Endpoint(i), regs[i])
+			chain(i, net.Endpoint(i))
 		}
 	case "tcp":
 		trs := make([]*transport.TCPTransport, n)
@@ -260,7 +299,7 @@ func buildCluster(kind string, n int, algo string, factory live.Factory, delay t
 		}
 		for i := 0; i < n; i++ {
 			trs[i].SetPeers(addrs)
-			counters[i] = transport.NewCountingIn(trs[i], regs[i])
+			chain(i, trs[i])
 		}
 	default:
 		return nil, nil, func() {}, fmt.Errorf("unknown transport %q (mem or tcp)", kind)
@@ -268,7 +307,7 @@ func buildCluster(kind string, n int, algo string, factory live.Factory, delay t
 
 	for i := 0; i < n; i++ {
 		nd, err := live.NewNode(live.Config{
-			ID: i, N: n, Transport: counters[i], Factory: factory, Algo: algo,
+			ID: i, N: n, Transport: trans[i], Factory: factory, Algo: algo,
 			Seed: uint64(i + 1), Metrics: regs[i],
 		})
 		if err != nil {

@@ -25,6 +25,13 @@
 // /healthz, and /debug/trace (recent protocol transitions as JSONL). On
 // shutdown every node — including a -count 0 pure participant — prints a
 // per-kind message summary with the messages-per-CS ratio.
+//
+// With -chaos the node's outbound traffic passes through a seeded fault
+// injector (drops, duplicates, corruption, delay, reordering — see
+// internal/faultnet for the spec grammar). When -http is also set, the
+// injector is live-tunable through /debug/faults: query it for the
+// current fault state, or mutate it (`?drop=0.2`, `?partition=0,1|2`,
+// `?heal`, `?clear`) to stage failures against a running cluster.
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/faultnet"
 	"tokenarbiter/internal/live"
 	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/telemetry"
@@ -70,6 +78,7 @@ func run() error {
 		recovery = flag.Bool("recovery", true, "core: enable the §6 failure recovery protocol")
 		httpAddr = flag.String("http", "", "admin endpoint address (e.g. :8080) serving /metrics, /statusz, /healthz, /debug/trace; empty disables")
 		verbose  = flag.Bool("v", false, "log protocol transitions (slog, stderr; core only)")
+		chaos    = flag.String("chaos", "", "inject faults into this node's outbound traffic, e.g. drop=0.05,dup=0.02,corrupt=0.01,delay=2ms,jitter=1ms,reorder=0.05,seed=7; live-tunable via /debug/faults when -http is set")
 	)
 	flag.Parse()
 
@@ -144,10 +153,31 @@ func run() error {
 	// One registry serves the protocol metrics and the transport tallies;
 	// the counting layer is on by default so every node can report its
 	// message volume (and the /metrics endpoint its per-kind counters).
+	// With -chaos, the fault injector slots in below it — innermost, so
+	// injected faults are indistinguishable from network behavior and the
+	// counters still report what the protocol attempted to send.
 	reg := telemetry.NewRegistry()
-	ct := transport.NewCountingIn(tcp, reg)
+	var inj *faultnet.Injector
+	if *chaos != "" {
+		spec, err := faultnet.ParseSpec(*chaos)
+		if err != nil {
+			_ = tcp.Close()
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		inj = faultnet.New(faultnet.Options{
+			Seed:   spec.Seed,
+			Faults: spec.Faults,
+			Algo:   algo,
+			OnFault: func(err error) {
+				fmt.Fprintln(os.Stderr, "mutexnode: chaos:", err)
+			},
+		})
+		inj.RegisterMetrics(reg)
+	}
+	tr := transport.Chain(tcp, transport.CountingMW(reg), faultMW(inj))
+	ct, _ := transport.Find[*transport.Counting](tr)
 	node, err := live.NewNode(live.Config{
-		ID: *id, N: n, Transport: ct, Factory: factory, Algo: algo,
+		ID: *id, N: n, Transport: tr, Factory: factory, Algo: algo,
 		Logger: logger, Metrics: reg,
 	})
 	if err != nil {
@@ -160,7 +190,16 @@ func run() error {
 	defer stop()
 
 	if *httpAddr != "" {
-		srv := &http.Server{Addr: *httpAddr, Handler: node.AdminHandler()}
+		handler := http.Handler(node.AdminHandler())
+		endpoints := "/metrics /statusz /healthz /debug/trace"
+		if inj != nil {
+			mux := http.NewServeMux()
+			mux.Handle("/", node.AdminHandler())
+			mux.Handle("/debug/faults", inj.Handler())
+			handler = mux
+			endpoints += " /debug/faults"
+		}
+		srv := &http.Server{Addr: *httpAddr, Handler: handler}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "mutexnode: admin server:", err)
@@ -171,10 +210,9 @@ func run() error {
 			defer cancel()
 			_ = srv.Shutdown(shCtx)
 		}()
-		fmt.Printf("node %d: admin endpoints on %s (/metrics /statusz /healthz /debug/trace)\n",
-			*id, *httpAddr)
+		fmt.Printf("node %d: admin endpoints on %s (%s)\n", *id, *httpAddr, endpoints)
 	}
-	defer printSummary(*id, algo, node, ct, tcp)
+	defer printSummary(*id, algo, node, ct, tcp, inj)
 
 	if algo == registry.Core {
 		fmt.Printf("node %d/%d listening on %s (arbiter protocol: treq=%.3fs tfwd=%.3fs monitor=%v recovery=%v)\n",
@@ -217,7 +255,16 @@ func run() error {
 // per-kind sent/received counts, payload units, wire bytes, and the
 // local messages-per-CS ratio (which under a symmetric workload matches
 // the cluster-wide figure the simulation reports).
-func printSummary(id int, algo string, node *live.Node, ct *transport.Counting, tcp *transport.TCPTransport) {
+// faultMW adapts an optional injector to a Middleware; Chain skips the
+// nil when -chaos is off.
+func faultMW(inj *faultnet.Injector) transport.Middleware {
+	if inj == nil {
+		return nil
+	}
+	return inj.Middleware()
+}
+
+func printSummary(id int, algo string, node *live.Node, ct *transport.Counting, tcp *transport.TCPTransport, inj *faultnet.Injector) {
 	granted, released := node.Stats()
 	sent, received := ct.Totals()
 	sentU, recvU := ct.UnitTotals()
@@ -233,6 +280,11 @@ func printSummary(id int, algo string, node *live.Node, ct *transport.Counting, 
 	if mism, dec := tcp.WireErrors(); mism > 0 || dec > 0 {
 		fmt.Printf("node %d: WIRE ERRORS: %d algorithm/version mismatches, %d undecodable payloads (check every peer's -algo)\n",
 			id, mism, dec)
+	}
+	if inj != nil {
+		c := inj.Counters()
+		fmt.Printf("node %d: chaos: dropped=%d duplicated=%d corrupted=%d delayed=%d reordered=%d partition-dropped=%d\n",
+			id, c.Drops, c.Dups, c.Corruptions, c.Delayed, c.Reordered, c.PartitionDrops)
 	}
 	byKind := ct.SentByKind()
 	inKind := ct.ReceivedByKind()

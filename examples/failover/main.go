@@ -1,10 +1,10 @@
 // Failover: a live demonstration of the paper's §6 failure recovery. A
-// four-node cluster runs under load while the example (1) drops a
-// PRIVILEGE message on the wire — losing the token in flight — and then
-// (2) hard-kills the node currently holding the mutex. Both times the
-// two-phase token invalidation protocol (WARNING → ENQUIRY →
-// INVALIDATE + regeneration) restores progress, visible as the token
-// epoch incrementing.
+// four-node cluster runs under load while the example (1) drops the next
+// PRIVILEGE message on the wire via the faultnet injector — losing the
+// token in flight — and then (2) hard-kills the node currently holding
+// the mutex. Both times the two-phase token invalidation protocol
+// (WARNING → ENQUIRY → INVALIDATE + regeneration) restores progress,
+// visible as the token epoch incrementing.
 //
 // Run with:
 //
@@ -20,7 +20,7 @@ import (
 	"time"
 
 	"tokenarbiter/internal/core"
-	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/faultnet"
 	"tokenarbiter/internal/live"
 	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/transport"
@@ -29,20 +29,14 @@ import (
 func main() {
 	const n = 4
 
-	var dropArmed atomic.Bool
-	var droppedAt atomic.Int64
 	net := transport.NewMemNetwork(n, transport.MemOptions{
 		Delay: time.Millisecond,
-		Interceptor: func(from, to dme.NodeID, msg dme.Message) transport.MemAction {
-			if dropArmed.CompareAndSwap(true, false) && msg.Kind() == core.KindPrivilege {
-				droppedAt.Store(time.Now().UnixNano())
-				fmt.Printf(">>> dropping PRIVILEGE %d→%d: the token is now lost in flight\n", from, to)
-				return transport.MemDrop
-			}
-			return transport.MemDeliver
-		},
 	})
 	defer net.Close()
+
+	// The injector sits between every node and the wire as a transport
+	// middleware; DropNextKind below arms the targeted token loss.
+	inj := faultnet.New(faultnet.Options{Seed: 1})
 
 	opts := core.Options{
 		Treq:              0.005,
@@ -60,7 +54,9 @@ func main() {
 	nodes := make([]*live.Node, n)
 	for i := 0; i < n; i++ {
 		node, err := live.NewNode(live.Config{
-			ID: i, N: n, Transport: net.Endpoint(i), Factory: factory,
+			ID: i, N: n,
+			Transport: transport.Chain(net.Endpoint(i), inj.Middleware()),
+			Factory:   factory,
 		})
 		if err != nil {
 			log.Fatalf("node %d: %v", i, err)
@@ -113,15 +109,17 @@ func main() {
 	// --- Failure 1: lose the token on the wire -------------------------
 	fmt.Println("\n=== failure 1: dropping the next PRIVILEGE message ===")
 	before := acquisitions.Load()
-	dropArmed.Store(true)
+	inj.DropNextKind(core.KindPrivilege, 1)
 	time.Sleep(1500 * time.Millisecond)
-	fmt.Printf("recovered: epoch now %d, %d acquisitions since the drop\n",
-		epoch(), acquisitions.Load()-before)
+	fmt.Printf("recovered: epoch now %d, %d acquisitions since the drop (injector: %d dropped)\n",
+		epoch(), acquisitions.Load()-before, inj.Counters().Drops)
 
 	// --- Failure 2: crash the node holding the mutex --------------------
 	fmt.Println("\n=== failure 2: killing node 0 while it holds the mutex ===")
-	if err := nodes[0].Lock(ctx); err != nil {
-		log.Fatalf("victim lock: %v", err)
+	victimCtx, victimCancel := context.WithTimeout(ctx, 5*time.Second)
+	defer victimCancel()
+	if ok, err := nodes[0].TryLockContext(victimCtx); err != nil || !ok {
+		log.Fatalf("victim lock: ok=%v err=%v", ok, err)
 	}
 	fmt.Println("node 0 acquired the mutex ... and dies")
 	net.Disconnect(0)

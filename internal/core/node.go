@@ -14,9 +14,25 @@ type reqState struct {
 	seq       uint64
 	scheduled bool      // seen in a NEW-ARBITER Q-list (implicit ACK, §6)
 	misses    int       // consecutive NEW-ARBITER messages without it
+	retries   int       // consecutive RetransmitTimeout firings unanswered
+	warnings  int       // WARNINGs sent while scheduled (recovery, §6)
 	retxTimer dme.Timer // RetransmitTimeout fallback
 	tokTimer  dme.Timer // recovery: token-arrival timeout once scheduled
 }
+
+// retxEscalation is the number of unanswered unicast retransmissions
+// after which a request is broadcast to every node instead. The unicast
+// path depends on the requester's believed arbiter being current, but a
+// lossy network can strand that belief: dropped NEW-ARBITER broadcasts
+// leave it stale, and an arbiter granting only its own requests (a
+// self-tail batch) never broadcasts at all, so nothing ever corrects it
+// — the request bounces between wrong arbiters until the τ bound drops
+// it, forever. The broadcast reaches the real arbiter regardless of
+// beliefs, and the NEW-ARBITER its batch triggers re-synchronizes every
+// stale believer as a side effect. Duplicate copies accepted by a
+// superseded collector are harmless: batch dedup and the executed-entry
+// skip already absorb them.
+const retxEscalation = 3
 
 // node is the event-driven realization of one protocol participant.
 // It is driven entirely from the simulation loop, so no locking is needed.
@@ -33,6 +49,22 @@ type node struct {
 	naGen    uint64 // newest NEW-ARBITER generation processed
 	monEpoch uint64 // version of the monitor identity (rotation count)
 	maxFence uint64 // highest fence observed (token sightings + FenceBase)
+
+	// Token dedup by sequence: the newest token state this node has
+	// processed, as the lexicographic tuple (epoch, gen, fence). Within
+	// one incarnation there is a single token, its gen rises at every
+	// dispatch and its fence at every grant, and the Q-list visits each
+	// node at most once per batch — so every legitimate sighting at a
+	// given node carries a tuple at least as new as the previous one. A
+	// same-epoch PRIVILEGE strictly below the mark is therefore a
+	// duplicate copy (retransmission or network dup) and is dropped; a
+	// copy with an EQUAL tuple is indistinguishable from the original
+	// and processing it is idempotent. The tuple also advances on local
+	// grants and dispatches, so a pre-grant duplicate of the very token
+	// we are executing under is recognized too.
+	tokSeenEpoch uint64
+	tokSeenGen   uint64
+	tokSeenFence uint64
 
 	// Requester state.
 	nextSeq     uint64
@@ -158,10 +190,14 @@ func (nd *node) armRetransmit(ctx dme.Context, st *reqState) {
 			return
 		}
 		entry := QEntry{Node: nd.id, Seq: st.seq}
+		st.retries++
 		nd.observe(Event{Kind: EventRequestRetransmitted, Arbiter: nd.arbiter})
-		if nd.collecting {
+		switch {
+		case nd.collecting:
 			nd.acceptRequest(ctx, entry)
-		} else {
+		case st.retries >= retxEscalation:
+			ctx.Broadcast(nd.id, Request{Entry: entry, Retransmit: true})
+		default:
 			ctx.Send(nd.id, nd.arbiter, Request{Entry: entry, Retransmit: true})
 		}
 		nd.armRetransmit(ctx, st)
@@ -282,12 +318,53 @@ func (nd *node) startWindow(ctx dme.Context) {
 	})
 }
 
+// staleTokenCopy reports whether an incoming PRIVILEGE carries a token
+// sequence strictly older than the newest state this node has processed
+// — the signature of a duplicate copy of the live token (see the
+// tokSeen* fields). A strictly newer epoch always passes: regeneration
+// restarts the fence above maxFence but epochs order incarnations.
+func (nd *node) staleTokenCopy(m Privilege) bool {
+	if m.Epoch != nd.tokSeenEpoch {
+		return m.Epoch < nd.tokSeenEpoch
+	}
+	if m.Gen != nd.tokSeenGen {
+		return m.Gen < nd.tokSeenGen
+	}
+	return m.Fence < nd.tokSeenFence
+}
+
+// noteTokenSeen advances the dedup watermark to the given token sequence
+// if it is at least as new as the current mark.
+func (nd *node) noteTokenSeen(epoch, gen, fence uint64) {
+	if epoch < nd.tokSeenEpoch {
+		return
+	}
+	if epoch == nd.tokSeenEpoch {
+		if gen < nd.tokSeenGen {
+			return
+		}
+		if gen == nd.tokSeenGen && fence < nd.tokSeenFence {
+			return
+		}
+	}
+	nd.tokSeenEpoch, nd.tokSeenGen, nd.tokSeenFence = epoch, gen, fence
+}
+
 // onPrivilege handles token arrival.
 func (nd *node) onPrivilege(ctx dme.Context, from int, m Privilege) {
 	if m.Epoch < nd.epoch {
 		// Stale token from before an INVALIDATE round: discard (§6).
 		return
 	}
+	if nd.staleTokenCopy(m) {
+		// A duplicate copy of a token state already processed here. It
+		// must not be handled again: stashing it mid-CS would rewind the
+		// fence counter at CS exit, and adopting it while idle would fork
+		// a second token incarnation next to the live one.
+		nd.observe(Event{Kind: EventDuplicateTokenDropped, Arbiter: nd.arbiter, Epoch: m.Epoch, Fence: m.Fence})
+		return
+	}
+	nd.noteTokenSeen(m.Epoch, m.Gen, m.Fence)
 	nd.epoch = m.Epoch
 	if m.Gen > nd.gen {
 		nd.gen = m.Gen
@@ -360,6 +437,7 @@ func (nd *node) enterCS(ctx dme.Context, tok Privilege, entry QEntry, st *reqSta
 	if tok.Fence > nd.maxFence {
 		nd.maxFence = tok.Fence
 	}
+	nd.noteTokenSeen(tok.Epoch, tok.Gen, tok.Fence)
 	ctx.Cancel(st.retxTimer)
 	ctx.Cancel(st.tokTimer)
 	nd.removeOutstanding(entry.Seq)
@@ -392,6 +470,19 @@ func (nd *node) OnCSDone(ctx dme.Context) {
 		}
 		tok.ToMonitor = false
 		nd.handleToken(ctx, tok)
+		return
+	}
+	if nd.token.Epoch < nd.epoch {
+		// The incarnation we executed under was invalidated mid-CS (the
+		// fence protected the resource throughout); the regenerated
+		// token owns the queue now — ours dies here rather than
+		// re-arbitrating a dead epoch.
+		nd.haveToken = false
+		nd.observe(Event{Kind: EventStaleTokenDropped, Arbiter: nd.arbiter, Epoch: nd.token.Epoch, Fence: nd.token.Fence})
+		if nd.opts.SeqNumbers && nd.backlog > 0 && len(nd.outstanding) == 0 {
+			nd.backlog--
+			nd.issueRequest(ctx)
+		}
 		return
 	}
 	tok := nd.token
@@ -465,6 +556,28 @@ func (nd *node) abandonCollection(ctx dme.Context, realArbiter int) {
 			ctx.Send(nd.id, realArbiter, Request{Entry: e, Hops: 1})
 		}
 	}
+}
+
+// dropInvalidatedToken discards a held token whose incarnation has been
+// superseded — we learned (via INVALIDATE or a NEW-ARBITER carrying a
+// higher epoch) that a regenerated token owns the queue now. §6's rule
+// discards a stale token on *receipt*; this applies the same rule to a
+// token already in hand when the supersession is learned. Without it a
+// partitioned arbiter can sit on a dead token forever, self-granting
+// fences below the cluster's high-water mark: every grant is rejected
+// by the fenced resource, yet the node never rejoins the live token's
+// queue — a permanent liveness wedge. A CS in progress is left to
+// finish (the fence already protects the resource); OnCSDone performs
+// the same check on exit.
+func (nd *node) dropInvalidatedToken(ctx dme.Context) {
+	if !nd.haveToken || nd.inCS || nd.token.Epoch >= nd.epoch {
+		return
+	}
+	nd.haveToken = false
+	nd.windowDone = false
+	ctx.Cancel(nd.windowTimer)
+	nd.windowTimer = nil
+	nd.observe(Event{Kind: EventStaleTokenDropped, Arbiter: nd.arbiter, Epoch: nd.token.Epoch, Fence: nd.token.Fence})
 }
 
 // becomeArbiter records designation as the current arbiter and begins
@@ -547,6 +660,7 @@ func (nd *node) sendBatch(ctx dme.Context, batch QList, fromMonitor bool) {
 		nd.counter = 0
 	}
 	nd.gen++ // every dispatch starts a new batch generation
+	nd.noteTokenSeen(nd.epoch, nd.gen, nd.token.Fence)
 	broadcast := tail.Node != nd.id || fromMonitor
 	if broadcast {
 		if !fromMonitor {
@@ -618,6 +732,17 @@ func (nd *node) beginForwarding(ctx dme.Context) {
 // implicit-ACK check for our own outstanding requests (§6, lost request),
 // and assume the arbiter role if the message names us.
 func (nd *node) onNewArbiter(ctx dme.Context, from int, m NewArbiter) {
+	if m.Epoch > nd.epoch {
+		// Epoch and generation are orthogonal orders: the epoch counts
+		// §6 invalidation rounds, the generation counts batches. Even a
+		// generation-stale announcement proves every token incarnation
+		// below its epoch dead, so this part is processed before the
+		// gen gate — after a partition the two sides' generations have
+		// diverged arbitrarily and waiting for one to overtake the other
+		// would leave a stale-epoch holder zombie-arbitrating for ages.
+		nd.epoch = m.Epoch
+		nd.dropInvalidatedToken(ctx)
+	}
 	if m.Gen <= nd.naGen {
 		// A stale or duplicate announcement that was overtaken by newer
 		// ones: acting on it would re-designate a long-gone arbiter and
@@ -630,9 +755,6 @@ func (nd *node) onNewArbiter(ctx dme.Context, from int, m NewArbiter) {
 	nd.naGen = m.Gen
 	if m.Gen > nd.gen {
 		nd.gen = m.Gen
-	}
-	if m.Epoch > nd.epoch {
-		nd.epoch = m.Epoch
 	}
 	if nd.collecting && !nd.haveToken && m.Arbiter != nd.id {
 		// Someone else dispatched a newer batch while we believed we

@@ -117,6 +117,25 @@ const (
 	// re-sent — the RetransmitTimeout fallback fired or the request
 	// missed τ consecutive NEW-ARBITER Q-lists.
 	EventRequestRetransmitted
+	// EventInvalidationResolved: a §6 invalidation round concluded
+	// without regenerating the token — a holder answered the ENQUIRY (and
+	// was sent RESUME), or the token arrived while phase 1 was still
+	// collecting. The counterpart of EventTokenRegenerated: every
+	// EventInvalidationStarted ends in exactly one of the two.
+	EventInvalidationResolved
+	// EventDuplicateTokenDropped: a PRIVILEGE arrived whose (epoch, gen,
+	// fence) sequence was strictly below the newest token state this node
+	// has already processed — an at-least-once transport's retransmission
+	// or a network duplicate. Processing it would fork the token's fence
+	// counter (a stash-and-adopt at CS exit rewinds the fence to its
+	// pre-grant value), so it is discarded on receipt.
+	EventDuplicateTokenDropped
+	// EventStaleTokenDropped: a token this node was HOLDING (or executing
+	// under) turned out to belong to a superseded epoch — an INVALIDATE or
+	// a higher-epoch NEW-ARBITER proved a regenerated token owns the queue.
+	// The held token is discarded so the node rejoins the live queue as an
+	// ordinary requester instead of self-granting dead fences forever.
+	EventStaleTokenDropped
 )
 
 // String names the kind for logs.
@@ -144,6 +163,12 @@ func (k EventKind) String() string {
 		return "request-dropped"
 	case EventRequestRetransmitted:
 		return "request-retransmitted"
+	case EventInvalidationResolved:
+		return "invalidation-resolved"
+	case EventDuplicateTokenDropped:
+		return "duplicate-token-dropped"
+	case EventStaleTokenDropped:
+		return "stale-token-dropped"
 	default:
 		return "unknown"
 	}

@@ -116,14 +116,29 @@ func (r *recovery) armWatchdog(ctx dme.Context, nd *node, target int) {
 	})
 }
 
-// onNewArbiterSeen runs on every NEW-ARBITER broadcast: the system is
-// visibly alive, so suspicion of the watched arbiter is dropped; and if
-// the broadcast designates us, it also tells us which batch the token is
-// currently serving.
+// onNewArbiterSeen runs on every strictly-newer NEW-ARBITER broadcast:
+// the system is visibly alive, so suspicion of the watched arbiter is
+// dropped; and if the broadcast designates us, it also tells us which
+// batch the token is currently serving.
 func (r *recovery) onNewArbiterSeen(ctx dme.Context, nd *node, from int, m NewArbiter) {
 	ctx.Cancel(r.watchTimer)
 	ctx.Cancel(r.probeTimer)
 	r.watchTarget = -1
+	if r.invalidating {
+		// The broadcast refutes this round's premise: whoever produced
+		// the strictly newer batch (an arbiter dispatching, or a takeover
+		// that now owns recovery itself) supersedes our role in it.
+		// Pressing on to phase 2 here would regenerate a second token
+		// next to a live one; stand down and let the newer generation's
+		// arbiter run recovery if it is still needed.
+		r.endInvalidation(ctx)
+		nd.observe(Event{Kind: EventInvalidationResolved, Arbiter: nd.id, Epoch: nd.epoch})
+		if m.Arbiter == nd.id {
+			// Re-designated: the token is on its way again; go back to
+			// plain token-arrival waiting for this new batch.
+			r.armTokenWait(ctx, nd)
+		}
+	}
 	if m.Arbiter == nd.id {
 		r.pendingBatch = m.Q.Clone()
 	}
@@ -153,7 +168,16 @@ func (r *recovery) onScheduled(ctx dme.Context, nd *node, st *reqState) {
 			if !nd.hasOutstanding(st.seq) {
 				return
 			}
-			ctx.Send(nd.id, nd.arbiter, Warning{Entry: QEntry{Node: nd.id, Seq: st.seq}})
+			st.warnings++
+			w := Warning{Entry: QEntry{Node: nd.id, Seq: st.seq}}
+			if st.warnings%retxEscalation == 0 {
+				// The unicast may be landing on a stale arbiter belief;
+				// every few rounds reach for whoever actually holds the
+				// token or the role (cf. retxEscalation for REQUESTs).
+				ctx.Broadcast(nd.id, w)
+			} else {
+				ctx.Send(nd.id, nd.arbiter, w)
+			}
 			arm()
 		})
 	}
@@ -161,10 +185,25 @@ func (r *recovery) onScheduled(ctx dme.Context, nd *node, st *reqState) {
 	arm()
 }
 
-// onWarning: a requester suspects the token is lost. Only the current
-// arbiter reacts, and only when it is itself still waiting for the token.
+// onWarning: a requester suspects the token is lost. A collecting
+// arbiter that is itself still waiting for the token starts the §6
+// invalidation. A collecting arbiter that HOLDS the token instead
+// re-accepts the warner's entry: the warner was scheduled on a batch
+// whose token incarnation died (e.g. an invalidation round lost the
+// ENQUIRY to it, presumed it failed, and excluded its entry from the
+// requeue) and it has no other path back into the queue — its
+// retransmission timer is off while scheduled. Batch dedup and the
+// executed-entry skip absorb the case where the entry was in fact
+// served.
 func (nd *node) onWarning(ctx dme.Context, from int, m Warning) {
-	if !enabled(nd) || !nd.collecting || nd.haveToken || nd.rec.invalidating {
+	if !enabled(nd) || !nd.collecting {
+		return
+	}
+	if nd.haveToken || nd.inCS {
+		nd.acceptRequest(ctx, m.Entry)
+		return
+	}
+	if nd.rec.invalidating {
 		return
 	}
 	nd.rec.startInvalidation(ctx, nd)
@@ -246,6 +285,7 @@ func (nd *node) onEnquiryAck(ctx dme.Context, from int, m EnquiryAck) {
 	if m.Status == StatusHolding {
 		ctx.Send(nd.id, from, Resume{Round: m.Round})
 		r.endInvalidation(ctx)
+		nd.observe(Event{Kind: EventInvalidationResolved, Arbiter: nd.id, Epoch: nd.epoch})
 		return
 	}
 	if len(r.acks) == len(r.targets) {
@@ -269,6 +309,7 @@ func (r *recovery) finishInvalidation(ctx dme.Context, nd *node) {
 		// The "lost" token arrived while phase 1 was still collecting
 		// answers (it was merely slow): nothing to regenerate — minting
 		// a second token here would clobber the live one.
+		nd.observe(Event{Kind: EventInvalidationResolved, Arbiter: nd.id, Epoch: nd.epoch})
 		return
 	}
 	nd.epoch++
@@ -308,16 +349,19 @@ func (r *recovery) finishInvalidation(ctx dme.Context, nd *node) {
 	if fenceJump > nd.maxFence {
 		nd.maxFence = fenceJump
 	}
+	nd.noteTokenSeen(nd.epoch, nd.gen, fenceJump)
 	nd.observe(Event{Kind: EventTokenRegenerated, Arbiter: nd.id, Epoch: nd.epoch, Fence: fenceJump})
 	nd.startWindow(ctx)
 }
 
 // onInvalidate: adopt the new token epoch so the stale token, if it ever
-// surfaces, is discarded on receipt.
+// surfaces, is discarded on receipt — and if we are HOLDING that stale
+// token, drop it on the spot.
 func (nd *node) onInvalidate(ctx dme.Context, from int, m Invalidate) {
 	if m.Epoch > nd.epoch {
 		nd.epoch = m.Epoch
 	}
+	nd.dropInvalidatedToken(ctx)
 }
 
 // onResume: the invalidation round found us holding the token; continue

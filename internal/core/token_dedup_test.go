@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestDuplicateTokenDroppedMidCS pins the fence-rewind bug the sequence
+// dedup exists to prevent: a node granted the CS off one copy of the
+// token, and the transport's duplicate of the SAME pre-grant state
+// arrives mid-CS. Before the dedup, the copy was stashed as a "newer
+// incarnation" and adopted at CS exit, rewinding the token's fence to
+// its pre-grant value — the next grant anywhere reused a fence number
+// and a fenced resource saw one fence presented by two holders.
+func TestDuplicateTokenDroppedMidCS(t *testing.T) {
+	var events []Event
+	ctx := newFakeCtx(t, 3)
+	nd := testNode(t, 1, 3, Options{
+		Observer: func(ev Event) { events = append(events, ev) },
+	})
+
+	nd.OnRequest(ctx) // own request, seq 1
+	tok := Privilege{
+		Q:       QList{{Node: 1, Seq: 1}, {Node: 2, Seq: 5}},
+		Granted: make([]uint64, 3),
+		Gen:     1,
+		Fence:   9,
+	}
+	nd.OnMessage(ctx, 0, tok)
+	if !nd.inCS || nd.csFence != 10 {
+		t.Fatalf("token did not grant the CS at fence 10: inCS=%v fence=%d", nd.inCS, nd.csFence)
+	}
+
+	// The duplicate of the pre-grant state arrives while we execute.
+	nd.OnMessage(ctx, 0, tok)
+	if nd.pendingTok != nil {
+		t.Fatal("duplicate pre-grant token was stashed instead of dropped")
+	}
+	if n := countEvents(events, EventDuplicateTokenDropped); n != 1 {
+		t.Fatalf("duplicate-token-dropped observed %d times, want 1", n)
+	}
+
+	// CS exit must forward the POST-grant token: fence 10, not 9.
+	nd.OnCSDone(ctx)
+	passes := ctx.sent(KindPrivilege)
+	if len(passes) != 1 || passes[0].to != 2 {
+		t.Fatalf("token not forwarded to node 2: %v", ctx.sends)
+	}
+	if f := passes[0].msg.(Privilege).Fence; f != 10 {
+		t.Fatalf("forwarded token rewound the fence to %d, want 10", f)
+	}
+}
+
+// TestDuplicateTokenDroppedWhenIdle covers the idle half: after the node
+// forwarded the token on, a late duplicate of the pre-grant state must
+// be discarded — re-processing it would forward a second live copy of
+// the token whose fence counter then diverges from the real one.
+func TestDuplicateTokenDroppedWhenIdle(t *testing.T) {
+	var events []Event
+	ctx := newFakeCtx(t, 3)
+	nd := testNode(t, 1, 3, Options{
+		Observer: func(ev Event) { events = append(events, ev) },
+	})
+
+	nd.OnRequest(ctx)
+	tok := Privilege{
+		Q:       QList{{Node: 1, Seq: 1}, {Node: 2, Seq: 5}},
+		Granted: make([]uint64, 3),
+		Gen:     1,
+		Fence:   9,
+	}
+	nd.OnMessage(ctx, 0, tok)
+	nd.OnCSDone(ctx)
+
+	ctx.sends = nil
+	nd.OnMessage(ctx, 0, tok)
+	if len(ctx.sent(KindPrivilege)) != 0 {
+		t.Fatalf("late duplicate forwarded a second token copy: %v", ctx.sends)
+	}
+	if n := countEvents(events, EventDuplicateTokenDropped); n != 1 {
+		t.Fatalf("duplicate-token-dropped observed %d times, want 1", n)
+	}
+}
+
+// TestEqualSequenceTokenAccepted guards the reunite path against
+// over-eager dedup: a token shipped BACK to a node that granted under
+// it (a §6 takeover reuniting role and token) carries exactly the
+// tuple the node already recorded — equal, not older — and must be
+// adopted, or the reunite would strand the token.
+func TestEqualSequenceTokenAccepted(t *testing.T) {
+	ctx := newFakeCtx(t, 3)
+	nd := testNode(t, 1, 3, Options{})
+
+	nd.OnRequest(ctx)
+	nd.OnMessage(ctx, 0, Privilege{
+		Q:       QList{{Node: 1, Seq: 1}, {Node: 2, Seq: 5}},
+		Granted: make([]uint64, 3),
+		Gen:     1,
+		Fence:   9,
+	})
+	nd.OnCSDone(ctx) // granted at fence 10, forwarded to node 2
+
+	// The journey ends elsewhere and the token is shipped back to us,
+	// unchanged since our grant: same gen, same fence, Q exhausted.
+	nd.OnMessage(ctx, 2, Privilege{Q: QList{}, Granted: make([]uint64, 3), Gen: 1, Fence: 10})
+	if !nd.haveToken {
+		t.Fatal("equal-sequence token rejected; the reunite stranded the token")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestStaleTokenDroppedOnHigherEpochAnnouncement pins the zombie-arbiter
+// fix: a node holding a token learns — via a NEW-ARBITER carrying a
+// higher epoch — that its incarnation was invalidated (§6). The held
+// token must be discarded even when the announcement is GENERATION-stale
+// (after a partition the two sides' generations have diverged, so
+// waiting for the gen gate to pass would leave the holder self-granting
+// dead fences for ages).
+func TestStaleTokenDroppedOnHigherEpochAnnouncement(t *testing.T) {
+	var events []Event
+	ctx := newFakeCtx(t, 3)
+	nd := testNode(t, 1, 3, Options{
+		Observer: func(ev Event) { events = append(events, ev) },
+	})
+
+	// Become the token-holding arbiter: the Q-list ends here.
+	nd.OnMessage(ctx, 0, Privilege{Q: QList{}, Granted: make([]uint64, 3), Gen: 1, Fence: 5})
+	if !nd.haveToken || !nd.collecting {
+		t.Fatalf("setup: haveToken=%v collecting=%v, want token-holding arbiter", nd.haveToken, nd.collecting)
+	}
+
+	// A generation-stale announcement (Gen 0 ≤ naGen) with a strictly
+	// newer epoch: proof the held incarnation is dead.
+	nd.OnMessage(ctx, 2, NewArbiter{Arbiter: 2, Epoch: 2, Gen: 0})
+	if nd.haveToken {
+		t.Fatal("stale-epoch token kept after a higher-epoch announcement")
+	}
+	if nd.epoch != 2 {
+		t.Fatalf("epoch not adopted from the gen-stale announcement: %d, want 2", nd.epoch)
+	}
+	if n := countEvents(events, EventStaleTokenDropped); n != 1 {
+		t.Fatalf("stale-token-dropped observed %d times, want 1", n)
+	}
+}
+
+// TestStaleTokenKeptWhileInCS: the same supersession arriving mid-CS
+// must NOT yank the token out from under the executing critical section
+// — fencing protects the resource — but the token dies at CS exit
+// instead of re-arbitrating a dead epoch.
+func TestStaleTokenKeptWhileInCS(t *testing.T) {
+	var events []Event
+	ctx := newFakeCtx(t, 3)
+	nd := testNode(t, 1, 3, Options{
+		Observer: func(ev Event) { events = append(events, ev) },
+	})
+
+	nd.OnRequest(ctx)
+	nd.OnMessage(ctx, 0, Privilege{
+		Q:       QList{{Node: 1, Seq: 1}, {Node: 2, Seq: 5}},
+		Granted: make([]uint64, 3),
+		Gen:     1,
+		Fence:   9,
+	})
+	if !nd.inCS {
+		t.Fatal("setup: node not in CS")
+	}
+
+	nd.OnMessage(ctx, 2, NewArbiter{Arbiter: 2, Epoch: 2, Gen: 0})
+	if !nd.haveToken || !nd.inCS {
+		t.Fatal("supersession mid-CS must leave the executing CS alone")
+	}
+
+	ctx.sends = nil
+	nd.OnCSDone(ctx)
+	if nd.haveToken {
+		t.Fatal("stale token survived CS exit")
+	}
+	if got := len(ctx.sent(KindPrivilege)); got != 0 {
+		t.Fatalf("stale token forwarded at CS exit (%d sends); it must die here", got)
+	}
+	if n := countEvents(events, EventStaleTokenDropped); n != 1 {
+		t.Fatalf("stale-token-dropped observed %d times, want 1", n)
+	}
+}
+
+// TestWarningReacceptsOrphanedEntry pins the starvation fix for a
+// requester orphaned by an invalidation round: its entry was excluded
+// from the §6 requeue (a lost ENQUIRY made it look failed), its
+// retransmit timer is off (the entry was scheduled), so the periodic
+// WARNING is its only voice. An arbiter that holds the token must treat
+// that WARNING as a request resubmission, not ignore it.
+func TestWarningReacceptsOrphanedEntry(t *testing.T) {
+	var events []Event
+	ctx := newFakeCtx(t, 3)
+	nd := testNode(t, 1, 3, raceOptions(&events))
+
+	nd.OnMessage(ctx, 0, Privilege{Q: QList{}, Granted: make([]uint64, 3), Gen: 1, Fence: 5})
+	if !nd.haveToken || !nd.collecting {
+		t.Fatal("setup: want token-holding arbiter")
+	}
+
+	entry := QEntry{Node: 2, Seq: 7}
+	nd.OnMessage(ctx, 2, Warning{Entry: entry})
+	if !nd.q.Contains(entry) {
+		t.Fatalf("warner's entry not re-accepted into the batch: %v", nd.q)
+	}
+	// A repeated WARNING (they fire every TokenTimeout) must not
+	// duplicate the entry.
+	nd.OnMessage(ctx, 2, Warning{Entry: entry})
+	if len(nd.q) != 1 {
+		t.Fatalf("duplicate WARNING duplicated the entry: %v", nd.q)
+	}
+}
+
+// TestScheduledWarningEscalatesToBroadcast: the WARNING unicast chases
+// nd.arbiter, which can itself be a stale belief; every retxEscalation-th
+// round the warning goes to everyone so the real token holder hears it.
+func TestScheduledWarningEscalatesToBroadcast(t *testing.T) {
+	var events []Event
+	ctx := newFakeCtx(t, 4)
+	nd := testNode(t, 1, 4, raceOptions(&events))
+
+	nd.OnRequest(ctx) // seq 1, retransmit armed
+	// The announcement schedules our entry: retransmission stops, the
+	// token-arrival warning loop starts.
+	nd.OnMessage(ctx, 0, NewArbiter{
+		Arbiter: 0, Epoch: 0, Gen: 1,
+		Q: QList{{Node: 1, Seq: 1}},
+	})
+	st := nd.findOutstanding(1)
+	if st == nil || !st.scheduled {
+		t.Fatal("setup: request not scheduled by the announcement")
+	}
+
+	for round := 1; round <= retxEscalation; round++ {
+		ctx.sends = nil
+		ctx.firePending()
+		got := len(ctx.sent(KindWarning))
+		want := 1
+		if round%retxEscalation == 0 {
+			want = 3 // broadcast to the other n-1 nodes
+		}
+		if got != want {
+			t.Fatalf("warning round %d sent %d WARNINGs, want %d", round, got, want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package faultnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// state is the JSON document the handler serves and returns after writes.
+type state struct {
+	Faults   Faults   `json:"faults"`
+	Blocked  [][2]int `json:"blocked_links"`
+	Counters Counters `json:"counters"`
+}
+
+// Handler returns the /debug/faults endpoint: GET with no parameters
+// reports the current fault model, blocked links and counters as JSON;
+// query parameters mutate the injector and return the new state.
+//
+//	curl 'host:port/debug/faults'                       # inspect
+//	curl 'host:port/debug/faults?drop=0.2&dup=0.05'     # set probabilities
+//	curl 'host:port/debug/faults?delay=2ms&jitter=1ms'  # set latency
+//	curl 'host:port/debug/faults?partition=0,1|2,3,4'   # block the groups' links
+//	curl 'host:port/debug/faults?heal=1'                # clear all blocks
+//	curl 'host:port/debug/faults?clear=1'               # zero the fault model
+//
+// Probability/duration parameters replace only the keys given; others
+// keep their values. On a TCP cluster each process's endpoint governs
+// that node's outbound links, so partitioning a live cluster means
+// hitting each affected node's endpoint (the partition is directional).
+func (inj *Injector) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if err := inj.apply(q); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(state{
+			Faults:   inj.Faults(),
+			Blocked:  inj.BlockedLinks(),
+			Counters: inj.Counters(),
+		})
+	})
+}
+
+// apply mutates the injector according to the query parameters.
+func (inj *Injector) apply(q map[string][]string) error {
+	get := func(key string) (string, bool) {
+		vs := q[key]
+		if len(vs) == 0 {
+			return "", false
+		}
+		return vs[0], true
+	}
+
+	f := inj.Faults()
+	changed := false
+	if _, ok := get("clear"); ok {
+		f = Faults{}
+		changed = true
+	}
+	for _, p := range []struct {
+		key string
+		dst *float64
+	}{{"drop", &f.Drop}, {"dup", &f.Dup}, {"corrupt", &f.Corrupt}, {"reorder", &f.Reorder}} {
+		if val, ok := get(p.key); ok {
+			v, err := parseProb(p.key, val)
+			if err != nil {
+				return err
+			}
+			*p.dst = v
+			changed = true
+		}
+	}
+	for _, p := range []struct {
+		key string
+		dst *time.Duration
+	}{{"delay", &f.Delay}, {"jitter", &f.Jitter}, {"window", &f.ReorderWindow}} {
+		if val, ok := get(p.key); ok {
+			v, err := parseDur(p.key, val)
+			if err != nil {
+				return err
+			}
+			*p.dst = v
+			changed = true
+		}
+	}
+	if changed {
+		if err := inj.SetFaults(f); err != nil {
+			return err
+		}
+	}
+
+	if val, ok := get("partition"); ok {
+		a, b, err := parsePartition(val)
+		if err != nil {
+			return err
+		}
+		if val, ok := get("for"); ok {
+			d, err := parseDur("for", val)
+			if err != nil {
+				return err
+			}
+			inj.PartitionFor(a, b, d)
+		} else {
+			inj.Partition(a, b)
+		}
+	}
+	if _, ok := get("heal"); ok {
+		inj.Heal()
+	}
+	return nil
+}
+
+// parsePartition parses "0,1|2,3,4" into the two node groups.
+func parsePartition(s string) (a, b []int, err error) {
+	left, right, ok := strings.Cut(s, "|")
+	if !ok {
+		return nil, nil, fmt.Errorf(
+			"faultnet: partition %q: want two |-separated node groups like 0,1|2,3", s)
+	}
+	if a, err = parseGroup(left); err != nil {
+		return nil, nil, err
+	}
+	if b, err = parseGroup(right); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+func parseGroup(s string) ([]int, error) {
+	var ids []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("faultnet: partition group %q: %q is not a node id", s, part)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("faultnet: partition group %q is empty", s)
+	}
+	return ids, nil
+}

@@ -1,0 +1,92 @@
+package faultnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is the parsed form of a -chaos command-line specification.
+type Spec struct {
+	Faults Faults
+	Seed   uint64
+}
+
+// ParseSpec parses the -chaos flag grammar: a comma-separated list of
+// key=value pairs.
+//
+//	drop=0.1,dup=0.05,delay=2ms,jitter=1ms,reorder=0.1,corrupt=0.01,seed=7
+//
+// Probability keys (drop, dup, corrupt, reorder) take values in [0,1];
+// duration keys (delay, jitter, window) take Go durations; seed takes an
+// unsigned integer (default 1, so unseeded runs are still reproducible).
+// The empty string parses to a zero Spec with Seed 1.
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{Seed: 1}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faultnet: spec %q: %q is not key=value", s, part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "drop":
+			spec.Faults.Drop, err = parseProb(key, val)
+		case "dup":
+			spec.Faults.Dup, err = parseProb(key, val)
+		case "corrupt":
+			spec.Faults.Corrupt, err = parseProb(key, val)
+		case "reorder":
+			spec.Faults.Reorder, err = parseProb(key, val)
+		case "delay":
+			spec.Faults.Delay, err = parseDur(key, val)
+		case "jitter":
+			spec.Faults.Jitter, err = parseDur(key, val)
+		case "window":
+			spec.Faults.ReorderWindow, err = parseDur(key, val)
+		case "seed":
+			spec.Seed, err = strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("faultnet: seed %q is not an unsigned integer", val)
+			}
+		default:
+			return Spec{}, fmt.Errorf(
+				"faultnet: spec %q: unknown key %q (want drop, dup, corrupt, reorder, delay, jitter, window or seed)",
+				s, key)
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	if err := spec.Faults.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+func parseProb(key, val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("faultnet: %s=%q is not a probability in [0,1]", key, val)
+	}
+	return p, nil
+}
+
+func parseDur(key, val string) (time.Duration, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("faultnet: %s=%q is not a non-negative duration (like 2ms)", key, val)
+	}
+	return d, nil
+}

@@ -149,6 +149,7 @@ func TestTryLock(t *testing.T) {
 	if err := nodes[0].Lock(bg); err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore SA1019 the deprecated wrapper stays covered until it is removed
 	ok, err := nodes[1].TryLock(50 * time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +158,7 @@ func TestTryLock(t *testing.T) {
 		t.Fatal("TryLock succeeded while the CS was held elsewhere")
 	}
 	nodes[0].Unlock()
+	//lint:ignore SA1019 the deprecated wrapper stays covered until it is removed
 	ok, err = nodes[1].TryLock(5 * time.Second)
 	if err != nil {
 		t.Fatal(err)

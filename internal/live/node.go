@@ -330,20 +330,33 @@ func (n *Node) LockFence(ctx context.Context) (uint64, error) {
 	}
 }
 
-// TryLock acquires the mutex only if it can be granted within the given
-// wait; it is Lock with a deadline and a boolean result.
-func (n *Node) TryLock(wait time.Duration) (bool, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), wait)
-	defer cancel()
+// TryLockContext acquires the mutex only if it is granted before ctx is
+// done: (true, nil) on acquisition, (false, nil) when the context expired
+// or was cancelled first, and (false, err) for real failures such as
+// ErrClosed. Callers own the deadline, so a TryLock can share a context
+// with the rest of an operation instead of inventing a wait duration.
+func (n *Node) TryLockContext(ctx context.Context) (bool, error) {
 	err := n.Lock(ctx)
 	switch {
 	case err == nil:
 		return true, nil
-	case errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return false, nil
 	default:
 		return false, err
 	}
+}
+
+// TryLock acquires the mutex only if it can be granted within the given
+// wait.
+//
+// Deprecated: use TryLockContext, which composes with the caller's
+// cancellation instead of a bare duration. TryLock remains as a thin
+// wrapper over it.
+func (n *Node) TryLock(wait time.Duration) (bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	return n.TryLockContext(ctx)
 }
 
 // Unlock releases the critical section acquired by Lock; when it returns,
@@ -427,7 +440,10 @@ func (n *Node) Inspect(ctx context.Context) (core.Introspection, error) {
 // Close shuts the node down: the event loop stops, pending Lock calls
 // fail with ErrClosed, and the transport endpoint is closed. A crashed
 // node is simulated by Close — the rest of the cluster recovers via the
-// §6 protocol when recovery options are enabled.
+// §6 protocol when recovery options are enabled. Close is idempotent and
+// safe to race with the public API (Lock/TryLockContext return ErrClosed,
+// Unlock of a closed node returns once the holder bookkeeping is dropped),
+// which is what lets a Supervisor kill a node out from under its users.
 func (n *Node) Close() error {
 	if !n.closed.CompareAndSwap(false, true) {
 		return nil

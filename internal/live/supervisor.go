@@ -1,0 +1,182 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Member describes one supervised cluster slot: how to (re)build its
+// node. Build is called for the initial start and again for every
+// Restart, so it must return a fresh Config each time — in particular a
+// working Transport (for the in-process network that means reconnecting
+// the endpoint the previous incarnation's Close disconnected, e.g.
+// net.Reconnect(i) before returning net.Endpoint(i)). Identity fields
+// (ID, N, Factory) should be identical across incarnations; everything
+// else — registries, loggers — may be fresh.
+type Member struct {
+	Build func() (Config, error)
+}
+
+// Supervisor manages crash/restart lifecycles for a set of live nodes:
+// Kill closes a node the way a process crash would (the rest of the
+// cluster recovers via the §6 protocol), and Restart replays the
+// member's Config through NewNode, rejoining the cluster as the same
+// identity. This is the in-process analogue of an init system restarting
+// a crashed cluster member, and what chaos tests use to exercise the
+// recovery protocol deterministically.
+//
+// All methods are safe for concurrent use. A restarted node is a new
+// *Node value: callers must re-fetch it with Node(i) rather than hold
+// the old pointer (the old one stays safely closed — its Lock returns
+// ErrClosed and a second Close is a no-op).
+type Supervisor struct {
+	members []Member
+
+	mu       sync.Mutex
+	nodes    []*Node
+	restarts uint64
+	closed   bool
+}
+
+// NewSupervisor builds and starts one node per member. On any build
+// error the already-started nodes are closed and the error returned.
+func NewSupervisor(members []Member) (*Supervisor, error) {
+	s := &Supervisor{
+		members: members,
+		nodes:   make([]*Node, len(members)),
+	}
+	for i := range members {
+		if members[i].Build == nil {
+			s.closeAll()
+			return nil, fmt.Errorf("live: supervisor member %d has no Build", i)
+		}
+		node, err := buildMember(members[i])
+		if err != nil {
+			s.closeAll()
+			return nil, fmt.Errorf("live: supervisor member %d: %w", i, err)
+		}
+		s.nodes[i] = node
+	}
+	return s, nil
+}
+
+func buildMember(m Member) (*Node, error) {
+	cfg, err := m.Build()
+	if err != nil {
+		return nil, err
+	}
+	return NewNode(cfg)
+}
+
+// Node returns member i's current incarnation, or nil while it is
+// killed. The pointer is only current until the next Restart(i).
+func (s *Supervisor) Node(i int) *Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.nodes) {
+		return nil
+	}
+	return s.nodes[i]
+}
+
+// Running reports whether member i currently has a live node.
+func (s *Supervisor) Running(i int) bool { return s.Node(i) != nil }
+
+// Restarts returns how many restarts the supervisor has performed.
+func (s *Supervisor) Restarts() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restarts
+}
+
+// Kill crashes member i: its node is closed (in-flight Lock calls fail
+// with ErrClosed, its transport endpoint closes) and the slot becomes
+// empty until Restart. Killing an already-killed member is a no-op.
+func (s *Supervisor) Kill(i int) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if i < 0 || i >= len(s.nodes) {
+		s.mu.Unlock()
+		return fmt.Errorf("live: supervisor has no member %d", i)
+	}
+	node := s.nodes[i]
+	s.nodes[i] = nil
+	s.mu.Unlock()
+	if node == nil {
+		return nil
+	}
+	// Close outside the lock: it waits for the node's event loop.
+	return node.Close()
+}
+
+// Restart rebuilds member i from its Build function and starts the new
+// incarnation. A still-running member is killed first, so Restart alone
+// expresses a crash-restart cycle.
+func (s *Supervisor) Restart(i int) (*Node, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if i < 0 || i >= len(s.members) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("live: supervisor has no member %d", i)
+	}
+	s.mu.Unlock()
+
+	if err := s.Kill(i); err != nil && !errors.Is(err, ErrClosed) {
+		return nil, err
+	}
+	node, err := buildMember(s.members[i])
+	if err != nil {
+		return nil, fmt.Errorf("live: restart member %d: %w", i, err)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = node.Close()
+		return nil, ErrClosed
+	}
+	s.nodes[i] = node
+	s.restarts++
+	s.mu.Unlock()
+	return node, nil
+}
+
+// Close shuts every running member down. Idempotent; after Close the
+// supervisor refuses Kill and Restart.
+func (s *Supervisor) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.closeAll()
+}
+
+func (s *Supervisor) closeAll() error {
+	s.mu.Lock()
+	nodes := make([]*Node, len(s.nodes))
+	copy(nodes, s.nodes)
+	for i := range s.nodes {
+		s.nodes[i] = nil
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if err := n.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,190 @@
+package live_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/transport"
+)
+
+// supervisedCluster builds an n-node supervised in-memory cluster whose
+// Build closures reconnect the member's endpoint, so Restart works after
+// Kill closed it.
+func supervisedCluster(t *testing.T, n int, opts core.Options) (*live.Supervisor, *transport.MemNetwork) {
+	t.Helper()
+	net := transport.NewMemNetwork(n, transport.MemOptions{})
+	members := make([]live.Member, n)
+	for i := 0; i < n; i++ {
+		members[i] = live.Member{Build: func() (live.Config, error) {
+			net.Reconnect(i)
+			return live.Config{
+				ID:        i,
+				N:         n,
+				Transport: net.Endpoint(i),
+				Factory:   registry.CoreLiveFactory(opts),
+				Seed:      uint64(i + 1),
+			}, nil
+		}}
+	}
+	sup, err := live.NewSupervisor(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = sup.Close()
+		net.Close()
+	})
+	return sup, net
+}
+
+func recoveryOptions() core.Options {
+	opts := fastOptions()
+	opts.Recovery = core.RecoveryOptions{
+		Enabled:        true,
+		TokenTimeout:   0.15,
+		RoundTimeout:   0.05,
+		ArbiterTimeout: 0.4,
+		ProbeTimeout:   0.05,
+	}
+	return opts
+}
+
+// TestSupervisorKillRestart crashes a member mid-run and brings it back:
+// the survivors keep acquiring the mutex across the crash, and the
+// restarted incarnation rejoins and acquires it too.
+func TestSupervisorKillRestart(t *testing.T) {
+	sup, _ := supervisedCluster(t, 3, recoveryOptions())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	lockUnlock := func(i int) {
+		t.Helper()
+		nd := sup.Node(i)
+		if nd == nil {
+			t.Fatalf("member %d is not running", i)
+		}
+		if err := nd.Lock(ctx); err != nil {
+			t.Fatalf("member %d lock: %v", i, err)
+		}
+		nd.Unlock()
+	}
+
+	for i := 0; i < 3; i++ {
+		lockUnlock(i)
+	}
+
+	victim := sup.Node(2)
+	if err := sup.Kill(2); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if sup.Running(2) || sup.Node(2) != nil {
+		t.Fatal("member 2 still running after Kill")
+	}
+	if err := victim.Lock(ctx); !errors.Is(err, live.ErrClosed) {
+		t.Fatalf("killed node Lock err = %v, want ErrClosed", err)
+	}
+	if err := sup.Kill(2); err != nil {
+		t.Fatalf("double Kill should be a no-op, got %v", err)
+	}
+
+	// Survivors make progress while member 2 is down.
+	lockUnlock(0)
+	lockUnlock(1)
+
+	fresh, err := sup.Restart(2)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if fresh == victim {
+		t.Fatal("Restart returned the old incarnation")
+	}
+	if sup.Node(2) != fresh || sup.Restarts() != 1 {
+		t.Fatalf("supervisor state after restart: node=%p restarts=%d", sup.Node(2), sup.Restarts())
+	}
+	lockUnlock(2)
+}
+
+// TestSupervisorRestartRunning checks Restart of a live member performs
+// the full crash-restart cycle in one call.
+func TestSupervisorRestartRunning(t *testing.T) {
+	sup, _ := supervisedCluster(t, 2, recoveryOptions())
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	old := sup.Node(1)
+	fresh, err := sup.Restart(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == old {
+		t.Fatal("Restart of a running member returned the old node")
+	}
+	if err := old.Lock(ctx); !errors.Is(err, live.ErrClosed) {
+		t.Fatalf("old incarnation Lock err = %v, want ErrClosed", err)
+	}
+	if err := fresh.Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Unlock()
+}
+
+// TestSupervisorClose checks Close is idempotent and blocks later
+// lifecycle calls.
+func TestSupervisorClose(t *testing.T) {
+	sup, _ := supervisedCluster(t, 2, fastOptions())
+	if err := sup.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := sup.Kill(0); !errors.Is(err, live.ErrClosed) {
+		t.Fatalf("Kill after Close err = %v, want ErrClosed", err)
+	}
+	if _, err := sup.Restart(0); !errors.Is(err, live.ErrClosed) {
+		t.Fatalf("Restart after Close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestTryLockContext(t *testing.T) {
+	nodes, _ := memCluster(t, 2, fastOptions(), transport.MemOptions{})
+	bg, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if err := nodes[0].Lock(bg); err != nil {
+		t.Fatal(err)
+	}
+	short, cancelShort := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancelShort()
+	ok, err := nodes[1].TryLockContext(short)
+	if err != nil || ok {
+		t.Fatalf("TryLockContext on a held mutex = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	// Explicit cancellation is also "not acquired", not an error.
+	canceled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	ok, err = nodes[1].TryLockContext(canceled)
+	if err != nil || ok {
+		t.Fatalf("TryLockContext with canceled ctx = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	nodes[0].Unlock()
+	ok, err = nodes[1].TryLockContext(bg)
+	if err != nil || !ok {
+		t.Fatalf("TryLockContext on a free mutex = (%v, %v), want (true, nil)", ok, err)
+	}
+	nodes[1].Unlock()
+
+	// Real failures still surface as errors.
+	_ = nodes[1].Close()
+	ok, err = nodes[1].TryLockContext(bg)
+	if !errors.Is(err, live.ErrClosed) || ok {
+		t.Fatalf("TryLockContext on a closed node = (%v, %v), want (false, ErrClosed)", ok, err)
+	}
+}

@@ -11,7 +11,8 @@ import (
 // Counting wraps a Transport and tallies traffic by message kind and
 // volume, giving live deployments the same messages-per-CS and
 // units-per-CS observability the simulation metrics provide. Wrap each
-// node's endpoint before passing it to live.NewNode:
+// node's endpoint before passing it to live.NewNode — directly, or as the
+// CountingMW middleware in a Chain:
 //
 //	ct := transport.NewCounting(net.Endpoint(i))
 //	node, _ := live.NewNode(live.Config{..., Transport: ct})
@@ -139,6 +140,9 @@ func (c *Counting) SetHandler(h Handler) {
 
 // Close implements Transport.
 func (c *Counting) Close() error { return c.inner.Close() }
+
+// Unwrap implements Wrapper, exposing the wrapped transport to Find.
+func (c *Counting) Unwrap() Transport { return c.inner }
 
 // Totals returns the number of messages sent to and received from peers.
 func (c *Counting) Totals() (sent, received uint64) {

@@ -2,6 +2,12 @@
 // live runtime (internal/live), with two implementations: an in-process
 // channel-based network (chanmem.go) for tests, examples and single-
 // process deployments, and a TCP/gob network (tcp.go) for real clusters.
+//
+// Cross-cutting layers compose over any base transport through the
+// Middleware API (middleware.go): Chain stacks decorators such as the
+// traffic-counting layer (CountingMW) or internal/faultnet's fault
+// injector over an endpoint, and Find recovers a typed layer from the
+// chain. See Middleware for the composition-order contract.
 package transport
 
 import "tokenarbiter/internal/dme"

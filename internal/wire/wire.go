@@ -165,8 +165,24 @@ func Seal(algo string, from int, msg dme.Message) (Envelope, error) {
 // payload that fails to decode returns *DecodeError. Both identify the
 // peer, so a misconfigured cluster diagnoses itself from either side's
 // logs.
+//
+// Validation is strictly ordered — version, then algorithm, then payload
+// — and exactly one error is returned per envelope, so each failure is
+// counted once by exactly one transport counter: a wrong-version
+// envelope is rejected as a mismatch before its payload (whose encoding
+// that version may define differently) is ever gob-decoded, rather than
+// also failing decode and being double-reported.
 func (e Envelope) Open(localAlgo string) (dme.Message, error) {
-	if e.Version != FormatVersion || e.Algo != localAlgo {
+	if e.Version != FormatVersion {
+		return nil, &MismatchError{
+			From:          e.From,
+			LocalAlgo:     localAlgo,
+			RemoteAlgo:    e.Algo,
+			LocalVersion:  FormatVersion,
+			RemoteVersion: e.Version,
+		}
+	}
+	if e.Algo != localAlgo {
 		return nil, &MismatchError{
 			From:          e.From,
 			LocalAlgo:     localAlgo,

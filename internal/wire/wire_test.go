@@ -209,3 +209,61 @@ func TestOpenCorruptPayload(t *testing.T) {
 		t.Errorf("decode-error fields %+v", de)
 	}
 }
+
+// TestOpenValidationOrder pins the one-error-per-envelope contract: each
+// failing envelope is classified by exactly one check, in version →
+// algorithm → payload order, so transport counters never double-report a
+// single bad envelope.
+func TestOpenValidationOrder(t *testing.T) {
+	algo := register(t, "raymond")
+	other := register(t, "suzukikasami")
+
+	// Wrong version AND undecodable payload: the version check wins —
+	// the payload (whose encoding that version may define differently)
+	// is never touched.
+	env, err := wire.Seal(algo, 4, raymond.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Version = wire.FormatVersion + 9
+	env.Payload = []byte{0xde, 0xad}
+	_, err = env.Open(algo)
+	var mm *wire.MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("wrong version + corrupt payload: got %T (%v), want *wire.MismatchError", err, err)
+	}
+	var de *wire.DecodeError
+	if errors.As(err, &de) {
+		t.Fatal("one envelope produced both a mismatch and a decode error")
+	}
+	if !strings.Contains(mm.Error(), "version mismatch") {
+		t.Errorf("version should be checked before algorithm/payload: %q", mm.Error())
+	}
+
+	// Wrong version AND wrong algorithm: still reported as the version
+	// disagreement — the more fundamental incompatibility.
+	env, err = wire.Seal(algo, 4, raymond.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Version = wire.FormatVersion + 1
+	_, err = env.Open(other)
+	if !errors.As(err, &mm) || !strings.Contains(mm.Error(), "version mismatch") {
+		t.Fatalf("wrong version + wrong algo: got %v, want a version MismatchError", err)
+	}
+
+	// Matching version and algorithm with a corrupt payload: exactly a
+	// DecodeError.
+	env, err = wire.Seal(algo, 4, raymond.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Payload = env.Payload[:len(env.Payload)/2]
+	_, err = env.Open(algo)
+	if !errors.As(err, &de) {
+		t.Fatalf("corrupt payload: got %T (%v), want *wire.DecodeError", err, err)
+	}
+	if errors.As(err, &mm) {
+		t.Fatal("corrupt payload also reported as a mismatch")
+	}
+}
