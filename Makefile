@@ -1,0 +1,34 @@
+# Developer entry points. The repo is plain `go build ./...`-able; the
+# targets below just package the common invocations.
+
+GO    ?= go
+DATE  ?= $(shell date +%F)
+# The benchmark-trajectory set: the end-to-end simulator throughput
+# benchmark plus the event-kernel micro-benchmarks. Override BENCH to
+# run more (e.g. `make bench BENCH=.` for every experiment benchmark).
+BENCH ?= SimulatorThroughput|ScheduleStep|PostStep|CancelHeavy
+
+.PHONY: build test race bench bench-full
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -skip TestChaosSoak ./...
+
+# bench runs the trajectory benchmarks and records the point as
+# BENCH_$(DATE).json. Commit the file when the numbers move: the dated
+# series is the performance history of the simulation engine.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . ./internal/sim | tee bench_raw.txt
+	$(GO) run ./cmd/benchjson -date $(DATE) -o BENCH_$(DATE).json < bench_raw.txt
+	@rm -f bench_raw.txt
+	@echo wrote BENCH_$(DATE).json
+
+# bench-full additionally sweeps every experiment benchmark (E1–E15
+# wrappers in bench_test.go); expect several minutes.
+bench-full:
+	$(MAKE) bench BENCH=.

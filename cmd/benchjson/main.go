@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench` text output into the
+// repository's benchmark-trajectory JSON (BENCH_<date>.json). It reads
+// the benchmark output on stdin and writes one JSON document:
+//
+//	go test -run '^$' -bench . -benchmem . ./internal/sim | benchjson -o BENCH_$(date +%F).json
+//
+// Every metric pair on a benchmark line is kept — the standard ns/op,
+// B/op and allocs/op as well as custom testing.B ReportMetric units such
+// as cs/sec and msgs/cs — so the file carries the full trajectory point
+// without benchjson knowing the unit names in advance. `make bench`
+// wraps the pipeline above; CI runs the same tool on a -benchtime=1x
+// smoke pass and uploads the artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Procs      int                `json:"procs,omitempty"` // the -N suffix (GOMAXPROCS)
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the BENCH_<date>.json document. Baseline, when present, maps
+// benchmark name → metric → value for the run this point is compared
+// against (the previous trajectory file, or hand-recorded numbers for
+// the first point); benchjson itself never writes it.
+type File struct {
+	Date       string                        `json:"date"`
+	GoOS       string                        `json:"goos,omitempty"`
+	GoArch     string                        `json:"goarch,omitempty"`
+	CPU        string                        `json:"cpu,omitempty"`
+	Baseline   map[string]map[string]float64 `json:"baseline,omitempty"`
+	Benchmarks []Benchmark                   `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		out  = fs.String("o", "", "output file (default stdout)")
+		date = fs.String("date", time.Now().Format("2006-01-02"), "date stamp for the document")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	doc, err := parse(stdin, *date)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+func parse(r io.Reader, date string) (*File, error) {
+	doc := &File{Date: date}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b.Package = pkg
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkFoo-8  100  400815 ns/op  249919 cs/sec  156467 B/op  3454 allocs/op
+//
+// The fields after the iteration count are (value, unit) pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Metrics: make(map[string]float64, (len(fields)-2)/2)}
+	// The -N GOMAXPROCS suffix is after the LAST dash; sub-benchmark
+	// names may themselves contain dashes.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	b.Name = strings.TrimPrefix(b.Name, "Benchmark")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

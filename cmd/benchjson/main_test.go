@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: tokenarbiter
+cpu: AMD EPYC 7B13
+BenchmarkSimulatorThroughput-8   	       4	 292973498 ns/op	    546936 cs/sec	     27564 B/op	     499 allocs/op
+BenchmarkFig6Comparison-8        	       1	1200000000 ns/op
+PASS
+pkg: tokenarbiter/internal/sim
+BenchmarkScheduleStep-8          	13651908	        87.78 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCancelHeavy/deep-queue-8	 1000000	       605.6 ns/op	       0 B/op	       0 allocs/op
+ok  	tokenarbiter/internal/sim	2.5s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample), "2026-08-05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoOS != "linux" || doc.GoArch != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header not parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+
+	b := doc.Benchmarks[0]
+	if b.Name != "SimulatorThroughput" || b.Procs != 8 || b.Package != "tokenarbiter" {
+		t.Errorf("first benchmark: %+v", b)
+	}
+	if b.Metrics["cs/sec"] != 546936 || b.Metrics["allocs/op"] != 499 {
+		t.Errorf("custom/benchmem metrics lost: %v", b.Metrics)
+	}
+
+	// Package header changes mid-stream.
+	if doc.Benchmarks[2].Package != "tokenarbiter/internal/sim" {
+		t.Errorf("package not tracked: %+v", doc.Benchmarks[2])
+	}
+	if doc.Benchmarks[2].Metrics["ns/op"] != 87.78 {
+		t.Errorf("fractional ns/op lost: %v", doc.Benchmarks[2].Metrics)
+	}
+
+	// Sub-benchmark with a dash keeps its name, sheds only the -N suffix.
+	if got := doc.Benchmarks[3].Name; got != "CancelHeavy/deep-queue" {
+		t.Errorf("sub-benchmark name = %q", got)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken", // no fields
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkBroken-8 10 x ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

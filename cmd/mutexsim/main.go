@@ -24,10 +24,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
@@ -51,6 +54,8 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		csv      = fs.Bool("csv", false, "also print CSV for each figure")
 		quick    = fs.Bool("quick", false, "small fast runs (requests=20000, reps=3)")
+		procs    = fs.Int("procs", 0, "concurrent simulation jobs (0 = one per CPU)")
+		progress = fs.Bool("progress", true, "live progress/ETA line on stderr")
 		lambdas  = fs.String("lambdas", "", "comma-separated per-node arrival rates")
 		spark    = fs.Bool("spark", true, "print unicode sparkline curve previews")
 		svgDir   = fs.String("svg", "", "directory to write <figure-id>.svg files into")
@@ -73,10 +78,13 @@ func run(args []string) error {
 	s.Requests = *requests
 	s.Reps = *reps
 	s.Seed = *seed
+	s.Procs = *procs
 	if *quick {
 		s.Requests = 20_000
 		s.Reps = 3
 	}
+	pl := &progressLine{out: os.Stderr, enabled: *progress}
+	s.Progress = pl.update
 
 	var ls []float64
 	if *lambdas != "" {
@@ -95,57 +103,115 @@ func run(args []string) error {
 		}
 	}
 	p := printer{csv: *csv, spark: *spark, svgDir: *svgDir}
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	all := []experiment{
+		{"fig345", func() error { return p.fig345(s, ls) }},
+		{"fig6", func() error { return p.fig6(s, ls) }},
+		{"analysis", func() error { return p.analysis(s) }},
+		{"monitor", func() error { return p.monitor(s, ls) }},
+		{"recovery", func() error { return p.recovery(s) }},
+		{"scaling", func() error { return p.scaling(s) }},
+		{"ablation", func() error { return p.ablation(s) }},
+		{"delays", func() error { return p.delays(s, ls) }},
+		{"volume", func() error { return p.volume(s, ls) }},
+		{"fairness", func() error { return p.fairness(s) }},
+		{"model", func() error { return p.model(s, ls) }},
+		{"tuning", func() error { return p.tuning(s) }},
+	}
+	timed := func(e experiment) error {
+		pl.begin(e.name)
+		start := time.Now()
+		err := e.run()
+		pl.clear()
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "[%s] wall time %s\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+		return err
+	}
 	switch cmd {
-	case "fig345", "fig3", "fig4", "fig5":
-		return p.fig345(s, ls)
-	case "fig6":
-		return p.fig6(s, ls)
-	case "analysis":
-		return p.analysis(s)
-	case "monitor":
-		return p.monitor(s, ls)
-	case "recovery":
-		return p.recovery(s)
-	case "scaling":
-		return p.scaling(s)
-	case "ablation":
-		return p.ablation(s)
-	case "delays":
-		return p.delays(s, ls)
-	case "volume":
-		return p.volume(s, ls)
-	case "fairness":
-		return p.fairness(s)
-	case "model":
-		return p.model(s, ls)
-	case "tuning":
-		return p.tuning(s)
+	case "fig3", "fig4", "fig5":
+		cmd = "fig345"
 	case "trace":
 		return p.trace()
 	case "all":
-		for _, f := range []func() error{
-			func() error { return p.fig345(s, ls) },
-			func() error { return p.fig6(s, ls) },
-			func() error { return p.analysis(s) },
-			func() error { return p.monitor(s, ls) },
-			func() error { return p.recovery(s) },
-			func() error { return p.scaling(s) },
-			func() error { return p.ablation(s) },
-			func() error { return p.delays(s, ls) },
-			func() error { return p.volume(s, ls) },
-			func() error { return p.fairness(s) },
-			func() error { return p.model(s, ls) },
-			func() error { return p.tuning(s) },
-		} {
-			if err := f(); err != nil {
+		for _, e := range all {
+			if err := timed(e); err != nil {
 				return err
 			}
 		}
 		return nil
-	default:
-		fs.Usage()
-		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+	for _, e := range all {
+		if e.name == cmd {
+			return timed(e)
+		}
+	}
+	fs.Usage()
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// progressLine renders a single in-place status line on stderr while an
+// experiment's job batches drain: jobs finished, percent, and an ETA
+// extrapolated from the mean job time of the current batch. Experiments
+// run several batches; the line resets its clock whenever a new batch
+// starts (done counter goes backwards).
+type progressLine struct {
+	mu       sync.Mutex
+	out      io.Writer
+	enabled  bool
+	label    string
+	start    time.Time
+	lastDone int
+	width    int
+}
+
+func (pl *progressLine) begin(label string) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.label = label
+	pl.start = time.Now()
+	pl.lastDone = 0
+}
+
+// update is the experiments.Setup Progress hook.
+func (pl *progressLine) update(done, total int) {
+	if !pl.enabled {
+		return
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if done <= pl.lastDone {
+		pl.start = time.Now() // new batch within the same experiment
+	}
+	pl.lastDone = done
+	eta := "?"
+	if elapsed := time.Since(pl.start); done > 0 && done < total {
+		left := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		eta = left.Round(time.Second).String()
+	} else if done == total {
+		eta = "0s"
+	}
+	line := fmt.Sprintf("[%s] %d/%d jobs (%d%%) eta %s", pl.label, done, total, 100*done/total, eta)
+	if len(line) > pl.width {
+		pl.width = len(line)
+	}
+	fmt.Fprintf(pl.out, "\r%-*s", pl.width, line)
+}
+
+// clear erases the status line so tables print on a clean row.
+func (pl *progressLine) clear() {
+	if !pl.enabled {
+		return
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.width > 0 {
+		fmt.Fprintf(pl.out, "\r%-*s\r", pl.width, "")
+	}
+	pl.width = 0
 }
 
 type printer struct {

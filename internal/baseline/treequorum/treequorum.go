@@ -268,9 +268,9 @@ func (nd *node) onGrant(ctx dme.Context, from int) {
 }
 
 func (nd *node) cancelWait(ctx dme.Context) {
-	if nd.waitTimer != nil {
+	if nd.waitTimer.Armed() {
 		ctx.Cancel(nd.waitTimer)
-		nd.waitTimer = nil
+		nd.waitTimer = dme.Timer{}
 	}
 	nd.waitingOn = -1
 }

@@ -41,11 +41,11 @@ func (nd *node) storeAtMonitor(ctx dme.Context, e QEntry) {
 // monitor waits for the token unconditionally; see DESIGN.md for why the
 // substitution preserves the §4.1 behaviour in steady state.
 func (nd *node) armMonitorFlush(ctx dme.Context) {
-	if nd.opts.MonitorFlushTimeout <= 0 || nd.flushTimer != nil {
+	if nd.opts.MonitorFlushTimeout <= 0 || nd.flushTimer.Armed() {
 		return
 	}
 	nd.flushTimer = ctx.After(nd.id, nd.opts.MonitorFlushTimeout, func() {
-		nd.flushTimer = nil
+		nd.flushTimer = dme.Timer{}
 		// Flush even if we believe the monitor role has moved on: stored
 		// requests must never strand here (the duplicates a double
 		// delivery could cause are suppressed downstream anyway).
@@ -70,7 +70,7 @@ func (nd *node) absorbStored(ctx dme.Context) {
 	}
 	nd.stored = nil
 	ctx.Cancel(nd.flushTimer)
-	nd.flushTimer = nil
+	nd.flushTimer = dme.Timer{}
 }
 
 // monitorHandleToken processes a token diverted to the monitor (§4.1):
@@ -85,7 +85,7 @@ func (nd *node) monitorHandleToken(ctx dme.Context, tok Privilege) {
 	}
 	nd.stored = nil
 	ctx.Cancel(nd.flushTimer)
-	nd.flushTimer = nil
+	nd.flushTimer = dme.Timer{}
 
 	if nd.opts.SeqNumbers && tok.Granted != nil {
 		batch = batch.FilterGranted(tok.Granted)

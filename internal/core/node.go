@@ -18,6 +18,10 @@ type reqState struct {
 	warnings  int       // WARNINGs sent while scheduled (recovery, §6)
 	retxTimer dme.Timer // RetransmitTimeout fallback
 	tokTimer  dme.Timer // recovery: token-arrival timeout once scheduled
+	// retxFn is the retransmit callback, built once per reqState object
+	// and kept across pooled reuse: it reads the live fields above, so it
+	// is always current for whatever request currently owns the state.
+	retxFn func()
 }
 
 // retxEscalation is the number of unanswered unicast retransmissions
@@ -69,6 +73,7 @@ type node struct {
 	// Requester state.
 	nextSeq     uint64
 	outstanding []*reqState
+	stPool      []*reqState // recycled request states (see enterCS)
 	// backlog counts application requests deferred while one protocol
 	// request is in flight — used only by the sequence-number variant,
 	// whose PRIVILEGE(Q, L) highwater table assumes each node's requests
@@ -108,6 +113,13 @@ type node struct {
 
 	// Recovery state (§6).
 	rec recovery
+
+	// Cached timer callbacks. The window-expiry and forwarding-end
+	// bodies capture only the node and the Context — which is the same
+	// object for the node's whole life — so one closure per node serves
+	// every (re)arm instead of allocating one per batch.
+	windowFn func()
+	fwdFn    func()
 }
 
 func newNode(id, n int, opts Options) *node {
@@ -166,7 +178,14 @@ func (nd *node) OnRequest(ctx dme.Context) {
 func (nd *node) issueRequest(ctx dme.Context) {
 	seq := nd.nextSeq
 	nd.nextSeq++
-	st := &reqState{seq: seq}
+	var st *reqState
+	if n := len(nd.stPool); n > 0 {
+		st = nd.stPool[n-1]
+		nd.stPool = nd.stPool[:n-1]
+		*st = reqState{seq: seq, retxFn: st.retxFn}
+	} else {
+		st = &reqState{seq: seq}
+	}
 	nd.outstanding = append(nd.outstanding, st)
 	entry := QEntry{Node: nd.id, Seq: seq}
 
@@ -185,23 +204,26 @@ func (nd *node) issueRequest(ctx dme.Context) {
 // armRetransmit schedules the absolute-timeout fallback for one request.
 func (nd *node) armRetransmit(ctx dme.Context, st *reqState) {
 	ctx.Cancel(st.retxTimer)
-	st.retxTimer = ctx.After(nd.id, nd.opts.RetransmitTimeout, func() {
-		if st.scheduled || !nd.hasOutstanding(st.seq) {
-			return
+	if st.retxFn == nil {
+		st.retxFn = func() {
+			if st.scheduled || !nd.hasOutstanding(st.seq) {
+				return
+			}
+			entry := QEntry{Node: nd.id, Seq: st.seq}
+			st.retries++
+			nd.observe(Event{Kind: EventRequestRetransmitted, Arbiter: nd.arbiter})
+			switch {
+			case nd.collecting:
+				nd.acceptRequest(ctx, entry)
+			case st.retries >= retxEscalation:
+				ctx.Broadcast(nd.id, Request{Entry: entry, Retransmit: true})
+			default:
+				ctx.Send(nd.id, nd.arbiter, Request{Entry: entry, Retransmit: true})
+			}
+			nd.armRetransmit(ctx, st)
 		}
-		entry := QEntry{Node: nd.id, Seq: st.seq}
-		st.retries++
-		nd.observe(Event{Kind: EventRequestRetransmitted, Arbiter: nd.arbiter})
-		switch {
-		case nd.collecting:
-			nd.acceptRequest(ctx, entry)
-		case st.retries >= retxEscalation:
-			ctx.Broadcast(nd.id, Request{Entry: entry, Retransmit: true})
-		default:
-			ctx.Send(nd.id, nd.arbiter, Request{Entry: entry, Retransmit: true})
-		}
-		nd.armRetransmit(ctx, st)
-	})
+	}
+	st.retxTimer = ctx.After(nd.id, nd.opts.RetransmitTimeout, st.retxFn)
 }
 
 func (nd *node) hasOutstanding(seq uint64) bool {
@@ -295,7 +317,7 @@ func (nd *node) acceptRequest(ctx dme.Context, e QEntry) {
 		return
 	}
 	nd.q = append(nd.q, e)
-	if nd.haveToken && nd.windowDone && nd.windowTimer == nil && !nd.inCS {
+	if nd.haveToken && nd.windowDone && !nd.windowTimer.Armed() && !nd.inCS {
 		nd.startWindow(ctx)
 	}
 }
@@ -305,17 +327,20 @@ func (nd *node) acceptRequest(ctx dme.Context, e QEntry) {
 func (nd *node) startWindow(ctx dme.Context) {
 	nd.windowDone = false
 	ctx.Cancel(nd.windowTimer)
-	nd.windowTimer = ctx.After(nd.id, nd.opts.Treq, func() {
-		nd.windowTimer = nil
-		if !nd.haveToken || nd.inCS {
-			return
+	if nd.windowFn == nil {
+		nd.windowFn = func() {
+			nd.windowTimer = dme.Timer{}
+			if !nd.haveToken || nd.inCS {
+				return
+			}
+			if nd.q.Empty() {
+				nd.windowDone = true
+				return
+			}
+			nd.dispatch(ctx)
 		}
-		if nd.q.Empty() {
-			nd.windowDone = true
-			return
-		}
-		nd.dispatch(ctx)
-	})
+	}
+	nd.windowTimer = ctx.After(nd.id, nd.opts.Treq, nd.windowFn)
 }
 
 // staleTokenCopy reports whether an incoming PRIVILEGE carries a token
@@ -441,6 +466,10 @@ func (nd *node) enterCS(ctx dme.Context, tok Privilege, entry QEntry, st *reqSta
 	ctx.Cancel(st.retxTimer)
 	ctx.Cancel(st.tokTimer)
 	nd.removeOutstanding(entry.Seq)
+	// Both timers are now cancelled and the state left every tracking
+	// structure, so no pending callback can observe it: recycle it for
+	// the node's next request.
+	nd.stPool = append(nd.stPool, st)
 	ctx.EnterCS(nd.id)
 }
 
@@ -546,7 +575,7 @@ func (nd *node) abandonCollection(ctx dme.Context, realArbiter int) {
 	nd.collecting = false
 	nd.windowDone = false
 	ctx.Cancel(nd.windowTimer)
-	nd.windowTimer = nil
+	nd.windowTimer = dme.Timer{}
 	q := nd.q
 	nd.q = nil
 	for _, e := range q {
@@ -576,7 +605,7 @@ func (nd *node) dropInvalidatedToken(ctx dme.Context) {
 	nd.haveToken = false
 	nd.windowDone = false
 	ctx.Cancel(nd.windowTimer)
-	nd.windowTimer = nil
+	nd.windowTimer = dme.Timer{}
 	nd.observe(Event{Kind: EventStaleTokenDropped, Arbiter: nd.arbiter, Epoch: nd.token.Epoch, Fence: nd.token.Fence})
 }
 
@@ -600,7 +629,9 @@ func (nd *node) becomeArbiter(ctx dme.Context, prev int) {
 // non-empty batch and outside the CS.
 func (nd *node) dispatch(ctx dme.Context) {
 	batch := nd.q.Dedup()
-	nd.q = nil
+	// Dedup always copies, so the collection buffer's backing array is
+	// not aliased by the batch and can be recycled for the next window.
+	nd.q = nd.q[:0]
 	if nd.opts.SeqNumbers && nd.token.Granted != nil {
 		batch = batch.FilterGranted(nd.token.Granted)
 	}
@@ -668,7 +699,10 @@ func (nd *node) sendBatch(ctx dme.Context, batch QList, fromMonitor bool) {
 		}
 		ctx.Broadcast(nd.id, NewArbiter{
 			Arbiter:   tail.Node,
-			Q:         batch.Clone(),
+			// The broadcast shares the batch slice: every NEW-ARBITER
+			// consumer treats m.Q as read-only (recovery clones before
+			// storing it), and the token path only narrows its copy.
+			Q:         batch,
 			Counter:   nd.counter,
 			Monitor:   newMonitor,
 			MonEpoch:  nd.monEpoch,
@@ -722,9 +756,12 @@ func (nd *node) sendBatch(ctx dme.Context, batch QList, fromMonitor bool) {
 func (nd *node) beginForwarding(ctx dme.Context) {
 	nd.forwarding = true
 	ctx.Cancel(nd.fwdTimer)
-	nd.fwdTimer = ctx.After(nd.id, nd.opts.Tfwd, func() {
-		nd.forwarding = false
-	})
+	if nd.fwdFn == nil {
+		nd.fwdFn = func() {
+			nd.forwarding = false
+		}
+	}
+	nd.fwdTimer = ctx.After(nd.id, nd.opts.Tfwd, nd.fwdFn)
 }
 
 // onNewArbiter processes the NEW-ARBITER broadcast: update beliefs, track

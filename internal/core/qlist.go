@@ -39,13 +39,12 @@ func (q QList) Tail() QEntry { return q[len(q)-1] }
 // Empty reports whether the list has no entries.
 func (q QList) Empty() bool { return len(q) == 0 }
 
-// PopHead returns the list without its first entry. The receiver is not
-// modified; PRIVILEGE handling always works on fresh copies because the
-// token conceptually moves between address spaces.
+// PopHead returns the list without its head entry. The receiver is not
+// modified. The result shares the receiver's backing array: entries are
+// never overwritten in place (every Q-list writer builds a fresh slice),
+// so narrowing is safe and the token pays no allocation per hop.
 func (q QList) PopHead() QList {
-	out := make(QList, len(q)-1)
-	copy(out, q[1:])
-	return out
+	return q[1:]
 }
 
 // Contains reports whether the entry appears in the list.
@@ -95,14 +94,25 @@ func (q QList) Dedup() QList {
 	if len(q) < 2 {
 		return q.Clone()
 	}
-	seen := make(map[QEntry]struct{}, len(q))
+	if len(q) > 64 {
+		// Large lists get the hash path; typical batches are bounded by
+		// the node count and the quadratic scan below beats a map alloc.
+		seen := make(map[QEntry]struct{}, len(q))
+		out := make(QList, 0, len(q))
+		for _, e := range q {
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			out = append(out, e)
+		}
+		return out
+	}
 	out := make(QList, 0, len(q))
 	for _, e := range q {
-		if _, dup := seen[e]; dup {
-			continue
+		if !out.Contains(e) {
+			out = append(out, e)
 		}
-		seen[e] = struct{}{}
-		out = append(out, e)
 	}
 	return out
 }

@@ -54,7 +54,7 @@ func enabled(nd *node) bool { return nd.opts.Recovery.Enabled }
 // live arbiter answers the PROBE anyway).
 func (r *recovery) onTokenSeen(ctx dme.Context, nd *node) {
 	ctx.Cancel(r.tokTimer)
-	r.tokTimer = nil
+	r.tokTimer = dme.Timer{}
 }
 
 // onDesignated runs when this node becomes the current arbiter: remember
@@ -73,7 +73,7 @@ func (r *recovery) armTokenWait(ctx dme.Context, nd *node) {
 	}
 	ctx.Cancel(r.tokTimer)
 	r.tokTimer = ctx.After(nd.id, nd.opts.Recovery.TokenTimeout, func() {
-		r.tokTimer = nil
+		r.tokTimer = dme.Timer{}
 		if !nd.haveToken {
 			r.startInvalidation(ctx, nd)
 		}
@@ -84,13 +84,16 @@ func (r *recovery) armTokenWait(ctx dme.Context, nd *node) {
 // service changes, any invalidation concluded, and — if the arbiter role
 // moved elsewhere — the watchdog on the successor starts.
 func (r *recovery) onDispatch(ctx dme.Context, nd *node, batch QList) {
+	if !enabled(nd) {
+		// lastBatch/pendingBatch feed invalidation and takeover only, and
+		// tokTimer is never armed while recovery is off — skip the clones
+		// entirely on the common disabled path.
+		return
+	}
 	r.lastBatch = batch.Clone()
 	r.pendingBatch = batch.Clone()
 	ctx.Cancel(r.tokTimer)
-	r.tokTimer = nil
-	if !enabled(nd) {
-		return
-	}
+	r.tokTimer = dme.Timer{}
 	tail := batch.Tail()
 	if tail.Node == nd.id {
 		return
@@ -103,14 +106,14 @@ func (r *recovery) armWatchdog(ctx dme.Context, nd *node, target int) {
 	ctx.Cancel(r.watchTimer)
 	ctx.Cancel(r.probeTimer)
 	r.watchTimer = ctx.After(nd.id, nd.opts.Recovery.ArbiterTimeout, func() {
-		r.watchTimer = nil
+		r.watchTimer = dme.Timer{}
 		if r.watchTarget < 0 {
 			return
 		}
 		ctx.Send(nd.id, r.watchTarget, Probe{})
 		ctx.Cancel(r.probeTimer)
 		r.probeTimer = ctx.After(nd.id, nd.opts.Recovery.ProbeTimeout, func() {
-			r.probeTimer = nil
+			r.probeTimer = dme.Timer{}
 			r.takeover(ctx, nd)
 		})
 	})
@@ -139,7 +142,7 @@ func (r *recovery) onNewArbiterSeen(ctx dme.Context, nd *node, from int, m NewAr
 			r.armTokenWait(ctx, nd)
 		}
 	}
-	if m.Arbiter == nd.id {
+	if enabled(nd) && m.Arbiter == nd.id {
 		r.pendingBatch = m.Q.Clone()
 	}
 }
@@ -148,7 +151,7 @@ func (r *recovery) onNewArbiterSeen(ctx dme.Context, nd *node, from int, m NewAr
 func (nd *node) onProbeAck(ctx dme.Context, from int) {
 	r := &nd.rec
 	ctx.Cancel(r.probeTimer)
-	r.probeTimer = nil
+	r.probeTimer = dme.Timer{}
 	if enabled(nd) && r.watchTarget == from {
 		r.armWatchdog(ctx, nd, from)
 	}
@@ -164,7 +167,7 @@ func (r *recovery) onScheduled(ctx dme.Context, nd *node, st *reqState) {
 	var arm func()
 	arm = func() {
 		st.tokTimer = ctx.After(nd.id, nd.opts.Recovery.TokenTimeout, func() {
-			st.tokTimer = nil
+			st.tokTimer = dme.Timer{}
 			if !nd.hasOutstanding(st.seq) {
 				return
 			}
@@ -240,7 +243,7 @@ func (r *recovery) startInvalidation(ctx dme.Context, nd *node) {
 	}
 	ctx.Cancel(r.roundTimer)
 	r.roundTimer = ctx.After(nd.id, nd.opts.Recovery.RoundTimeout, func() {
-		r.roundTimer = nil
+		r.roundTimer = dme.Timer{}
 		if r.invalidating {
 			// Silent nodes are presumed failed and excluded (§6).
 			r.finishInvalidation(ctx, nd)
@@ -296,7 +299,7 @@ func (nd *node) onEnquiryAck(ctx dme.Context, from int, m EnquiryAck) {
 func (r *recovery) endInvalidation(ctx dme.Context) {
 	r.invalidating = false
 	ctx.Cancel(r.roundTimer)
-	r.roundTimer = nil
+	r.roundTimer = dme.Timer{}
 }
 
 // finishInvalidation is phase 2 when no node holds the token: bump the

@@ -10,11 +10,13 @@ import (
 // are recorded, timers are captured and fired manually, the CS callback
 // chain is driven by the test.
 type fakeCtx struct {
-	t     *testing.T
-	n     int
-	sends []fakeSend
-	timer []*fakeTimer
-	inCS  []int
+	t        *testing.T
+	n        int
+	sends    []fakeSend
+	timer    []*fakeTimer
+	armed    []*fakeTimer // every timer ever issued, for CancelTimer lookup
+	timerSeq int32
+	inCS     []int
 }
 
 type fakeSend struct {
@@ -23,12 +25,11 @@ type fakeSend struct {
 }
 
 type fakeTimer struct {
+	id       int32
 	delay    float64
 	fn       func()
 	canceled bool
 }
-
-func (ft *fakeTimer) Cancel() { ft.canceled = true }
 
 func newFakeCtx(t *testing.T, n int) *fakeCtx { return &fakeCtx{t: t, n: n} }
 
@@ -49,16 +50,23 @@ func (c *fakeCtx) Broadcast(from dme.NodeID, msg dme.Message) {
 }
 
 func (c *fakeCtx) After(_ dme.NodeID, delay float64, fn func()) dme.Timer {
-	ft := &fakeTimer{delay: delay, fn: fn}
+	c.timerSeq++
+	ft := &fakeTimer{id: c.timerSeq, delay: delay, fn: fn}
 	c.timer = append(c.timer, ft)
-	return ft
+	c.armed = append(c.armed, ft)
+	return dme.MakeTimer(c, ft.id, 0)
 }
 
-func (c *fakeCtx) Cancel(t dme.Timer) {
-	if t != nil {
-		t.Cancel()
+// CancelTimer implements dme.TimerHost: mark the matching armed timer.
+func (c *fakeCtx) CancelTimer(id int32, _ uint32) {
+	for _, ft := range c.armed {
+		if ft.id == id {
+			ft.canceled = true
+		}
 	}
 }
+
+func (c *fakeCtx) Cancel(t dme.Timer) { t.Cancel() }
 
 func (c *fakeCtx) EnterCS(node dme.NodeID) { c.inCS = append(c.inCS, node) }
 

@@ -70,11 +70,42 @@ type Algorithm interface {
 	Build(cfg Config) ([]Node, error)
 }
 
-// Timer is a cancellable pending callback, returned by Context.After.
-// Cancelling an already-fired or already-cancelled timer is a no-op.
-type Timer interface {
-	Cancel()
+// TimerHost cancels timers it issued. Each Context implementation is its
+// own host: the simulation Runner forwards to the kernel's
+// generation-validated records, the live runtime to its wall-clock timer
+// table. What (id, gen) mean is private to the host.
+type TimerHost interface {
+	CancelTimer(id int32, gen uint32)
 }
+
+// Timer is a cancellable pending callback, returned by Context.After.
+// It is a plain value handle — copy it freely; it holds no per-timer heap
+// object. The zero Timer is valid and inert, standing for "no timer
+// armed". Cancelling an already-fired, already-cancelled, or zero timer
+// is a no-op.
+type Timer struct {
+	host TimerHost
+	id   int32
+	gen  uint32
+}
+
+// MakeTimer builds a Timer handle; intended for Context implementations.
+func MakeTimer(host TimerHost, id int32, gen uint32) Timer {
+	return Timer{host: host, id: id, gen: gen}
+}
+
+// Cancel stops the timer if it is still pending.
+func (t Timer) Cancel() {
+	if t.host != nil {
+		t.host.CancelTimer(t.id, t.gen)
+	}
+}
+
+// Armed reports whether t is a real handle rather than the zero Timer.
+// It does not track firing: a handle still reports Armed after its
+// callback has run — protocols that need "is a timer outstanding" reset
+// their field to the zero Timer when the callback fires.
+func (t Timer) Armed() bool { return t.host != nil }
 
 // Context is the interface through which nodes act on the world. It is
 // implemented by the simulation Runner (virtual time) and by the live
@@ -97,7 +128,7 @@ type Context interface {
 	// returned timer can be cancelled with Cancel. If the node has
 	// crashed when the timer fires, fn is suppressed.
 	After(node NodeID, delay float64, fn func()) Timer
-	// Cancel cancels a pending timer; safe on nil or fired timers.
+	// Cancel cancels a pending timer; safe on zero or fired timers.
 	Cancel(t Timer)
 	// EnterCS asserts mutual exclusion and starts the critical section
 	// for node. OnCSDone is invoked Texec later.

@@ -1,0 +1,211 @@
+package dme_test
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"tokenarbiter/internal/baseline/raymond"
+	"tokenarbiter/internal/baseline/ricartagrawala"
+	"tokenarbiter/internal/baseline/suzukikasami"
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/sim"
+	"tokenarbiter/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.txt from the current kernel")
+
+// goldenConfig builds one fixed-seed run exercised by the determinism
+// golden. The configurations deliberately cover the kernel features a
+// rewrite could disturb: plain constant-delay runs, stochastic delays
+// (RNG draw order), FIFO clamping, closed-loop workloads, and a lossy run
+// with the §6 recovery protocol enabled (timer-cancel-heavy).
+type goldenCase struct {
+	name string
+	algo dme.Algorithm
+	cfg  dme.Config
+}
+
+func goldenCases() []goldenCase {
+	gen := func(lambda float64, seed uint64) func(node int) dme.GeneratorFunc {
+		return func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: lambda}, seed, node)
+		}
+	}
+	base := func(seed uint64, lambda float64) dme.Config {
+		return dme.Config{
+			N:              5,
+			Seed:           seed,
+			Delay:          sim.ConstantDelay{D: 0.1},
+			Texec:          0.1,
+			TotalRequests:  2000,
+			WarmupRequests: 200,
+			MaxVirtualTime: 1e9,
+			Gen:            gen(lambda, seed),
+		}
+	}
+	var cases []goldenCase
+	for _, seed := range []uint64{1, 7} {
+		cases = append(cases,
+			goldenCase{fmt.Sprintf("arbiter/seed=%d", seed),
+				core.New(core.Options{Treq: 0.1, Tfwd: 0.1, RetransmitTimeout: 25}), base(seed, 0.3)},
+			goldenCase{fmt.Sprintf("suzuki-kasami/seed=%d", seed),
+				&suzukikasami.Algorithm{}, base(seed, 0.2)},
+			goldenCase{fmt.Sprintf("ricart-agrawala/seed=%d", seed),
+				&ricartagrawala.Algorithm{}, base(seed, 0.2)},
+		)
+	}
+	expo := base(3, 0.25)
+	expo.Delay = sim.ExponentialDelay{Base: 0.02, Mean: 0.1}
+	cases = append(cases, goldenCase{"arbiter/expo-delay",
+		core.New(core.Options{Treq: 0.1, Tfwd: 0.1, RetransmitTimeout: 25}), expo})
+
+	fifo := base(4, 0.25)
+	fifo.Delay = sim.UniformDelay{Min: 0, Max: 0.2}
+	fifo.FIFO = true
+	cases = append(cases, goldenCase{"raymond/fifo-uniform", &raymond.Algorithm{}, fifo})
+
+	closed := base(5, 1)
+	closed.ClosedLoop = true
+	closed.Gen = gen(2.5, 5)
+	cases = append(cases, goldenCase{"arbiter/closed-loop",
+		core.New(core.Options{Treq: 0.1, Tfwd: 0.1, RetransmitTimeout: 25}), closed})
+
+	lossy := base(6, 0.2)
+	lossy.TotalRequests = 800
+	lossy.WarmupRequests = 0
+	lossy.MaxVirtualTime = 1e6
+	n := 0
+	lossy.Fault = func(now float64, from, to dme.NodeID, msg dme.Message) dme.FaultAction {
+		n++
+		if n%97 == 0 {
+			return dme.Drop
+		}
+		return dme.Deliver
+	}
+	cases = append(cases, goldenCase{"arbiter/recovery-lossy",
+		core.New(core.Options{
+			Treq: 0.1, Tfwd: 0.1, RetransmitTimeout: 10,
+			Recovery: core.RecoveryOptions{
+				Enabled: true, TokenTimeout: 8, RoundTimeout: 2,
+				ArbiterTimeout: 20, ProbeTimeout: 2,
+			},
+		}), lossy})
+	return cases
+}
+
+// fingerprint reduces a Metrics to a string that is bit-exact in every
+// float64 it contains (%v prints the shortest representation that
+// round-trips, so equal strings mean equal bits).
+func fingerprint(m *dme.Metrics) string {
+	kinds := make([]string, 0, len(m.MsgByKind))
+	for k := range m.MsgByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cs=%d issued=%d msgs=%d units=%d end=%v measured=%v",
+		m.CSCompleted, m.Issued, m.TotalMessages, m.TotalUnits, m.EndTime, m.MeasuredTime)
+	fmt.Fprintf(&b, " wait=%v/%v svc=%v/%v fair=%v",
+		m.Waiting.Mean(), m.Waiting.Max(), m.Service.Mean(), m.Service.Max(), m.JainFairness())
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, m.MsgByKind[k])
+	}
+	return b.String()
+}
+
+const goldenPath = "testdata/golden.txt"
+
+// TestGoldenDeterminism pins the exact fixed-seed trajectories of the
+// simulation across kernel changes: any event-kernel rewrite must leave
+// every recorded fingerprint bit-identical. Regenerate deliberately with
+//
+//	go test ./internal/dme -run TestGoldenDeterminism -update-golden
+//
+// and justify the diff in the commit message.
+func TestGoldenDeterminism(t *testing.T) {
+	got := map[string]string{}
+	var order []string
+	for _, gc := range goldenCases() {
+		m, err := dme.Run(gc.algo, gc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", gc.name, err)
+		}
+		got[gc.name] = fingerprint(m)
+		order = append(order, gc.name)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, name := range order {
+			fmt.Fprintf(&b, "%s :: %s\n", name, got[name])
+		}
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fingerprints to %s", len(order), goldenPath)
+		return
+	}
+
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	defer f.Close()
+	want := map[string]string{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		name, fp, ok := strings.Cut(line, " :: ")
+		if !ok {
+			t.Fatalf("malformed golden line: %q", line)
+		}
+		want[name] = fp
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range order {
+		if want[name] == "" {
+			t.Errorf("%s: no golden recorded (run -update-golden)", name)
+			continue
+		}
+		if got[name] != want[name] {
+			t.Errorf("%s: trajectory diverged from golden\n got: %s\nwant: %s", name, got[name], want[name])
+		}
+	}
+	// Goldens for cases that no longer exist are stale, not silent.
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("golden %q has no matching case (stale entry; run -update-golden)", name)
+		}
+	}
+}
+
+// TestGoldenRunTwiceIdentical is the in-process determinism check: two
+// fresh runs of the same case in the same process must agree exactly,
+// independent of the golden file.
+func TestGoldenRunTwiceIdentical(t *testing.T) {
+	gc := goldenCases()[0]
+	a, err := dme.Run(gc.algo, gc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dme.Run(gc.algo, gc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatalf("same-seed runs diverged:\n%s\n%s", fingerprint(a), fingerprint(b))
+	}
+}

@@ -30,6 +30,19 @@ var ErrLivenessTimeout = errors.New("dme: run exceeded MaxVirtualTime before all
 // still outstanding — a deadlock in the algorithm under test.
 var ErrStalled = errors.New("dme: event queue drained with requests outstanding (algorithm deadlock?)")
 
+// Simulation event kinds dispatched through the kernel's typed fast path
+// (sim.PostCall/ScheduleCall). Every hot-path event — message delivery,
+// CS completion, workload arrivals, protocol timers — carries its
+// arguments inline in the event slot instead of in a per-event closure,
+// which is where most of the old kernel's allocation pressure came from.
+const (
+	evDeliver     uint8 = iota + 1 // a=from, b=to, p=Message
+	evSelfDeliver                  // a=node, p=Message (zero-delay self-send)
+	evCSExit                       // a=node (arrival/entry times live on the Runner)
+	evArrival                      // a=node (next workload arrival)
+	evTimer                        // a=node, fn=callback (Context.After)
+)
+
 // Runner executes one algorithm instance under one configuration. Create
 // it with NewRunner, optionally inject external events (crashes, probes)
 // with ScheduleAt, then call Run.
@@ -42,6 +55,7 @@ type Runner struct {
 	pending   []pendingQueue // per-node FIFO of request arrival times
 	inCS      NodeID         // -1 when the CS is free
 	csArrival float64        // arrival time of the request being served
+	csEnter   float64        // entry time of the CS in progress
 
 	planned   uint64 // arrivals reserved (scheduled or delivered)
 	issued    uint64 // arrivals delivered to nodes
@@ -50,6 +64,14 @@ type Runner struct {
 	measuring   bool
 	measureFrom float64
 	met         Metrics
+
+	// Per-kind message counters as parallel slices instead of a map:
+	// protocols use a handful of distinct kinds and Kind() returns shared
+	// string constants, so a linear probe is a few pointer-equal compares —
+	// far cheaper than a map assign per message on the hot path. Run()
+	// materializes these into Metrics.MsgByKind.
+	kindNames  []string
+	kindCounts []uint64
 
 	crashed []bool
 	fatal   error
@@ -108,6 +130,7 @@ func NewRunner(algo Algorithm, cfg Config) (*Runner, error) {
 		r.lastDelivery = make([]float64, cfg.N*cfg.N)
 	}
 	r.measuring = cfg.WarmupRequests == 0
+	r.sim.SetDispatcher(r)
 
 	nodes, err := algo.Build(cfg)
 	if err != nil {
@@ -135,7 +158,39 @@ func (r *Runner) Now() float64 { return r.sim.Now() }
 // ScheduleAt registers an external event (fault injection, probes) at
 // absolute virtual time t. Must be called before Run.
 func (r *Runner) ScheduleAt(t float64, fn func()) {
-	r.sim.At(t, fn)
+	r.sim.PostAt(t, fn)
+}
+
+// Dispatch implements sim.Dispatcher: the typed event fast path. The
+// bodies are verbatim ports of the closures they replace, so trajectories
+// are bit-identical to the closure-based kernel (pinned by the golden
+// determinism test).
+func (r *Runner) Dispatch(kind uint8, a, b int32, x float64, p any, fn func()) {
+	switch kind {
+	case evDeliver:
+		to := NodeID(b)
+		if !r.crashed[to] {
+			from := NodeID(a)
+			msg := p.(Message)
+			r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceDeliver, From: from, To: to, Msg: msg})
+			r.nodes[to].OnMessage(r, from, msg)
+		}
+	case evSelfDeliver:
+		node := NodeID(a)
+		if !r.crashed[node] {
+			r.nodes[node].OnMessage(r, node, p.(Message))
+		}
+	case evCSExit:
+		r.finishCS(NodeID(a))
+	case evArrival:
+		r.arrive(NodeID(a))
+	case evTimer:
+		if !r.crashed[a] {
+			fn()
+		}
+	default:
+		panic(fmt.Sprintf("dme: unknown simulation event kind %d", kind))
+	}
 }
 
 // InjectRequest delivers one application request to node at the current
@@ -243,6 +298,9 @@ func (r *Runner) Run() (met *Metrics, err error) {
 	}
 	r.met.EndTime = r.sim.Now()
 	r.met.MeasuredTime = r.sim.Now() - r.measureFrom
+	for i, name := range r.kindNames {
+		r.met.MsgByKind[name] += r.kindCounts[i]
+	}
 	m := r.met
 	return &m, nil
 }
@@ -253,30 +311,34 @@ func (r *Runner) scheduleArrival(node NodeID, gen GeneratorFunc) {
 	}
 	r.planned++
 	delay := gen()
-	r.sim.Schedule(delay, func() {
-		r.issued++
-		r.pending[node].push(r.sim.Now())
-		if r.measuring {
-			r.met.Issued++
-		}
-		r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceRequest, From: node})
-		if !r.crashed[node] {
-			r.nodes[node].OnRequest(r)
-		} else {
-			// A crashed node cannot serve its application; the request
-			// completes vacuously so the run can drain. Recovery
-			// experiments restore nodes before draining when they want
-			// the request actually served.
-			r.pending[node].pop()
-			r.completed++
-			if r.cfg.ClosedLoop {
-				r.scheduleArrival(node, gen)
-			}
-		}
-		if !r.cfg.ClosedLoop {
+	r.sim.PostCall(delay, evArrival, int32(node), 0, 0, nil)
+}
+
+// arrive delivers one workload arrival (the evArrival event body).
+func (r *Runner) arrive(node NodeID) {
+	gen := r.gens[node]
+	r.issued++
+	r.pending[node].push(r.sim.Now())
+	if r.measuring {
+		r.met.Issued++
+	}
+	r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceRequest, From: node})
+	if !r.crashed[node] {
+		r.nodes[node].OnRequest(r)
+	} else {
+		// A crashed node cannot serve its application; the request
+		// completes vacuously so the run can drain. Recovery
+		// experiments restore nodes before draining when they want
+		// the request actually served.
+		r.pending[node].pop()
+		r.completed++
+		if r.cfg.ClosedLoop {
 			r.scheduleArrival(node, gen)
 		}
-	})
+	}
+	if !r.cfg.ClosedLoop {
+		r.scheduleArrival(node, gen)
+	}
 }
 
 // --- Context implementation -------------------------------------------
@@ -296,11 +358,7 @@ func (r *Runner) Send(from, to NodeID, msg Message) {
 		panic(fmt.Sprintf("dme: node %d sent %s to invalid node %d", from, msg.Kind(), to))
 	}
 	if from == to {
-		r.sim.Schedule(0, func() {
-			if !r.crashed[to] {
-				r.nodes[to].OnMessage(r, from, msg)
-			}
-		})
+		r.sim.PostCall(0, evSelfDeliver, int32(to), 0, 0, msg)
 		return
 	}
 	r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceSend, From: from, To: to, Msg: msg})
@@ -331,12 +389,7 @@ func (r *Runner) deliver(from, to NodeID, msg Message) {
 		}
 		r.lastDelivery[idx] = at
 	}
-	r.sim.Schedule(delay, func() {
-		if !r.crashed[to] {
-			r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceDeliver, From: from, To: to, Msg: msg})
-			r.nodes[to].OnMessage(r, from, msg)
-		}
-	})
+	r.sim.PostCall(delay, evDeliver, int32(from), int32(to), 0, msg)
 }
 
 // Broadcast implements Context: N−1 point-to-point messages.
@@ -349,21 +402,19 @@ func (r *Runner) Broadcast(from NodeID, msg Message) {
 }
 
 // After implements Context. The callback is suppressed if the node is
-// crashed when the timer fires.
+// crashed when the timer fires. The timer rides the typed event path: no
+// wrapper closure, the cancellable record comes from the kernel's
+// free-list pool, and the value Timer handle costs no allocation.
 func (r *Runner) After(node NodeID, delay float64, fn func()) Timer {
-	return r.sim.Schedule(delay, func() {
-		if !r.crashed[node] {
-			fn()
-		}
-	})
+	ev := r.sim.ScheduleCall(delay, evTimer, int32(node), 0, 0, nil, fn)
+	return MakeTimer(r, ev.ID(), ev.Gen())
 }
 
-// Cancel implements Context; safe on nil timers.
-func (r *Runner) Cancel(t Timer) {
-	if t != nil {
-		t.Cancel()
-	}
-}
+// CancelTimer implements TimerHost.
+func (r *Runner) CancelTimer(id int32, gen uint32) { r.sim.CancelID(id, gen) }
+
+// Cancel implements Context; safe on zero timers.
+func (r *Runner) Cancel(t Timer) { t.Cancel() }
 
 // EnterCS implements Context: asserts mutual exclusion, starts the
 // critical section and schedules OnCSDone after Texec.
@@ -377,29 +428,35 @@ func (r *Runner) EnterCS(node NodeID) {
 	}
 	r.inCS = node
 	r.csArrival = arrival
-	enterTime := r.sim.Now()
-	r.trace(TraceEvent{Time: enterTime, Kind: TraceEnterCS, From: node})
-	r.sim.Schedule(r.cfg.Texec, func() {
-		r.inCS = -1
-		r.completed++
-		r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceExitCS, From: node})
-		if r.measuring {
-			r.met.CSCompleted++
-			r.met.PerNodeCS[node]++
-			r.met.Waiting.Add(enterTime - arrival)
-			r.met.PerNodeWait[node].Add(enterTime - arrival)
-			r.met.Service.Add(r.sim.Now() - arrival)
-		} else if r.completed >= r.cfg.WarmupRequests {
-			r.measuring = true
-			r.measureFrom = r.sim.Now()
-		}
-		if !r.crashed[node] {
-			r.nodes[node].OnCSDone(r)
-		}
-		if r.cfg.ClosedLoop && r.gens != nil && r.gens[node] != nil {
-			r.scheduleArrival(node, r.gens[node])
-		}
-	})
+	r.csEnter = r.sim.Now()
+	r.trace(TraceEvent{Time: r.csEnter, Kind: TraceEnterCS, From: node})
+	r.sim.PostCall(r.cfg.Texec, evCSExit, int32(node), 0, 0, nil)
+}
+
+// finishCS completes the critical section in progress (the evCSExit event
+// body). The entry and arrival times live on the Runner rather than in
+// the event: mutual exclusion guarantees at most one CS is in flight.
+func (r *Runner) finishCS(node NodeID) {
+	arrival, enterTime := r.csArrival, r.csEnter
+	r.inCS = -1
+	r.completed++
+	r.trace(TraceEvent{Time: r.sim.Now(), Kind: TraceExitCS, From: node})
+	if r.measuring {
+		r.met.CSCompleted++
+		r.met.PerNodeCS[node]++
+		r.met.Waiting.Add(enterTime - arrival)
+		r.met.PerNodeWait[node].Add(enterTime - arrival)
+		r.met.Service.Add(r.sim.Now() - arrival)
+	} else if r.completed >= r.cfg.WarmupRequests {
+		r.measuring = true
+		r.measureFrom = r.sim.Now()
+	}
+	if !r.crashed[node] {
+		r.nodes[node].OnCSDone(r)
+	}
+	if r.cfg.ClosedLoop && r.gens != nil && r.gens[node] != nil {
+		r.scheduleArrival(node, r.gens[node])
+	}
 }
 
 func (r *Runner) countMessage(msg Message) {
@@ -407,7 +464,19 @@ func (r *Runner) countMessage(msg Message) {
 		return
 	}
 	r.met.TotalMessages++
-	r.met.MsgByKind[msg.Kind()]++
+	kind := msg.Kind()
+	counted := false
+	for i, name := range r.kindNames {
+		if name == kind {
+			r.kindCounts[i]++
+			counted = true
+			break
+		}
+	}
+	if !counted {
+		r.kindNames = append(r.kindNames, kind)
+		r.kindCounts = append(r.kindCounts, 1)
+	}
 	units := 1
 	if s, ok := msg.(Sized); ok {
 		units = s.SizeUnits()

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
 )
 
 // AblationCell is one (Treq, Tfwd) operating point of experiment E10.
@@ -58,13 +59,26 @@ func RunPhaseAblation(s Setup, lambda float64, treqs, tfwds []float64) (*Ablatio
 		tfwds = DefaultTfwds
 	}
 	res := &AblationResult{Lambda: lambda}
-	for _, treq := range treqs {
-		for _, tfwd := range tfwds {
-			algo := core.New(arbiterOptions(treq, tfwd))
-			rs, err := runReps(algo, s, lambda)
-			if err != nil {
-				return nil, fmt.Errorf("treq=%v tfwd=%v: %w", treq, tfwd, err)
-			}
+	algos := make([]*core.Algorithm, len(treqs)*len(tfwds))
+	for ti, treq := range treqs {
+		for fi, tfwd := range tfwds {
+			algos[ti*len(tfwds)+fi] = core.New(arbiterOptions(treq, tfwd))
+		}
+	}
+	grid, err := runGrid(s, len(algos), func(cell, rep int) (*dme.Metrics, error) {
+		m, err := dme.Run(algos[cell], s.config(lambda, rep))
+		if err != nil {
+			return nil, fmt.Errorf("treq=%v tfwd=%v rep %d: %w",
+				treqs[cell/len(tfwds)], tfwds[cell%len(tfwds)], rep, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, treq := range treqs {
+		for fi, tfwd := range tfwds {
+			rs := aggregateReps(grid[ti*len(tfwds)+fi])
 			res.Cells = append(res.Cells, AblationCell{
 				Treq:      treq,
 				Tfwd:      tfwd,

@@ -92,14 +92,20 @@ func RunAnalysis(s Setup, treq float64) (*AnalysisResult, error) {
 	)
 
 	// E6: heavy load — closed loop, every node always pending.
-	var heavy RepStats
-	for rep := 0; rep < s.Reps; rep++ {
+	heavyRuns, err := fanOut(s, s.Reps, func(rep int) (*dme.Metrics, error) {
 		cfg := s.heavyConfig(rep)
 		cfg.Params = map[string]float64{"treq": treq}
 		m, err := dme.Run(algo, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("heavy-load rep %d: %w", rep, err)
 		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var heavy RepStats
+	for _, m := range heavyRuns {
 		heavy.MsgsPerCS.Add(m.MessagesPerCS())
 		heavy.Waiting.Add(m.Waiting.Mean())
 		heavy.Service.Add(m.Service.Mean())

@@ -8,7 +8,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
@@ -27,6 +26,16 @@ type Setup struct {
 	Requests uint64 // total CS requests per run
 	Reps     int    // independent replications (for 95% CIs)
 	Seed     uint64
+
+	// Procs bounds how many simulations run concurrently; 0 means one
+	// per CPU. Results are independent of the setting — every runner
+	// aggregates in deterministic job order (see fanOut).
+	Procs int
+	// Progress, when non-nil, is called after each simulation job of a
+	// batch completes, with the count finished so far and the batch
+	// total. It is invoked under a lock, possibly from worker
+	// goroutines.
+	Progress func(done, total int)
 }
 
 // DefaultSetup mirrors the paper's simulation parameters at a size that
@@ -81,44 +90,50 @@ func requestMessageTotal(m *dme.Metrics) uint64 {
 		m.MsgByKind[core.KindRequestMon]
 }
 
-// runReps executes Reps independent replications — concurrently, since
-// every replication is its own deterministic simulator — and aggregates
-// them in replication order so the reported statistics stay reproducible
-// regardless of scheduling.
-func runReps(algo dme.Algorithm, s Setup, lambda float64) (RepStats, error) {
-	results := make([]*dme.Metrics, s.Reps)
-	errs := make([]error, s.Reps)
-	var wg sync.WaitGroup
-	for rep := 0; rep < s.Reps; rep++ {
-		wg.Add(1)
-		go func(rep int) {
-			defer wg.Done()
-			results[rep], errs[rep] = dme.Run(algo, s.config(lambda, rep))
-		}(rep)
+// addRep folds one replication's metrics into the aggregates.
+func (rs *RepStats) addRep(m *dme.Metrics) {
+	rs.MsgsPerCS.Add(m.MessagesPerCS())
+	rs.Service.Add(m.Service.Mean())
+	rs.Waiting.Add(m.Waiting.Mean())
+	if rt := requestMessageTotal(m); rt > 0 {
+		rs.FwdFrac.Add(float64(m.MsgByKind[core.KindRequestFwd]) / float64(rt))
+	} else {
+		rs.FwdFrac.Add(0)
 	}
-	wg.Wait()
+	if m.TotalMessages > 0 {
+		rs.FwdOfAll.Add(float64(m.MsgByKind[core.KindRequestFwd]) / float64(m.TotalMessages))
+	} else {
+		rs.FwdOfAll.Add(0)
+	}
+	rs.Fairness.Add(m.JainFairness())
+}
 
+// aggregateReps folds a cell's replications, in replication order, so the
+// reported statistics stay reproducible regardless of scheduling.
+func aggregateReps(results []*dme.Metrics) RepStats {
 	var rs RepStats
-	for rep, m := range results {
-		if errs[rep] != nil {
-			return rs, fmt.Errorf("%s λ=%v rep %d: %w", algo.Name(), lambda, rep, errs[rep])
-		}
-		rs.MsgsPerCS.Add(m.MessagesPerCS())
-		rs.Service.Add(m.Service.Mean())
-		rs.Waiting.Add(m.Waiting.Mean())
-		if rt := requestMessageTotal(m); rt > 0 {
-			rs.FwdFrac.Add(float64(m.MsgByKind[core.KindRequestFwd]) / float64(rt))
-		} else {
-			rs.FwdFrac.Add(0)
-		}
-		if m.TotalMessages > 0 {
-			rs.FwdOfAll.Add(float64(m.MsgByKind[core.KindRequestFwd]) / float64(m.TotalMessages))
-		} else {
-			rs.FwdOfAll.Add(0)
-		}
-		rs.Fairness.Add(m.JainFairness())
+	for _, m := range results {
+		rs.addRep(m)
 	}
-	return rs, nil
+	return rs
+}
+
+// runReps executes Reps independent replications of one load point on the
+// shared worker pool and aggregates them in replication order. Sweeps that
+// vary more than λ should flatten their whole grid through runGrid instead
+// so the pool sees every cell at once.
+func runReps(algo dme.Algorithm, s Setup, lambda float64) (RepStats, error) {
+	results, err := fanOut(s, s.Reps, func(rep int) (*dme.Metrics, error) {
+		m, err := dme.Run(algo, s.config(lambda, rep))
+		if err != nil {
+			return nil, fmt.Errorf("%s λ=%v rep %d: %w", algo.Name(), lambda, rep, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return RepStats{}, err
+	}
+	return aggregateReps(results), nil
 }
 
 // arbiterOptions returns the standard options used by the figure

@@ -44,16 +44,23 @@ func RunDelayAblation(s Setup, lambdas []float64) (*Figure, *Figure, error) {
 		{"exponential", sim.ExponentialDelay{Base: 0, Mean: s.Tmsg}},
 	}
 	algo := core.New(arbiterOptions(0.1, 0.1))
-	for _, mdl := range models {
-		for _, lambda := range lambdas {
+	grid, err := runGrid(s, len(models)*len(lambdas), func(cell, rep int) (*dme.Metrics, error) {
+		mi, li := cell/len(lambdas), cell%len(lambdas)
+		cfg := s.config(lambdas[li], rep)
+		cfg.Delay = models[mi].model
+		m, err := dme.Run(algo, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E11 %s λ=%v rep %d: %w", models[mi].name, lambdas[li], rep, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for mi, mdl := range models {
+		for li, lambda := range lambdas {
 			var rs RepStats
-			for rep := 0; rep < s.Reps; rep++ {
-				cfg := s.config(lambda, rep)
-				cfg.Delay = mdl.model
-				m, err := dme.Run(algo, cfg)
-				if err != nil {
-					return nil, nil, fmt.Errorf("E11 %s λ=%v rep %d: %w", mdl.name, lambda, rep, err)
-				}
+			for _, m := range grid[mi*len(lambdas)+li] {
 				rs.MsgsPerCS.Add(m.MessagesPerCS())
 				rs.Service.Add(m.Service.Mean())
 			}
@@ -92,14 +99,21 @@ func RunVolumeComparison(s Setup, lambdas []float64) (*Figure, error) {
 		&raymond.Algorithm{},
 		&maekawa.Algorithm{},
 	}
-	for _, algo := range algos {
-		for _, lambda := range lambdas {
+	grid, err := runGrid(s, len(algos)*len(lambdas), func(cell, rep int) (*dme.Metrics, error) {
+		ai, li := cell/len(lambdas), cell%len(lambdas)
+		m, err := dme.Run(algos[ai], s.config(lambdas[li], rep))
+		if err != nil {
+			return nil, fmt.Errorf("E12 %s λ=%v rep %d: %w", algos[ai].Name(), lambdas[li], rep, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, algo := range algos {
+		for li, lambda := range lambdas {
 			var units stats.Welford
-			for rep := 0; rep < s.Reps; rep++ {
-				m, err := dme.Run(algo, s.config(lambda, rep))
-				if err != nil {
-					return nil, fmt.Errorf("E12 %s λ=%v rep %d: %w", algo.Name(), lambda, rep, err)
-				}
+			for _, m := range grid[ai*len(lambdas)+li] {
 				units.Add(m.UnitsPerCS())
 			}
 			fig.AddPoint(algo.Name(), Point{X: lambda, Y: units.Mean(), CI: units.CI95()})
@@ -116,30 +130,40 @@ func RunVolumeComparison(s Setup, lambdas []float64) (*Figure, error) {
 // pressure opens.
 func RunFairnessComparison(s Setup) (*FairnessResult, error) {
 	res := &FairnessResult{}
-	for _, strict := range []bool{false, true} {
+	modes := []bool{false, true}
+	algos := make([]*core.Algorithm, len(modes))
+	for i, strict := range modes {
 		opts := arbiterOptions(0.1, 0.1)
 		opts.StrictFairness = strict
-		algo := core.New(opts)
+		algos[i] = core.New(opts)
+	}
+	grid, err := runGrid(s, len(modes), func(cell, rep int) (*dme.Metrics, error) {
+		cfg := s.config(0, rep)
+		cfg.Gen = func(node int) dme.GeneratorFunc {
+			lambda := 0.1
+			if node == 0 {
+				lambda = 1.0
+			}
+			return workload.Stream(workload.Poisson{Lambda: lambda}, cfg.Seed, node)
+		}
+		m, err := dme.Run(algos[cell], cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fairness strict=%v rep %d: %w", modes[cell], rep, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, strict := range modes {
 		var hot, cold stats.Welford
-		for rep := 0; rep < s.Reps; rep++ {
-			cfg := s.config(0, rep)
-			cfg.Gen = func(node int) dme.GeneratorFunc {
-				lambda := 0.1
-				if node == 0 {
-					lambda = 1.0
-				}
-				return workload.Stream(workload.Poisson{Lambda: lambda}, cfg.Seed, node)
-			}
-			m, err := dme.Run(algo, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fairness strict=%v rep %d: %w", strict, rep, err)
-			}
+		for _, m := range grid[mi] {
 			hot.Add(m.PerNodeWait[0].Mean())
 			var coldSum float64
-			for i := 1; i < cfg.N; i++ {
+			for i := 1; i < s.N; i++ {
 				coldSum += m.PerNodeWait[i].Mean()
 			}
-			cold.Add(coldSum / float64(cfg.N-1))
+			cold.Add(coldSum / float64(s.N-1))
 		}
 		row := FairnessRow{
 			Mode:     "FCFS",

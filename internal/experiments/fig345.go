@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
 )
 
 // DefaultLambdas is the per-node Poisson arrival-rate sweep of Figures
@@ -49,14 +50,29 @@ func RunFig345(s Setup, lambdas []float64) (*Fig345Result, error) {
 			YLabel: "forwarded fraction",
 		},
 	}
-	for _, treq := range []float64{0.1, 0.2} {
+	treqs := []float64{0.1, 0.2}
+	algos := make([]*core.Algorithm, len(treqs))
+	for i, treq := range treqs {
+		algos[i] = core.New(arbiterOptions(treq, 0.1))
+	}
+	// Flatten the (Treq × λ) sweep into one pool batch; cell order
+	// mirrors the nested loops below.
+	grid, err := runGrid(s, len(treqs)*len(lambdas), func(cell, rep int) (*dme.Metrics, error) {
+		ti, li := cell/len(lambdas), cell%len(lambdas)
+		m, err := dme.Run(algos[ti], s.config(lambdas[li], rep))
+		if err != nil {
+			return nil, fmt.Errorf("%s Treq=%v λ=%v rep %d: %w",
+				algos[ti].Name(), treqs[ti], lambdas[li], rep, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, treq := range treqs {
 		series := fmt.Sprintf("Treq=%.1f", treq)
-		algo := core.New(arbiterOptions(treq, 0.1))
-		for _, lambda := range lambdas {
-			rs, err := runReps(algo, s, lambda)
-			if err != nil {
-				return nil, err
-			}
+		for li, lambda := range lambdas {
+			rs := aggregateReps(grid[ti*len(lambdas)+li])
 			res.Messages.AddPoint(series, Point{X: lambda, Y: rs.MsgsPerCS.Mean(), CI: rs.MsgsPerCS.CI95()})
 			res.Delay.AddPoint(series, Point{X: lambda, Y: rs.Service.Mean(), CI: rs.Service.CI95()})
 			res.Forwarded.AddPoint(series, Point{X: lambda, Y: rs.FwdFrac.Mean(), CI: rs.FwdFrac.CI95()})

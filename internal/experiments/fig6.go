@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"tokenarbiter/internal/baseline/central"
 	"tokenarbiter/internal/baseline/maekawa"
 	"tokenarbiter/internal/baseline/naimitrehel"
@@ -43,12 +45,20 @@ func RunFig6(s Setup, lambdas []float64, extras bool) (*Figure, error) {
 			&central.Algorithm{},
 		)
 	}
-	for _, algo := range algos {
-		for _, lambda := range lambdas {
-			rs, err := runReps(algo, s, lambda)
-			if err != nil {
-				return nil, err
-			}
+	grid, err := runGrid(s, len(algos)*len(lambdas), func(cell, rep int) (*dme.Metrics, error) {
+		ai, li := cell/len(lambdas), cell%len(lambdas)
+		m, err := dme.Run(algos[ai], s.config(lambdas[li], rep))
+		if err != nil {
+			return nil, fmt.Errorf("%s λ=%v rep %d: %w", algos[ai].Name(), lambdas[li], rep, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, algo := range algos {
+		for li, lambda := range lambdas {
+			rs := aggregateReps(grid[ai*len(lambdas)+li])
 			fig.AddPoint(algo.Name(), Point{X: lambda, Y: rs.MsgsPerCS.Mean(), CI: rs.MsgsPerCS.CI95()})
 		}
 	}

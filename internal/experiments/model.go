@@ -52,13 +52,19 @@ func RunModelValidation(s Setup, lambdas []float64) (*ModelResult, error) {
 	p := analytic.Params{N: s.N, Tmsg: s.Tmsg, Texec: s.Texec, Treq: 0.1}
 	algo := core.New(arbiterOptions(0.1, 0.1))
 	res := &ModelResult{}
-	for _, lambda := range lambdas {
+	grid, err := runGrid(s, len(lambdas), func(cell, rep int) (*dme.Metrics, error) {
+		m, err := dme.Run(algo, s.config(lambdas[cell], rep))
+		if err != nil {
+			return nil, fmt.Errorf("model validation λ=%v rep %d: %w", lambdas[cell], rep, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, lambda := range lambdas {
 		var msgs, delay, naPerCS float64
-		for rep := 0; rep < s.Reps; rep++ {
-			m, err := dme.Run(algo, s.config(lambda, rep))
-			if err != nil {
-				return nil, fmt.Errorf("model validation λ=%v rep %d: %w", lambda, rep, err)
-			}
+		for _, m := range grid[li] {
 			msgs += m.MessagesPerCS()
 			delay += m.Service.Mean()
 			naPerCS += m.KindPerCS(core.KindNewArbiter)

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
 )
 
 // RunMonitorOverhead is experiment E7: the message overhead of the
@@ -21,31 +24,39 @@ func RunMonitorOverhead(s Setup, lambdas []float64) (*Figure, error) {
 		YLabel: "messages per CS",
 	}
 
-	basic := core.New(arbiterOptions(0.1, 0.1))
 	monOpts := arbiterOptions(0.1, 0.1)
 	monOpts.Monitor = true
 	monOpts.MonitorFlushTimeout = 50
-	monitor := core.New(monOpts)
 	rotOpts := monOpts
 	rotOpts.RotatingMonitor = true
-	rotating := core.New(rotOpts)
+	variants := []struct {
+		name string
+		algo *core.Algorithm
+	}{
+		{"basic", core.New(arbiterOptions(0.1, 0.1))},
+		{"monitor", core.New(monOpts)},
+		{"rotating-monitor", core.New(rotOpts)},
+	}
 
-	for _, lambda := range lambdas {
-		b, err := runReps(basic, s, lambda)
+	// λ-major cell order, matching the interleaved per-λ point layout
+	// the figure has always used.
+	grid, err := runGrid(s, len(lambdas)*len(variants), func(cell, rep int) (*dme.Metrics, error) {
+		li, vi := cell/len(variants), cell%len(variants)
+		m, err := dme.Run(variants[vi].algo, s.config(lambdas[li], rep))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s λ=%v rep %d: %w",
+				variants[vi].algo.Name(), lambdas[li], rep, err)
 		}
-		m, err := runReps(monitor, s, lambda)
-		if err != nil {
-			return nil, err
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, lambda := range lambdas {
+		for vi, v := range variants {
+			rs := aggregateReps(grid[li*len(variants)+vi])
+			fig.AddPoint(v.name, Point{X: lambda, Y: rs.MsgsPerCS.Mean(), CI: rs.MsgsPerCS.CI95()})
 		}
-		r, err := runReps(rotating, s, lambda)
-		if err != nil {
-			return nil, err
-		}
-		fig.AddPoint("basic", Point{X: lambda, Y: b.MsgsPerCS.Mean(), CI: b.MsgsPerCS.CI95()})
-		fig.AddPoint("monitor", Point{X: lambda, Y: m.MsgsPerCS.Mean(), CI: m.MsgsPerCS.CI95()})
-		fig.AddPoint("rotating-monitor", Point{X: lambda, Y: r.MsgsPerCS.Mean(), CI: r.MsgsPerCS.CI95()})
 	}
 	return fig, nil
 }

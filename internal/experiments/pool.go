@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"tokenarbiter/internal/dme"
+)
+
+// procs resolves the worker-pool width: Setup.Procs when positive,
+// otherwise one worker per available CPU.
+func (s Setup) procs() int {
+	if s.Procs > 0 {
+		return s.Procs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// fanOut runs n index-addressed jobs on a bounded worker pool and
+// returns their results in job-index order. Every experiment runner
+// routes its simulation fan-out through here: jobs are independent
+// deterministic simulations, so the only thing concurrency could perturb
+// is ordering — each result lands at its own index and errors are
+// reported lowest-index-first, making the output byte-identical to a
+// serial run regardless of Procs (TestExperimentsParallelDeterminism
+// pins this).
+//
+// The Progress hook, when set, fires under a lock after each job
+// finishes, with the number completed so far and the batch total.
+func fanOut[T any](s Setup, n int, job func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	finished := func() {
+		if s.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		s.Progress(done, n)
+		mu.Unlock()
+	}
+
+	procs := s.procs()
+	if procs > n {
+		procs = n
+	}
+	if procs <= 1 {
+		// Serial fast path: no goroutines to schedule, and the run is
+		// single-threaded under -race.
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = job(i)
+			finished()
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(procs)
+		for w := 0; w < procs; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = job(i)
+					finished()
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runGrid flattens a (cell × rep) experiment grid into one fanOut batch
+// and reshapes the finished metrics back into grid[cell][rep]. Cells are
+// whatever the caller sweeps — λ points, algorithms, parameter pairs —
+// and reps come from Setup.Reps. The flat order is cell-major, matching
+// the nested loops the serial runners used, so error precedence and
+// aggregation order are unchanged.
+func runGrid(s Setup, cells int, run func(cell, rep int) (*dme.Metrics, error)) ([][]*dme.Metrics, error) {
+	reps := s.Reps
+	flat, err := fanOut(s, cells*reps, func(i int) (*dme.Metrics, error) {
+		return run(i/reps, i%reps)
+	})
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][]*dme.Metrics, cells)
+	for c := range grid {
+		grid[c] = flat[c*reps : (c+1)*reps]
+	}
+	return grid, nil
+}

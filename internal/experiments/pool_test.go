@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFanOutOrdering(t *testing.T) {
+	for _, procs := range []int{1, 3, 16} {
+		s := Setup{Procs: procs}
+		got, err := fanOut(s, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("procs=%d: result[%d] = %d, want %d", procs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestFanOutErrorLowestIndex(t *testing.T) {
+	s := Setup{Procs: 4}
+	boom := func(i int) error { return fmt.Errorf("job %d failed", i) }
+	_, err := fanOut(s, 40, func(i int) (int, error) {
+		if i == 11 || i == 30 {
+			return 0, boom(i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "job 11 failed" {
+		t.Fatalf("want lowest-index error %q, got %v", "job 11 failed", err)
+	}
+}
+
+func TestFanOutBoundedConcurrency(t *testing.T) {
+	const procs = 3
+	var inFlight, peak atomic.Int64
+	s := Setup{Procs: procs}
+	_, err := fanOut(s, 64, func(i int) (struct{}, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > procs {
+		t.Fatalf("observed %d concurrent jobs, pool bounded at %d", p, procs)
+	}
+}
+
+func TestFanOutProgressMonotonic(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		var dones []int
+		s := Setup{
+			Procs:    procs,
+			Progress: func(done, total int) { dones = append(dones, done) }, // under fanOut's lock
+		}
+		if _, err := fanOut(s, 20, func(i int) (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if len(dones) != 20 {
+			t.Fatalf("procs=%d: %d progress calls, want 20", procs, len(dones))
+		}
+		for i, d := range dones {
+			if d != i+1 {
+				t.Fatalf("procs=%d: progress not monotonic: %v", procs, dones)
+			}
+		}
+	}
+}
+
+func TestFanOutZeroJobs(t *testing.T) {
+	got, err := fanOut(Setup{Procs: 4}, 0, func(i int) (int, error) {
+		return 0, errors.New("must not run")
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("fanOut(0) = %v, %v", got, err)
+	}
+}
+
+// TestExperimentsParallelDeterminism pins the orchestrator's core
+// contract: results are byte-identical whatever the pool width, because
+// every job is a deterministic simulation whose result lands at a fixed
+// index and aggregation happens in index order. (On a single-CPU host a
+// wall-clock speedup is unobservable, so identical output *is* the test.)
+func TestExperimentsParallelDeterminism(t *testing.T) {
+	base := Setup{N: 6, Tmsg: 0.1, Texec: 0.1, Requests: 1_500, Reps: 2, Seed: 3}
+	lams := []float64{0.05, 0.3}
+
+	runAll := func(procs int) []any {
+		s := base
+		s.Procs = procs
+		f345, err := RunFig345(s, lams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f6, err := RunFig6(s, lams, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fair, err := RunFairnessComparison(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abl, err := RunPhaseAblation(s, 0.3, []float64{0.1, 0.2}, []float64{0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := RunRecovery(s, []uint64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []any{f345, f6, fair, abl, rec}
+	}
+
+	serial := runAll(1)
+	parallel := runAll(4)
+	names := []string{"fig345", "fig6", "fairness", "ablation", "recovery"}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s: Procs=4 result differs from Procs=1\nserial:   %+v\nparallel: %+v",
+				names[i], serial[i], parallel[i])
+		}
+	}
+}

@@ -81,18 +81,19 @@ func RunRecovery(s Setup, seeds []uint64) (*RecoveryResult, error) {
 	if seeds == nil {
 		seeds = []uint64{1, 2, 3}
 	}
-	res := &RecoveryResult{}
 	scenarios := []RecoveryScenario{ScenarioDropToken, ScenarioCrashHolder, ScenarioCrashArbiter}
-	for _, sc := range scenarios {
-		for _, seed := range seeds {
-			row, err := runRecoveryOnce(s, sc, seed)
-			if err != nil {
-				return nil, fmt.Errorf("scenario %s seed %d: %w", sc, seed, err)
-			}
-			res.Rows = append(res.Rows, row)
+	rows, err := fanOut(s, len(scenarios)*len(seeds), func(i int) (RecoveryRow, error) {
+		sc, seed := scenarios[i/len(seeds)], seeds[i%len(seeds)]
+		row, err := runRecoveryOnce(s, sc, seed)
+		if err != nil {
+			return RecoveryRow{}, fmt.Errorf("scenario %s seed %d: %w", sc, seed, err)
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &RecoveryResult{Rows: rows}, nil
 }
 
 func runRecoveryOnce(s Setup, sc RecoveryScenario, seed uint64) (RecoveryRow, error) {

@@ -51,29 +51,41 @@ func RunScaling(s Setup, ns []int) (*ScalingResult, error) {
 		ns = DefaultNs
 	}
 	res := &ScalingResult{}
-	for _, n := range ns {
+	algo := core.New(arbiterOptions(0.1, 0.1))
+	sized := func(n int) Setup {
 		setup := s
 		setup.N = n
 		if setup.Requests > 20_000 {
 			setup.Requests = 20_000
 		}
-		algo := core.New(arbiterOptions(0.1, 0.1))
-
-		light, err := runReps(algo, setup, 0.001)
-		if err != nil {
-			return nil, fmt.Errorf("N=%d light: %w", n, err)
-		}
-
-		var heavy RepStats
-		for rep := 0; rep < setup.Reps; rep++ {
-			cfg := setup.heavyConfig(rep)
-			m, err := dme.Run(algo, cfg)
+		return setup
+	}
+	// Two cells per system size: light load (open loop) then heavy load
+	// (closed loop), each replicated Reps times.
+	grid, err := runGrid(s, 2*len(ns), func(cell, rep int) (*dme.Metrics, error) {
+		setup := sized(ns[cell/2])
+		if cell%2 == 0 {
+			m, err := dme.Run(algo, setup.config(0.001, rep))
 			if err != nil {
-				return nil, fmt.Errorf("N=%d heavy rep %d: %w", n, rep, err)
+				return nil, fmt.Errorf("N=%d light rep %d: %w", setup.N, rep, err)
 			}
+			return m, nil
+		}
+		m, err := dme.Run(algo, setup.heavyConfig(rep))
+		if err != nil {
+			return nil, fmt.Errorf("N=%d heavy rep %d: %w", setup.N, rep, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range ns {
+		light := aggregateReps(grid[2*ni])
+		var heavy RepStats
+		for _, m := range grid[2*ni+1] {
 			heavy.MsgsPerCS.Add(m.MessagesPerCS())
 		}
-
 		res.Rows = append(res.Rows, ScalingRow{
 			N:            n,
 			LightSim:     light.MsgsPerCS.Mean(),

@@ -61,12 +61,12 @@ func RunRecoveryTuning(s Setup, lossRate float64, timeouts []float64) (*TuningRe
 	if timeouts == nil {
 		timeouts = DefaultTokenTimeouts
 	}
-	res := &TuningResult{LossRate: lossRate}
 	requests := s.Requests
 	if requests > 10_000 {
 		requests = 10_000 // loss runs are slow by design at bad timeouts
 	}
-	for _, tt := range timeouts {
+	rows, err := fanOut(s, len(timeouts), func(i int) (TuningRow, error) {
+		tt := timeouts[i]
 		opts := core.Options{
 			Treq:              0.1,
 			Tfwd:              0.1,
@@ -107,7 +107,7 @@ func RunRecoveryTuning(s Setup, lossRate float64, timeouts []float64) (*TuningRe
 			// finish inside the horizon — the collapse the experiment
 			// demonstrates; other errors are real failures.
 			if !isLiveness(err) {
-				return nil, fmt.Errorf("E15 timeout=%v: %w", tt, err)
+				return row, fmt.Errorf("E15 timeout=%v: %w", tt, err)
 			}
 		} else {
 			rec := m.MsgByKind[core.KindWarning] + m.MsgByKind[core.KindEnquiry] +
@@ -120,9 +120,12 @@ func RunRecoveryTuning(s Setup, lossRate float64, timeouts []float64) (*TuningRe
 			row.RecoveryMsgs = float64(rec) / float64(m.CSCompleted)
 			row.MeanService = m.Service.Mean()
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &TuningResult{LossRate: lossRate, Rows: rows}, nil
 }
 
 func isLiveness(err error) bool {

@@ -134,6 +134,10 @@ type Node struct {
 	reg     *telemetry.Registry
 	metrics *liveMetrics
 	trace   *telemetry.Ring // nil when tracing is disabled
+
+	timersMu sync.Mutex
+	timers   map[int32]*liveTimer // pending wall-clock timers by handle id
+	timerSeq int32
 }
 
 // waiter tracks one Lock call from issuance to grant.
@@ -486,39 +490,55 @@ func (n *Node) Broadcast(from dme.NodeID, msg dme.Message) {
 	}
 }
 
-// liveTimer adapts time.AfterFunc to dme.Timer with a cancellation flag
-// checked on the loop, closing the stop/fire race.
+// liveTimer adapts time.AfterFunc to a dme.Timer handle with a
+// cancellation flag checked on the loop, closing the stop/fire race. The
+// node keeps pending timers in an id-keyed table so the value Timer
+// handle can find its way back here through TimerHost.
 type liveTimer struct {
 	t        *time.Timer
 	canceled atomic.Bool
-}
-
-// Cancel implements dme.Timer.
-func (lt *liveTimer) Cancel() {
-	lt.canceled.Store(true)
-	lt.t.Stop()
 }
 
 // After implements dme.Context: delay is in seconds, matching the
 // simulation's time unit.
 func (n *Node) After(_ dme.NodeID, delay float64, fn func()) dme.Timer {
 	lt := &liveTimer{}
+	n.timersMu.Lock()
+	if n.timers == nil {
+		n.timers = make(map[int32]*liveTimer)
+	}
+	id := n.timerSeq
+	n.timerSeq++
+	n.timers[id] = lt
+	n.timersMu.Unlock()
 	lt.t = time.AfterFunc(time.Duration(delay*float64(time.Second)), func() {
+		n.timersMu.Lock()
+		delete(n.timers, id)
+		n.timersMu.Unlock()
 		n.post(func() {
 			if !lt.canceled.Load() {
 				fn()
 			}
 		})
 	})
-	return lt
+	return dme.MakeTimer(n, id, 0)
+}
+
+// CancelTimer implements dme.TimerHost. Stale ids (fired or already
+// cancelled timers) miss the table and are no-ops.
+func (n *Node) CancelTimer(id int32, _ uint32) {
+	n.timersMu.Lock()
+	lt := n.timers[id]
+	delete(n.timers, id)
+	n.timersMu.Unlock()
+	if lt != nil {
+		lt.canceled.Store(true)
+		lt.t.Stop()
+	}
 }
 
 // Cancel implements dme.Context.
-func (n *Node) Cancel(t dme.Timer) {
-	if t != nil {
-		t.Cancel()
-	}
-}
+func (n *Node) Cancel(t dme.Timer) { t.Cancel() }
 
 // EnterCS implements dme.Context: the protocol granted us the critical
 // section; hand it to the oldest live Lock waiter.

@@ -10,55 +10,173 @@
 // parameterization (message delay 0.1 units, etc.). Ties are broken by
 // insertion order, so simultaneous events run in the order they were
 // scheduled.
+//
+// # Hot-path design
+//
+// The queue is a four-ary min-heap of inline event slots — no
+// container/heap, no interface boxing, no per-event heap object on the
+// fire-and-forget paths. Three scheduling flavors trade convenience for
+// cost:
+//
+//   - Post/PostAt: fire-and-forget closures. Zero kernel allocation.
+//   - PostCall: fire-and-forget typed events routed to the registered
+//     Dispatcher with inline (kind, a, b, x, p) arguments, so high-volume
+//     producers (message delivery, CS completion, workload arrivals) need
+//     neither a closure nor an event object.
+//   - Schedule/At/ScheduleCall: cancellable. The returned Event is a
+//     generation-validated value handle backed by a record drawn from a
+//     free-list pool; fired and discarded records return to the pool, so
+//     steady-state timer traffic allocates nothing either.
+//
+// Cancellation is lazy: Cancel marks the record and the slot is discarded
+// when it surfaces, but once cancelled slots exceed half the queue they
+// are compacted away in one pass, so timer-heavy runs cannot accumulate
+// unbounded garbage and Pending always reports runnable events only.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand/v2"
 )
 
-// Event is a scheduled callback. It is returned by Schedule/At so callers
-// can cancel pending timers (e.g. an arbiter abandoning its forwarding
-// phase when it crashes).
-type Event struct {
-	time     float64
-	seq      uint64
-	index    int // heap index; -1 once popped or cancelled
-	fn       func()
+// KindFunc is the reserved event kind for plain closure events. User kinds
+// passed to PostCall/ScheduleCall must be non-zero.
+const KindFunc uint8 = 0
+
+// Dispatcher receives typed events scheduled with PostCall/ScheduleCall.
+// The kernel passes the arguments through verbatim; their meaning is the
+// caller's contract with itself. fn is non-nil only for ScheduleCall
+// events that carry a callback (e.g. cancellable protocol timers).
+type Dispatcher interface {
+	Dispatch(kind uint8, a, b int32, x float64, p any, fn func())
+}
+
+// key is one heap entry: the (time, seq) sort key plus the index of the
+// event's payload in the stable payload slab, packed into two words.
+// Keys are pointer-free on purpose — sift operations copy only keys, so
+// reordering the heap costs plain 16-byte moves with no GC write
+// barriers. Payloads (which hold the pointers: callback, message,
+// interface data) never move once written.
+//
+// t is math.Float64bits of the (non-negative, normalized) event time:
+// for t ≥ 0 the IEEE-754 bit pattern is monotone in the value, so the
+// comparator works on integers. sq packs the 32-bit insertion sequence
+// above the payload index; seq is unique, so comparing sq compares seq.
+type key struct {
+	t  uint64 // Float64bits(time)
+	sq uint64 // seq<<32 | payload idx
+}
+
+func (k key) time() float64 { return math.Float64frombits(k.t) }
+func (k key) idx() int32    { return int32(uint32(k.sq)) }
+
+// payload carries an event's arguments. Payload slots are recycled
+// through a free list when their event fires or is discarded.
+type payload struct {
+	x    float64
+	p    any
+	fn   func()
+	id   int32 // record index for cancellable events, -1 otherwise
+	a, b int32
+	kind uint8
+}
+
+// record is the cancellation state of one cancellable event. Records live
+// in a pool indexed by Event handles; gen invalidates stale handles when a
+// record is recycled through the free list.
+type record struct {
+	gen      uint32
 	canceled bool
 }
 
-// Time returns the virtual time at which the event fires.
-func (e *Event) Time() float64 { return e.time }
+// Event is a cancellable handle to a scheduled callback, returned by
+// Schedule/At/ScheduleCall. It is a small value — copy it freely. The zero
+// Event is valid and inert (Cancel is a no-op). It satisfies the dme.Timer
+// interface so simulation timers and live wall-clock timers are
+// interchangeable to the protocol code.
+type Event struct {
+	s    *Simulator
+	time float64
+	id   int32
+	gen  uint32
+}
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Time returns the virtual time at which the event fires.
+func (e Event) Time() float64 { return e.time }
+
+// ID returns the event's record index, for callers that re-wrap kernel
+// events in their own handle types (see Simulator.CancelID).
+func (e Event) ID() int32 { return e.id }
+
+// Gen returns the record generation captured when the event was
+// scheduled; together with ID it identifies the event uniquely even
+// after its record is recycled.
+func (e Event) Gen() uint32 { return e.gen }
+
+// Canceled reports whether the event will not fire in the future: true
+// once Cancel was called or after the event has left the queue (fired, or
+// discarded after cancellation). While the event is pending it reports
+// exactly whether Cancel was called.
+func (e Event) Canceled() bool {
+	if e.s == nil {
+		return false
+	}
+	r := &e.s.recs[e.id]
+	if r.gen != e.gen {
+		return true // departed the queue; the handle is stale
+	}
+	return r.canceled
+}
 
 // Cancel marks the event as cancelled; its callback will not run.
-// Cancelling an already-fired event is a no-op. It also satisfies the
-// dme.Timer interface so simulation timers and live wall-clock timers are
-// interchangeable to the protocol code.
-func (e *Event) Cancel() { e.canceled = true }
+// Cancelling an already-fired or already-cancelled event is a no-op (the
+// handle's generation no longer matches its recycled record, so a stale
+// Cancel can never hit an unrelated event that reused the record).
+func (e Event) Cancel() {
+	if e.s == nil {
+		return
+	}
+	r := &e.s.recs[e.id]
+	if r.gen != e.gen || r.canceled {
+		return
+	}
+	r.canceled = true
+	e.s.canceled++
+	e.s.maybeCompact()
+}
 
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is not usable; call New.
 type Simulator struct {
 	now       float64
-	queue     eventQueue
-	seq       uint64
+	seq       uint32
 	rng       *rand.Rand
 	processed uint64
+
+	heap     []key
+	canceled int // cancelled events still occupying heap slots
+
+	pay     []payload // stable payload slab, indexed by key.idx
+	payFree []int32   // free list: recycled payload slots
+
+	recs []record // cancellable-event records
+	free []int32  // free list: recycled record indices
+
+	disp Dispatcher
 }
 
 // New returns a simulator whose random source is seeded with seed.
 // The same seed always yields the same random stream.
 func New(seed uint64) *Simulator {
 	return &Simulator{
-		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		heap: make([]key, 0, 64),
 	}
 }
+
+// SetDispatcher registers the receiver for PostCall/ScheduleCall events.
+func (s *Simulator) SetDispatcher(d Dispatcher) { s.disp = d }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() float64 { return s.now }
@@ -69,55 +187,150 @@ func (s *Simulator) RNG() *rand.Rand { return s.rng }
 // Processed returns the number of events executed so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
-// Pending returns the number of events waiting in the queue,
-// including cancelled events that have not yet been discarded.
-func (s *Simulator) Pending() int { return s.queue.Len() }
+// Pending returns the number of runnable events waiting in the queue.
+// Cancelled events awaiting discard are excluded.
+func (s *Simulator) Pending() int { return len(s.heap) - s.canceled }
 
-// Schedule arranges for fn to run after delay units of virtual time.
-// A negative or NaN delay panics: it always indicates a logic error in the
-// model (an event in the past would silently corrupt causality).
-func (s *Simulator) Schedule(delay float64, fn func()) *Event {
-	if math.IsNaN(delay) || delay < 0 {
-		panic(fmt.Sprintf("sim: Schedule called with invalid delay %v at t=%v", delay, s.now))
+func (s *Simulator) checkTime(t float64) {
+	if math.IsNaN(t) || t < s.now {
+		panic(fmt.Sprintf("sim: event scheduled at time %v before now %v", t, s.now))
 	}
+}
+
+// Schedule arranges for fn to run after delay units of virtual time and
+// returns a cancellable handle. A negative or NaN delay panics: it always
+// indicates a logic error in the model (an event in the past would
+// silently corrupt causality).
+func (s *Simulator) Schedule(delay float64, fn func()) Event {
 	return s.At(s.now+delay, fn)
 }
 
 // At arranges for fn to run at absolute virtual time t, which must not be
-// in the past.
-func (s *Simulator) At(t float64, fn func()) *Event {
-	if math.IsNaN(t) || t < s.now {
-		panic(fmt.Sprintf("sim: At called with time %v before now %v", t, s.now))
-	}
+// in the past, and returns a cancellable handle.
+func (s *Simulator) At(t float64, fn func()) Event {
+	s.checkTime(t)
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
-	ev := &Event{time: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return ev
+	id := s.allocRec()
+	s.push(t, payload{fn: fn, id: id, kind: KindFunc})
+	return Event{s: s, time: t, id: id, gen: s.recs[id].gen}
 }
 
-// Cancel marks ev as cancelled. The event stays in the queue but its
-// callback will not run. Cancelling an already-fired or already-cancelled
-// event is a no-op, so callers may Cancel unconditionally.
-func (s *Simulator) Cancel(ev *Event) {
-	if ev != nil {
-		ev.canceled = true
+// Post arranges for fn to run after delay units of virtual time with no
+// handle: the event cannot be cancelled, and in exchange the kernel
+// allocates nothing. This is the right call for fire-and-forget work.
+func (s *Simulator) Post(delay float64, fn func()) {
+	s.PostAt(s.now+delay, fn)
+}
+
+// PostAt is Post at an absolute virtual time.
+func (s *Simulator) PostAt(t float64, fn func()) {
+	s.checkTime(t)
+	if fn == nil {
+		panic("sim: PostAt called with nil callback")
 	}
+	s.push(t, payload{fn: fn, id: -1, kind: KindFunc})
+}
+
+// PostCall arranges a fire-and-forget typed event: at its time, the
+// registered Dispatcher receives (kind, a, b, x, p) verbatim. High-volume
+// event producers use this to avoid allocating a closure per event; kind
+// must be non-zero.
+func (s *Simulator) PostCall(delay float64, kind uint8, a, b int32, x float64, p any) {
+	t := s.now + delay
+	s.checkTime(t)
+	if kind == KindFunc {
+		panic("sim: PostCall requires a non-zero event kind")
+	}
+	s.push(t, payload{x: x, p: p, id: -1, a: a, b: b, kind: kind})
+}
+
+// ScheduleCall is PostCall with a cancellable handle and an optional
+// callback forwarded to the Dispatcher (protocol timers carry their
+// callback here so the dispatcher can apply policy — e.g. suppressing
+// timers of crashed nodes — without a wrapper closure).
+func (s *Simulator) ScheduleCall(delay float64, kind uint8, a, b int32, x float64, p any, fn func()) Event {
+	t := s.now + delay
+	s.checkTime(t)
+	if kind == KindFunc {
+		panic("sim: ScheduleCall requires a non-zero event kind")
+	}
+	id := s.allocRec()
+	s.push(t, payload{x: x, p: p, fn: fn, id: id, a: a, b: b, kind: kind})
+	return Event{s: s, time: t, id: id, gen: s.recs[id].gen}
+}
+
+// Cancel marks ev as cancelled; its callback will not run. Cancelling the
+// zero Event or an already-fired/cancelled event is a no-op, so callers
+// may Cancel unconditionally.
+func (s *Simulator) Cancel(ev Event) { ev.Cancel() }
+
+// CancelID cancels the event identified by an (ID, Gen) pair previously
+// read off an Event. Stale pairs are no-ops, exactly like Event.Cancel.
+func (s *Simulator) CancelID(id int32, gen uint32) {
+	Event{s: s, id: id, gen: gen}.Cancel()
+}
+
+func (s *Simulator) nextSeq() uint32 {
+	q := s.seq
+	s.seq++
+	if s.seq == 0 {
+		// The 32-bit tie-break space wrapped: ordering of simultaneous
+		// events would silently corrupt. No simulation in this repo comes
+		// within two orders of magnitude of 2^32 scheduled events per run.
+		panic("sim: event sequence space exhausted (2^32 events scheduled in one run)")
+	}
+	return q
+}
+
+// allocRec returns a record index from the free-list pool, growing the
+// pool only when every record is in flight.
+func (s *Simulator) allocRec() int32 {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id
+	}
+	s.recs = append(s.recs, record{})
+	return int32(len(s.recs) - 1)
+}
+
+// releaseRec recycles a record: the generation bump invalidates every
+// outstanding handle before the record re-enters the free list.
+func (s *Simulator) releaseRec(id int32) {
+	r := &s.recs[id]
+	r.gen++
+	r.canceled = false
+	s.free = append(s.free, id)
 }
 
 // Step executes the single next event. It reports false when the queue
 // holds no runnable events.
 func (s *Simulator) Step() bool {
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*Event)
-		if ev.canceled {
+	for len(s.heap) > 0 {
+		idx := s.heap[0].idx()
+		pl := &s.pay[idx]
+		if pl.id >= 0 && s.recs[pl.id].canceled {
+			s.discardRoot()
 			continue
 		}
-		s.now = ev.time
+		t := s.heap[0].time()
+		s.removeRoot()
+		// Copy the payload to locals and release its slot before executing,
+		// so events scheduled from inside the callback can reuse it.
+		kind, a, b, x, p, fn, id := pl.kind, pl.a, pl.b, pl.x, pl.p, pl.fn, pl.id
+		s.releasePay(idx)
+		s.now = t
 		s.processed++
-		ev.fn()
+		if id >= 0 {
+			s.releaseRec(id)
+		}
+		if kind == KindFunc {
+			fn()
+		} else {
+			s.disp.Dispatch(kind, a, b, x, p, fn)
+		}
 		return true
 	}
 	return false
@@ -129,8 +342,8 @@ func (s *Simulator) Step() bool {
 func (s *Simulator) Run(horizon float64) uint64 {
 	start := s.processed
 	for {
-		ev := s.peek()
-		if ev == nil || ev.time > horizon {
+		t, ok := s.peekTime()
+		if !ok || t > horizon {
 			break
 		}
 		s.Step()
@@ -159,47 +372,161 @@ func (s *Simulator) Drain() {
 	}
 }
 
-func (s *Simulator) peek() *Event {
-	for s.queue.Len() > 0 {
-		ev := s.queue[0]
-		if !ev.canceled {
-			return ev
+// peekTime returns the time of the next runnable event, discarding
+// cancelled entries that surface at the root.
+func (s *Simulator) peekTime() (float64, bool) {
+	for len(s.heap) > 0 {
+		pl := &s.pay[s.heap[0].idx()]
+		if pl.id >= 0 && s.recs[pl.id].canceled {
+			s.discardRoot()
+			continue
 		}
-		heap.Pop(&s.queue)
+		return s.heap[0].time(), true
 	}
-	return nil
+	return 0, false
 }
 
-// eventQueue is a binary heap ordered by (time, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+// allocPay returns a payload slot from the free-list pool.
+func (s *Simulator) allocPay() int32 {
+	if n := len(s.payFree); n > 0 {
+		idx := s.payFree[n-1]
+		s.payFree = s.payFree[:n-1]
+		return idx
 	}
-	return q[i].seq < q[j].seq
+	s.pay = append(s.pay, payload{})
+	return int32(len(s.pay) - 1)
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// releasePay recycles a payload slot, dropping its p/fn references so the
+// pool does not pin dead messages or closures for the GC.
+func (s *Simulator) releasePay(idx int32) {
+	pl := &s.pay[idx]
+	pl.p = nil
+	pl.fn = nil
+	s.payFree = append(s.payFree, idx)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// --- four-ary min-heap over pointer-free keys ---------------------------
+//
+// Children of i are 4i+1..4i+4; parent is (i-1)/4. The comparator
+// (time, seq) is a strict total order — seq is unique — so the pop
+// sequence is independent of heap arity and internal layout: trajectories
+// stay bit-identical across kernel implementations. The old
+// per-event index bookkeeping (maintained by container/heap's Swap on
+// every sift, read by nothing) is gone; cancellation is lazy instead.
+
+func keyLess(a, b *key) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.sq < b.sq
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// push inserts an event: the payload goes into a stable slab slot, the
+// pointer-free sort key into the heap. seq is assigned here, in call
+// order, which is what makes same-time events fire in schedule order.
+// t+0.0 normalizes -0.0 (which checkTime admits) to +0.0 so the bit
+// pattern orders correctly.
+func (s *Simulator) push(t float64, pl payload) {
+	idx := s.allocPay()
+	s.pay[idx] = pl
+	s.heap = append(s.heap, key{
+		t:  math.Float64bits(t + 0.0),
+		sq: uint64(s.nextSeq())<<32 | uint64(uint32(idx)),
+	})
+	s.siftUp(len(s.heap) - 1)
+}
+
+// removeRoot deletes the minimum key. The caller has already captured the
+// root's time/idx and is responsible for the payload slot.
+func (s *Simulator) removeRoot() {
+	n := len(s.heap) - 1
+	if n > 0 {
+		s.heap[0] = s.heap[n]
+	}
+	s.heap = s.heap[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+// discardRoot drops a cancelled minimum entry without executing it.
+func (s *Simulator) discardRoot() {
+	idx := s.heap[0].idx()
+	s.releaseRec(s.pay[idx].id)
+	s.releasePay(idx)
+	s.canceled--
+	s.removeRoot()
+}
+
+func (s *Simulator) siftUp(i int) {
+	k := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !keyLess(&k, &s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		i = parent
+	}
+	s.heap[i] = k
+}
+
+func (s *Simulator) siftDown(i int) {
+	n := len(s.heap)
+	k := s.heap[i]
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if keyLess(&s.heap[j], &s.heap[best]) {
+				best = j
+			}
+		}
+		if !keyLess(&s.heap[best], &k) {
+			break
+		}
+		s.heap[i] = s.heap[best]
+		i = best
+	}
+	s.heap[i] = k
+}
+
+// maybeCompact removes cancelled entries in one O(n) pass once they exceed
+// half the queue (and enough of them to matter). Timer-heavy workloads
+// that cancel most of what they schedule would otherwise grow the queue
+// without bound and drag every sift through garbage.
+func (s *Simulator) maybeCompact() {
+	if s.canceled < 64 || s.canceled*2 < len(s.heap) {
+		return
+	}
+	w := 0
+	for i := range s.heap {
+		k := s.heap[i]
+		pl := &s.pay[k.idx()]
+		if pl.id >= 0 && s.recs[pl.id].canceled {
+			s.releaseRec(pl.id)
+			s.releasePay(k.idx())
+			continue
+		}
+		s.heap[w] = k
+		w++
+	}
+	s.heap = s.heap[:w]
+	s.canceled = 0
+	// Floyd heapify: sift the internal nodes down, deepest first. The
+	// (time, seq) total order makes the result independent of the
+	// pre-compaction layout.
+	if w > 1 {
+		for i := (w - 2) / 4; i >= 0; i-- {
+			s.siftDown(i)
+		}
+	}
 }

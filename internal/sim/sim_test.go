@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"sort"
@@ -51,9 +52,9 @@ func TestCancelPreventsExecution(t *testing.T) {
 	if !ev.Canceled() {
 		t.Error("Canceled() = false after Cancel")
 	}
-	// Cancelling again (and cancelling nil) must be harmless.
+	// Cancelling again (and cancelling the zero handle) must be harmless.
 	ev.Cancel()
-	s.Cancel(nil)
+	s.Cancel(Event{})
 }
 
 func TestCancelViaTimerInterface(t *testing.T) {
@@ -225,6 +226,147 @@ func TestProcessedAndPendingCounters(t *testing.T) {
 	}
 	if s.Pending() != 0 {
 		t.Errorf("Pending = %d after drain, want 0", s.Pending())
+	}
+}
+
+// TestPendingExcludesCancelled is the regression test for the old
+// kernel's documented lie: Pending used to count cancelled events that
+// had not surfaced at the heap root yet. It must report runnable events.
+func TestPendingExcludesCancelled(t *testing.T) {
+	s := New(1)
+	var evs []Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, s.Schedule(float64(i+1), func() {}))
+	}
+	for _, ev := range evs[3:] {
+		ev.Cancel()
+	}
+	if got := s.Pending(); got != 3 {
+		t.Errorf("Pending = %d with 3 runnable events, want 3", got)
+	}
+	ran := 0
+	for s.Step() {
+		ran++
+	}
+	if ran != 3 {
+		t.Errorf("executed %d events, want 3", ran)
+	}
+}
+
+// TestCancelHeavyQueueBounded: compaction must keep the queue from
+// accumulating cancelled garbage (the old kernel only discarded cancelled
+// events when they reached the root, so far-future cancelled timers piled
+// up forever).
+func TestCancelHeavyQueueBounded(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100_000; i++ {
+		s.Schedule(0.5, func() {}) // runnable, pops promptly
+		ev := s.Schedule(1e6 + float64(i), func() { t.Error("cancelled event ran") })
+		ev.Cancel()
+		s.Step()
+	}
+	if got := len(s.heap); got > 1_000 {
+		t.Errorf("heap holds %d slots after 100k cancel cycles, want compaction to bound it", got)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending = %d, want 0", got)
+	}
+}
+
+// TestStaleCancelCannotHitRecycledRecord: a handle cancelled after its
+// event fired must never cancel an unrelated event that reused the
+// record through the free-list pool.
+func TestStaleCancelCannotHitRecycledRecord(t *testing.T) {
+	s := New(1)
+	ev := s.Schedule(1, func() {})
+	s.Drain() // ev fires; its record returns to the pool
+	ran := false
+	fresh := s.Schedule(1, func() { ran = true }) // reuses the record
+	ev.Cancel()                                   // stale handle: must be a no-op
+	s.Drain()
+	if !ran {
+		t.Fatal("stale Cancel suppressed an unrelated event that reused the record")
+	}
+	if !fresh.Canceled() {
+		// fired events report Canceled()==true once departed; just make
+		// sure the API stays callable on live handles.
+		t.Log("fresh.Canceled() false after fire")
+	}
+}
+
+// TestPostAndPostCallDispatch covers the fire-and-forget paths: Post runs
+// closures, PostCall routes typed events through the Dispatcher in
+// (time, seq) order interleaved with ordinary events.
+func TestPostAndPostCallDispatch(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.SetDispatcher(dispatchFunc(func(kind uint8, a, b int32, x float64, p any, fn func()) {
+		order = append(order, fmt.Sprintf("call:%d:%d:%d:%v:%v", kind, a, b, x, p))
+	}))
+	s.Post(2, func() { order = append(order, "post") })
+	s.PostCall(1, 7, 3, 4, 0.5, "payload")
+	s.Schedule(3, func() { order = append(order, "sched") })
+	s.Drain()
+	want := []string{"call:7:3:4:0.5:payload", "post", "sched"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+type dispatchFunc func(kind uint8, a, b int32, x float64, p any, fn func())
+
+func (f dispatchFunc) Dispatch(kind uint8, a, b int32, x float64, p any, fn func()) {
+	f(kind, a, b, x, p, fn)
+}
+
+// TestScheduleCallCancellable: typed events with handles must be
+// cancellable like closure events, and carry their callback through.
+func TestScheduleCallCancellable(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.SetDispatcher(dispatchFunc(func(kind uint8, a, b int32, x float64, p any, fn func()) {
+		fired++
+		if fn != nil {
+			fn()
+		}
+	}))
+	ran := false
+	keep := s.ScheduleCall(1, 9, 0, 0, 0, nil, func() { ran = true })
+	kill := s.ScheduleCall(2, 9, 0, 0, 0, nil, func() { t.Error("cancelled ScheduleCall ran") })
+	kill.Cancel()
+	s.Drain()
+	if fired != 1 || !ran {
+		t.Errorf("fired=%d ran=%v, want 1/true", fired, ran)
+	}
+	_ = keep
+}
+
+// TestZeroAllocSteadyState: the hot paths must not allocate once the
+// queue and pools are warm.
+func TestZeroAllocSteadyState(t *testing.T) {
+	s := New(1)
+	s.SetDispatcher(dispatchFunc(func(uint8, int32, int32, float64, any, func()) {}))
+	fn := func() {}
+	for i := 0; i < 256; i++ { // warm the heap, records and free list
+		s.Post(s.RNG().Float64(), fn)
+		s.Schedule(s.RNG().Float64(), fn)
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Post(s.RNG().Float64(), fn)
+		s.PostCall(s.RNG().Float64(), 5, 1, 2, 0.5, nil)
+		ev := s.Schedule(s.RNG().Float64(), fn)
+		ev.Cancel()
+		s.Step()
+		s.Step()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state kernel allocated %.1f allocs/op, want 0", allocs)
 	}
 }
 
