@@ -4,9 +4,10 @@
 GO    ?= go
 DATE  ?= $(shell date +%F)
 # The benchmark-trajectory set: the end-to-end simulator throughput
-# benchmark plus the event-kernel micro-benchmarks. Override BENCH to
-# run more (e.g. `make bench BENCH=.` for every experiment benchmark).
-BENCH ?= SimulatorThroughput|ScheduleStep|PostStep|CancelHeavy
+# benchmark, the event-kernel micro-benchmarks, and the multi-key lock
+# service's aggregate-throughput-vs-keys point. Override BENCH to run
+# more (e.g. `make bench BENCH=.` for every experiment benchmark).
+BENCH ?= SimulatorThroughput|ScheduleStep|PostStep|CancelHeavy|ManagerMultiKey
 
 .PHONY: build test race bench bench-full
 
@@ -17,13 +18,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -skip TestChaosSoak ./...
+	$(GO) test -race -skip 'TestChaosSoak|TestManagerChaosSoakMultiKey' ./...
 
 # bench runs the trajectory benchmarks and records the point as
 # BENCH_$(DATE).json. Commit the file when the numbers move: the dated
 # series is the performance history of the simulation engine.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . ./internal/sim | tee bench_raw.txt
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . ./internal/sim ./internal/live | tee bench_raw.txt
 	$(GO) run ./cmd/benchjson -date $(DATE) -o BENCH_$(DATE).json < bench_raw.txt
 	@rm -f bench_raw.txt
 	@echo wrote BENCH_$(DATE).json

@@ -14,6 +14,21 @@
 //	mutexload -algo ricartagrawala -transport tcp -nodes 3 -duration 3s
 //	mutexload -nodes 5 -duration 10s -chaos drop=0.05,dup=0.02,corrupt=0.01,seed=7
 //
+// -keys M load-tests the sharded multi-key lock service: every node runs
+// a live.Manager serving M named lock keys over its single endpoint, and
+// the worker pool is spread across the keys (worker g drives key g mod
+// M), so the report shows how aggregate throughput scales with key count
+// at a fixed worker count:
+//
+//	mutexload -nodes 3 -keys 1 -workers 8 -rate 0 -duration 5s
+//	mutexload -nodes 3 -keys 8 -workers 8 -rate 0 -duration 5s
+//
+// -workers sets the worker goroutines per node (default 1, the classic
+// single-mutex workload), and -rate 0 runs them closed-loop — the
+// configuration that exposes the single-key serialization ceiling
+// (aggregate cs/sec ≈ 1/hold) that multi-key sharding lifts. The end of
+// the run prints aggregate plus per-key throughput and messages/CS.
+//
 // -chaos threads every node's outbound traffic through a shared, seeded
 // fault injector (internal/faultnet) and reports the injected-fault
 // tallies at the end — measuring how the core protocol's recovery holds
@@ -55,6 +70,8 @@ func run(args []string) error {
 		nodes    = fs.Int("nodes", 5, "cluster size")
 		trans    = fs.String("transport", "mem", "transport: mem or tcp")
 		algoFlag = fs.String("algo", "core", "algorithm to load-test (any registry name; see mutexnode -algo list)")
+		keys     = fs.Int("keys", 1, "named lock keys served per node (1: classic single mutex; >1: the sharded multi-key service)")
+		workers  = fs.Int("workers", 1, "worker goroutines per node, spread round-robin across the keys")
 		duration = fs.Duration("duration", 5*time.Second, "measurement duration")
 		rate     = fs.Float64("rate", 200, "aggregate lock attempts per second (0 = closed loop)")
 		hold     = fs.Duration("hold", time.Millisecond, "critical-section hold time")
@@ -72,6 +89,12 @@ func run(args []string) error {
 	}
 	if *nodes < 1 {
 		return fmt.Errorf("need at least one node")
+	}
+	if *keys < 1 {
+		return fmt.Errorf("-keys %d: need at least one lock key", *keys)
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers %d: need at least one worker per node", *workers)
 	}
 	entry, ok := registry.Lookup(*algoFlag)
 	if !ok {
@@ -132,8 +155,14 @@ func run(args []string) error {
 	}
 	defer cleanup()
 
-	fmt.Printf("cluster: %d nodes over %s, algorithm=%s, rate=%.0f/s, hold=%v, duration=%v, monitor=%v recovery=%v loss=%.2f%%\n",
-		*nodes, *trans, algo, *rate, *hold, *duration, *monitor, *recover, 100**loss)
+	keyNames := make([]string, *keys)
+	for k := range keyNames {
+		keyNames[k] = fmt.Sprintf("lock-%d", k)
+	}
+	totalWorkers := *nodes * *workers
+
+	fmt.Printf("cluster: %d nodes over %s, algorithm=%s, keys=%d, workers=%d/node, rate=%.0f/s, hold=%v, duration=%v, monitor=%v recovery=%v loss=%.2f%%\n",
+		*nodes, *trans, algo, *keys, *workers, *rate, *hold, *duration, *monitor, *recover, 100**loss)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration+30*time.Second)
 	defer cancel()
@@ -141,47 +170,59 @@ func run(args []string) error {
 	var (
 		mu        sync.Mutex
 		latencies []float64
+		perKey    = make(map[string]int)
 		lat       stats.Welford
 		attempts  atomic.Int64
 		errs      atomic.Int64
 		stop      = make(chan struct{})
 		wg        sync.WaitGroup
 	)
-	perNode := *rate / float64(*nodes)
+	perWorker := *rate / float64(totalWorkers)
 	for i := range cluster {
-		wg.Add(1)
-		go func(nd *live.Node, seed uint64) {
-			defer wg.Done()
-			rng := rand.New(rand.NewPCG(seed, seed^0x42))
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				if perNode > 0 {
-					gap := time.Duration(rng.ExpFloat64() / perNode * float64(time.Second))
+		for w := 0; w < *workers; w++ {
+			g := i**workers + w // global worker index
+			key := keyNames[g%*keys]
+			wg.Add(1)
+			go func(m *live.Manager, key string, seed uint64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(seed, seed^0x42))
+				acquired := 0
+				defer func() {
+					mu.Lock()
+					perKey[key] += acquired
+					mu.Unlock()
+				}()
+				for {
 					select {
-					case <-time.After(gap):
 					case <-stop:
 						return
+					default:
 					}
+					if perWorker > 0 {
+						gap := time.Duration(rng.ExpFloat64() / perWorker * float64(time.Second))
+						select {
+						case <-time.After(gap):
+						case <-stop:
+							return
+						}
+					}
+					attempts.Add(1)
+					start := time.Now()
+					if err := m.Lock(ctx, key); err != nil {
+						errs.Add(1)
+						return
+					}
+					l := time.Since(start).Seconds()
+					mu.Lock()
+					latencies = append(latencies, l)
+					lat.Add(l) // Welford state is not thread-safe; share mu with latencies
+					mu.Unlock()
+					acquired++
+					time.Sleep(*hold)
+					m.Unlock(key)
 				}
-				attempts.Add(1)
-				start := time.Now()
-				if err := nd.Lock(ctx); err != nil {
-					errs.Add(1)
-					return
-				}
-				l := time.Since(start).Seconds()
-				mu.Lock()
-				latencies = append(latencies, l)
-				mu.Unlock()
-				lat.Add(l)
-				time.Sleep(*hold)
-				nd.Unlock()
-			}
-		}(cluster[i], uint64(i+1))
+			}(cluster[i], key, uint64(g+1))
+		}
 	}
 
 	time.Sleep(*duration)
@@ -204,18 +245,21 @@ func run(args []string) error {
 		sent += s
 	}
 	n := len(latencies)
-	fmt.Printf("acquisitions: %d (%.0f/sec), errors: %d\n",
-		n, float64(n)/duration.Seconds(), errs.Load())
+	fmt.Printf("acquisitions: %d (%.0f/sec aggregate over %d keys), errors: %d\n",
+		n, float64(n)/duration.Seconds(), *keys, errs.Load())
 	fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f mean=%.2f\n",
 		pct(0.50), pct(0.90), pct(0.99), latencies[n-1]*1000, lat.Mean()*1000)
+	if *keys > 1 {
+		printPerKey(cluster, keyNames, perKey, duration.Seconds())
+	}
 	if *perNodeS {
 		printPerNode(algo, cluster, counters)
 	}
 	// The comparison footer: this is the live counterpart of the paper's
 	// Figure 6 message-complexity comparison. Run once per -algo on the
 	// same workload and compare the line directly.
-	fmt.Printf("algorithm=%s: %.2f messages per CS (%d messages, %d critical sections, %d nodes)\n",
-		algo, float64(sent)/float64(n), sent, n, *nodes)
+	fmt.Printf("algorithm=%s keys=%d: %.2f messages per CS (%d messages, %d critical sections, %d nodes)\n",
+		algo, *keys, float64(sent)/float64(n), sent, n, *nodes)
 	if inj != nil {
 		c := inj.Counters()
 		fmt.Printf("chaos: dropped=%d duplicated=%d corrupted=%d delayed=%d reordered=%d\n",
@@ -224,47 +268,80 @@ func run(args []string) error {
 	return nil
 }
 
-// printPerNode scrapes each node's telemetry registry and prints the live
-// counterparts of the simulation observables: grants, token passes,
-// dispatches, lock-wait percentiles and the node's message traffic. The
+// printPerKey reports each key's slice of the aggregate: acquisitions
+// and throughput from the workers' own tallies, messages per CS from the
+// key's registries summed across every node's manager (each key is an
+// independent DME group, so its message complexity stands alone).
+func printPerKey(cluster []*live.Manager, keyNames []string, perKey map[string]int, seconds float64) {
+	fmt.Println("per-key:")
+	fmt.Printf("  %-10s %12s %10s %12s\n", "key", "acquired", "cs/sec", "msgs/CS")
+	for _, key := range keyNames {
+		var sent, granted uint64
+		for _, m := range cluster {
+			reg := m.Registry(key)
+			if reg == nil {
+				continue
+			}
+			snap := reg.Snapshot()
+			granted += snap.Counters["cs_granted_total"]
+			for _, v := range snap.Kinds["transport_sent_total"] {
+				sent += v
+			}
+		}
+		msgsPerCS := 0.0
+		if granted > 0 {
+			msgsPerCS = float64(sent) / float64(granted)
+		}
+		fmt.Printf("  %-10s %12d %10.0f %12.2f\n",
+			key, perKey[key], float64(perKey[key])/seconds, msgsPerCS)
+	}
+}
+
+// printPerNode scrapes each node's per-key telemetry registries and
+// prints the live counterparts of the simulation observables summed over
+// the node's keys: grants, token passes, dispatches, lock-wait
+// percentiles (merged across keys) and the node's message traffic. The
 // token/dispatch/retransmit columns are core-protocol observables and
 // read zero under baseline algorithms; grants, waits and traffic are
 // algorithm-agnostic.
-func printPerNode(algo string, cluster []*live.Node, counters []*transport.Counting) {
+func printPerNode(algo string, cluster []*live.Manager, counters []*transport.Counting) {
 	fmt.Println("per-node metrics:")
 	fmt.Printf("  %-4s %-14s %8s %8s %8s %8s %12s %12s %10s %10s\n",
 		"node", "algorithm", "grants", "tokpass", "dispatch", "retx", "wait-p50-ms", "wait-p99-ms", "sent", "recv")
-	for i, nd := range cluster {
-		s := nd.Metrics().Snapshot()
-		wait := s.Histograms["lock_wait_seconds"]
+	for i, m := range cluster {
+		wait := m.MergedHistogram("lock_wait_seconds")
 		sent, recv := counters[i].Totals()
 		fmt.Printf("  %-4d %-14s %8d %8d %8d %8d %12.2f %12.2f %10d %10d\n",
 			i, algo,
-			s.Counters["cs_granted_total"],
-			s.Counters["token_passes_total"],
-			s.Counters["dispatches_total"],
-			s.Counters["requests_retransmitted_total"],
+			m.SumCounter("cs_granted_total"),
+			m.SumCounter("token_passes_total"),
+			m.SumCounter("dispatches_total"),
+			m.SumCounter("requests_retransmitted_total"),
 			wait.P50*1000, wait.P99*1000,
 			sent, recv)
 	}
 }
 
-// buildCluster assembles the live nodes over the chosen transport, each
-// wrapped in a counting layer sharing the node's telemetry registry (the
-// same wiring cmd/mutexnode uses), so the end-of-run summary can scrape
-// protocol and transport metrics together. Baseline algorithms get FIFO
-// in-memory channels (Lamport requires them; TCP is FIFO by nature).
-func buildCluster(kind string, n int, algo string, factory live.Factory, delay time.Duration, loss float64, inj *faultnet.Injector) ([]*live.Node, []*transport.Counting, func(), error) {
+// buildCluster assembles one live.Manager per node over the chosen
+// transport, each endpoint wrapped in a counting layer (the same wiring
+// cmd/mutexnode uses), so the end-of-run summary can scrape protocol and
+// transport metrics together. With -keys 1 the Manager serves a single
+// key — same protocol, one DME group — keeping the comparison between
+// key counts an apples-to-apples change of sharding only. Baseline
+// algorithms get FIFO in-memory channels (Lamport requires them; TCP is
+// FIFO by nature).
+func buildCluster(kind string, n int, algo string, factory live.Factory, delay time.Duration, loss float64, inj *faultnet.Injector) ([]*live.Manager, []*transport.Counting, func(), error) {
 	counters := make([]*transport.Counting, n)
 	trans := make([]transport.Transport, n)
 	regs := make([]*telemetry.Registry, n)
-	nodes := make([]*live.Node, n)
+	mgrs := make([]*live.Manager, n)
 	var closers []func()
 	for i := 0; i < n; i++ {
 		regs[i] = telemetry.NewRegistry()
 	}
 	// Counting outermost (it tallies what the protocol attempted), the
-	// optional fault injector innermost, directly over the wire.
+	// optional fault injector innermost, directly over the wire; the
+	// Manager's key demux sits above the whole chain.
 	chain := func(i int, base transport.Transport) {
 		var faultMW transport.Middleware
 		if inj != nil {
@@ -306,24 +383,24 @@ func buildCluster(kind string, n int, algo string, factory live.Factory, delay t
 	}
 
 	for i := 0; i < n; i++ {
-		nd, err := live.NewNode(live.Config{
+		m, err := live.NewManager(live.ManagerConfig{
 			ID: i, N: n, Transport: trans[i], Factory: factory, Algo: algo,
 			Seed: uint64(i + 1), Metrics: regs[i],
 		})
 		if err != nil {
 			return nil, nil, func() {}, err
 		}
-		nodes[i] = nd
+		mgrs[i] = m
 	}
 	cleanup := func() {
-		for _, nd := range nodes {
-			if nd != nil {
-				_ = nd.Close()
+		for _, m := range mgrs {
+			if m != nil {
+				_ = m.Close()
 			}
 		}
 		for _, c := range closers {
 			c()
 		}
 	}
-	return nodes, counters, cleanup, nil
+	return mgrs, counters, cleanup, nil
 }

@@ -15,6 +15,12 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-algo", "raymond", "-loss", "0.1", "-duration", "10ms"}); err == nil {
 		t.Error("loss accepted for a baseline without recovery")
 	}
+	if err := run([]string{"-keys", "0", "-duration", "10ms"}); err == nil {
+		t.Error("zero keys accepted")
+	}
+	if err := run([]string{"-workers", "0", "-duration", "10ms"}); err == nil {
+		t.Error("zero workers accepted")
+	}
 }
 
 func TestRunShortMemLoad(t *testing.T) {
@@ -44,6 +50,17 @@ func TestRunShortBaselineLoad(t *testing.T) {
 	err := run([]string{"-algo", "raymond", "-nodes", "3", "-duration", "500ms", "-rate", "100", "-hold", "200us"})
 	if err != nil {
 		t.Fatalf("raymond mem load: %v", err)
+	}
+}
+
+func TestRunShortMultiKeyLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real cluster")
+	}
+	err := run([]string{"-nodes", "3", "-keys", "4", "-workers", "4", "-rate", "0",
+		"-duration", "500ms", "-hold", "500us"})
+	if err != nil {
+		t.Fatalf("multi-key mem load: %v", err)
 	}
 }
 

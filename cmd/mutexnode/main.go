@@ -16,6 +16,16 @@
 // tagged, and a mismatched peer is rejected with a logged error instead
 // of a garbage decode.
 //
+// With -keys M (M > 1) the node runs the sharded multi-key lock service
+// instead of a single mutex: M named lock keys (lock-0 … lock-M-1), one
+// independent DME group per key, all multiplexed over the node's single
+// TCP endpoint via key-tagged envelopes. Every peer must use the same
+// -keys value. The demo workload round-robins its acquisitions over the
+// keys, and the admin surface switches to the multi-key handler
+// (aggregate /metrics with per-key labels, /statusz?key=K). With the
+// default -keys 1 the node runs the original single-mutex protocol and
+// stays wire-compatible with older key-less peers.
+//
 // Each node acquires the mutex -count times with -think pause between
 // acquisitions, holds it for -hold, and prints a line per grant. With
 // -count 0 the node only serves the protocol (a pure participant).
@@ -57,73 +67,105 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mutexnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// nodeConfig is the parsed and validated flag set; parseFlags builds it
+// so the validation rules are testable without running a cluster.
+type nodeConfig struct {
+	id        int
+	addrs     map[dme.NodeID]string
+	n         int
+	algo      string
+	keys      int
+	count     int
+	hold      time.Duration
+	think     time.Duration
+	linger    time.Duration
+	treq      float64
+	tfwd      float64
+	monitor   bool
+	recovery  bool
+	httpAddr  string
+	verbose   bool
+	chaos     string
+	listAlgos bool
+}
+
+// parseFlags parses and validates the command line. With `-algo list`
+// the returned config has listAlgos set and no further validation runs.
+func parseFlags(args []string) (*nodeConfig, error) {
+	fs := flag.NewFlagSet("mutexnode", flag.ContinueOnError)
 	var (
-		id       = flag.Int("id", 0, "this node's id (index into -peers)")
-		peers    = flag.String("peers", "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002", "comma-separated peer addresses, one per node id")
-		algoFlag = flag.String("algo", "core", "algorithm to run (see -algo list); every peer must match")
-		count    = flag.Int("count", 10, "critical sections to execute (0: serve only)")
-		hold     = flag.Duration("hold", 50*time.Millisecond, "time to hold the mutex per acquisition")
-		think    = flag.Duration("think", 100*time.Millisecond, "pause between acquisitions")
-		linger   = flag.Duration("linger", 3*time.Second, "keep serving the protocol after finishing -count acquisitions (baselines have no recovery: an exiting node strands peers that still need the token)")
-		treq     = flag.Float64("treq", 0.05, "core: request collection phase (seconds)")
-		tfwd     = flag.Float64("tfwd", 0.05, "core: request forwarding phase (seconds)")
-		monitor  = flag.Bool("monitor", false, "core: enable the starvation-free monitor variant")
-		recovery = flag.Bool("recovery", true, "core: enable the §6 failure recovery protocol")
-		httpAddr = flag.String("http", "", "admin endpoint address (e.g. :8080) serving /metrics, /statusz, /healthz, /debug/trace; empty disables")
-		verbose  = flag.Bool("v", false, "log protocol transitions (slog, stderr; core only)")
-		chaos    = flag.String("chaos", "", "inject faults into this node's outbound traffic, e.g. drop=0.05,dup=0.02,corrupt=0.01,delay=2ms,jitter=1ms,reorder=0.05,seed=7; live-tunable via /debug/faults when -http is set")
+		id       = fs.Int("id", 0, "this node's id (index into -peers)")
+		peers    = fs.String("peers", "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002", "comma-separated peer addresses, one per node id")
+		algoFlag = fs.String("algo", "core", "algorithm to run (see -algo list); every peer must match")
+		keys     = fs.Int("keys", 1, "number of named lock keys to serve (1: the classic single mutex; >1: the sharded multi-key service, every peer must match)")
+		count    = fs.Int("count", 10, "critical sections to execute (0: serve only)")
+		hold     = fs.Duration("hold", 50*time.Millisecond, "time to hold the mutex per acquisition")
+		think    = fs.Duration("think", 100*time.Millisecond, "pause between acquisitions")
+		linger   = fs.Duration("linger", 3*time.Second, "keep serving the protocol after finishing -count acquisitions (baselines have no recovery: an exiting node strands peers that still need the token)")
+		treq     = fs.Float64("treq", 0.05, "core: request collection phase (seconds)")
+		tfwd     = fs.Float64("tfwd", 0.05, "core: request forwarding phase (seconds)")
+		monitor  = fs.Bool("monitor", false, "core: enable the starvation-free monitor variant")
+		recovery = fs.Bool("recovery", true, "core: enable the §6 failure recovery protocol")
+		httpAddr = fs.String("http", "", "admin endpoint address (e.g. :8080) serving /metrics, /statusz, /healthz, /debug/trace; empty disables")
+		verbose  = fs.Bool("v", false, "log protocol transitions (slog, stderr; core only)")
+		chaos    = fs.String("chaos", "", "inject faults into this node's outbound traffic, e.g. drop=0.05,dup=0.02,corrupt=0.01,delay=2ms,jitter=1ms,reorder=0.05,seed=7; live-tunable via /debug/faults when -http is set")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
 	if *algoFlag == "list" {
-		for _, e := range registry.Entries() {
-			fmt.Printf("  %-16s %s\n", e.Name, e.Description)
-		}
-		return nil
+		return &nodeConfig{listAlgos: true}, nil
 	}
 	entry, ok := registry.Lookup(*algoFlag)
 	if !ok {
-		return fmt.Errorf("unknown algorithm %q (have %s)",
+		return nil, fmt.Errorf("unknown algorithm %q (have %s)",
 			*algoFlag, strings.Join(registry.Names(), ", "))
 	}
-	algo := entry.Name
 
 	addrList := strings.Split(*peers, ",")
 	n := len(addrList)
 	if *id < 0 || *id >= n {
-		return fmt.Errorf("id %d outside peer list of %d", *id, n)
+		return nil, fmt.Errorf("id %d outside peer list of %d", *id, n)
+	}
+	if *keys < 1 {
+		return nil, fmt.Errorf("-keys %d: need at least one lock key", *keys)
 	}
 	addrs := make(map[dme.NodeID]string, n)
 	for i, a := range addrList {
 		addrs[i] = strings.TrimSpace(a)
 	}
 
-	var logger *slog.Logger
-	if *verbose {
-		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
-	}
+	return &nodeConfig{
+		id: *id, addrs: addrs, n: n,
+		algo: entry.Name, keys: *keys,
+		count: *count, hold: *hold, think: *think, linger: *linger,
+		treq: *treq, tfwd: *tfwd, monitor: *monitor, recovery: *recovery,
+		httpAddr: *httpAddr, verbose: *verbose, chaos: *chaos,
+	}, nil
+}
 
-	// The paper's algorithm keeps its full option surface (variant,
-	// recovery, phase tuning); the baselines build from the registry.
-	var factory live.Factory
-	if algo == registry.Core {
+// buildFactory assembles the per-node (or per-key) protocol factory. The
+// paper's algorithm keeps its full option surface (variant, recovery,
+// phase tuning); the baselines build from the registry.
+func buildFactory(cfg *nodeConfig) (live.Factory, error) {
+	if cfg.algo == registry.Core {
 		opts := core.Options{
-			Treq:              *treq,
-			Tfwd:              *tfwd,
-			Monitor:           *monitor,
+			Treq:              cfg.treq,
+			Tfwd:              cfg.tfwd,
+			Monitor:           cfg.monitor,
 			RetransmitTimeout: 2,
 		}
-		if *monitor {
+		if cfg.monitor {
 			opts.MonitorFlushTimeout = 5
 		}
-		if *recovery {
+		if cfg.recovery {
 			opts.Recovery = core.RecoveryOptions{
 				Enabled:        true,
 				TokenTimeout:   3,
@@ -132,17 +174,53 @@ func run() error {
 				ProbeTimeout:   1,
 			}
 		}
-		factory = registry.CoreLiveFactory(opts)
-	} else {
-		var err error
-		factory, err = registry.NewLiveFactory(algo, nil)
-		if err != nil {
-			return err
+		return registry.CoreLiveFactory(opts), nil
+	}
+	return registry.NewLiveFactory(cfg.algo, nil)
+}
+
+// adminHandler composes the node's admin surface with the optional
+// fault-injector control endpoint, returning the handler and the
+// endpoint list for the startup banner.
+func adminHandler(admin http.Handler, inj *faultnet.Injector) (http.Handler, string) {
+	endpoints := "/metrics /statusz /healthz /debug/trace"
+	if inj == nil {
+		return admin, endpoints
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", admin)
+	mux.Handle("/debug/faults", inj.Handler())
+	return mux, endpoints + " /debug/faults"
+}
+
+// keyName names the demo workload's lock keys: lock-0 … lock-M-1. Every
+// peer derives the same names from its own -keys value.
+func keyName(i int) string { return fmt.Sprintf("lock-%d", i) }
+
+func run(args []string) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	if cfg.listAlgos {
+		for _, e := range registry.Entries() {
+			fmt.Printf("  %-16s %s\n", e.Name, e.Description)
 		}
+		return nil
 	}
 
-	tcp, err := transport.NewTCPOpt(*id, addrs, transport.TCPOptions{
-		Algo: algo,
+	var logger *slog.Logger
+	if cfg.verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	factory, err := buildFactory(cfg)
+	if err != nil {
+		return err
+	}
+
+	tcp, err := transport.NewTCPOpt(cfg.id, cfg.addrs, transport.TCPOptions{
+		Algo: cfg.algo,
 		OnWireError: func(err error) {
 			fmt.Fprintln(os.Stderr, "mutexnode:", err)
 		},
@@ -155,11 +233,13 @@ func run() error {
 	// message volume (and the /metrics endpoint its per-kind counters).
 	// With -chaos, the fault injector slots in below it — innermost, so
 	// injected faults are indistinguishable from network behavior and the
-	// counters still report what the protocol attempted to send.
+	// counters still report what the protocol attempted to send. With
+	// -keys > 1 the whole chain sits below the Manager's key demux, so
+	// both layers observe the merged multi-key stream.
 	reg := telemetry.NewRegistry()
 	var inj *faultnet.Injector
-	if *chaos != "" {
-		spec, err := faultnet.ParseSpec(*chaos)
+	if cfg.chaos != "" {
+		spec, err := faultnet.ParseSpec(cfg.chaos)
 		if err != nil {
 			_ = tcp.Close()
 			return fmt.Errorf("-chaos: %w", err)
@@ -167,7 +247,7 @@ func run() error {
 		inj = faultnet.New(faultnet.Options{
 			Seed:   spec.Seed,
 			Faults: spec.Faults,
-			Algo:   algo,
+			Algo:   cfg.algo,
 			OnFault: func(err error) {
 				fmt.Fprintln(os.Stderr, "mutexnode: chaos:", err)
 			},
@@ -176,30 +256,48 @@ func run() error {
 	}
 	tr := transport.Chain(tcp, transport.CountingMW(reg), faultMW(inj))
 	ct, _ := transport.Find[*transport.Counting](tr)
-	node, err := live.NewNode(live.Config{
-		ID: *id, N: n, Transport: tr, Factory: factory, Algo: algo,
-		Logger: logger, Metrics: reg,
-	})
-	if err != nil {
-		_ = tcp.Close()
-		return err
-	}
-	defer node.Close() //nolint:errcheck // shutdown path
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *httpAddr != "" {
-		handler := http.Handler(node.AdminHandler())
-		endpoints := "/metrics /statusz /healthz /debug/trace"
-		if inj != nil {
-			mux := http.NewServeMux()
-			mux.Handle("/", node.AdminHandler())
-			mux.Handle("/debug/faults", inj.Handler())
-			handler = mux
-			endpoints += " /debug/faults"
+	// The two service shapes: the classic single mutex (one live node,
+	// key-less wire envelopes, compatible with older peers) or the
+	// sharded multi-key service (one DME group per key over the same
+	// endpoint).
+	var admin http.Handler
+	var workload func() error
+	var summary func()
+	if cfg.keys == 1 {
+		node, err := live.NewNode(live.Config{
+			ID: cfg.id, N: cfg.n, Transport: tr, Factory: factory, Algo: cfg.algo,
+			Logger: logger, Metrics: reg,
+		})
+		if err != nil {
+			_ = tcp.Close()
+			return err
 		}
-		srv := &http.Server{Addr: *httpAddr, Handler: handler}
+		defer node.Close() //nolint:errcheck // shutdown path
+		admin = node.AdminHandler()
+		workload = func() error { return singleKeyWorkload(ctx, cfg, node) }
+		summary = func() { printSummary(cfg.id, cfg.algo, node, ct, tcp, inj) }
+	} else {
+		mgr, err := live.NewManager(live.ManagerConfig{
+			ID: cfg.id, N: cfg.n, Transport: tr, Factory: factory, Algo: cfg.algo,
+			Logger: logger, Metrics: reg,
+		})
+		if err != nil {
+			_ = tcp.Close()
+			return err
+		}
+		defer mgr.Close() //nolint:errcheck // shutdown path
+		admin = mgr.AdminHandler()
+		workload = func() error { return multiKeyWorkload(ctx, cfg, mgr) }
+		summary = func() { printManagerSummary(cfg, mgr, ct, tcp, inj) }
+	}
+
+	if cfg.httpAddr != "" {
+		handler, endpoints := adminHandler(admin, inj)
+		srv := &http.Server{Addr: cfg.httpAddr, Handler: handler}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "mutexnode: admin server:", err)
@@ -210,51 +308,86 @@ func run() error {
 			defer cancel()
 			_ = srv.Shutdown(shCtx)
 		}()
-		fmt.Printf("node %d: admin endpoints on %s (%s)\n", *id, *httpAddr, endpoints)
+		fmt.Printf("node %d: admin endpoints on %s (%s)\n", cfg.id, cfg.httpAddr, endpoints)
 	}
-	defer printSummary(*id, algo, node, ct, tcp, inj)
+	defer summary()
 
-	if algo == registry.Core {
+	switch {
+	case cfg.algo == registry.Core && cfg.keys > 1:
+		fmt.Printf("node %d/%d listening on %s (arbiter protocol, %d lock keys: treq=%.3fs tfwd=%.3fs monitor=%v recovery=%v)\n",
+			cfg.id, cfg.n, cfg.addrs[cfg.id], cfg.keys, cfg.treq, cfg.tfwd, cfg.monitor, cfg.recovery)
+	case cfg.algo == registry.Core:
 		fmt.Printf("node %d/%d listening on %s (arbiter protocol: treq=%.3fs tfwd=%.3fs monitor=%v recovery=%v)\n",
-			*id, n, addrs[*id], *treq, *tfwd, *monitor, *recovery)
-	} else {
-		fmt.Printf("node %d/%d listening on %s (algorithm: %s)\n", *id, n, addrs[*id], algo)
+			cfg.id, cfg.n, cfg.addrs[cfg.id], cfg.treq, cfg.tfwd, cfg.monitor, cfg.recovery)
+	default:
+		fmt.Printf("node %d/%d listening on %s (algorithm: %s, keys: %d)\n",
+			cfg.id, cfg.n, cfg.addrs[cfg.id], cfg.algo, cfg.keys)
 	}
 
-	if *count == 0 {
+	if cfg.count == 0 {
 		<-ctx.Done()
 		return nil
 	}
-
-	for i := 1; i <= *count; i++ {
-		if err := node.Lock(ctx); err != nil {
-			return fmt.Errorf("lock %d: %w", i, err)
-		}
-		fmt.Printf("node %d: acquired CS #%d at %s\n", *id, i, time.Now().Format("15:04:05.000"))
-		select {
-		case <-time.After(*hold):
-		case <-ctx.Done():
-		}
-		node.Unlock()
-		select {
-		case <-time.After(*think):
-		case <-ctx.Done():
-			return nil
-		}
+	if err := workload(); err != nil {
+		return err
 	}
-	if *linger > 0 {
+	if cfg.linger > 0 {
 		select {
-		case <-time.After(*linger):
+		case <-time.After(cfg.linger):
 		case <-ctx.Done():
 		}
 	}
 	return nil
 }
 
-// printSummary reports the node's lifetime protocol traffic: grants,
-// per-kind sent/received counts, payload units, wire bytes, and the
-// local messages-per-CS ratio (which under a symmetric workload matches
-// the cluster-wide figure the simulation reports).
+// singleKeyWorkload is the classic demo loop: acquire, hold, release,
+// think, -count times.
+func singleKeyWorkload(ctx context.Context, cfg *nodeConfig, node *live.Node) error {
+	for i := 1; i <= cfg.count; i++ {
+		if err := node.Lock(ctx); err != nil {
+			return fmt.Errorf("lock %d: %w", i, err)
+		}
+		fmt.Printf("node %d: acquired CS #%d at %s\n", cfg.id, i, time.Now().Format("15:04:05.000"))
+		select {
+		case <-time.After(cfg.hold):
+		case <-ctx.Done():
+		}
+		node.Unlock()
+		select {
+		case <-time.After(cfg.think):
+		case <-ctx.Done():
+			return nil
+		}
+	}
+	return nil
+}
+
+// multiKeyWorkload round-robins -count acquisitions over the node's lock
+// keys (offset by the node id so the keys see staggered traffic from
+// every node), printing each grant with its per-key fencing token.
+func multiKeyWorkload(ctx context.Context, cfg *nodeConfig, mgr *live.Manager) error {
+	for i := 1; i <= cfg.count; i++ {
+		key := keyName((cfg.id + i) % cfg.keys)
+		fence, err := mgr.LockFence(ctx, key)
+		if err != nil {
+			return fmt.Errorf("lock %d (%s): %w", i, key, err)
+		}
+		fmt.Printf("node %d: acquired CS #%d key=%s fence=%d at %s\n",
+			cfg.id, i, key, fence, time.Now().Format("15:04:05.000"))
+		select {
+		case <-time.After(cfg.hold):
+		case <-ctx.Done():
+		}
+		mgr.Unlock(key)
+		select {
+		case <-time.After(cfg.think):
+		case <-ctx.Done():
+			return nil
+		}
+	}
+	return nil
+}
+
 // faultMW adapts an optional injector to a Middleware; Chain skips the
 // nil when -chaos is off.
 func faultMW(inj *faultnet.Injector) transport.Middleware {
@@ -264,19 +397,50 @@ func faultMW(inj *faultnet.Injector) transport.Middleware {
 	return inj.Middleware()
 }
 
+// printSummary reports the node's lifetime protocol traffic: grants,
+// per-kind sent/received counts, payload units, wire bytes, and the
+// local messages-per-CS ratio (which under a symmetric workload matches
+// the cluster-wide figure the simulation reports).
 func printSummary(id int, algo string, node *live.Node, ct *transport.Counting, tcp *transport.TCPTransport, inj *faultnet.Injector) {
 	granted, released := node.Stats()
+	fmt.Printf("node %d: done (algorithm %s, %d granted, %d released)\n", id, algo, granted, released)
+	printTraffic(id, node.Metrics(), ct)
+	printWireAndChaos(id, tcp, inj)
+	printKinds(id, ct)
+	printPerCS(id, granted, ct)
+}
+
+// printManagerSummary is the multi-key shutdown report: aggregate grants
+// and traffic over the shared endpoint, then one row per lock key from
+// the key's own registry.
+func printManagerSummary(cfg *nodeConfig, mgr *live.Manager, ct *transport.Counting, tcp *transport.TCPTransport, inj *faultnet.Injector) {
+	granted, released := mgr.Stats()
+	fmt.Printf("node %d: done (algorithm %s, %d keys, %d granted, %d released)\n",
+		cfg.id, cfg.algo, len(mgr.Keys()), granted, released)
+	printTraffic(cfg.id, mgr.Metrics(), ct)
+	printWireAndChaos(cfg.id, tcp, inj)
+	printKinds(cfg.id, ct)
+	for _, ks := range mgr.KeyStats() {
+		fmt.Printf("node %d:   key %-12s shard=%-3d granted=%-5d sent=%-6d received=%-6d wait-p99=%.1fms\n",
+			cfg.id, ks.Key, ks.Shard, ks.Granted, ks.MsgsSent, ks.MsgsRecv, ks.WaitP99*1000)
+	}
+	printPerCS(cfg.id, granted, ct)
+}
+
+func printTraffic(id int, reg *telemetry.Registry, ct *transport.Counting) {
 	sent, received := ct.Totals()
 	sentU, recvU := ct.UnitTotals()
-	fmt.Printf("node %d: done (algorithm %s, %d granted, %d released)\n", id, algo, granted, released)
 	fmt.Printf("node %d: messages sent=%d received=%d units sent=%d received=%d",
 		id, sent, received, sentU, recvU)
-	if snap := node.Metrics().Snapshot(); snap.Counters["transport_wire_bytes_sent_total"] > 0 {
+	if snap := reg.Snapshot(); snap.Counters["transport_wire_bytes_sent_total"] > 0 {
 		fmt.Printf(" wire bytes sent=%d received=%d",
 			snap.Counters["transport_wire_bytes_sent_total"],
 			snap.Counters["transport_wire_bytes_received_total"])
 	}
 	fmt.Println()
+}
+
+func printWireAndChaos(id int, tcp *transport.TCPTransport, inj *faultnet.Injector) {
 	if mism, dec := tcp.WireErrors(); mism > 0 || dec > 0 {
 		fmt.Printf("node %d: WIRE ERRORS: %d algorithm/version mismatches, %d undecodable payloads (check every peer's -algo)\n",
 			id, mism, dec)
@@ -286,6 +450,9 @@ func printSummary(id int, algo string, node *live.Node, ct *transport.Counting, 
 		fmt.Printf("node %d: chaos: dropped=%d duplicated=%d corrupted=%d delayed=%d reordered=%d partition-dropped=%d\n",
 			id, c.Drops, c.Dups, c.Corruptions, c.Delayed, c.Reordered, c.PartitionDrops)
 	}
+}
+
+func printKinds(id int, ct *transport.Counting) {
 	byKind := ct.SentByKind()
 	inKind := ct.ReceivedByKind()
 	kinds := make(map[string]struct{}, len(byKind)+len(inKind))
@@ -303,9 +470,14 @@ func printSummary(id int, algo string, node *live.Node, ct *transport.Counting, 
 	for _, k := range sorted {
 		fmt.Printf("node %d:   %-14s sent=%-6d received=%d\n", id, k, byKind[k], inKind[k])
 	}
-	if granted > 0 {
-		fmt.Printf("node %d: messages per CS: %.2f sent, %.2f incl. received\n",
-			id, float64(sent)/float64(granted),
-			float64(sent+received)/float64(granted))
+}
+
+func printPerCS(id int, granted uint64, ct *transport.Counting) {
+	if granted == 0 {
+		return
 	}
+	sent, received := ct.Totals()
+	fmt.Printf("node %d: messages per CS: %.2f sent, %.2f incl. received\n",
+		id, float64(sent)/float64(granted),
+		float64(sent+received)/float64(granted))
 }

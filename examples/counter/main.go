@@ -71,8 +71,16 @@ func main() {
 			go func(node *live.Node) {
 				defer wg.Done()
 				for r := 0; r < rounds; r++ {
-					if err := node.Lock(ctx); err != nil {
+					// TryLockContext bounds each acquisition by the run's
+					// deadline: (false, nil) means the context expired while
+					// waiting, anything else is a real failure.
+					ok, err := node.TryLockContext(ctx)
+					if err != nil {
 						log.Printf("node %d: %v", node.ID(), err)
+						return
+					}
+					if !ok {
+						log.Printf("node %d: deadline expired waiting for the mutex", node.ID())
 						return
 					}
 					counter++ // safe: we hold the distributed mutex

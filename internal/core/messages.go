@@ -232,8 +232,18 @@ type Probe struct{}
 // Kind implements dme.Message.
 func (Probe) Kind() string { return KindProbe }
 
-// ProbeAck answers a PROBE, proving the arbiter is alive.
-type ProbeAck struct{}
+// ProbeAck answers a PROBE, proving the arbiter is alive. NotArbiter is
+// set when the probed process no longer believes it holds the arbiter
+// role: a member that crashed and restarted between designation and the
+// probe answers probes happily (the process is alive) while knowing
+// nothing of the batch or token that died with its previous incarnation.
+// Without the flag, the prober keeps reading those acks as "arbiter
+// healthy" and its takeover never fires — the group wedges permanently.
+// The zero value means "still the arbiter", so acks from older senders
+// decode to the previous behaviour.
+type ProbeAck struct {
+	NotArbiter bool
+}
 
 // Kind implements dme.Message.
 func (ProbeAck) Kind() string { return KindProbeAck }

@@ -255,6 +255,7 @@ func (nd *node) removeOutstanding(seq uint64) {
 
 // OnMessage implements dme.Node.
 func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
+	nd.rec.markHeard(from)
 	switch m := msg.(type) {
 	case Request:
 		nd.onRequestMsg(ctx, m)
@@ -275,9 +276,9 @@ func (nd *node) OnMessage(ctx dme.Context, from int, msg dme.Message) {
 	case Invalidate:
 		nd.onInvalidate(ctx, from, m)
 	case Probe:
-		ctx.Send(nd.id, from, ProbeAck{})
+		ctx.Send(nd.id, from, ProbeAck{NotArbiter: nd.arbiter != nd.id})
 	case ProbeAck:
-		nd.onProbeAck(ctx, from)
+		nd.onProbeAck(ctx, from, m)
 	default:
 		panic(fmt.Sprintf("core: node %d received unknown message %T", nd.id, msg))
 	}
@@ -769,6 +770,22 @@ func (nd *node) beginForwarding(ctx dme.Context) {
 // implicit-ACK check for our own outstanding requests (§6, lost request),
 // and assume the arbiter role if the message names us.
 func (nd *node) onNewArbiter(ctx dme.Context, from int, m NewArbiter) {
+	if enabled(nd) && m.Epoch < nd.epoch {
+		// The announcer is operating a token incarnation that some §6
+		// invalidation round has already declared dead. It cannot know —
+		// it was partitioned away, or the INVALIDATE to it was lost —
+		// and if it is quietly serving its own requesters it never finds
+		// out on its own (a purely local batch broadcasts nothing).
+		// Refuse the stale designation and correct the announcer: with
+		// the current-epoch arbiter role here, our own announcement does
+		// it; otherwise the INVALIDATE it missed.
+		if nd.collecting && nd.arbiter == nd.id {
+			ctx.Send(nd.id, from, nd.announcement())
+		} else {
+			ctx.Send(nd.id, from, Invalidate{Epoch: nd.epoch})
+		}
+		return
+	}
 	if m.Epoch > nd.epoch {
 		// Epoch and generation are orthogonal orders: the epoch counts
 		// §6 invalidation rounds, the generation counts batches. Even a

@@ -36,6 +36,19 @@ type recovery struct {
 	probeTimer  dme.Timer
 	watchTarget int
 	lastBatch   QList // the batch this node dispatched most recently
+
+	// excluded tracks the members that answered nothing during the
+	// invalidation round that regenerated the current token: §6 presumes
+	// them failed and purges their entries. If such a member is in fact
+	// alive beyond a partition, both sides can end up serving only local
+	// requesters — and a purely local batch dispatches without a
+	// NEW-ARBITER broadcast, so after the partition heals neither side
+	// ever sends the other a single message and the split brain is
+	// permanent. Until every excluded member is heard from again, the
+	// regenerating arbiter re-sends its announcement to them each
+	// ArbiterTimeout (see armReannounce / markHeard).
+	excluded      map[int]bool
+	announceTimer dme.Timer
 }
 
 func (r *recovery) init() {
@@ -147,12 +160,23 @@ func (r *recovery) onNewArbiterSeen(ctx dme.Context, nd *node, from int, m NewAr
 	}
 }
 
-// onProbeAck: the watched arbiter answered; keep watching.
-func (nd *node) onProbeAck(ctx dme.Context, from int) {
+// onProbeAck: the watched arbiter answered; keep watching — unless the
+// answer itself disowns the role. A probed process that restarted since
+// its designation is alive (it acks) but amnesiac (no batch, no token,
+// does not even know it was the arbiter); treating that ack as health
+// would re-arm the watchdog forever while the group sits tokenless, so
+// it escalates to takeover exactly as an unanswered probe would.
+func (nd *node) onProbeAck(ctx dme.Context, from int, m ProbeAck) {
 	r := &nd.rec
 	ctx.Cancel(r.probeTimer)
 	r.probeTimer = dme.Timer{}
 	if enabled(nd) && r.watchTarget == from {
+		if m.NotArbiter {
+			ctx.Cancel(r.watchTimer)
+			r.watchTimer = dme.Timer{}
+			r.takeover(ctx, nd)
+			return
+		}
 		r.armWatchdog(ctx, nd, from)
 	}
 }
@@ -354,7 +378,81 @@ func (r *recovery) finishInvalidation(ctx dme.Context, nd *node) {
 	}
 	nd.noteTokenSeen(nd.epoch, nd.gen, fenceJump)
 	nd.observe(Event{Kind: EventTokenRegenerated, Arbiter: nd.id, Epoch: nd.epoch, Fence: fenceJump})
+
+	// Every member that answered nothing this round — enquiry target or
+	// not — may be alive beyond a partition, running (or about to
+	// regenerate) a token of the epoch this round just killed. Nothing in
+	// the normal protocol is addressed to it anymore, so the new epoch
+	// has to be pushed to it explicitly once it is reachable again.
+	for j := 0; j < nd.n; j++ {
+		if j == nd.id {
+			continue
+		}
+		if _, answered := r.acks[j]; !answered {
+			if r.excluded == nil {
+				r.excluded = make(map[int]bool, nd.n-1)
+			}
+			r.excluded[j] = true
+		}
+	}
+	r.armReannounce(ctx, nd)
 	nd.startWindow(ctx)
+}
+
+// announcement assembles this arbiter's current NEW-ARBITER designation
+// for the anti-entropy paths (re-announcement to excluded members and
+// correction of stale announcers). Q is nil like a takeover's broadcast:
+// the receiver's implicit-acknowledgement counting treats the absence as
+// a miss and resubmits outstanding requests after Tau announcements,
+// which is exactly what a member healed back into the cluster needs.
+func (nd *node) announcement() NewArbiter {
+	return NewArbiter{
+		Arbiter:   nd.id,
+		Counter:   nd.counter,
+		Monitor:   nd.monitor,
+		MonEpoch:  nd.monEpoch,
+		Epoch:     nd.epoch,
+		Gen:       nd.gen,
+		FenceBase: nd.maxFence,
+	}
+}
+
+// armReannounce keeps pushing the regenerated epoch's NEW-ARBITER to the
+// members the invalidation round excluded, one unicast per member per
+// ArbiterTimeout, until each has been heard from (markHeard) or the
+// arbiter role has moved on — the next dispatch's cluster-wide broadcast
+// then advertises the epoch in this node's stead.
+func (r *recovery) armReannounce(ctx dme.Context, nd *node) {
+	if len(r.excluded) == 0 {
+		return
+	}
+	ctx.Cancel(r.announceTimer)
+	r.announceTimer = ctx.After(nd.id, nd.opts.Recovery.ArbiterTimeout, func() {
+		r.announceTimer = dme.Timer{}
+		if len(r.excluded) == 0 {
+			return
+		}
+		if !nd.collecting || nd.arbiter != nd.id {
+			r.excluded = nil
+			return
+		}
+		// Index order, not map order: the simulator's determinism
+		// contract extends to send order.
+		for j := 0; j < nd.n; j++ {
+			if r.excluded[j] {
+				ctx.Send(nd.id, j, nd.announcement())
+			}
+		}
+		r.armReannounce(ctx, nd)
+	})
+}
+
+// markHeard records life from a member: once every member excluded by
+// the last regeneration has spoken again, the re-announcement stops.
+func (r *recovery) markHeard(from int) {
+	if len(r.excluded) != 0 {
+		delete(r.excluded, from)
+	}
 }
 
 // onInvalidate: adopt the new token epoch so the stale token, if it ever

@@ -1,0 +1,560 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/telemetry"
+	"tokenarbiter/internal/transport"
+)
+
+// ErrTooManyKeys is returned by Lock when ManagerConfig.MaxKeys is set
+// and creating one more lock key would exceed it. Inbound traffic for
+// keys beyond the limit is dropped (counted, not created).
+var ErrTooManyKeys = errors.New("live: manager key limit reached")
+
+// DefaultShards is the Manager's shard count when ManagerConfig.Shards
+// is zero: enough stripes that key creation and lookup on different keys
+// almost never contend, cheap enough to be irrelevant when idle.
+const DefaultShards = 16
+
+// ManagerConfig parameterizes one node's multi-key lock service.
+type ManagerConfig struct {
+	// ID is this node's identity in [0, N), shared by every key's DME
+	// instance; node 0 mints each key's initial token.
+	ID int
+	// N is the cluster size.
+	N int
+	// Transport is the single shared endpoint all keys multiplex over —
+	// typically a middleware chain (counting, fault injection) whose
+	// layers then observe the merged keyed stream. The Manager wraps it
+	// in a transport.KeyMux and owns its handler slot.
+	Transport transport.Transport
+	// Factory builds one key's protocol state machine; it is invoked
+	// once per key (per incarnation), so every key runs an independent
+	// instance of the same algorithm.
+	Factory Factory
+	// Algo optionally names the algorithm for display surfaces.
+	Algo string
+	// Shards is the number of lock stripes keys are spread over by FNV
+	// hashing, so creating or locking a hot key never serializes against
+	// unrelated keys. 0 means DefaultShards.
+	Shards int
+	// MaxKeys bounds the number of live keys (0 = unlimited): Lock on a
+	// fresh key beyond the bound fails with ErrTooManyKeys, and inbound
+	// traffic for fresh keys is dropped. A guard against unbounded state
+	// from misbehaving peers.
+	MaxKeys int
+	// Seed seeds per-key node randomness; each key derives its own
+	// stream from Seed and the key hash. 0 derives from the clock.
+	Seed uint64
+	// Logger, when non-nil, receives each key's protocol-transition logs
+	// (see Config.Logger) annotated with a "lockkey" attribute.
+	Logger *slog.Logger
+	// Metrics, when non-nil, receives the manager-level metrics
+	// (manager_keys_active, manager_keys_created_total, ...). Per-key
+	// protocol and traffic metrics live in per-key registries, exported
+	// together — with a key label — by AdminHandler's /metrics.
+	Metrics *telemetry.Registry
+	// TraceDepth is passed to every key's node (see Config.TraceDepth).
+	TraceDepth int
+}
+
+// Manager is a sharded multi-key distributed lock service: one DME
+// instance per named lock key, all multiplexed over a single transport.
+// Keys are created lazily — by the first local Lock, or by the first
+// message a peer sends for the key — and each carries its own protocol
+// state machine, event loop, telemetry registry, and incarnation
+// counter. All methods are safe for concurrent use.
+type Manager struct {
+	cfg    ManagerConfig
+	mux    *transport.KeyMux
+	shards []managerShard
+	start  time.Time
+
+	closed   atomic.Bool
+	keyCount atomic.Int64
+
+	reg           *telemetry.Registry
+	keysActive    *telemetry.Gauge
+	keysCreated   *telemetry.Counter
+	remoteCreates *telemetry.Counter
+	keyRestarts   *telemetry.Counter
+	keyLimitHits  *telemetry.Counter
+}
+
+// managerShard is one lock stripe of the key table.
+type managerShard struct {
+	mu   sync.Mutex
+	keys map[string]*instance
+}
+
+// instance is one key's state: the live node of the key's DME group plus
+// the bookkeeping the Manager layers on top.
+type instance struct {
+	key         string
+	shard       int
+	incarnation uint64
+	node        *Node
+	reg         *telemetry.Registry
+	createdAt   time.Time
+}
+
+// ShardIndex is the Manager's key→shard routing function, exported so
+// tests (and operators debugging a hot shard) can compute placement
+// without a Manager: FNV-1a over the key bytes, reduced modulo shards.
+// It is pure and deterministic — the same key always routes to the same
+// shard for a given shard count.
+func ShardIndex(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// keyHash64 derives a per-key seed component.
+func keyHash64(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// NewManager builds the service. No keys exist yet; the first Lock (or
+// the first keyed message from a peer) creates them.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("live: manager config needs a transport")
+	}
+	if cfg.Transport.Self() != cfg.ID {
+		return nil, fmt.Errorf("live: transport self %d does not match manager id %d",
+			cfg.Transport.Self(), cfg.ID)
+	}
+	if cfg.Factory == nil {
+		return nil, errors.New("live: manager config needs a Factory")
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &Manager{
+		cfg:    cfg,
+		shards: make([]managerShard, shards),
+		start:  time.Now(),
+		reg:    reg,
+		keysActive: reg.Gauge("manager_keys_active",
+			"lock keys currently live on this node"),
+		keysCreated: reg.Counter("manager_keys_created_total",
+			"lock key instances created (local Lock or remote traffic)"),
+		remoteCreates: reg.Counter("manager_remote_key_creates_total",
+			"lock keys created by a peer's message rather than a local Lock"),
+		keyRestarts: reg.Counter("manager_key_restarts_total",
+			"per-key instance restarts (new incarnations)"),
+		keyLimitHits: reg.Counter("manager_key_limit_rejections_total",
+			"key creations refused by the MaxKeys bound"),
+	}
+	for i := range m.shards {
+		m.shards[i].keys = make(map[string]*instance)
+	}
+	m.mux = transport.NewKeyMux(cfg.Transport)
+	m.mux.OnUnknownKey(m.onRemoteKey)
+	return m, nil
+}
+
+// ID returns the node identity shared by every key's instance.
+func (m *Manager) ID() int { return m.cfg.ID }
+
+// Metrics returns the manager-level registry (Config.Metrics or the
+// private one). Per-key registries are exported via AdminHandler.
+func (m *Manager) Metrics() *telemetry.Registry { return m.reg }
+
+// ShardOf returns the shard index key routes to on this Manager.
+func (m *Manager) ShardOf(key string) int { return ShardIndex(key, len(m.shards)) }
+
+// Shards returns the configured shard count.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// onRemoteKey is the KeyMux unknown-key hook: a peer is running a DME
+// group for a key this node has never locked. Join it — create the
+// key's instance so the protocol (token routing, arbiter election,
+// recovery) has all N participants; the mux then re-resolves the key
+// and delivers the triggering message to the fresh instance. Creation
+// failures (MaxKeys, closed manager) leave the key unbound and the
+// message is dropped, which every protocol tolerates as loss.
+func (m *Manager) onRemoteKey(key string, _ dme.NodeID, _ dme.Message) {
+	_, _ = m.instanceFor(key, true)
+}
+
+// instanceFor returns key's live instance, creating it if needed.
+// remote marks creations triggered by peer traffic rather than a local
+// Lock (metrics only).
+func (m *Manager) instanceFor(key string, remote bool) (*instance, error) {
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	sh := &m.shards[m.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if inst, ok := sh.keys[key]; ok {
+		return inst, nil
+	}
+	if m.cfg.MaxKeys > 0 && int(m.keyCount.Load()) >= m.cfg.MaxKeys {
+		m.keyLimitHits.Inc()
+		return nil, fmt.Errorf("%w (max %d, creating %q)", ErrTooManyKeys, m.cfg.MaxKeys, key)
+	}
+	inst, err := m.buildInstance(key, telemetry.NewRegistry(), 1)
+	if err != nil {
+		return nil, err
+	}
+	sh.keys[key] = inst
+	m.keyCount.Add(1)
+	m.keysActive.Set(m.keyCount.Load())
+	m.keysCreated.Inc()
+	if remote {
+		m.remoteCreates.Inc()
+	}
+	return inst, nil
+}
+
+// buildInstance assembles one key incarnation: a fresh mux binding, a
+// per-key counting layer into the key's registry, and the key's live
+// node. Callers hold the key's shard lock (creation for a given key is
+// serialized; other shards proceed in parallel).
+func (m *Manager) buildInstance(key string, reg *telemetry.Registry, incarnation uint64) (*instance, error) {
+	ep, err := m.mux.Bind(key)
+	if err != nil {
+		return nil, err
+	}
+	chained := transport.Chain(ep, transport.CountingMW(reg))
+	seed := m.cfg.Seed
+	if seed != 0 {
+		seed ^= keyHash64(key)
+		seed += incarnation // a restarted instance must not replay its RNG
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	var logger *slog.Logger
+	if m.cfg.Logger != nil {
+		logger = m.cfg.Logger.With("lockkey", key)
+	}
+	node, err := NewNode(Config{
+		ID:         m.cfg.ID,
+		N:          m.cfg.N,
+		Transport:  chained,
+		Factory:    m.cfg.Factory,
+		Algo:       m.cfg.Algo,
+		Seed:       seed,
+		Logger:     logger,
+		Metrics:    reg,
+		TraceDepth: m.cfg.TraceDepth,
+	})
+	if err != nil {
+		_ = ep.Close() // release the binding; the mux stays usable
+		return nil, fmt.Errorf("live: key %q: %w", key, err)
+	}
+	return &instance{
+		key:         key,
+		shard:       m.ShardOf(key),
+		incarnation: incarnation,
+		node:        node,
+		reg:         reg,
+		createdAt:   time.Now(),
+	}, nil
+}
+
+// lookup returns key's instance without creating it.
+func (m *Manager) lookup(key string) *instance {
+	sh := &m.shards[m.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.keys[key]
+}
+
+// Lock acquires the named distributed lock, creating the key's DME
+// instance on first use. It blocks until granted or ctx is done.
+func (m *Manager) Lock(ctx context.Context, key string) error {
+	_, err := m.LockFence(ctx, key)
+	return err
+}
+
+// LockFence is Lock returning the grant's fencing token for key (see
+// Node.LockFence; fences are per-key sequences). If the key's instance
+// is closed or restarted while we wait, the acquisition retries on the
+// next incarnation, mirroring how Supervisor users retry across crashes.
+func (m *Manager) LockFence(ctx context.Context, key string) (uint64, error) {
+	for {
+		inst, err := m.instanceFor(key, false)
+		if err != nil {
+			return 0, err
+		}
+		fence, err := inst.node.LockFence(ctx)
+		switch {
+		case err == nil:
+			return fence, nil
+		case errors.Is(err, ErrClosed) && !m.closed.Load() && ctx.Err() == nil:
+			// The instance died under us (CloseKey/RestartKey); retry on
+			// the replacement incarnation.
+			continue
+		default:
+			return 0, err
+		}
+	}
+}
+
+// TryLockContext acquires the named lock only if it is granted before
+// ctx is done: (true, nil) on acquisition, (false, nil) on timeout or
+// cancellation, (false, err) for real failures.
+func (m *Manager) TryLockContext(ctx context.Context, key string) (bool, error) {
+	err := m.Lock(ctx, key)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Unlock releases the named lock acquired by Lock. Unlocking a key that
+// is not held panics, mirroring sync.Mutex (and Node.Unlock) — except
+// after Close: a holder unlocking while the whole service tears down is
+// a normal shutdown interleaving (Close already released every key's
+// node), and panicking in each holder's goroutine then helps nobody.
+func (m *Manager) Unlock(key string) {
+	inst := m.lookup(key)
+	if inst == nil {
+		if m.closed.Load() {
+			return
+		}
+		panic(fmt.Sprintf("live: Unlock of lock key %q that is not held", key))
+	}
+	inst.node.Unlock()
+}
+
+// Node returns the current live node of key's DME instance, or nil if
+// the key does not exist on this node. The pointer is current only until
+// the key's next restart; introspection and tests use it.
+func (m *Manager) Node(key string) *Node {
+	if inst := m.lookup(key); inst != nil {
+		return inst.node
+	}
+	return nil
+}
+
+// Registry returns key's telemetry registry (protocol metrics and the
+// per-key traffic tallies), or nil if the key does not exist. Registries
+// survive restarts, so counters are cumulative across incarnations.
+func (m *Manager) Registry(key string) *telemetry.Registry {
+	if inst := m.lookup(key); inst != nil {
+		return inst.reg
+	}
+	return nil
+}
+
+// Keys returns the sorted live lock keys.
+func (m *Manager) Keys() []string {
+	var keys []string
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for k := range sh.keys {
+			keys = append(keys, k)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// KeyStat is one key's service-level summary, assembled from the key's
+// cumulative registry (so it spans incarnations).
+type KeyStat struct {
+	Key         string  `json:"key"`
+	Shard       int     `json:"shard"`
+	Incarnation uint64  `json:"incarnation"`
+	Granted     uint64  `json:"granted"`
+	Released    uint64  `json:"released"`
+	MsgsSent    uint64  `json:"msgs_sent"`
+	MsgsRecv    uint64  `json:"msgs_received"`
+	WaitP50     float64 `json:"wait_p50_seconds"`
+	WaitP99     float64 `json:"wait_p99_seconds"`
+}
+
+// KeyStats returns every live key's summary, sorted by key.
+func (m *Manager) KeyStats() []KeyStat {
+	var out []KeyStat
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		insts := make([]*instance, 0, len(sh.keys))
+		for _, inst := range sh.keys {
+			insts = append(insts, inst)
+		}
+		sh.mu.Unlock()
+		for _, inst := range insts {
+			snap := inst.reg.Snapshot()
+			st := KeyStat{
+				Key:         inst.key,
+				Shard:       inst.shard,
+				Incarnation: inst.incarnation,
+				Granted:     snap.Counters["cs_granted_total"],
+				Released:    snap.Counters["cs_released_total"],
+			}
+			for _, v := range snap.Kinds["transport_sent_total"] {
+				st.MsgsSent += v
+			}
+			for _, v := range snap.Kinds["transport_received_total"] {
+				st.MsgsRecv += v
+			}
+			if h, ok := snap.Histograms["lock_wait_seconds"]; ok {
+				st.WaitP50, st.WaitP99 = h.P50, h.P99
+			}
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// SumCounter totals one counter (by name) across every key's registry —
+// the aggregate view of a per-key protocol observable.
+func (m *Manager) SumCounter(name string) uint64 {
+	var sum uint64
+	for _, st := range m.snapshotInstances() {
+		sum += st.reg.Snapshot().Counters[name]
+	}
+	return sum
+}
+
+// MergedHistogram merges one histogram (by name) across every key's
+// registry; per-key histograms share bucket layouts, so the merge is
+// exact. Quantiles of the merged distribution come with it.
+func (m *Manager) MergedHistogram(name string) telemetry.HistogramSnapshot {
+	var snaps []telemetry.HistogramSnapshot
+	for _, inst := range m.snapshotInstances() {
+		if h, ok := inst.reg.Snapshot().Histograms[name]; ok {
+			snaps = append(snaps, h)
+		}
+	}
+	return telemetry.MergeHistograms(snaps...)
+}
+
+// snapshotInstances copies the current instance set out from under the
+// shard locks.
+func (m *Manager) snapshotInstances() []*instance {
+	var out []*instance
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, inst := range sh.keys {
+			out = append(out, inst)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// Stats sums grants and releases over every key (cumulative across
+// incarnations), the multi-key analogue of Node.Stats.
+func (m *Manager) Stats() (granted, released uint64) {
+	for _, st := range m.KeyStats() {
+		granted += st.Granted
+		released += st.Released
+	}
+	return granted, released
+}
+
+// RestartKey crash-restarts one key's instance in place: the old node is
+// closed (in-flight Locks on it fail and are retried by LockFence) and a
+// fresh incarnation joins the key's DME group, keeping the cumulative
+// registry — the per-key analogue of Supervisor.Restart. The rest of the
+// cluster recovers the key via the §6 protocol when the old incarnation
+// held protocol state. Restarting a key that does not exist is an error.
+func (m *Manager) RestartKey(key string) (*Node, error) {
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	sh := &m.shards[m.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.keys[key]
+	if !ok {
+		return nil, fmt.Errorf("live: restart of unknown lock key %q", key)
+	}
+	_ = old.node.Close() // unbinds the key from the mux
+	inst, err := m.buildInstance(key, old.reg, old.incarnation+1)
+	if err != nil {
+		delete(sh.keys, key)
+		m.keyCount.Add(-1)
+		m.keysActive.Set(m.keyCount.Load())
+		return nil, err
+	}
+	sh.keys[key] = inst
+	m.keyRestarts.Inc()
+	return inst.node, nil
+}
+
+// CloseKey retires one key locally: its instance is closed and removed.
+// A later local Lock — or a peer's message for the key — recreates it
+// from scratch. Closing an unknown key is a no-op.
+func (m *Manager) CloseKey(key string) error {
+	sh := &m.shards[m.ShardOf(key)]
+	sh.mu.Lock()
+	inst, ok := sh.keys[key]
+	if ok {
+		delete(sh.keys, key)
+		m.keyCount.Add(-1)
+		m.keysActive.Set(m.keyCount.Load())
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return inst.node.Close()
+}
+
+// Close shuts the whole service down: every key's node stops, then the
+// mux closes the shared transport. Idempotent.
+func (m *Manager) Close() error {
+	if !m.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var insts []*instance
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, inst := range sh.keys {
+			insts = append(insts, inst)
+		}
+		sh.keys = make(map[string]*instance)
+		sh.mu.Unlock()
+	}
+	m.keyCount.Store(0)
+	m.keysActive.Set(0)
+	var firstErr error
+	for _, inst := range insts {
+		if err := inst.node.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := m.mux.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

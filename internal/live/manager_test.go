@@ -1,0 +1,471 @@
+package live_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/transport"
+)
+
+// managerCluster builds n Managers over one in-memory network, each
+// multiplexing every lock key over its single endpoint.
+func managerCluster(t *testing.T, n int, opts core.Options, mo transport.MemOptions) ([]*live.Manager, *transport.MemNetwork) {
+	t.Helper()
+	net := transport.NewMemNetwork(n, mo)
+	mgrs := make([]*live.Manager, n)
+	for i := 0; i < n; i++ {
+		m, err := live.NewManager(live.ManagerConfig{
+			ID:        i,
+			N:         n,
+			Transport: net.Endpoint(i),
+			Factory:   registry.CoreLiveFactory(opts),
+			Algo:      "core",
+			Seed:      uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("manager %d: %v", i, err)
+		}
+		mgrs[i] = m
+	}
+	t.Cleanup(func() {
+		for _, m := range mgrs {
+			_ = m.Close()
+		}
+		net.Close()
+	})
+	return mgrs, net
+}
+
+func TestManagerSingleKeyLockUnlock(t *testing.T) {
+	mgrs, _ := managerCluster(t, 3, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	for turn := 0; turn < 6; turn++ {
+		m := mgrs[turn%3]
+		if err := m.Lock(ctx, "orders"); err != nil {
+			t.Fatalf("turn %d: %v", turn, err)
+		}
+		m.Unlock("orders")
+	}
+	granted, released := mgrs[0].Stats()
+	if granted != 2 || released != 2 {
+		t.Errorf("manager 0 stats = (%d, %d), want (2, 2)", granted, released)
+	}
+}
+
+// TestManagerKeysAreIndependent pins the point of the whole subsystem:
+// holding one key never blocks another key's critical section.
+func TestManagerKeysAreIndependent(t *testing.T) {
+	mgrs, _ := managerCluster(t, 3, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Node 1 takes and sits on key A...
+	if err := mgrs[1].Lock(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	defer mgrs[1].Unlock("a")
+
+	// ...while nodes 0 and 2 cycle key B freely.
+	for turn := 0; turn < 4; turn++ {
+		m := mgrs[2*(turn%2)]
+		if err := m.Lock(ctx, "b"); err != nil {
+			t.Fatalf("key b, turn %d, while a is held: %v", turn, err)
+		}
+		m.Unlock("b")
+	}
+}
+
+// TestManagerMutualExclusionPerKey hammers a handful of keys from every
+// node and checks each key's critical sections never overlap while
+// distinct keys interleave freely.
+func TestManagerMutualExclusionPerKey(t *testing.T) {
+	const (
+		nodes   = 3
+		keys    = 4
+		rounds  = 5
+		holdFor = 200 * time.Microsecond
+	)
+	mgrs, _ := managerCluster(t, nodes, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	inCS := make(map[string]int) // key → current holders
+	var wg sync.WaitGroup
+	errs := make(chan error, nodes*keys)
+	for n := 0; n < nodes; n++ {
+		for k := 0; k < keys; k++ {
+			wg.Add(1)
+			go func(m *live.Manager, key string) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					if err := m.Lock(ctx, key); err != nil {
+						errs <- fmt.Errorf("%s: %w", key, err)
+						return
+					}
+					mu.Lock()
+					inCS[key]++
+					if inCS[key] != 1 {
+						mu.Unlock()
+						errs <- fmt.Errorf("key %s: %d concurrent holders", key, inCS[key])
+						m.Unlock(key)
+						return
+					}
+					mu.Unlock()
+					time.Sleep(holdFor)
+					mu.Lock()
+					inCS[key]--
+					mu.Unlock()
+					m.Unlock(key)
+				}
+			}(mgrs[n], fmt.Sprintf("key-%d", k))
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestManagerLazyRemoteCreation checks a node that never locked a key
+// still joins its DME group when a peer's traffic arrives — node 1 can
+// acquire a key whose group only exists because node 0 created it.
+func TestManagerLazyRemoteCreation(t *testing.T) {
+	mgrs, _ := managerCluster(t, 3, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Nobody has touched "lazy" on node 1 or 2.
+	if err := mgrs[1].Lock(ctx, "lazy"); err != nil {
+		t.Fatal(err)
+	}
+	mgrs[1].Unlock("lazy")
+
+	// Node 0 (the key's initial token holder) was created by node 1's
+	// request traffic, not by a local Lock.
+	if mgrs[0].Node("lazy") == nil {
+		t.Error("node 0 never instantiated the key it arbitrates")
+	}
+	if got := mgrs[0].Metrics().Snapshot().Counters["manager_remote_key_creates_total"]; got == 0 {
+		t.Error("remote creation not counted on node 0")
+	}
+}
+
+func TestManagerFencesPerKeyMonotonic(t *testing.T) {
+	mgrs, _ := managerCluster(t, 2, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	last := map[string]uint64{}
+	for turn := 0; turn < 4; turn++ {
+		for _, key := range []string{"a", "b"} {
+			m := mgrs[turn%2]
+			fence, err := m.LockFence(ctx, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fence <= last[key] {
+				t.Errorf("key %s: fence %d after %d", key, fence, last[key])
+			}
+			last[key] = fence
+			m.Unlock(key)
+		}
+	}
+	// Independent keys run independent fence sequences: both saw 4 grants.
+	if last["a"] != 4 || last["b"] != 4 {
+		t.Errorf("final fences a=%d b=%d, want 4 and 4", last["a"], last["b"])
+	}
+}
+
+func TestManagerTryLockContext(t *testing.T) {
+	mgrs, _ := managerCluster(t, 2, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if err := mgrs[0].Lock(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	short, scancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer scancel()
+	ok, err := mgrs[1].TryLockContext(short, "k")
+	if err != nil {
+		t.Fatalf("TryLockContext: %v", err)
+	}
+	if ok {
+		t.Fatal("TryLockContext acquired a held lock")
+	}
+	mgrs[0].Unlock("k")
+	ok, err = mgrs[1].TryLockContext(ctx, "k")
+	if err != nil || !ok {
+		t.Fatalf("TryLockContext after release = (%v, %v), want (true, nil)", ok, err)
+	}
+	mgrs[1].Unlock("k")
+}
+
+func TestManagerUnlockUnknownKeyPanics(t *testing.T) {
+	mgrs, _ := managerCluster(t, 1, fastOptions(), transport.MemOptions{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock of an unknown key did not panic")
+		}
+	}()
+	mgrs[0].Unlock("never-locked")
+}
+
+func TestManagerMaxKeys(t *testing.T) {
+	net := transport.NewMemNetwork(1, transport.MemOptions{})
+	defer net.Close()
+	m, err := live.NewManager(live.ManagerConfig{
+		ID: 0, N: 1, Transport: net.Endpoint(0),
+		Factory: registry.CoreLiveFactory(fastOptions()),
+		MaxKeys: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, key := range []string{"a", "b"} {
+		if err := m.Lock(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+		m.Unlock(key)
+	}
+	err = m.Lock(ctx, "c")
+	if !errors.Is(err, live.ErrTooManyKeys) {
+		t.Fatalf("third key: %v, want ErrTooManyKeys", err)
+	}
+	// Existing keys keep working at the limit.
+	if err := m.Lock(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	m.Unlock("a")
+}
+
+func TestManagerKeyStatsAndKeys(t *testing.T) {
+	mgrs, _ := managerCluster(t, 2, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, key := range []string{"beta", "alpha"} {
+		if err := mgrs[0].Lock(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+		mgrs[0].Unlock(key)
+	}
+	keys := mgrs[0].Keys()
+	if len(keys) != 2 || keys[0] != "alpha" || keys[1] != "beta" {
+		t.Fatalf("Keys() = %v, want sorted [alpha beta]", keys)
+	}
+	stats := mgrs[0].KeyStats()
+	if len(stats) != 2 {
+		t.Fatalf("KeyStats len %d", len(stats))
+	}
+	for _, st := range stats {
+		if st.Granted != 1 || st.Released != 1 {
+			t.Errorf("key %s: granted/released = %d/%d, want 1/1", st.Key, st.Granted, st.Released)
+		}
+		if st.Incarnation != 1 {
+			t.Errorf("key %s: incarnation %d, want 1", st.Key, st.Incarnation)
+		}
+		if st.Shard != live.ShardIndex(st.Key, mgrs[0].Shards()) {
+			t.Errorf("key %s: reported shard %d does not match ShardIndex", st.Key, st.Shard)
+		}
+	}
+	if got := mgrs[0].SumCounter("cs_granted_total"); got != 2 {
+		t.Errorf("SumCounter(cs_granted_total) = %d, want 2", got)
+	}
+}
+
+func TestManagerRestartKeyIncarnation(t *testing.T) {
+	// The restarted instance may have been the key's token holder, so the
+	// group needs §6 recovery to regenerate the key's token — the same
+	// requirement a Supervisor-restarted single-lock node has.
+	opts := fastOptions()
+	opts.Recovery = core.RecoveryOptions{
+		Enabled:        true,
+		TokenTimeout:   0.15,
+		RoundTimeout:   0.05,
+		ArbiterTimeout: 0.4,
+		ProbeTimeout:   0.05,
+	}
+	mgrs, _ := managerCluster(t, 3, opts, transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	if err := mgrs[2].Lock(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	mgrs[2].Unlock("k")
+
+	old := mgrs[2].Node("k")
+	fresh, err := mgrs[2].RestartKey("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == old {
+		t.Fatal("RestartKey returned the old node")
+	}
+	if _, err := old.LockFence(ctx); !errors.Is(err, live.ErrClosed) {
+		t.Errorf("old incarnation still accepts locks: %v", err)
+	}
+	var st live.KeyStat
+	for _, s := range mgrs[2].KeyStats() {
+		if s.Key == "k" {
+			st = s
+		}
+	}
+	if st.Incarnation != 2 {
+		t.Errorf("incarnation after restart = %d, want 2", st.Incarnation)
+	}
+	if st.Granted != 1 {
+		t.Errorf("registry lost history across restart: granted = %d, want 1", st.Granted)
+	}
+	// The restarted instance still participates.
+	if err := mgrs[2].Lock(ctx, "k"); err != nil {
+		t.Fatalf("lock after restart: %v", err)
+	}
+	mgrs[2].Unlock("k")
+}
+
+func TestManagerCloseKeyRecreates(t *testing.T) {
+	// Single-node group: closing the key discards the token, and the lazy
+	// recreation mints a fresh instance (node 0 re-creates the token), so
+	// locking works again. Multi-node groups must NOT close node 0's
+	// instance this way — see the CloseKey doc.
+	net := transport.NewMemNetwork(1, transport.MemOptions{})
+	defer net.Close()
+	m, err := live.NewManager(live.ManagerConfig{
+		ID: 0, N: 1, Transport: net.Endpoint(0),
+		Factory: registry.CoreLiveFactory(fastOptions()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Lock(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	m.Unlock("k")
+	if err := m.CloseKey("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CloseKey("k"); err != nil {
+		t.Errorf("CloseKey of a gone key: %v", err)
+	}
+	if m.Node("k") != nil {
+		t.Fatal("key still resolvable after CloseKey")
+	}
+	if err := m.Lock(ctx, "k"); err != nil {
+		t.Fatalf("lock after CloseKey: %v", err)
+	}
+	m.Unlock("k")
+}
+
+func TestManagerClosedErrors(t *testing.T) {
+	mgrs, _ := managerCluster(t, 1, fastOptions(), transport.MemOptions{})
+	m := mgrs[0]
+	ctx := context.Background()
+	if err := m.Lock(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	m.Unlock("k")
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := m.Lock(ctx, "k"); !errors.Is(err, live.ErrClosed) {
+		t.Errorf("Lock on closed manager: %v, want ErrClosed", err)
+	}
+	if _, err := m.RestartKey("k"); !errors.Is(err, live.ErrClosed) {
+		t.Errorf("RestartKey on closed manager: %v, want ErrClosed", err)
+	}
+}
+
+// TestManagerAdminEndpoints smoke-tests the multi-key admin surface over
+// real HTTP: aggregate /statusz and /metrics, per-key ?key= views, and
+// the error paths for unknown keys.
+func TestManagerAdminEndpoints(t *testing.T) {
+	mgrs, _ := managerCluster(t, 2, fastOptions(), transport.MemOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, key := range []string{"orders", "users"} {
+		if err := mgrs[0].Lock(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+		mgrs[0].Unlock(key)
+	}
+	srv := httptest.NewServer(mgrs[0].AdminHandler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/statusz"); code != http.StatusOK ||
+		!strings.Contains(body, `"key_count": 2`) || !strings.Contains(body, `"orders"`) {
+		t.Errorf("/statusz = %d, missing aggregate fields:\n%s", code, body)
+	}
+	if code, body := get("/statusz?key=orders"); code != http.StatusOK ||
+		!strings.Contains(body, `"key": "orders"`) || !strings.Contains(body, `"role"`) {
+		t.Errorf("/statusz?key=orders = %d:\n%s", code, body)
+	}
+	if code, _ := get("/statusz?key=nope"); code != http.StatusNotFound {
+		t.Errorf("/statusz?key=nope = %d, want 404", code)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "manager_keys_active 2") {
+		t.Errorf("/metrics missing manager gauge:\n%s", body)
+	}
+	if !strings.Contains(body, `cs_granted_total{key="orders"} 1`) ||
+		!strings.Contains(body, `cs_granted_total{key="users"} 1`) {
+		t.Errorf("/metrics missing per-key labeled series:\n%s", body)
+	}
+	// The exposition format allows each # TYPE line once per metric name.
+	if n := strings.Count(body, "# TYPE cs_granted_total "); n != 1 {
+		t.Errorf("cs_granted_total # TYPE appears %d times, want 1", n)
+	}
+	if code, _ := get("/debug/trace"); code != http.StatusBadRequest {
+		t.Errorf("/debug/trace without key = %d, want 400", code)
+	}
+	if code, body := get("/debug/trace?key=orders"); code != http.StatusOK || len(body) == 0 {
+		t.Errorf("/debug/trace?key=orders = %d, body %d bytes", code, len(body))
+	}
+	if err := mgrs[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz after close = %d, want 503", code)
+	}
+}

@@ -23,28 +23,63 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func writeMetric(w io.Writer, m *metric) error {
+	if err := writeHeader(w, m); err != nil {
+		return err
+	}
+	return writeSamples(w, m, "")
+}
+
+// writeHeader emits the # HELP / # TYPE lines for one metric.
+func writeHeader(w io.Writer, m *metric) error {
 	if m.help != "" {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
 			return err
 		}
 	}
+	typ := "counter"
+	switch m.kind {
+	case kindGauge:
+		typ = "gauge"
+	case kindHistogram:
+		typ = "histogram"
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ)
+	return err
+}
+
+// writeSamples emits one metric's sample lines. extra, when non-empty, is
+// a pre-rendered `name="value"` label pair appended to every sample — the
+// multi-registry exposition uses it to distinguish otherwise identical
+// series from different registries.
+func writeSamples(w io.Writer, m *metric, extra string) error {
+	// labels joins the per-sample labels with the extra pair into a
+	// rendered {..} block ("" when there are none at all).
+	labels := func(own string) string {
+		switch {
+		case own == "" && extra == "":
+			return ""
+		case own == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + own + "}"
+		default:
+			return "{" + own + "," + extra + "}"
+		}
+	}
 	switch m.kind {
 	case kindCounter:
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labels(""), m.counter.Value()); err != nil {
 			return err
 		}
 	case kindCounterFunc:
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.fn()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labels(""), m.fn()); err != nil {
 			return err
 		}
 	case kindGauge:
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labels(""), m.gauge.Value()); err != nil {
 			return err
 		}
 	case kindCounterVec:
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", m.name); err != nil {
-			return err
-		}
 		vals := m.vec.Values()
 		keys := make([]string, 0, len(vals))
 		for k := range vals {
@@ -54,28 +89,28 @@ func writeMetric(w io.Writer, m *metric) error {
 		for _, k := range keys {
 			// %q escapes quotes, backslashes and newlines exactly as the
 			// exposition format requires.
-			if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", m.name, m.vec.label, k, vals[k]); err != nil {
+			own := fmt.Sprintf("%s=%q", m.vec.label, k)
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labels(own), vals[k]); err != nil {
 				return err
 			}
 		}
 	case kindHistogram:
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
-			return err
-		}
 		bounds, counts := m.hist.Buckets()
 		var cum uint64
 		for i, b := range bounds {
 			cum += counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), cum); err != nil {
+			own := fmt.Sprintf("le=%q", formatFloat(b))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labels(own), cum); err != nil {
 				return err
 			}
 		}
 		cum += counts[len(counts)-1]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labels(`le="+Inf"`), cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-			m.name, formatFloat(m.hist.Sum()), m.name, m.hist.Count()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+			m.name, labels(""), formatFloat(m.hist.Sum()),
+			m.name, labels(""), m.hist.Count()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/wire"
+)
+
+// KeyMux multiplexes many independent DME groups — one per lock key —
+// over a single Transport. Each bound key gets its own sub-Transport
+// whose Send wraps outbound messages in wire.Keyed (which Seal turns
+// into the envelope's Key field) and whose handler receives only that
+// key's traffic. The mux installs itself as the base transport's
+// handler, so construct it before anything else claims the handler slot.
+//
+// Layering: the mux sits ABOVE the shared middleware chain — counting
+// and fault injection wrap the base transport once and observe the
+// merged keyed stream (wire.Keyed delegates Kind and SizeUnits to the
+// inner message, so per-kind tallies and kind-targeted fault rules see
+// keyed traffic exactly like key-less traffic). Per-key middleware, if
+// any, wraps the sub-Transport returned by Bind.
+//
+// The empty key "" is the legacy single-lock channel: its sub-Transport
+// sends messages bare (no Keyed wrapper, so the envelopes are
+// byte-identical to the pre-key wire format) and receives every inbound
+// message that carries no key. A cluster of KeyMux nodes using only the
+// "" key interoperates with peers that predate keys entirely.
+//
+// Inbound messages for a key that is not bound go to the OnUnknownKey
+// hook (if set), which may Bind the key and return; the mux then
+// re-resolves and delivers. This is how a lazily-keyed service
+// instantiates a lock group the first time a peer — rather than the
+// local application — touches the key. Without a hook, unknown-key
+// traffic is dropped (counted in DroppedUnknown), which the protocols
+// tolerate as message loss.
+type KeyMux struct {
+	base Transport
+
+	mu      sync.RWMutex
+	keys    map[string]*keyEndpoint
+	unknown func(key string, from dme.NodeID, msg dme.Message)
+	closed  bool
+
+	droppedUnknown uint64 // guarded by mu
+}
+
+// NewKeyMux wraps base and takes over its handler slot.
+func NewKeyMux(base Transport) *KeyMux {
+	m := &KeyMux{
+		base: base,
+		keys: make(map[string]*keyEndpoint),
+	}
+	base.SetHandler(m.dispatch)
+	return m
+}
+
+// OnUnknownKey installs the hook invoked (from the transport's delivery
+// goroutine, without mux locks held) when a message arrives for an
+// unbound key. The hook may call Bind; after it returns the mux looks
+// the key up again and delivers on success. Set it before traffic flows.
+func (m *KeyMux) OnUnknownKey(fn func(key string, from dme.NodeID, msg dme.Message)) {
+	m.mu.Lock()
+	m.unknown = fn
+	m.mu.Unlock()
+}
+
+// DroppedUnknown reports how many inbound messages were discarded
+// because their key was not bound and no hook resolved it.
+func (m *KeyMux) DroppedUnknown() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.droppedUnknown
+}
+
+// Keys returns the currently bound keys, in no particular order.
+func (m *KeyMux) Keys() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.keys))
+	for k := range m.keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Bind creates the sub-Transport for key. Binding an already-bound key
+// or a closed mux is an error. The sub-Transport's Close unbinds the key
+// only — the base transport stays up for the other keys; closing it is
+// the mux's Close.
+func (m *KeyMux) Bind(key string) (Transport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("keymux: bind %q on a closed mux", key)
+	}
+	if _, ok := m.keys[key]; ok {
+		return nil, fmt.Errorf("keymux: key %q is already bound", key)
+	}
+	ep := &keyEndpoint{mux: m, key: key}
+	m.keys[key] = ep
+	return ep, nil
+}
+
+// dispatch is the base transport's handler: route keyed messages to
+// their key's endpoint, key-less messages to the "" endpoint.
+func (m *KeyMux) dispatch(from dme.NodeID, msg dme.Message) {
+	key := ""
+	if k, ok := msg.(wire.Keyed); ok {
+		key = k.Key
+		msg = k.Msg
+	}
+	m.mu.RLock()
+	ep := m.keys[key]
+	unknown := m.unknown
+	closed := m.closed
+	m.mu.RUnlock()
+	if closed {
+		return
+	}
+	if ep == nil && unknown != nil {
+		unknown(key, from, msg) // may Bind(key)
+		m.mu.RLock()
+		ep = m.keys[key]
+		m.mu.RUnlock()
+	}
+	if ep == nil {
+		m.mu.Lock()
+		m.droppedUnknown++
+		m.mu.Unlock()
+		return
+	}
+	ep.deliver(from, msg)
+}
+
+// Close shuts the mux and the base transport down. Bound keys are
+// released; their sub-Transports' Sends become no-ops.
+func (m *KeyMux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.keys = make(map[string]*keyEndpoint)
+	m.mu.Unlock()
+	return m.base.Close()
+}
+
+// unbind removes key if ep is still its endpoint (a later re-Bind of the
+// same key must not be torn down by the old endpoint's Close).
+func (m *KeyMux) unbind(key string, ep *keyEndpoint) {
+	m.mu.Lock()
+	if cur, ok := m.keys[key]; ok && cur == ep {
+		delete(m.keys, key)
+	}
+	m.mu.Unlock()
+}
+
+// keyEndpoint is one key's view of the mux.
+type keyEndpoint struct {
+	mux *KeyMux
+	key string
+
+	hmu     sync.Mutex
+	handler Handler
+	pending []pendingMsg // inbound arrivals before SetHandler; flushed by it
+}
+
+type pendingMsg struct {
+	from dme.NodeID
+	msg  dme.Message
+}
+
+var _ Transport = (*keyEndpoint)(nil)
+
+// Self implements Transport.
+func (e *keyEndpoint) Self() dme.NodeID { return e.mux.base.Self() }
+
+// Send implements Transport, tagging the message with the endpoint's
+// key. The "" key sends bare messages — the legacy wire format.
+func (e *keyEndpoint) Send(to dme.NodeID, msg dme.Message) error {
+	if e.key == "" {
+		return e.mux.base.Send(to, msg)
+	}
+	return e.mux.base.Send(to, wire.Keyed{Key: e.key, Msg: msg})
+}
+
+// SetHandler implements Transport and flushes any messages that arrived
+// between Bind and SetHandler (a peer can race a key's first inbound
+// message against the local node construction).
+func (e *keyEndpoint) SetHandler(h Handler) {
+	e.hmu.Lock()
+	e.handler = h
+	pending := e.pending
+	e.pending = nil
+	e.hmu.Unlock()
+	for _, p := range pending {
+		h(p.from, p.msg)
+	}
+}
+
+// deliver hands an inbound message to the key's handler, buffering it if
+// the handler is not installed yet.
+func (e *keyEndpoint) deliver(from dme.NodeID, msg dme.Message) {
+	e.hmu.Lock()
+	h := e.handler
+	if h == nil {
+		e.pending = append(e.pending, pendingMsg{from, msg})
+		e.hmu.Unlock()
+		return
+	}
+	e.hmu.Unlock()
+	h(from, msg)
+}
+
+// Close implements Transport: it unbinds this key only. The base
+// transport is shared by every other key and is closed by KeyMux.Close.
+func (e *keyEndpoint) Close() error {
+	e.mux.unbind(e.key, e)
+	return nil
+}

@@ -3,6 +3,7 @@ package wire_test
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -65,6 +66,129 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", want, got)
+		}
+	})
+}
+
+// FuzzKeyedEnvelopeRoundTrip drives arbitrary lock-key names — keys are
+// uninterpreted byte strings, so empty, very long, and non-UTF-8 names
+// must all survive — through the keyed Seal/Open path and checks the
+// multiplexing invariants: the key and inner message round-trip exactly,
+// and the payload stays byte-identical to the key-less encoding (the
+// property legacy interop rests on).
+func FuzzKeyedEnvelopeRoundTrip(f *testing.F) {
+	algo, err := registry.RegisterWire(registry.Core)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(""), 0, uint64(0))                                 // empty key: legacy channel
+	f.Add([]byte("orders"), 3, uint64(9))                           // everyday name
+	f.Add(bytes.Repeat([]byte("k"), 4096), 1, uint64(2))            // long
+	f.Add([]byte{0x80, 0xfe, 0xff, 0x00, 0xc3, 0x28}, 2, uint64(7)) // non-UTF-8, embedded NUL
+	f.Fuzz(func(t *testing.T, keyBytes []byte, from int, seq uint64) {
+		key := string(keyBytes)
+		inner := core.Request{Entry: core.QEntry{Node: from, Seq: seq}}
+		env, err := wire.Seal(algo, from, wire.Keyed{Key: key, Msg: inner})
+		if err != nil {
+			t.Fatalf("seal keyed %q: %v", key, err)
+		}
+		if env.Key != key {
+			t.Fatalf("envelope Key %q, want %q", env.Key, key)
+		}
+		bare, err := wire.Seal(algo, from, inner)
+		if err != nil {
+			t.Fatalf("seal bare: %v", err)
+		}
+		if !bytes.Equal(env.Payload, bare.Payload) {
+			t.Fatal("keyed payload differs from bare payload")
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var out wire.Envelope
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		msg, err := out.Open(algo)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if key == "" {
+			// The empty key is the legacy key-less framing: bare message out.
+			if got, ok := msg.(core.Request); !ok || !reflect.DeepEqual(got, inner) {
+				t.Fatalf("empty key: got %#v, want bare %#v", msg, inner)
+			}
+			return
+		}
+		k, ok := msg.(wire.Keyed)
+		if !ok {
+			t.Fatalf("got %T, want wire.Keyed", msg)
+		}
+		if k.Key != key {
+			t.Fatalf("key %q → %q", key, k.Key)
+		}
+		if got, ok := k.Msg.(core.Request); !ok || !reflect.DeepEqual(got, inner) {
+			t.Fatalf("inner %#v, want %#v", k.Msg, inner)
+		}
+	})
+}
+
+// FuzzEnvelopeOpen aims arbitrary — corrupted, truncated, legacy,
+// hostile — envelopes at Open and checks the receive-path contract the
+// TCP read loop depends on: Open never panics, and every failure is a
+// typed *wire.MismatchError or *wire.DecodeError (never a raw gob error,
+// never a success with a nil message).
+func FuzzEnvelopeOpen(f *testing.F) {
+	algo, err := registry.RegisterWire(registry.Core)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := wire.Seal(algo, 1, wire.Keyed{Key: "orders", Msg: core.Request{Entry: core.QEntry{Node: 1, Seq: 2}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seeds: the valid keyed envelope, its key-less legacy shape, a
+	// truncated payload, garbage bytes, wrong version, and empty payload.
+	f.Add(valid.Version, valid.Algo, valid.From, valid.Kind, valid.Key, valid.Payload)
+	f.Add(valid.Version, valid.Algo, valid.From, valid.Kind, "", valid.Payload)
+	f.Add(valid.Version, valid.Algo, valid.From, valid.Kind, "orders", valid.Payload[:len(valid.Payload)/2])
+	f.Add(valid.Version, valid.Algo, 0, "REQUEST", "k", []byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add(valid.Version+7, valid.Algo, 2, valid.Kind, "\x80\xff", valid.Payload)
+	f.Add(valid.Version, "no-such-algo", 3, valid.Kind, "k", []byte{})
+	f.Fuzz(func(t *testing.T, version int, envAlgo string, from int, kind, key string, payload []byte) {
+		env := wire.Envelope{
+			Version: version, Algo: envAlgo, From: from,
+			Kind: kind, Key: key, Payload: payload,
+		}
+		msg, err := env.Open(algo) // must not panic, whatever the input
+		if err != nil {
+			var mm *wire.MismatchError
+			var de *wire.DecodeError
+			if !errors.As(err, &mm) && !errors.As(err, &de) {
+				t.Fatalf("untyped error %T: %v", err, err)
+			}
+			if errors.As(err, &mm) && errors.As(err, &de) {
+				t.Fatalf("error is both a mismatch and a decode error: %v", err)
+			}
+			if mm != nil && mm.Error() == "" || de != nil && de.Error() == "" {
+				t.Fatal("typed error renders empty")
+			}
+			return
+		}
+		if msg == nil {
+			t.Fatal("Open returned (nil, nil)")
+		}
+		if key != "" {
+			k, ok := msg.(wire.Keyed)
+			if !ok {
+				t.Fatalf("keyed envelope opened as %T", msg)
+			}
+			if k.Key != key || k.Msg == nil {
+				t.Fatalf("keyed result %#v, want key %q and a non-nil inner message", k, key)
+			}
+		} else if _, ok := msg.(wire.Keyed); ok {
+			t.Fatalf("key-less envelope opened as Keyed: %#v", msg)
 		}
 	})
 }

@@ -1,0 +1,168 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/wire"
+)
+
+func TestKeyedRoundTrip(t *testing.T) {
+	algo := register(t, registry.Core)
+	inner := core.Request{Entry: core.QEntry{Node: 2, Seq: 7}, Hops: 1}
+	keys := []string{
+		"orders",
+		"a/b/c:shard-9",
+		strings.Repeat("k", 4096),     // long
+		"\x80\xfe\xff",                // non-UTF-8
+		"sp ace\nnew\tline\"quote\\_", // exposition-hostile bytes
+	}
+	for _, key := range keys {
+		out := sealOpen(t, algo, 2, wire.Keyed{Key: key, Msg: inner})
+		k, ok := out.(wire.Keyed)
+		if !ok {
+			t.Fatalf("key %q: Open returned %T, want wire.Keyed", key, out)
+		}
+		if k.Key != key {
+			t.Errorf("key round trip: %q → %q", key, k.Key)
+		}
+		if !reflect.DeepEqual(k.Msg, inner) {
+			t.Errorf("key %q: inner message %#v, want %#v", key, k.Msg, inner)
+		}
+	}
+}
+
+// TestKeyedEmptyKeyIsLegacy pins the "" convention: sealing a Keyed with
+// the empty key produces a key-less envelope, and Open returns the bare
+// message — the legacy single-lock framing, not a Keyed wrapper.
+func TestKeyedEmptyKeyIsLegacy(t *testing.T) {
+	algo := register(t, registry.Core)
+	inner := core.Probe{}
+	out := sealOpen(t, algo, 0, wire.Keyed{Key: "", Msg: inner})
+	if _, keyed := out.(wire.Keyed); keyed {
+		t.Fatalf("empty key returned a Keyed wrapper: %#v", out)
+	}
+	if !reflect.DeepEqual(out, inner) {
+		t.Errorf("message %#v, want %#v", out, inner)
+	}
+}
+
+// TestKeyedPayloadMatchesBare pins the compatibility mechanism: a keyed
+// envelope's payload is byte-identical to the key-less envelope of the
+// same inner message, so a peer that predates the Key field decodes
+// keyed traffic as ordinary messages.
+func TestKeyedPayloadMatchesBare(t *testing.T) {
+	algo := register(t, registry.Core)
+	inner := core.Privilege{Q: core.QList{{Node: 1, Seq: 2}}, Epoch: 3, Fence: 4}
+	bare, err := wire.Seal(algo, 5, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed, err := wire.Seal(algo, 5, wire.Keyed{Key: "orders", Msg: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyed.Key != "orders" {
+		t.Fatalf("envelope Key = %q", keyed.Key)
+	}
+	if keyed.Kind != inner.Kind() {
+		t.Errorf("envelope Kind = %q, want the inner message's %q", keyed.Kind, inner.Kind())
+	}
+	if !bytes.Equal(keyed.Payload, bare.Payload) {
+		t.Error("keyed payload differs from the bare payload; legacy peers would misdecode")
+	}
+}
+
+// TestKeyedLegacyDecode simulates a pre-key build receiving a keyed
+// envelope: gob-decoding into an envelope struct without the Key field
+// must succeed (gob skips unknown fields) and yield the inner message.
+func TestKeyedLegacyDecode(t *testing.T) {
+	algo := register(t, registry.Core)
+	env, err := wire.Seal(algo, 1, wire.Keyed{Key: "orders", Msg: core.Enquiry{Round: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	// The wire.Envelope of builds before the Key field existed.
+	type legacyEnvelope struct {
+		Version int
+		Algo    string
+		From    int
+		Kind    string
+		Payload []byte
+	}
+	var legacy legacyEnvelope
+	if err := gob.NewDecoder(&buf).Decode(&legacy); err != nil {
+		t.Fatalf("legacy decode of a keyed envelope: %v", err)
+	}
+	if legacy.Version != wire.FormatVersion || legacy.Algo != algo || legacy.From != 1 {
+		t.Fatalf("legacy header %+v", legacy)
+	}
+	// The legacy build would Open this as a key-less envelope.
+	reopened := wire.Envelope{
+		Version: legacy.Version, Algo: legacy.Algo, From: legacy.From,
+		Kind: legacy.Kind, Payload: legacy.Payload,
+	}
+	msg, err := reopened.Open(algo)
+	if err != nil {
+		t.Fatalf("legacy open: %v", err)
+	}
+	if enq, ok := msg.(core.Enquiry); !ok || enq.Round != 9 {
+		t.Errorf("legacy peer decoded %#v, want core.Enquiry{Round: 9}", msg)
+	}
+}
+
+// TestLegacyKeylessOpen goes the other way: an envelope sealed without
+// any key (an older peer's traffic) opens as the bare message on a
+// key-aware build — Key zero-values to "" through gob.
+func TestLegacyKeylessOpen(t *testing.T) {
+	algo := register(t, registry.Core)
+	env, err := wire.Seal(algo, 3, core.Probe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Key != "" {
+		t.Fatalf("bare Seal set Key = %q", env.Key)
+	}
+	out := sealOpen(t, algo, 3, core.Probe{})
+	if _, keyed := out.(wire.Keyed); keyed {
+		t.Fatalf("key-less envelope opened as Keyed: %#v", out)
+	}
+}
+
+func TestKeyedSealErrors(t *testing.T) {
+	algo := register(t, registry.Core)
+	if _, err := wire.Seal(algo, 0, wire.Keyed{Key: "k"}); err == nil {
+		t.Error("Seal accepted a Keyed with a nil inner message")
+	}
+	nested := wire.Keyed{Key: "outer", Msg: wire.Keyed{Key: "inner", Msg: core.Probe{}}}
+	if _, err := wire.Seal(algo, 0, nested); err == nil {
+		t.Error("Seal accepted a nested Keyed")
+	}
+}
+
+// TestKeyedDelegation pins that Kind and SizeUnits pass through to the
+// inner message, so counting middleware and kind-targeted fault rules
+// below a key demultiplexer observe keyed traffic like bare traffic.
+func TestKeyedDelegation(t *testing.T) {
+	msg := core.Privilege{Q: core.QList{{Node: 1, Seq: 1}, {Node: 2, Seq: 2}}, Granted: []uint64{1, 2}}
+	k := wire.Keyed{Key: "x", Msg: msg}
+	if k.Kind() != msg.Kind() {
+		t.Errorf("Kind %q, want %q", k.Kind(), msg.Kind())
+	}
+	if k.SizeUnits() != msg.SizeUnits() {
+		t.Errorf("SizeUnits %d, want %d", k.SizeUnits(), msg.SizeUnits())
+	}
+	// An unsized inner message defaults to 1 unit, like the counting layer.
+	if u := (wire.Keyed{Key: "x", Msg: core.Probe{}}).SizeUnits(); u != 1 {
+		t.Errorf("unsized inner message SizeUnits = %d, want 1", u)
+	}
+}

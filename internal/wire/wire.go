@@ -23,7 +23,10 @@ import (
 
 // FormatVersion is the envelope format generation. Version 1 was the
 // untagged single-algorithm envelope; version 2 added the Algo tag and
-// the self-contained payload encoding.
+// the self-contained payload encoding. The Key field rides on version 2:
+// gob omits zero-valued fields and skips unknown ones, so key-less
+// envelopes from older builds decode with Key == "" and keyed envelopes
+// degrade to key-less on older builds — no version bump needed.
 const FormatVersion = 2
 
 // Envelope frames one protocol message with its sender and enough
@@ -42,8 +45,42 @@ type Envelope struct {
 	// Kind is the payload message's Kind(), carried in clear for
 	// diagnostics on envelopes that cannot be opened.
 	Kind string
+	// Key is the lock key this message belongs to when many DME groups
+	// share one transport (the multi-key service of internal/live's
+	// Manager). Empty means the single-lock legacy framing: Open returns
+	// the bare message. Keys are arbitrary byte strings — they are never
+	// interpreted, only matched — so empty-prefix, very long, and
+	// non-UTF-8 names all round-trip.
+	Key string
 	// Payload is the gob encoding of a box wrapping the dme.Message.
 	Payload []byte
+}
+
+// Keyed tags a protocol message with the lock key of the DME group it
+// belongs to. A multiplexed transport stack passes Keyed values between
+// the key demultiplexer (transport.KeyMux) and the wire: Seal unwraps a
+// Keyed into the envelope's Key field (the payload is the inner message,
+// so legacy peers and per-kind accounting see exactly what they always
+// did), and Open re-wraps a keyed envelope's message on the way in.
+// Kind and SizeUnits delegate to the inner message, so counting and
+// fault-injection middleware below the demux observe keyed traffic
+// identically to key-less traffic.
+type Keyed struct {
+	Key string
+	Msg dme.Message
+}
+
+// Kind implements dme.Message by delegating to the inner message.
+func (k Keyed) Kind() string { return k.Msg.Kind() }
+
+// SizeUnits implements dme.Sized: the inner message's payload volume, or
+// 1 when the inner message is unsized (the same default the accounting
+// layer applies to bare messages).
+func (k Keyed) SizeUnits() int {
+	if s, ok := k.Msg.(dme.Sized); ok {
+		return s.SizeUnits()
+	}
+	return 1
 }
 
 // box is the gob top-level value inside Envelope.Payload; the interface
@@ -142,10 +179,25 @@ func Algorithms() []string {
 }
 
 // Seal wraps msg in an envelope tagged with the given algorithm name.
-// The algorithm must have been registered first.
+// The algorithm must have been registered first. A Keyed message is
+// unwrapped into the envelope's Key field: the payload carries only the
+// inner protocol message, so a keyed envelope's payload encoding is
+// byte-identical to a key-less one and a peer that predates keys decodes
+// it as plain traffic. Nested Keyed wrappers are a programming error.
 func Seal(algo string, from int, msg dme.Message) (Envelope, error) {
 	if !Registered(algo) {
 		return Envelope{}, fmt.Errorf("wire: algorithm %q is not registered", algo)
+	}
+	var key string
+	if k, ok := msg.(Keyed); ok {
+		key = k.Key
+		msg = k.Msg
+		if msg == nil {
+			return Envelope{}, fmt.Errorf("wire: Keyed message for key %q has a nil inner message", key)
+		}
+		if _, nested := msg.(Keyed); nested {
+			return Envelope{}, fmt.Errorf("wire: nested Keyed message for key %q", key)
+		}
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&box{M: msg}); err != nil {
@@ -156,6 +208,7 @@ func Seal(algo string, from int, msg dme.Message) (Envelope, error) {
 		Algo:    algo,
 		From:    from,
 		Kind:    msg.Kind(),
+		Key:     key,
 		Payload: buf.Bytes(),
 	}, nil
 }
@@ -172,6 +225,10 @@ func Seal(algo string, from int, msg dme.Message) (Envelope, error) {
 // envelope is rejected as a mismatch before its payload (whose encoding
 // that version may define differently) is ever gob-decoded, rather than
 // also failing decode and being double-reported.
+//
+// A keyed envelope (Key != "") returns the message wrapped in Keyed, so
+// a demultiplexer above the transport can route it; a legacy key-less
+// envelope returns the bare message, exactly as before keys existed.
 func (e Envelope) Open(localAlgo string) (dme.Message, error) {
 	if e.Version != FormatVersion {
 		return nil, &MismatchError{
@@ -198,6 +255,9 @@ func (e Envelope) Open(localAlgo string) (dme.Message, error) {
 	if b.M == nil {
 		return nil, &DecodeError{From: e.From, Algo: e.Algo, Kind: e.Kind,
 			Err: fmt.Errorf("empty payload")}
+	}
+	if e.Key != "" {
+		return Keyed{Key: e.Key, Msg: b.M}, nil
 	}
 	return b.M, nil
 }
