@@ -17,6 +17,7 @@ import (
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/experiments"
+	"tokenarbiter/internal/reqtrace"
 	"tokenarbiter/internal/sim"
 	"tokenarbiter/internal/workload"
 )
@@ -259,6 +260,47 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	m, err := dme.Run(core.New(core.Options{RetransmitTimeout: 25}), cfg)
 	if err != nil {
 		b.Fatal(err)
+	}
+	b.ReportMetric(float64(m.CSCompleted)/b.Elapsed().Seconds(), "cs/sec")
+}
+
+// BenchmarkSimulatorThroughputTraced is the tracing-enabled counterpart
+// of BenchmarkSimulatorThroughput: same kernel, same workload, with the
+// full request-tracing pipeline attached — a SimTracer on the
+// simulation's trace hook minting IDs and recording runtime spans, and
+// a CoreObserver on the protocol's observer hook recording batch and
+// token-hop spans into the same collector. The pair is the bench guard
+// for the tracing tax: the untraced number is the committed trajectory
+// point, this one bounds the fully-traced cost.
+func BenchmarkSimulatorThroughputTraced(b *testing.B) {
+	collector := reqtrace.NewCollector(reqtrace.DefaultDepth)
+	tracer := reqtrace.NewSimTracer(collector, "", 10)
+	// The simulation is single-goroutine, so the last trace-event time
+	// doubles as the observer's clock without touching the kernel.
+	var now float64
+	obs := reqtrace.CoreObserver(collector, "", func() float64 { return now })
+	cfg := dme.Config{
+		N:              10,
+		Seed:           7,
+		Delay:          sim.ConstantDelay{D: 0.1},
+		Texec:          0.1,
+		TotalRequests:  uint64(b.N)*100 + 1000,
+		MaxVirtualTime: 1e12,
+		Gen: func(node int) dme.GeneratorFunc {
+			return workload.Stream(workload.Poisson{Lambda: 0.3}, 7, node)
+		},
+		Trace: func(ev dme.TraceEvent) {
+			now = ev.Time
+			tracer.Trace(ev)
+		},
+	}
+	b.ResetTimer()
+	m, err := dme.Run(core.New(core.Options{RetransmitTimeout: 25, Observer: obs}), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if completed, _, _ := collector.Totals(); completed == 0 {
+		b.Fatal("tracing pipeline recorded no completed traces")
 	}
 	b.ReportMetric(float64(m.CSCompleted)/b.Elapsed().Seconds(), "cs/sec")
 }

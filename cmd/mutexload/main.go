@@ -52,6 +52,7 @@ import (
 	"tokenarbiter/internal/faultnet"
 	"tokenarbiter/internal/live"
 	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/reqtrace"
 	"tokenarbiter/internal/stats"
 	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
@@ -67,22 +68,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mutexload", flag.ContinueOnError)
 	var (
-		nodes    = fs.Int("nodes", 5, "cluster size")
-		trans    = fs.String("transport", "mem", "transport: mem or tcp")
-		algoFlag = fs.String("algo", "core", "algorithm to load-test (any registry name; see mutexnode -algo list)")
-		keys     = fs.Int("keys", 1, "named lock keys served per node (1: classic single mutex; >1: the sharded multi-key service)")
-		workers  = fs.Int("workers", 1, "worker goroutines per node, spread round-robin across the keys")
-		duration = fs.Duration("duration", 5*time.Second, "measurement duration")
-		rate     = fs.Float64("rate", 200, "aggregate lock attempts per second (0 = closed loop)")
-		hold     = fs.Duration("hold", time.Millisecond, "critical-section hold time")
-		treq     = fs.Float64("treq", 0.002, "core: request collection phase (seconds)")
-		tfwd     = fs.Float64("tfwd", 0.002, "core: request forwarding phase (seconds)")
-		monitor  = fs.Bool("monitor", false, "core: enable the §4.1 starvation-free variant")
-		recover  = fs.Bool("recovery", true, "core: enable the §6 recovery protocol")
-		netDelay = fs.Duration("netdelay", 200*time.Microsecond, "in-memory network one-way delay")
-		loss     = fs.Float64("loss", 0, "in-memory network loss rate (requires -recovery, core only)")
-		chaosStr = fs.String("chaos", "", "fault-injection spec applied to every node's outbound traffic, e.g. drop=0.05,dup=0.02,corrupt=0.01,delay=1ms,seed=7 (requires -recovery, core only)")
-		perNodeS = fs.Bool("pernode", true, "print a per-node metrics summary at the end of the run")
+		nodes     = fs.Int("nodes", 5, "cluster size")
+		trans     = fs.String("transport", "mem", "transport: mem or tcp")
+		algoFlag  = fs.String("algo", "core", "algorithm to load-test (any registry name; see mutexnode -algo list)")
+		keys      = fs.Int("keys", 1, "named lock keys served per node (1: classic single mutex; >1: the sharded multi-key service)")
+		workers   = fs.Int("workers", 1, "worker goroutines per node, spread round-robin across the keys")
+		duration  = fs.Duration("duration", 5*time.Second, "measurement duration")
+		rate      = fs.Float64("rate", 200, "aggregate lock attempts per second (0 = closed loop)")
+		hold      = fs.Duration("hold", time.Millisecond, "critical-section hold time")
+		treq      = fs.Float64("treq", 0.002, "core: request collection phase (seconds)")
+		tfwd      = fs.Float64("tfwd", 0.002, "core: request forwarding phase (seconds)")
+		monitor   = fs.Bool("monitor", false, "core: enable the §4.1 starvation-free variant")
+		recover   = fs.Bool("recovery", true, "core: enable the §6 recovery protocol")
+		netDelay  = fs.Duration("netdelay", 200*time.Microsecond, "in-memory network one-way delay")
+		loss      = fs.Float64("loss", 0, "in-memory network loss rate (requires -recovery, core only)")
+		chaosStr  = fs.String("chaos", "", "fault-injection spec applied to every node's outbound traffic, e.g. drop=0.05,dup=0.02,corrupt=0.01,delay=1ms,seed=7 (requires -recovery, core only)")
+		perNodeS  = fs.Bool("pernode", true, "print a per-node metrics summary at the end of the run")
+		flightrec = fs.String("flightrec", "", "write one flight-recorder capture (JSONL) of the whole cluster's traffic and lock lifecycle to this file; re-execute it with `mutexsim replay`")
+		slowN     = fs.Int("slowest", 3, "end-of-run: print the per-phase breakdown of this many slowest traced acquisitions (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -149,7 +152,28 @@ func run(args []string) error {
 		inj = faultnet.New(faultnet.Options{Seed: spec.Seed, Faults: spec.Faults, Algo: algo})
 	}
 
-	cluster, counters, cleanup, err := buildCluster(*trans, *nodes, algo, factory, *netDelay, *loss, inj)
+	// One shared collector and (optionally) one shared flight recorder
+	// serve every node: spans from all the nodes a request crossed land in
+	// one place, and a single capture file holds the whole cluster's
+	// timeline — exactly what `mutexsim replay` needs.
+	tracer := reqtrace.NewCollector(reqtrace.DefaultDepth)
+	var frec *reqtrace.Recorder
+	if *flightrec != "" {
+		// The recorder seals every captured message itself, so the wire
+		// types must be registered even over the mem transport (which
+		// ships message values and never serializes).
+		if _, err := registry.RegisterWire(algo); err != nil {
+			return err
+		}
+		var err error
+		frec, err = reqtrace.CreateRecorder(*flightrec, algo, *nodes)
+		if err != nil {
+			return err
+		}
+		defer frec.Close() //nolint:errcheck // shutdown path
+	}
+
+	cluster, counters, cleanup, err := buildCluster(*trans, *nodes, algo, factory, *netDelay, *loss, inj, tracer, frec)
 	if err != nil {
 		return err
 	}
@@ -255,11 +279,18 @@ func run(args []string) error {
 	if *perNodeS {
 		printPerNode(algo, cluster, counters)
 	}
+	if *slowN > 0 {
+		printSlowest(tracer, *slowN)
+	}
 	// The comparison footer: this is the live counterpart of the paper's
 	// Figure 6 message-complexity comparison. Run once per -algo on the
 	// same workload and compare the line directly.
 	fmt.Printf("algorithm=%s keys=%d: %.2f messages per CS (%d messages, %d critical sections, %d nodes)\n",
 		algo, *keys, float64(sent)/float64(n), sent, n, *nodes)
+	if frec != nil {
+		records, dropped := frec.Totals()
+		fmt.Printf("flight recorder: %d records (%d dropped) -> %s\n", records, dropped, *flightrec)
+	}
 	if inj != nil {
 		c := inj.Counters()
 		fmt.Printf("chaos: dropped=%d duplicated=%d corrupted=%d delayed=%d reordered=%d\n",
@@ -297,6 +328,36 @@ func printPerKey(cluster []*live.Manager, keyNames []string, perKey map[string]i
 	}
 }
 
+// printSlowest reports the slowest completed acquisitions by lock-wait
+// time with their end-to-end trace IDs and per-phase breakdown — which
+// node asked, when the batch accepted it, every token hop, the grant
+// fence — so a P99 outlier in the latency line above can be explained
+// request by request.
+func printSlowest(c *reqtrace.Collector, n int) {
+	slow := c.Slowest(n)
+	if len(slow) == 0 {
+		return
+	}
+	fmt.Printf("slowest acquisitions (of %d traced):\n", len(c.Completed()))
+	for _, t := range slow {
+		s := t.Summarize()
+		key := s.Key
+		if key == "" {
+			key = "-"
+		}
+		fmt.Printf("  trace %-12s key=%-10s wait=%8.2fms hold=%6.2fms hops=%d fence=%d\n",
+			s.ID, key, s.Wait*1000, s.Hold*1000, s.Hops, s.Fence)
+		for _, st := range s.Steps {
+			peer := ""
+			if st.Peer >= 0 {
+				peer = fmt.Sprintf(" -> node %d", st.Peer)
+			}
+			fmt.Printf("    +%9.2fms  %-10s node %d%s (Δ%.2fms)\n",
+				(st.At-s.Start)*1000, st.Phase, st.Node, peer, st.Delta*1000)
+		}
+	}
+}
+
 // printPerNode scrapes each node's per-key telemetry registries and
 // prints the live counterparts of the simulation observables summed over
 // the node's keys: grants, token passes, dispatches, lock-wait
@@ -330,7 +391,7 @@ func printPerNode(algo string, cluster []*live.Manager, counters []*transport.Co
 // key counts an apples-to-apples change of sharding only. Baseline
 // algorithms get FIFO in-memory channels (Lamport requires them; TCP is
 // FIFO by nature).
-func buildCluster(kind string, n int, algo string, factory live.Factory, delay time.Duration, loss float64, inj *faultnet.Injector) ([]*live.Manager, []*transport.Counting, func(), error) {
+func buildCluster(kind string, n int, algo string, factory live.Factory, delay time.Duration, loss float64, inj *faultnet.Injector, tracer *reqtrace.Collector, frec *reqtrace.Recorder) ([]*live.Manager, []*transport.Counting, func(), error) {
 	counters := make([]*transport.Counting, n)
 	trans := make([]transport.Transport, n)
 	regs := make([]*telemetry.Registry, n)
@@ -339,16 +400,18 @@ func buildCluster(kind string, n int, algo string, factory live.Factory, delay t
 	for i := 0; i < n; i++ {
 		regs[i] = telemetry.NewRegistry()
 	}
-	// Counting outermost (it tallies what the protocol attempted), the
-	// optional fault injector innermost, directly over the wire; the
-	// Manager's key demux sits above the whole chain.
+	// Flight recorder outermost (the capture shows what the protocol
+	// attempted), counting next, the optional fault injector innermost,
+	// directly over the wire; the Manager's key demux sits above the
+	// whole chain. frec.Middleware() is nil — and skipped — when flight
+	// recording is off.
 	chain := func(i int, base transport.Transport) {
 		var faultMW transport.Middleware
 		if inj != nil {
 			faultMW = inj.Middleware()
 			inj.RegisterMetrics(regs[i])
 		}
-		trans[i] = transport.Chain(base, transport.CountingMW(regs[i]), faultMW)
+		trans[i] = transport.Chain(base, frec.Middleware(), transport.CountingMW(regs[i]), faultMW)
 		counters[i], _ = transport.Find[*transport.Counting](trans[i])
 	}
 
@@ -386,6 +449,7 @@ func buildCluster(kind string, n int, algo string, factory live.Factory, delay t
 		m, err := live.NewManager(live.ManagerConfig{
 			ID: i, N: n, Transport: trans[i], Factory: factory, Algo: algo,
 			Seed: uint64(i + 1), Metrics: regs[i],
+			Tracer: tracer, FlightRec: frec,
 		})
 		if err != nil {
 			return nil, nil, func() {}, err

@@ -62,6 +62,7 @@ import (
 	"tokenarbiter/internal/faultnet"
 	"tokenarbiter/internal/live"
 	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/reqtrace"
 	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
 )
@@ -92,6 +93,7 @@ type nodeConfig struct {
 	httpAddr  string
 	verbose   bool
 	chaos     string
+	flightrec string
 	listAlgos bool
 }
 
@@ -100,21 +102,22 @@ type nodeConfig struct {
 func parseFlags(args []string) (*nodeConfig, error) {
 	fs := flag.NewFlagSet("mutexnode", flag.ContinueOnError)
 	var (
-		id       = fs.Int("id", 0, "this node's id (index into -peers)")
-		peers    = fs.String("peers", "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002", "comma-separated peer addresses, one per node id")
-		algoFlag = fs.String("algo", "core", "algorithm to run (see -algo list); every peer must match")
-		keys     = fs.Int("keys", 1, "number of named lock keys to serve (1: the classic single mutex; >1: the sharded multi-key service, every peer must match)")
-		count    = fs.Int("count", 10, "critical sections to execute (0: serve only)")
-		hold     = fs.Duration("hold", 50*time.Millisecond, "time to hold the mutex per acquisition")
-		think    = fs.Duration("think", 100*time.Millisecond, "pause between acquisitions")
-		linger   = fs.Duration("linger", 3*time.Second, "keep serving the protocol after finishing -count acquisitions (baselines have no recovery: an exiting node strands peers that still need the token)")
-		treq     = fs.Float64("treq", 0.05, "core: request collection phase (seconds)")
-		tfwd     = fs.Float64("tfwd", 0.05, "core: request forwarding phase (seconds)")
-		monitor  = fs.Bool("monitor", false, "core: enable the starvation-free monitor variant")
-		recovery = fs.Bool("recovery", true, "core: enable the §6 failure recovery protocol")
-		httpAddr = fs.String("http", "", "admin endpoint address (e.g. :8080) serving /metrics, /statusz, /healthz, /debug/trace; empty disables")
-		verbose  = fs.Bool("v", false, "log protocol transitions (slog, stderr; core only)")
-		chaos    = fs.String("chaos", "", "inject faults into this node's outbound traffic, e.g. drop=0.05,dup=0.02,corrupt=0.01,delay=2ms,jitter=1ms,reorder=0.05,seed=7; live-tunable via /debug/faults when -http is set")
+		id        = fs.Int("id", 0, "this node's id (index into -peers)")
+		peers     = fs.String("peers", "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002", "comma-separated peer addresses, one per node id")
+		algoFlag  = fs.String("algo", "core", "algorithm to run (see -algo list); every peer must match")
+		keys      = fs.Int("keys", 1, "number of named lock keys to serve (1: the classic single mutex; >1: the sharded multi-key service, every peer must match)")
+		count     = fs.Int("count", 10, "critical sections to execute (0: serve only)")
+		hold      = fs.Duration("hold", 50*time.Millisecond, "time to hold the mutex per acquisition")
+		think     = fs.Duration("think", 100*time.Millisecond, "pause between acquisitions")
+		linger    = fs.Duration("linger", 3*time.Second, "keep serving the protocol after finishing -count acquisitions (baselines have no recovery: an exiting node strands peers that still need the token)")
+		treq      = fs.Float64("treq", 0.05, "core: request collection phase (seconds)")
+		tfwd      = fs.Float64("tfwd", 0.05, "core: request forwarding phase (seconds)")
+		monitor   = fs.Bool("monitor", false, "core: enable the starvation-free monitor variant")
+		recovery  = fs.Bool("recovery", true, "core: enable the §6 failure recovery protocol")
+		httpAddr  = fs.String("http", "", "admin endpoint address (e.g. :8080) serving /metrics, /statusz, /healthz, /debug/trace; empty disables")
+		verbose   = fs.Bool("v", false, "log protocol transitions (slog, stderr; core only)")
+		chaos     = fs.String("chaos", "", "inject faults into this node's outbound traffic, e.g. drop=0.05,dup=0.02,corrupt=0.01,delay=2ms,jitter=1ms,reorder=0.05,seed=7; live-tunable via /debug/faults when -http is set")
+		flightrec = fs.String("flightrec", "", "write a flight-recorder capture (JSONL: every envelope sent/received plus the lock lifecycle) to this file; re-execute it with `mutexsim replay`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -148,6 +151,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		count: *count, hold: *hold, think: *think, linger: *linger,
 		treq: *treq, tfwd: *tfwd, monitor: *monitor, recovery: *recovery,
 		httpAddr: *httpAddr, verbose: *verbose, chaos: *chaos,
+		flightrec: *flightrec,
 	}, nil
 }
 
@@ -183,7 +187,7 @@ func buildFactory(cfg *nodeConfig) (live.Factory, error) {
 // fault-injector control endpoint, returning the handler and the
 // endpoint list for the startup banner.
 func adminHandler(admin http.Handler, inj *faultnet.Injector) (http.Handler, string) {
-	endpoints := "/metrics /statusz /healthz /debug/trace"
+	endpoints := "/metrics /statusz /healthz /debug/trace /debug/requests"
 	if inj == nil {
 		return admin, endpoints
 	}
@@ -254,7 +258,23 @@ func run(args []string) error {
 		})
 		inj.RegisterMetrics(reg)
 	}
-	tr := transport.Chain(tcp, transport.CountingMW(reg), faultMW(inj))
+	// The flight recorder sits outermost (it captures what the protocol
+	// attempted, faults included but below it), followed by counting, with
+	// the injector innermost as before.
+	var frec *reqtrace.Recorder
+	if cfg.flightrec != "" {
+		frec, err = reqtrace.CreateRecorder(cfg.flightrec, cfg.algo, cfg.n)
+		if err != nil {
+			_ = tcp.Close()
+			return err
+		}
+		defer frec.Close() //nolint:errcheck // shutdown path
+	}
+	// Request tracing is always on for this demo binary: the collector is
+	// cheap, and it lights up /debug/requests plus the trace-ID exemplars
+	// on the wait/hold histograms.
+	tracer := reqtrace.NewCollector(reqtrace.DefaultDepth)
+	tr := transport.Chain(tcp, frec.Middleware(), transport.CountingMW(reg), faultMW(inj))
 	ct, _ := transport.Find[*transport.Counting](tr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -270,7 +290,7 @@ func run(args []string) error {
 	if cfg.keys == 1 {
 		node, err := live.NewNode(live.Config{
 			ID: cfg.id, N: cfg.n, Transport: tr, Factory: factory, Algo: cfg.algo,
-			Logger: logger, Metrics: reg,
+			Logger: logger, Metrics: reg, Tracer: tracer, FlightRec: frec,
 		})
 		if err != nil {
 			_ = tcp.Close()
@@ -283,7 +303,7 @@ func run(args []string) error {
 	} else {
 		mgr, err := live.NewManager(live.ManagerConfig{
 			ID: cfg.id, N: cfg.n, Transport: tr, Factory: factory, Algo: cfg.algo,
-			Logger: logger, Metrics: reg,
+			Logger: logger, Metrics: reg, Tracer: tracer, FlightRec: frec,
 		})
 		if err != nil {
 			_ = tcp.Close()
@@ -311,6 +331,13 @@ func run(args []string) error {
 		fmt.Printf("node %d: admin endpoints on %s (%s)\n", cfg.id, cfg.httpAddr, endpoints)
 	}
 	defer summary()
+	if frec != nil {
+		defer func() {
+			records, dropped := frec.Totals()
+			fmt.Printf("node %d: flight recorder: %d records (%d dropped) -> %s\n",
+				cfg.id, records, dropped, cfg.flightrec)
+		}()
+	}
 
 	switch {
 	case cfg.algo == registry.Core && cfg.keys > 1:

@@ -15,7 +15,11 @@
 //	mutexsim model      batch-polling model vs. simulation (intermediate loads)
 //	mutexsim tuning     E15: §6 recovery-timeout sensitivity under loss
 //	mutexsim trace      replay the §2.2 worked example, print the messages
-//	mutexsim all        everything above, in order
+//	mutexsim replay F   re-execute a flight-recorder capture deterministically:
+//	                    the canonical grant/fence log goes to stdout (two
+//	                    replays of one capture are byte-identical), the
+//	                    fidelity summary to stderr
+//	mutexsim all        everything above, in order (replay excepted)
 //
 // Common flags: -n nodes, -requests per run, -reps replications, -seed,
 // -csv (emit CSV after each table), -quick (small fast runs).
@@ -35,6 +39,8 @@ import (
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/experiments"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/reqtrace"
 	"tokenarbiter/internal/sim"
 )
 
@@ -62,6 +68,7 @@ func run(args []string) error {
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mutexsim [flags] <fig345|fig6|analysis|monitor|recovery|scaling|ablation|delays|volume|fairness|model|tuning|trace|all>")
+		fmt.Fprintln(os.Stderr, "       mutexsim replay <capture.jsonl>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -136,6 +143,8 @@ func run(args []string) error {
 		cmd = "fig345"
 	case "trace":
 		return p.trace()
+	case "replay":
+		return replayCapture(fs.Args()[1:])
 	case "all":
 		for _, e := range all {
 			if err := timed(e); err != nil {
@@ -151,6 +160,51 @@ func run(args []string) error {
 	}
 	fs.Usage()
 	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// replayCapture is the `mutexsim replay` subcommand: parse a flight-
+// recorder capture, re-execute it on the deterministic kernel against
+// fresh state machines of the capture's algorithm, and print the
+// canonical grant/fence log on stdout. The log is the replay's whole
+// observable output, so `mutexsim replay f > a; mutexsim replay f > b;
+// cmp a b` is the determinism check CI runs.
+func replayCapture(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: mutexsim replay <capture.jsonl>")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	capture, err := reqtrace.ReadCapture(f)
+	if err != nil {
+		return err
+	}
+	// The captured envelopes reopen through the normal wire path, so the
+	// algorithm's message types must be gob-registered first.
+	if _, err := registry.RegisterWire(capture.Header.Algo); err != nil {
+		return fmt.Errorf("capture algorithm %q: %w", capture.Header.Algo, err)
+	}
+	factory, err := registry.NewLiveFactory(capture.Header.Algo, nil)
+	if err != nil {
+		return fmt.Errorf("capture algorithm %q: %w", capture.Header.Algo, err)
+	}
+	collector := reqtrace.NewCollector(reqtrace.DefaultDepth)
+	res, err := reqtrace.Replay(capture, factory, collector)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"replay: algo=%s n=%d records=%d | grants replayed=%d recorded=%d | suppressed-sends=%d orphan-releases=%d open-errors=%d\n",
+		capture.Header.Algo, capture.Header.N, len(capture.Records),
+		len(res.Grants), len(res.Recorded),
+		res.SuppressedSends, res.OrphanReleases, res.OpenErrors)
+	if completed, open, _ := collector.Totals(); completed+open > 0 {
+		fmt.Fprintf(os.Stderr, "replay: traces completed=%d open=%d\n", completed, open)
+	}
+	_, err = os.Stdout.Write(reqtrace.GrantLog(res.Grants))
+	return err
 }
 
 // progressLine renders a single in-place status line on stderr while an

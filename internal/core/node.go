@@ -318,6 +318,7 @@ func (nd *node) acceptRequest(ctx dme.Context, e QEntry) {
 		return
 	}
 	nd.q = append(nd.q, e)
+	nd.observe(Event{Kind: EventRequestAccepted, Arbiter: nd.id, Batch: len(nd.q), Req: e.Node, ReqSeq: e.Seq})
 	if nd.haveToken && nd.windowDone && !nd.windowTimer.Armed() && !nd.inCS {
 		nd.startWindow(ctx)
 	}
@@ -438,7 +439,7 @@ func (nd *node) handleToken(ctx dme.Context, tok Privilege) {
 		if head.Node != nd.id {
 			nd.haveToken = false
 			ctx.Send(nd.id, head.Node, tok)
-			nd.observe(Event{Kind: EventTokenPassed, Arbiter: head.Node, Batch: len(tok.Q)})
+			nd.observe(Event{Kind: EventTokenPassed, Arbiter: head.Node, Batch: len(tok.Q), Req: head.Node, ReqSeq: head.Seq})
 			return
 		}
 		if st := nd.findOutstanding(head.Seq); st != nil {
@@ -662,7 +663,8 @@ func (nd *node) dispatch(ctx dme.Context) {
 		nd.windowDone = false
 		nd.observe(Event{Kind: EventMonitorDiverted, Arbiter: nd.monitor, Batch: len(batch)})
 		ctx.Send(nd.id, nd.monitor, tok)
-		nd.observe(Event{Kind: EventTokenPassed, Arbiter: nd.monitor, Batch: len(batch)})
+		head := batch.Head()
+		nd.observe(Event{Kind: EventTokenPassed, Arbiter: nd.monitor, Batch: len(batch), Req: head.Node, ReqSeq: head.Seq})
 		// Requests arriving now are forwarded to the monitor, which
 		// stores them (§4.1) until it forwards the token.
 		nd.arbiter = nd.monitor
@@ -699,7 +701,7 @@ func (nd *node) sendBatch(ctx dme.Context, batch QList, fromMonitor bool) {
 			nd.counter++
 		}
 		ctx.Broadcast(nd.id, NewArbiter{
-			Arbiter:   tail.Node,
+			Arbiter: tail.Node,
 			// The broadcast shares the batch slice: every NEW-ARBITER
 			// consumer treats m.Q as read-only (recovery clones before
 			// storing it), and the token path only narrows its copy.
@@ -744,7 +746,7 @@ func (nd *node) sendBatch(ctx dme.Context, batch QList, fromMonitor bool) {
 	}
 	nd.haveToken = false
 	ctx.Send(nd.id, head.Node, tok)
-	nd.observe(Event{Kind: EventTokenPassed, Arbiter: head.Node, Batch: len(batch)})
+	nd.observe(Event{Kind: EventTokenPassed, Arbiter: head.Node, Batch: len(batch), Req: head.Node, ReqSeq: head.Seq})
 	if nd.collecting {
 		// We stayed arbiter (tail is us) but the token left to serve the
 		// batch: wait for it like a freshly designated arbiter would, so

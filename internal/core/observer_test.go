@@ -22,14 +22,20 @@ func TestObserverSeesDispatchAndDesignation(t *testing.T) {
 	for _, ev := range events {
 		kinds = append(kinds, ev.Kind)
 	}
-	if len(events) == 0 {
-		t.Fatal("observer saw nothing")
+	if len(events) < 2 {
+		t.Fatalf("observer saw %d events, want ≥ 2 (kinds: %v)", len(events), kinds)
 	}
-	if events[0].Kind != EventDispatched {
-		t.Fatalf("first event %v, want dispatched (kinds: %v)", events[0].Kind, kinds)
+	if events[0].Kind != EventRequestAccepted {
+		t.Fatalf("first event %v, want request-accepted (kinds: %v)", events[0].Kind, kinds)
 	}
-	if events[0].Node != 0 || events[0].Arbiter != 1 || events[0].Batch != 1 {
-		t.Errorf("dispatch event fields: %+v", events[0])
+	if events[0].Req != 1 || events[0].ReqSeq != 1 || events[0].Batch != 1 {
+		t.Errorf("request-accepted event fields: %+v", events[0])
+	}
+	if events[1].Kind != EventDispatched {
+		t.Fatalf("second event %v, want dispatched (kinds: %v)", events[1].Kind, kinds)
+	}
+	if events[1].Node != 0 || events[1].Arbiter != 1 || events[1].Batch != 1 {
+		t.Errorf("dispatch event fields: %+v", events[1])
 	}
 
 	// The designated node reports becoming arbiter.

@@ -136,6 +136,11 @@ const (
 	// The held token is discarded so the node rejoins the live queue as an
 	// ordinary requester instead of self-granting dead fences forever.
 	EventStaleTokenDropped
+	// EventRequestAccepted: the collecting arbiter appended a request to
+	// its batch (Req/ReqSeq identify the request, Batch the batch length
+	// after the append) — the batch-inclusion point of a request's life,
+	// which request tracing turns into its "batch" span.
+	EventRequestAccepted
 )
 
 // String names the kind for logs.
@@ -169,6 +174,8 @@ func (k EventKind) String() string {
 		return "duplicate-token-dropped"
 	case EventStaleTokenDropped:
 		return "stale-token-dropped"
+	case EventRequestAccepted:
+		return "request-accepted"
 	default:
 		return "unknown"
 	}
@@ -205,6 +212,13 @@ type Event struct {
 	Batch   int // batch size, where applicable
 	Epoch   uint64
 	Fence   uint64
+	// Req and ReqSeq identify the request an event is about — the QEntry
+	// (node, seq) of the accepted request on EventRequestAccepted, or of
+	// the Q-list head the token is traveling to serve on EventTokenPassed.
+	// ReqSeq 0 means no request is attributed (sequence numbers start at
+	// 1, so 0 is never a real request).
+	Req    int
+	ReqSeq uint64
 }
 
 // RecoveryOptions parameterizes the lost-token and failed-arbiter

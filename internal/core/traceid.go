@@ -1,0 +1,29 @@
+package core
+
+import "tokenarbiter/internal/dme"
+
+// RequestID extracts the identity of the request a protocol message is
+// about — the QEntry the message carries, or the Q-list head a PRIVILEGE
+// is traveling to serve. It is how the live runtime stamps outbound
+// envelopes with a trace ID without the protocol knowing about tracing:
+// the (node, seq) pair is exactly what reqtrace.MakeID derives the
+// request's trace ID from. Messages that serve the group rather than one
+// request (NEW-ARBITER, the §6 recovery traffic) report ok == false.
+func RequestID(msg dme.Message) (node int, seq uint64, ok bool) {
+	switch m := msg.(type) {
+	case Request:
+		return m.Entry.Node, m.Entry.Seq, true
+	case MonitorRequest:
+		return m.Entry.Node, m.Entry.Seq, true
+	case Warning:
+		return m.Entry.Node, m.Entry.Seq, true
+	case Privilege:
+		if m.Q.Empty() {
+			return 0, 0, false
+		}
+		head := m.Q.Head()
+		return head.Node, head.Seq, true
+	default:
+		return 0, 0, false
+	}
+}

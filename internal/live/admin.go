@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
+	"tokenarbiter/internal/reqtrace"
 	"tokenarbiter/internal/telemetry"
 )
 
@@ -107,10 +109,16 @@ func (n *Node) Status(ctx context.Context) (Status, error) {
 
 // AdminHandler returns the node's admin HTTP surface:
 //
-//	/healthz      liveness: 200 "ok" while the node runs, 503 once closed
-//	/metrics      Prometheus text exposition of the telemetry registry
-//	/statusz      JSON Status document (role, protocol state, metrics)
-//	/debug/trace  recent protocol transitions as JSONL, oldest first
+//	/healthz         liveness: 200 "ok" while the node runs, 503 once closed
+//	/metrics         Prometheus text exposition of the telemetry registry
+//	/statusz         JSON Status document (role, protocol state, metrics)
+//	/debug/trace     recent protocol transitions as JSONL, oldest first;
+//	                 ?kind=K keeps only events of that kind, ?format=json
+//	                 returns one JSON array instead of JSONL
+//	/debug/requests  recent completed request traces (Config.Tracer):
+//	                 totals, the ?n= most recent, and the ?n= slowest by
+//	                 lock-wait with per-phase breakdowns; 404 when request
+//	                 tracing is disabled
 //
 // Mount it on any mux or serve it directly; cmd/mutexnode's -http flag
 // does the latter.
@@ -146,8 +154,104 @@ func (n *Node) AdminHandler() http.Handler {
 			http.Error(w, "tracing disabled (Config.TraceDepth < 0)", http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		_ = n.trace.WriteJSONL(w)
+		writeTraceRing(w, r, n.trace)
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		writeRequests(w, r, n.tracer)
 	})
 	return mux
+}
+
+// writeTraceRing serves a protocol-transition ring, honoring the
+// ?kind= filter (exact event-kind match) and ?format=json (one JSON
+// array instead of JSONL) query parameters.
+func writeTraceRing(w http.ResponseWriter, r *http.Request, ring *telemetry.Ring) {
+	events := ring.Events()
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		kept := make([]telemetry.TraceEvent, 0, len(events))
+		for _, ev := range events {
+			if ev.Kind == kind {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		_ = enc.Encode(ev)
+	}
+}
+
+// RequestsDoc is the /debug/requests document: collector totals, the
+// most recent completed traces, and the slowest by lock-wait time, each
+// summarized with its per-phase breakdown.
+type RequestsDoc struct {
+	Completed uint64             `json:"completed"`
+	Open      uint64             `json:"open"`
+	Dropped   uint64             `json:"dropped"`
+	Recent    []reqtrace.Summary `json:"recent"`
+	Slowest   []reqtrace.Summary `json:"slowest"`
+}
+
+// buildRequestsDoc assembles the document; keyed restricts both lists to
+// traces of one lock key (shared collectors hold every key's traces).
+func buildRequestsDoc(c *reqtrace.Collector, key string, keyed bool, n int) RequestsDoc {
+	var doc RequestsDoc
+	doc.Completed, doc.Open, doc.Dropped = c.Totals()
+	done := c.Completed()
+	if keyed {
+		kept := make([]reqtrace.Trace, 0, len(done))
+		for _, t := range done {
+			if t.Key == key {
+				kept = append(kept, t)
+			}
+		}
+		done = kept
+	}
+	start := len(done) - n
+	if start < 0 {
+		start = 0
+	}
+	for _, t := range done[start:] {
+		doc.Recent = append(doc.Recent, t.Summarize())
+	}
+	var slow []reqtrace.Trace
+	if keyed {
+		slow = c.SlowestFor(key, n)
+	} else {
+		slow = c.Slowest(n)
+	}
+	for _, t := range slow {
+		doc.Slowest = append(doc.Slowest, t.Summarize())
+	}
+	return doc
+}
+
+// writeRequests serves /debug/requests from the given collector,
+// honoring ?n= (list depth, default 5) and ?key= (restrict to one lock
+// key) query parameters.
+func writeRequests(w http.ResponseWriter, r *http.Request, c *reqtrace.Collector) {
+	if c == nil {
+		http.Error(w, "request tracing disabled (no Tracer configured)", http.StatusNotFound)
+		return
+	}
+	depth := 5
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			depth = v
+		}
+	}
+	key, keyed := queryKey(r)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(buildRequestsDoc(c, key, keyed, depth))
 }

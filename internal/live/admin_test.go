@@ -1,0 +1,284 @@
+package live_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/reqtrace"
+	"tokenarbiter/internal/transport"
+)
+
+// tracedNode builds a single-node cluster with request tracing on and
+// runs a few lock/unlock cycles so the admin surfaces have data.
+func tracedNode(t *testing.T) (*live.Node, *reqtrace.Collector) {
+	t.Helper()
+	net := transport.NewMemNetwork(1, transport.MemOptions{})
+	t.Cleanup(net.Close)
+	tracer := reqtrace.NewCollector(reqtrace.DefaultDepth)
+	nd, err := live.NewNode(live.Config{
+		ID: 0, N: 1, Transport: net.Endpoint(0),
+		Factory: registry.CoreLiveFactory(core.Options{Treq: 0.005, Tfwd: 0.005}),
+		Seed:    1,
+		Tracer:  tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = nd.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 4; i++ {
+		if err := nd.Lock(ctx); err != nil {
+			t.Fatal(err)
+		}
+		nd.Unlock()
+	}
+	return nd, tracer
+}
+
+func adminGet(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugTraceFilters(t *testing.T) {
+	nd, _ := tracedNode(t)
+	srv := httptest.NewServer(nd.AdminHandler())
+	defer srv.Close()
+
+	// Unfiltered NDJSON: one JSON object per line, several kinds.
+	code, body := adminGet(t, srv, "/debug/trace")
+	if code != 200 {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace ring has %d events, want several:\n%s", len(lines), body)
+	}
+	var first struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("first trace line is not JSON: %v", err)
+	}
+	if first.Kind == "" {
+		t.Fatalf("first event has no kind: %s", lines[0])
+	}
+
+	// ?kind= keeps only events of that kind.
+	code, body = adminGet(t, srv, "/debug/trace?kind="+first.Kind)
+	if code != 200 {
+		t.Fatalf("filtered /debug/trace = %d", code)
+	}
+	filtered := strings.Split(strings.TrimSpace(body), "\n")
+	if len(filtered) == 0 || len(filtered) > len(lines) {
+		t.Fatalf("filter returned %d of %d events", len(filtered), len(lines))
+	}
+	for _, line := range filtered {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != first.Kind {
+			t.Errorf("kind filter %q leaked a %q event", first.Kind, ev.Kind)
+		}
+	}
+
+	// ?kind= with a never-matching value yields an empty body, not an error.
+	code, body = adminGet(t, srv, "/debug/trace?kind=no-such-kind")
+	if code != 200 || strings.TrimSpace(body) != "" {
+		t.Errorf("no-match filter = %d with body %q", code, body)
+	}
+
+	// ?format=json returns one array holding the same events.
+	code, body = adminGet(t, srv, "/debug/trace?format=json&kind="+first.Kind)
+	if code != 200 {
+		t.Fatalf("/debug/trace?format=json = %d", code)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal([]byte(body), &arr); err != nil {
+		t.Fatalf("format=json did not return a JSON array: %v\n%s", err, body)
+	}
+	if len(arr) != len(filtered) {
+		t.Errorf("json mode returned %d events, NDJSON %d", len(arr), len(filtered))
+	}
+}
+
+func TestDebugRequestsNode(t *testing.T) {
+	nd, tracer := tracedNode(t)
+	srv := httptest.NewServer(nd.AdminHandler())
+	defer srv.Close()
+
+	code, body := adminGet(t, srv, "/debug/requests")
+	if code != 200 {
+		t.Fatalf("/debug/requests = %d: %s", code, body)
+	}
+	var doc live.RequestsDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if doc.Completed != 4 {
+		t.Errorf("completed = %d, want 4", doc.Completed)
+	}
+	if len(doc.Recent) == 0 || len(doc.Slowest) == 0 {
+		t.Fatalf("empty lists: %+v", doc)
+	}
+	for _, s := range doc.Recent {
+		if s.ID == "-" || len(s.Steps) == 0 {
+			t.Errorf("summary missing id or steps: %+v", s)
+		}
+	}
+	// Every trace on a single-node cluster carries the full protocol
+	// phase breakdown: enqueue, batch, grant, release at minimum.
+	phases := map[string]bool{}
+	for _, st := range doc.Recent[0].Steps {
+		phases[string(st.Phase)] = true
+	}
+	for _, want := range []string{"enqueue", "batch", "grant", "release"} {
+		if !phases[want] {
+			t.Errorf("trace lacks %s phase: %+v", want, doc.Recent[0].Steps)
+		}
+	}
+
+	// ?n=1 caps both lists.
+	code, body = adminGet(t, srv, "/debug/requests?n=1")
+	if code != 200 {
+		t.Fatalf("?n=1 = %d", code)
+	}
+	doc = live.RequestsDoc{}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Recent) != 1 || len(doc.Slowest) != 1 {
+		t.Errorf("?n=1 returned %d recent, %d slowest", len(doc.Recent), len(doc.Slowest))
+	}
+
+	// The slowest trace is also findable by ID through the collector,
+	// the drill-down the exemplar links rely on.
+	completed, _, _ := tracer.Totals()
+	if completed != 4 {
+		t.Errorf("collector completed = %d", completed)
+	}
+}
+
+func TestDebugRequestsDisabled(t *testing.T) {
+	net := transport.NewMemNetwork(1, transport.MemOptions{})
+	t.Cleanup(net.Close)
+	nd, err := live.NewNode(live.Config{
+		ID: 0, N: 1, Transport: net.Endpoint(0),
+		Factory: registry.CoreLiveFactory(core.Options{Treq: 0.005, Tfwd: 0.005}),
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = nd.Close() })
+	srv := httptest.NewServer(nd.AdminHandler())
+	defer srv.Close()
+	if code, _ := adminGet(t, srv, "/debug/requests"); code != 404 {
+		t.Errorf("/debug/requests without a Tracer = %d, want 404", code)
+	}
+}
+
+func TestDebugRequestsManagerKeyFilter(t *testing.T) {
+	net := transport.NewMemNetwork(1, transport.MemOptions{})
+	t.Cleanup(net.Close)
+	tracer := reqtrace.NewCollector(reqtrace.DefaultDepth)
+	m, err := live.NewManager(live.ManagerConfig{
+		ID: 0, N: 1, Transport: net.Endpoint(0),
+		Factory: registry.CoreLiveFactory(core.Options{Treq: 0.005, Tfwd: 0.005}),
+		Seed:    1,
+		Tracer:  tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		for _, key := range []string{"alpha", "beta"} {
+			if err := m.Lock(ctx, key); err != nil {
+				t.Fatal(err)
+			}
+			m.Unlock(key)
+		}
+	}
+
+	srv := httptest.NewServer(m.AdminHandler())
+	defer srv.Close()
+
+	code, body := adminGet(t, srv, "/debug/requests")
+	if code != 200 {
+		t.Fatalf("/debug/requests = %d", code)
+	}
+	var doc live.RequestsDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Completed != 4 {
+		t.Errorf("completed = %d, want 4 across both keys", doc.Completed)
+	}
+
+	code, body = adminGet(t, srv, "/debug/requests?key=alpha&n=10")
+	if code != 200 {
+		t.Fatalf("?key=alpha = %d", code)
+	}
+	doc = live.RequestsDoc{}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Recent) != 2 || len(doc.Slowest) != 2 {
+		t.Fatalf("?key=alpha returned %d recent, %d slowest, want 2/2", len(doc.Recent), len(doc.Slowest))
+	}
+	for _, s := range append(doc.Recent, doc.Slowest...) {
+		if s.Key != "alpha" {
+			t.Errorf("key filter leaked trace for %q", s.Key)
+		}
+	}
+}
+
+// TestLockWaitExemplar pins the histogram↔trace linkage: after traced
+// acquisitions, the lock-wait histogram snapshot carries a max_exemplar
+// whose trace resolves in the collector.
+func TestLockWaitExemplar(t *testing.T) {
+	nd, tracer := tracedNode(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := nd.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, ok := st.Metrics.Histograms["lock_wait_seconds"]
+	if !ok {
+		t.Fatalf("no lock-wait histogram in %v", st.Metrics.Histograms)
+	}
+	if hist.MaxExemplar == nil {
+		t.Fatal("lock-wait histogram has no exemplar after traced acquisitions")
+	}
+	id := reqtrace.ID(hist.MaxExemplar.Trace)
+	if _, found := tracer.Lookup(id); !found {
+		t.Errorf("exemplar trace %s not resolvable in the collector", id)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,10 +15,34 @@ import (
 	"tokenarbiter/internal/faultnet"
 	"tokenarbiter/internal/live"
 	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/reqtrace"
 	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
 	"tokenarbiter/internal/wire"
 )
+
+// soakRecorder opens a flight-recorder capture under $FLIGHTREC_DIR when
+// that variable is set — CI sets it so a failing soak's capture uploads
+// as an artifact and the failure replays offline with `mutexsim replay`.
+// Unset (the local default), recording is off and the soak runs as
+// before.
+func soakRecorder(t *testing.T, algo string, n int, name string) *reqtrace.Recorder {
+	dir := os.Getenv("FLIGHTREC_DIR")
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("flight recorder dir %s: %v", dir, err)
+	}
+	path := filepath.Join(dir, name+".jsonl")
+	rec, err := reqtrace.CreateRecorder(path, algo, n)
+	if err != nil {
+		t.Fatalf("flight recorder %s: %v", path, err)
+	}
+	t.Cleanup(func() { _ = rec.Close() })
+	t.Logf("flight recorder capturing to %s", path)
+	return rec
+}
 
 // fencedResource models the shared resource a distributed lock protects,
 // enforced the way a real fenced store would: every acquisition presents
@@ -148,6 +174,7 @@ func chaosSoak(t *testing.T, seed uint64) {
 		ProbeTimeout:   0.05,
 	}
 
+	rec := soakRecorder(t, algo, n, fmt.Sprintf("chaos-soak-seed%d", seed))
 	net := transport.NewMemNetwork(n, transport.MemOptions{})
 	regs := make([]*telemetry.Registry, n)
 	members := make([]live.Member, n)
@@ -158,13 +185,16 @@ func chaosSoak(t *testing.T, seed uint64) {
 			return live.Config{
 				ID: i,
 				N:  n,
-				// The injector sits innermost, directly over the wire;
-				// restarts reuse the slot's registry so recovery counters
-				// stay cumulative across incarnations.
-				Transport: transport.Chain(net.Endpoint(i), inj.Middleware()),
+				// The injector sits innermost, directly over the wire,
+				// with the optional flight recorder outermost (it captures
+				// what the protocol attempted, not what survived the
+				// faults); restarts reuse the slot's registry so recovery
+				// counters stay cumulative across incarnations.
+				Transport: transport.Chain(net.Endpoint(i), rec.Middleware(), inj.Middleware()),
 				Factory:   registry.CoreLiveFactory(opts),
 				Seed:      seed<<8 + uint64(i) + 1,
 				Metrics:   regs[i],
+				FlightRec: rec,
 			}, nil
 		}}
 	}

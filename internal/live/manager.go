@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/reqtrace"
 	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
 )
@@ -66,6 +67,15 @@ type ManagerConfig struct {
 	Metrics *telemetry.Registry
 	// TraceDepth is passed to every key's node (see Config.TraceDepth).
 	TraceDepth int
+	// Tracer, when non-nil, is the shared request-trace collector every
+	// key's node records into; spans carry the key, so one collector
+	// serves the whole service (see Config.Tracer).
+	Tracer *reqtrace.Collector
+	// FlightRec, when non-nil, is the shared flight recorder every key's
+	// node logs lock lifecycle events into; pair it with
+	// FlightRec.Middleware() on the shared Transport so the capture also
+	// holds the keyed wire traffic (see Config.FlightRec).
+	FlightRec *reqtrace.Recorder
 }
 
 // Manager is a sharded multi-key distributed lock service: one DME
@@ -181,6 +191,10 @@ func (m *Manager) ID() int { return m.cfg.ID }
 // private one). Per-key registries are exported via AdminHandler.
 func (m *Manager) Metrics() *telemetry.Registry { return m.reg }
 
+// Requests returns the shared request-trace collector from
+// ManagerConfig.Tracer, or nil when request tracing is disabled.
+func (m *Manager) Requests() *reqtrace.Collector { return m.cfg.Tracer }
+
 // ShardOf returns the shard index key routes to on this Manager.
 func (m *Manager) ShardOf(key string) int { return ShardIndex(key, len(m.shards)) }
 
@@ -261,6 +275,9 @@ func (m *Manager) buildInstance(key string, reg *telemetry.Registry, incarnation
 		Logger:     logger,
 		Metrics:    reg,
 		TraceDepth: m.cfg.TraceDepth,
+		Key:        key,
+		Tracer:     m.cfg.Tracer,
+		FlightRec:  m.cfg.FlightRec,
 	})
 	if err != nil {
 		_ = ep.Close() // release the binding; the mux stays usable

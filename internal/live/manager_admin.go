@@ -70,7 +70,11 @@ type keyStatus struct {
 //	/statusz              aggregate JSON ManagerStatus (totals + per-key rows)
 //	/statusz?key=K        key K's full protocol Status (wrapped with key/shard/
 //	                      incarnation); 404 when the key does not exist here
-//	/debug/trace?key=K    key K's recent protocol transitions as JSONL
+//	/debug/trace?key=K    key K's recent protocol transitions as JSONL;
+//	                      ?kind= and ?format=json as on Node.AdminHandler
+//	/debug/requests       recent completed request traces from the shared
+//	                      collector (ManagerConfig.Tracer), ?n= deep;
+//	                      ?key=K restricts to one lock key's traces
 func (m *Manager) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -136,8 +140,10 @@ func (m *Manager) AdminHandler() http.Handler {
 			http.Error(w, "tracing disabled (ManagerConfig.TraceDepth < 0)", http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		_ = tr.WriteJSONL(w)
+		writeTraceRing(w, r, tr)
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		writeRequests(w, r, m.cfg.Tracer)
 	})
 	return mux
 }

@@ -157,20 +157,23 @@ func managerChaosSoak(t *testing.T, seed uint64) {
 		ProbeTimeout:   0.05,
 	}
 
+	rec := soakRecorder(t, algo, n, fmt.Sprintf("manager-soak-seed%d", seed))
 	ctl := &blackoutCtl{}
 	net := transport.NewMemNetwork(n, transport.MemOptions{})
 	defer net.Close()
 	mgrs := make([]*live.Manager, n)
 	for i := 0; i < n; i++ {
 		// Blackout above the injector: the injector stays key-blind and
-		// composes below the demux exactly as in production.
+		// composes below the demux exactly as in production; the optional
+		// flight recorder outermost captures the pre-fault traffic.
 		m, err := live.NewManager(live.ManagerConfig{
 			ID:        i,
 			N:         n,
-			Transport: transport.Chain(net.Endpoint(i), blackoutMW(ctl), inj.Middleware()),
+			Transport: transport.Chain(net.Endpoint(i), rec.Middleware(), blackoutMW(ctl), inj.Middleware()),
 			Factory:   registry.CoreLiveFactory(opts),
 			Algo:      "core",
 			Seed:      seed<<8 + uint64(i) + 1,
+			FlightRec: rec,
 		})
 		if err != nil {
 			t.Fatalf("manager %d: %v", i, err)

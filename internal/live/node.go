@@ -42,8 +42,10 @@ import (
 
 	"tokenarbiter/internal/core"
 	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/reqtrace"
 	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
+	"tokenarbiter/internal/wire"
 )
 
 // ErrClosed is returned by Lock when the node has been shut down.
@@ -101,6 +103,24 @@ type Config struct {
 	// (Node.Trace, the /debug/trace endpoint). 0 means DefaultTraceDepth;
 	// negative disables tracing.
 	TraceDepth int
+	// Key labels this node's lock in request-trace spans and
+	// flight-recorder records when many locks share a tracer or recorder
+	// (the Manager sets it per instance). Empty for single-lock nodes.
+	Key string
+	// Tracer, when non-nil, collects end-to-end request traces: every
+	// Lock/LockFence call mints a trace ID and accumulates spans from
+	// enqueue through grant to release, including protocol-phase spans
+	// (batch inclusion, token hops) for the core algorithm. Share one
+	// collector across a cluster's nodes (or a Manager's keys) so each
+	// trace assembles in one place. Nil disables request tracing at zero
+	// cost on the lock path.
+	Tracer *reqtrace.Collector
+	// FlightRec, when non-nil, logs this node's lock lifecycle events
+	// (request, grant, release) into the flight recorder; pair it with
+	// FlightRec.Middleware() on the node's transport chain so the same
+	// capture holds the wire traffic, making it replayable by
+	// reqtrace.Replay / `mutexsim replay`.
+	FlightRec *reqtrace.Recorder
 }
 
 // DefaultTraceDepth is the event-trace ring capacity when
@@ -135,6 +155,10 @@ type Node struct {
 	metrics *liveMetrics
 	trace   *telemetry.Ring // nil when tracing is disabled
 
+	tracer   *reqtrace.Collector // nil when request tracing is disabled
+	frec     *reqtrace.Recorder  // nil when flight recording is disabled
+	traceSeq uint64              // loop-only: request count, mirrors core's sequence numbering
+
 	timersMu sync.Mutex
 	timers   map[int32]*liveTimer // pending wall-clock timers by handle id
 	timerSeq int32
@@ -145,9 +169,10 @@ type waiter struct {
 	grant     chan struct{}
 	granted   bool
 	canceled  bool
-	fence     uint64    // fencing token of the grant, set before grant closes
-	issuedAt  time.Time // Lock call time, for the lock-wait histogram
-	grantedAt time.Time // grant time, for the CS-hold histogram
+	fence     uint64      // fencing token of the grant, set before grant closes
+	trace     reqtrace.ID // end-to-end trace ID, zero when tracing is off
+	issuedAt  time.Time   // Lock call time, for the lock-wait histogram
+	grantedAt time.Time   // grant time, for the CS-hold histogram
 }
 
 // NewNode builds and starts a live node: the protocol state machine is
@@ -208,7 +233,12 @@ func NewNode(cfg Config) (*Node, error) {
 	if ring != nil {
 		traceObs = traceObserver(ring)
 	}
-	obs := core.FanOut(metrics.observer(), traceObs, userObs)
+	// Request-trace protocol spans (batch inclusion, token hops) share the
+	// collector's clock so spans from every node in the cluster order on
+	// one timeline. CoreObserver is nil (and FanOut skips it) when no
+	// collector is configured.
+	reqObs := reqtrace.CoreObserver(cfg.Tracer, cfg.Key, cfg.Tracer.Since)
+	obs := core.FanOut(metrics.observer(), traceObs, userObs, reqObs)
 
 	inner, err := cfg.Factory(cfg.ID, cfg.N, obs)
 	if err != nil {
@@ -235,8 +265,15 @@ func NewNode(cfg Config) (*Node, error) {
 		reg:     reg,
 		metrics: metrics,
 		trace:   ring,
+		tracer:  cfg.Tracer,
+		frec:    cfg.FlightRec,
 	}
 	n.tr.SetHandler(func(from dme.NodeID, msg dme.Message) {
+		// Trace context rides a wire.Traced wrapper; the protocol state
+		// machine sees only the bare message, traced or not.
+		if t, ok := msg.(wire.Traced); ok {
+			msg = t.Msg
+		}
 		n.post(func() { n.inner.OnMessage(n, from, msg) })
 	})
 	n.loopWG.Add(1)
@@ -307,13 +344,28 @@ func (n *Node) LockFence(ctx context.Context) (uint64, error) {
 	w := &waiter{grant: make(chan struct{}), issuedAt: time.Now()}
 	n.metrics.lockWaiters.Add(1)
 	n.post(func() {
+		// Mint the trace ID on the loop, where the request count is exact:
+		// one OnRequest per waiter in posting order is precisely how the
+		// core protocol assigns sequence numbers, so remote observers can
+		// re-derive the same ID from the QEntry they see (core.RequestID).
+		if n.tracer != nil || n.frec != nil {
+			n.traceSeq++
+			w.trace = reqtrace.MakeID(n.cfg.ID, n.traceSeq)
+		}
+		if n.tracer != nil {
+			n.tracer.Record(reqtrace.Span{
+				Trace: w.trace, Phase: reqtrace.PhaseEnqueue,
+				At: n.tracer.Since(), Node: n.cfg.ID, Peer: -1, Key: n.cfg.Key,
+			})
+		}
+		n.frec.RecordRequest(n.cfg.ID, n.cfg.Key, w.trace)
 		n.waiters = append(n.waiters, w)
 		n.inner.OnRequest(n)
 	})
 	select {
 	case <-w.grant:
 		n.metrics.lockWaiters.Add(-1)
-		n.metrics.lockWait.Observe(time.Since(w.issuedAt).Seconds())
+		n.metrics.lockWait.ObserveEx(time.Since(w.issuedAt).Seconds(), uint64(w.trace))
 		n.holding.Store(true)
 		return w.fence, nil
 	case <-ctx.Done():
@@ -393,8 +445,15 @@ func (n *Node) finishCS(w *waiter) {
 	n.released.Add(1)
 	n.metrics.releases.Inc()
 	if !w.grantedAt.IsZero() {
-		n.metrics.csHold.Observe(time.Since(w.grantedAt).Seconds())
+		n.metrics.csHold.ObserveEx(time.Since(w.grantedAt).Seconds(), uint64(w.trace))
 	}
+	if n.tracer != nil {
+		n.tracer.Record(reqtrace.Span{
+			Trace: w.trace, Phase: reqtrace.PhaseRelease,
+			At: n.tracer.Since(), Node: n.cfg.ID, Peer: -1, Key: n.cfg.Key,
+		})
+	}
+	n.frec.RecordRelease(n.cfg.ID, n.cfg.Key, w.trace)
 	n.inner.OnCSDone(n)
 }
 
@@ -413,6 +472,11 @@ func (n *Node) Metrics() *telemetry.Registry { return n.reg }
 // Trace returns the ring buffer of recent protocol transitions, or nil
 // when Config.TraceDepth is negative.
 func (n *Node) Trace() *telemetry.Ring { return n.trace }
+
+// Requests returns the request-trace collector from Config.Tracer, or
+// nil when request tracing is disabled. Safe to pass to the admin
+// surfaces either way — the collector's methods are nil-safe.
+func (n *Node) Requests() *reqtrace.Collector { return n.tracer }
 
 // Inspect returns a read-only snapshot of the protocol state, taken on
 // the event loop. Algorithms other than the paper's arbiter protocol
@@ -475,6 +539,18 @@ func (n *Node) Send(from, to dme.NodeID, msg dme.Message) {
 	if to == n.cfg.ID {
 		n.post(func() { n.inner.OnMessage(n, from, msg) })
 		return
+	}
+	// Stamp outbound protocol messages with the trace ID of the request
+	// they serve, derived from the QEntry the message carries — the same
+	// ID the requester minted at Lock entry. Only when tracing or flight
+	// recording is on; the disabled path is untouched. Messages that
+	// serve the group rather than one request go out unstamped, as do
+	// all baseline-algorithm messages (core.RequestID knows only the
+	// arbiter protocol's types).
+	if n.tracer != nil || n.frec != nil {
+		if node, seq, ok := core.RequestID(msg); ok {
+			msg = wire.Traced{Trace: uint64(reqtrace.MakeID(node, seq)), Msg: msg}
+		}
 	}
 	// Best-effort: transport errors are equivalent to message loss,
 	// which the protocol already tolerates.
@@ -554,6 +630,15 @@ func (n *Node) EnterCS(_ dme.NodeID) {
 			n.released.Add(1)
 			n.metrics.grants.Inc()
 			n.metrics.releases.Inc()
+			n.recordGrant(w)
+			if n.tracer != nil {
+				// Close the trace: the grant existed, however briefly.
+				n.tracer.Record(reqtrace.Span{
+					Trace: w.trace, Phase: reqtrace.PhaseRelease,
+					At: n.tracer.Since(), Node: n.cfg.ID, Peer: -1, Key: n.cfg.Key,
+				})
+			}
+			n.frec.RecordRelease(n.cfg.ID, n.cfg.Key, w.trace)
 			n.post(func() { n.inner.OnCSDone(n) })
 			return
 		}
@@ -565,9 +650,23 @@ func (n *Node) EnterCS(_ dme.NodeID) {
 		if ins, ok := core.Inspect(n.inner); ok {
 			w.fence = ins.LastFence
 		}
+		n.recordGrant(w)
 		close(w.grant)
 		return
 	}
 	// No waiter (should not happen: one OnRequest per waiter); release.
 	n.post(func() { n.inner.OnCSDone(n) })
+}
+
+// recordGrant emits the grant span and flight-recorder record for w
+// (loop context only).
+func (n *Node) recordGrant(w *waiter) {
+	if n.tracer != nil {
+		n.tracer.Record(reqtrace.Span{
+			Trace: w.trace, Phase: reqtrace.PhaseGrant,
+			At: n.tracer.Since(), Node: n.cfg.ID, Peer: -1,
+			Key: n.cfg.Key, Fence: w.fence,
+		})
+	}
+	n.frec.RecordGrant(n.cfg.ID, n.cfg.Key, w.trace, w.fence)
 }

@@ -1,0 +1,110 @@
+package reqtrace
+
+import (
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+)
+
+// CoreObserver adapts the core protocol's observer hook to span
+// recording: batch-inclusion and token-hop events carry the owning
+// request's (node, seq) identity, which derives the same trace ID the
+// requester's runtime minted at Lock entry. Install it in the observer
+// fan-out (core.FanOut) next to metrics and logging; now supplies span
+// timestamps — Collector.Since for live runs, the runner's virtual clock
+// for simulations — so sim and live runs produce identical span shapes.
+func CoreObserver(c *Collector, key string, now func() float64) func(core.Event) {
+	if c == nil {
+		return nil
+	}
+	return func(ev core.Event) {
+		switch ev.Kind {
+		case core.EventRequestAccepted:
+			c.Record(Span{
+				Trace: MakeID(ev.Req, ev.ReqSeq),
+				Phase: PhaseBatch,
+				At:    now(),
+				Node:  ev.Node,
+				Peer:  -1,
+				Key:   key,
+				Batch: ev.Batch,
+			})
+		case core.EventTokenPassed:
+			if ev.ReqSeq == 0 {
+				return // no request heads this transfer (empty Q-list hand-off)
+			}
+			c.Record(Span{
+				Trace: MakeID(ev.Req, ev.ReqSeq),
+				Phase: PhaseTokenHop,
+				At:    now(),
+				Node:  ev.Node,
+				Peer:  ev.Arbiter,
+				Key:   key,
+			})
+		}
+	}
+}
+
+// SimTracer mints trace IDs and records runtime-side spans (enqueue,
+// grant, release) for a simulation run, the counterpart of what
+// live.Node does for live runs: install Trace as (or inside)
+// dme.Config.Trace and pair it with CoreObserver on the algorithm's
+// observer hook for the protocol-side spans.
+//
+// Request-to-grant matching is per-node FIFO — the n-th grant at a node
+// completes that node's n-th request — which is exactly the contract the
+// live runtime's waiter queue implements, so sim and live traces agree
+// even when a node's requests are served out of issue order.
+type SimTracer struct {
+	c    *Collector
+	key  string
+	seq  []uint64 // per-node request sequence, counting from 1 like core
+	fifo [][]ID   // per-node open (granted-pending) request IDs
+	inCS []ID     // per-node ID currently holding the CS
+}
+
+// NewSimTracer returns a tracer for an n-node run recording into c.
+func NewSimTracer(c *Collector, key string, n int) *SimTracer {
+	return &SimTracer{
+		c:    c,
+		key:  key,
+		seq:  make([]uint64, n),
+		fifo: make([][]ID, n),
+		inCS: make([]ID, n),
+	}
+}
+
+// Trace consumes one simulation event; wire it to dme.Config.Trace.
+func (t *SimTracer) Trace(ev dme.TraceEvent) {
+	switch ev.Kind {
+	case dme.TraceRequest:
+		t.seq[ev.From]++
+		id := MakeID(ev.From, t.seq[ev.From])
+		t.fifo[ev.From] = append(t.fifo[ev.From], id)
+		t.c.Record(Span{
+			Trace: id, Phase: PhaseEnqueue, At: ev.Time,
+			Node: ev.From, Peer: -1, Key: t.key,
+		})
+	case dme.TraceEnterCS:
+		q := t.fifo[ev.From]
+		if len(q) == 0 {
+			return
+		}
+		id := q[0]
+		t.fifo[ev.From] = q[1:]
+		t.inCS[ev.From] = id
+		t.c.Record(Span{
+			Trace: id, Phase: PhaseGrant, At: ev.Time,
+			Node: ev.From, Peer: -1, Key: t.key,
+		})
+	case dme.TraceExitCS:
+		id := t.inCS[ev.From]
+		if id == 0 {
+			return
+		}
+		t.inCS[ev.From] = 0
+		t.c.Record(Span{
+			Trace: id, Phase: PhaseRelease, At: ev.Time,
+			Node: ev.From, Peer: -1, Key: t.key,
+		})
+	}
+}

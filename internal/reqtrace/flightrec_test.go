@@ -1,0 +1,177 @@
+package reqtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/transport"
+	"tokenarbiter/internal/wire"
+)
+
+// loopTransport is a minimal transport for middleware tests: Send
+// invokes the peer handler directly (there is only one endpoint).
+type loopTransport struct {
+	self    dme.NodeID
+	handler transport.Handler
+	sent    []dme.Message
+}
+
+func (l *loopTransport) Self() dme.NodeID { return l.self }
+func (l *loopTransport) Send(to dme.NodeID, msg dme.Message) error {
+	l.sent = append(l.sent, msg)
+	return nil
+}
+func (l *loopTransport) SetHandler(h transport.Handler) { l.handler = h }
+func (l *loopTransport) Close() error                   { return nil }
+
+func TestRecorderCaptureRoundTrip(t *testing.T) {
+	algo, err := registry.RegisterWire(registry.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, algo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Lifecycle records plus wire traffic through the middleware.
+	rec.RecordRequest(1, "orders", MakeID(1, 1))
+	base := &loopTransport{self: 1}
+	tr := rec.Middleware()(base)
+	tr.SetHandler(func(from dme.NodeID, msg dme.Message) {})
+	msg := wire.Keyed{Key: "orders", Msg: wire.Traced{
+		Trace: uint64(MakeID(1, 1)),
+		Msg:   core.Request{Entry: core.QEntry{Node: 1, Seq: 1}},
+	}}
+	if err := tr.Send(0, msg); err != nil {
+		t.Fatal(err)
+	}
+	base.handler(0, msg) // inbound delivery through the recv tap
+	rec.RecordGrant(1, "orders", MakeID(1, 1), 7)
+	rec.RecordRelease(1, "orders", MakeID(1, 1))
+
+	if records, dropped := rec.Totals(); records != 5 || dropped != 0 {
+		t.Fatalf("totals = (%d records, %d dropped), want (5, 0)", records, dropped)
+	}
+
+	capture, err := ReadCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capture.Header.V != CaptureVersion || capture.Header.Algo != algo || capture.Header.N != 3 {
+		t.Fatalf("header %+v", capture.Header)
+	}
+	if len(capture.Records) != 5 {
+		t.Fatalf("%d records, want 5", len(capture.Records))
+	}
+	wantEv := []string{EvRequest, EvSend, EvRecv, EvGrant, EvRelease}
+	for i, r := range capture.Records {
+		if r.Ev != wantEv[i] {
+			t.Errorf("record %d ev = %q, want %q", i, r.Ev, wantEv[i])
+		}
+		if r.Key != "orders" {
+			t.Errorf("record %d key = %q", i, r.Key)
+		}
+		if r.Trace != uint64(MakeID(1, 1)) {
+			t.Errorf("record %d trace = %#x", i, r.Trace)
+		}
+	}
+	// Timestamps never run backwards within a capture.
+	for i := 1; i < len(capture.Records); i++ {
+		if capture.Records[i].T < capture.Records[i-1].T {
+			t.Errorf("record %d time %v precedes record %d time %v",
+				i, capture.Records[i].T, i-1, capture.Records[i-1].T)
+		}
+	}
+
+	// The send record's envelope reopens through the normal wire path
+	// with both wrappers intact — what replay depends on.
+	send := capture.Records[1]
+	if send.Env == nil {
+		t.Fatal("send record has no envelope")
+	}
+	if send.Fence != 0 {
+		t.Errorf("send record fence = %d", send.Fence)
+	}
+	reopened, err := send.Env.Open(algo)
+	if err != nil {
+		t.Fatalf("reopen captured envelope: %v", err)
+	}
+	k, ok := reopened.(wire.Keyed)
+	if !ok {
+		t.Fatalf("captured envelope opened as %T, want Keyed", reopened)
+	}
+	if tr, ok := k.Msg.(wire.Traced); !ok || tr.Trace != uint64(MakeID(1, 1)) {
+		t.Fatalf("captured envelope inner %#v, want Traced", k.Msg)
+	}
+
+	// Grant record carries the fence.
+	if g := capture.Records[3]; g.Fence != 7 || g.Node != 1 {
+		t.Errorf("grant record %+v", g)
+	}
+}
+
+// TestNilRecorder pins the disabled-recording contract: nil receivers
+// no-op everywhere, and a nil middleware disappears from the chain.
+func TestNilRecorder(t *testing.T) {
+	var rec *Recorder
+	rec.RecordRequest(0, "k", 1)
+	rec.RecordGrant(0, "k", 1, 1)
+	rec.RecordRelease(0, "k", 1)
+	if err := rec.Close(); err != nil {
+		t.Errorf("nil Close() = %v", err)
+	}
+	if records, dropped := rec.Totals(); records != 0 || dropped != 0 {
+		t.Error("nil Totals() non-zero")
+	}
+	if mw := rec.Middleware(); mw != nil {
+		t.Error("nil recorder yielded a non-nil middleware")
+	}
+	base := &loopTransport{self: 0}
+	chained := transport.Chain(base, rec.Middleware())
+	if chained != transport.Transport(base) {
+		t.Error("nil middleware altered the chain")
+	}
+}
+
+func TestReadCaptureErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"future version", `{"v":99,"algo":"core","n":3}` + "\n"},
+		{"zero nodes", `{"v":1,"algo":"core","n":0}` + "\n"},
+		{"malformed header", "not json\n"},
+		{"malformed record", `{"v":1,"algo":"core","n":3}` + "\nnot json\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCapture(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: ReadCapture accepted the capture", c.name)
+		}
+	}
+}
+
+// TestRecorderMiddlewareUnwrap pins that the recording layer is
+// transparent to transport.Find, like every other middleware.
+func TestRecorderMiddlewareUnwrap(t *testing.T) {
+	algo, err := registry.RegisterWire(registry.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, algo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &loopTransport{self: 0}
+	chained := transport.Chain(base, rec.Middleware())
+	if found, ok := transport.Find[*loopTransport](chained); !ok || found != base {
+		t.Error("Find could not see through the recording layer")
+	}
+}

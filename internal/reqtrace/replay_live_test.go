@@ -1,0 +1,114 @@
+package reqtrace_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/reqtrace"
+	"tokenarbiter/internal/transport"
+)
+
+// TestReplayDeterminism is the end-to-end contract the flight recorder
+// exists for: capture a live 3-node multi-key run, replay the capture
+// twice against fresh state machines, and require the two replays'
+// grant/fence sequences to be byte-identical. CI runs this as the
+// replay-determinism gate.
+func TestReplayDeterminism(t *testing.T) {
+	algo, err := registry.RegisterWire(registry.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	var buf bytes.Buffer
+	rec, err := reqtrace.NewRecorder(&buf, algo, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := reqtrace.NewCollector(reqtrace.DefaultDepth)
+
+	// A 3-node multi-key cluster over an in-memory network, every node
+	// sharing one recorder so the capture holds the whole cluster's
+	// traffic and lock lifecycle.
+	net := transport.NewMemNetwork(n, transport.MemOptions{})
+	defer net.Close()
+	opts := core.Options{Treq: 0.005, Tfwd: 0.005, RetransmitTimeout: 0.25}
+	mgrs := make([]*live.Manager, n)
+	for i := 0; i < n; i++ {
+		m, err := live.NewManager(live.ManagerConfig{
+			ID: i, N: n,
+			Transport: transport.Chain(net.Endpoint(i), rec.Middleware()),
+			Factory:   registry.CoreLiveFactory(opts),
+			Algo:      algo,
+			Seed:      uint64(i + 1),
+			Tracer:    tracer,
+			FlightRec: rec,
+		})
+		if err != nil {
+			t.Fatalf("manager %d: %v", i, err)
+		}
+		mgrs[i] = m
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	keys := []string{"orders", "billing"}
+	want := 0
+	for round := 0; round < 3; round++ {
+		for _, key := range keys {
+			for i := 0; i < n; i++ {
+				if _, err := mgrs[i].LockFence(ctx, key); err != nil {
+					t.Fatalf("round %d key %q node %d: %v", round, key, i, err)
+				}
+				mgrs[i].Unlock(key)
+				want++
+			}
+		}
+	}
+	for _, m := range mgrs {
+		_ = m.Close()
+	}
+
+	capture, err := reqtrace.ReadCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capture.Records) == 0 {
+		t.Fatal("live run produced an empty capture")
+	}
+	if len(capture.Records) < want {
+		t.Fatalf("capture holds %d records for %d critical sections", len(capture.Records), want)
+	}
+
+	factory, err := registry.NewLiveFactory(algo, map[string]float64{"treq": 0.005, "tfwd": 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *reqtrace.ReplayResult {
+		res, err := reqtrace.Replay(capture, factory, reqtrace.NewCollector(reqtrace.DefaultDepth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res1, res2 := run(), run()
+
+	log1, log2 := reqtrace.GrantLog(res1.Grants), reqtrace.GrantLog(res2.Grants)
+	if !bytes.Equal(log1, log2) {
+		t.Fatalf("two replays of the same capture diverged:\n--- first\n%s--- second\n%s", log1, log2)
+	}
+	if len(res1.Grants) == 0 {
+		t.Fatalf("replay produced no grants (recorded %d, suppressed %d sends, %d open errors)",
+			len(res1.Recorded), res1.SuppressedSends, res1.OpenErrors)
+	}
+	if res1.OpenErrors != 0 {
+		t.Errorf("replay failed to open %d captured envelopes", res1.OpenErrors)
+	}
+	t.Logf("capture: %d records; recorded %d grants, replayed %d (suppressed %d sends, %d orphan releases)",
+		len(capture.Records), len(res1.Recorded), len(res1.Grants),
+		res1.SuppressedSends, res1.OrphanReleases)
+}

@@ -261,7 +261,7 @@ func TestCancelHeavyQueueBounded(t *testing.T) {
 	s := New(1)
 	for i := 0; i < 100_000; i++ {
 		s.Schedule(0.5, func() {}) // runnable, pops promptly
-		ev := s.Schedule(1e6 + float64(i), func() { t.Error("cancelled event ran") })
+		ev := s.Schedule(1e6+float64(i), func() { t.Error("cancelled event ran") })
 		ev.Cancel()
 		s.Step()
 	}

@@ -25,6 +25,9 @@ type HistogramSnapshot struct {
 	Buckets []uint64  `json:"buckets"`
 	P50     float64   `json:"p50"`
 	P99     float64   `json:"p99"`
+	// MaxExemplar is the trace-attributed worst observation (ObserveEx),
+	// omitted when the histogram has only untraced observations.
+	MaxExemplar *Exemplar `json:"max_exemplar,omitempty"`
 }
 
 // Snapshot captures the current value of every registered metric.
@@ -47,7 +50,7 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Kinds[m.name] = m.vec.Values()
 		case kindHistogram:
 			bounds, counts := m.hist.Buckets()
-			s.Histograms[m.name] = HistogramSnapshot{
+			hs := HistogramSnapshot{
 				Count:   m.hist.Count(),
 				Sum:     m.hist.Sum(),
 				Bounds:  bounds,
@@ -55,6 +58,10 @@ func (r *Registry) Snapshot() Snapshot {
 				P50:     m.hist.Quantile(0.50),
 				P99:     m.hist.Quantile(0.99),
 			}
+			if ex := m.hist.Exemplar(); ex.Trace != 0 {
+				hs.MaxExemplar = &ex
+			}
+			s.Histograms[m.name] = hs
 		}
 	}
 	return s

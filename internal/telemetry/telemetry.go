@@ -62,6 +62,18 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Uint64
 	sum    atomic.Uint64 // math.Float64bits
+
+	exMu sync.Mutex
+	ex   Exemplar // worst observation seen, if recorded via ObserveEx
+}
+
+// Exemplar ties a histogram's worst observation back to the request that
+// produced it — Trace is an opaque trace ID (reqtrace.ID as a raw
+// uint64; this package stays dependency-free). A zero Trace means no
+// exemplar has been recorded.
+type Exemplar struct {
+	Value float64 `json:"value"`
+	Trace uint64  `json:"trace"`
 }
 
 // DefLatencyBuckets covers 100 µs to ~30 s, the plausible range of
@@ -103,6 +115,30 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveEx records one observation attributed to a trace ID, keeping
+// the largest such observation as the histogram's exemplar — "which
+// request was the slow one" for the admin surfaces. A zero trace ID
+// degrades to a plain Observe.
+func (h *Histogram) ObserveEx(v float64, trace uint64) {
+	h.Observe(v)
+	if trace == 0 {
+		return
+	}
+	h.exMu.Lock()
+	if v >= h.ex.Value || h.ex.Trace == 0 {
+		h.ex = Exemplar{Value: v, Trace: trace}
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the largest traced observation, or a zero Exemplar if
+// none has been recorded.
+func (h *Histogram) Exemplar() Exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.ex
 }
 
 // Count returns the number of observations.

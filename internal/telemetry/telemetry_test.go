@@ -144,3 +144,52 @@ func TestSnapshot(t *testing.T) {
 		t.Errorf("histogram snapshot %+v", h)
 	}
 }
+
+// TestHistogramExemplar pins the trace-attribution contract: ObserveEx
+// keeps the worst (max-value) traced observation, untraced observations
+// (trace 0) never displace it, and the snapshot carries it only when a
+// traced observation exists.
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lock_wait_seconds", "", nil)
+
+	h.Observe(99) // untraced: no exemplar yet
+	if snap := reg.Snapshot().Histograms["lock_wait_seconds"]; snap.MaxExemplar != nil {
+		t.Fatalf("untraced histogram has exemplar %+v", snap.MaxExemplar)
+	}
+
+	h.ObserveEx(0.5, 41)
+	h.ObserveEx(2.0, 42) // new max
+	h.ObserveEx(1.0, 43) // smaller: keeps 42
+	h.ObserveEx(3.0, 0)  // untraced: never displaces a traced exemplar
+	ex := h.Exemplar()
+	if ex.Trace != 42 || ex.Value != 2.0 {
+		t.Errorf("exemplar = %+v, want value 2 trace 42", ex)
+	}
+	snap := reg.Snapshot().Histograms["lock_wait_seconds"]
+	if snap.MaxExemplar == nil || snap.MaxExemplar.Trace != 42 {
+		t.Errorf("snapshot exemplar = %+v, want trace 42", snap.MaxExemplar)
+	}
+	if snap.Count != 5 {
+		t.Errorf("count = %d, want 5 (ObserveEx also observes)", snap.Count)
+	}
+}
+
+func TestHistogramExemplarConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveEx(float64(g*1000+i), uint64(g*1000+i+1))
+			}
+		}()
+	}
+	wg.Wait()
+	if ex := h.Exemplar(); ex.Value != 7999 || ex.Trace != 8000 {
+		t.Errorf("exemplar = %+v, want the global max 7999/trace 8000", ex)
+	}
+}

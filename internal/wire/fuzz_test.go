@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/wire"
 )
@@ -130,6 +131,86 @@ func FuzzKeyedEnvelopeRoundTrip(f *testing.F) {
 		}
 		if got, ok := k.Msg.(core.Request); !ok || !reflect.DeepEqual(got, inner) {
 			t.Fatalf("inner %#v, want %#v", k.Msg, inner)
+		}
+	})
+}
+
+// FuzzTracedEnvelopeRoundTrip drives arbitrary trace IDs — including 0
+// (the untraced convention) and all-bits-set — through the traced
+// Seal/Open path, alone and nested inside a Keyed wrapper, and checks
+// the propagation invariants: trace and inner message round-trip
+// exactly, the payload stays byte-identical to the untraced encoding
+// (the mixed-version interop property), and the wrapper nesting comes
+// back Keyed-outside-Traced.
+func FuzzTracedEnvelopeRoundTrip(f *testing.F) {
+	algo, err := registry.RegisterWire(registry.Core)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint64(0), []byte(""), 0, uint64(0))                // untraced, key-less legacy
+	f.Add(uint64(1<<40|1), []byte(""), 0, uint64(1))          // node 0 seq 1, single-lock channel
+	f.Add(uint64(17<<40|999), []byte("orders"), 3, uint64(9)) // traced and keyed
+	f.Add(^uint64(0), []byte{0x80, 0xfe, 0xff}, 2, uint64(7)) // hostile key, max trace
+	f.Fuzz(func(t *testing.T, trace uint64, keyBytes []byte, from int, seq uint64) {
+		key := string(keyBytes)
+		inner := core.Request{Entry: core.QEntry{Node: from, Seq: seq}}
+		var msg dme.Message = wire.Traced{Trace: trace, Msg: inner}
+		if trace == 0 {
+			msg = inner // Seal rejects nothing here, but 0 means untraced: seal bare
+		}
+		if key != "" {
+			msg = wire.Keyed{Key: key, Msg: msg}
+		}
+		env, err := wire.Seal(algo, from, msg)
+		if err != nil {
+			t.Fatalf("seal trace %#x key %q: %v", trace, key, err)
+		}
+		if env.Trace != trace || env.Key != key {
+			t.Fatalf("envelope Trace=%#x Key=%q, want %#x/%q", env.Trace, env.Key, trace, key)
+		}
+		bare, err := wire.Seal(algo, from, inner)
+		if err != nil {
+			t.Fatalf("seal bare: %v", err)
+		}
+		if !bytes.Equal(env.Payload, bare.Payload) {
+			t.Fatal("traced payload differs from bare payload")
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var out wire.Envelope
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got, err := out.Open(algo)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if key != "" {
+			k, ok := got.(wire.Keyed)
+			if !ok {
+				t.Fatalf("keyed envelope opened as %T", got)
+			}
+			if k.Key != key {
+				t.Fatalf("key %q → %q", key, k.Key)
+			}
+			got = k.Msg
+		}
+		if trace != 0 {
+			tr, ok := got.(wire.Traced)
+			if !ok {
+				t.Fatalf("traced envelope opened as %T", got)
+			}
+			if tr.Trace != trace {
+				t.Fatalf("trace %#x → %#x", trace, tr.Trace)
+			}
+			got = tr.Msg
+		} else if _, traced := got.(wire.Traced); traced {
+			t.Fatalf("untraced envelope opened as Traced: %#v", got)
+		}
+		if req, ok := got.(core.Request); !ok || !reflect.DeepEqual(req, inner) {
+			t.Fatalf("inner %#v, want %#v", got, inner)
 		}
 	})
 }

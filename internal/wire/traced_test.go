@@ -1,0 +1,206 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/wire"
+)
+
+func TestTracedRoundTrip(t *testing.T) {
+	algo := register(t, registry.Core)
+	inner := core.Request{Entry: core.QEntry{Node: 2, Seq: 7}, Hops: 1}
+	traces := []uint64{
+		1,
+		(1 << 40) | 1,    // node 0's first request under the reqtrace scheme
+		(17 << 40) | 999, // mid-range node and seq
+		^uint64(0),       // all bits set
+	}
+	for _, trace := range traces {
+		out := sealOpen(t, algo, 2, wire.Traced{Trace: trace, Msg: inner})
+		tr, ok := out.(wire.Traced)
+		if !ok {
+			t.Fatalf("trace %#x: Open returned %T, want wire.Traced", trace, out)
+		}
+		if tr.Trace != trace {
+			t.Errorf("trace round trip: %#x → %#x", trace, tr.Trace)
+		}
+		if !reflect.DeepEqual(tr.Msg, inner) {
+			t.Errorf("trace %#x: inner message %#v, want %#v", trace, tr.Msg, inner)
+		}
+	}
+}
+
+// TestTracedZeroIsUntraced pins the 0 convention: sealing a Traced with
+// the zero ID produces an untraced envelope, and Open returns the bare
+// message — exactly the traffic an untraced build emits.
+func TestTracedZeroIsUntraced(t *testing.T) {
+	algo := register(t, registry.Core)
+	inner := core.Probe{}
+	out := sealOpen(t, algo, 0, wire.Traced{Trace: 0, Msg: inner})
+	if _, traced := out.(wire.Traced); traced {
+		t.Fatalf("zero trace returned a Traced wrapper: %#v", out)
+	}
+	if !reflect.DeepEqual(out, inner) {
+		t.Errorf("message %#v, want %#v", out, inner)
+	}
+}
+
+// TestTracedPayloadMatchesBare pins the compatibility mechanism: a traced
+// envelope's payload is byte-identical to the untraced envelope of the
+// same inner message, so a peer that predates the Trace field decodes
+// traced traffic as ordinary messages.
+func TestTracedPayloadMatchesBare(t *testing.T) {
+	algo := register(t, registry.Core)
+	inner := core.Privilege{Q: core.QList{{Node: 1, Seq: 2}}, Epoch: 3, Fence: 4}
+	bare, err := wire.Seal(algo, 5, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := wire.Seal(algo, 5, wire.Traced{Trace: 0xbeef, Msg: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Trace != 0xbeef {
+		t.Fatalf("envelope Trace = %#x", traced.Trace)
+	}
+	if traced.Kind != inner.Kind() {
+		t.Errorf("envelope Kind = %q, want the inner message's %q", traced.Kind, inner.Kind())
+	}
+	if !bytes.Equal(traced.Payload, bare.Payload) {
+		t.Error("traced payload differs from the bare payload; untraced peers would misdecode")
+	}
+}
+
+// TestTracedMixedVersionInterop simulates both directions of a
+// mixed-version cluster. A pre-trace build receiving a traced envelope:
+// gob-decoding into an envelope struct without the Trace field must
+// succeed (gob skips unknown fields) and Open must yield the bare
+// message. And the reverse: an untraced envelope from an old build opens
+// cleanly on a trace-aware build with Trace zero-valued through gob.
+func TestTracedMixedVersionInterop(t *testing.T) {
+	algo := register(t, registry.Core)
+	env, err := wire.Seal(algo, 1, wire.Traced{Trace: 42, Msg: core.Enquiry{Round: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	// The wire.Envelope of builds before the Trace field existed (the
+	// PR-5 shape: Key present, Trace not).
+	type preTraceEnvelope struct {
+		Version int
+		Algo    string
+		From    int
+		Kind    string
+		Key     string
+		Payload []byte
+	}
+	var old preTraceEnvelope
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("pre-trace decode of a traced envelope: %v", err)
+	}
+	if old.Version != wire.FormatVersion || old.Algo != algo || old.From != 1 {
+		t.Fatalf("pre-trace header %+v", old)
+	}
+	reopened := wire.Envelope{
+		Version: old.Version, Algo: old.Algo, From: old.From,
+		Kind: old.Kind, Key: old.Key, Payload: old.Payload,
+	}
+	msg, err := reopened.Open(algo)
+	if err != nil {
+		t.Fatalf("pre-trace open: %v", err)
+	}
+	if enq, ok := msg.(core.Enquiry); !ok || enq.Round != 9 {
+		t.Errorf("pre-trace peer decoded %#v, want core.Enquiry{Round: 9}", msg)
+	}
+
+	// Reverse direction: an old build's untraced envelope over the wire.
+	oldEnv := preTraceEnvelope{
+		Version: wire.FormatVersion, Algo: algo, From: 3,
+		Kind: old.Kind, Payload: old.Payload,
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&oldEnv); err != nil {
+		t.Fatal(err)
+	}
+	var fresh wire.Envelope
+	if err := gob.NewDecoder(&buf).Decode(&fresh); err != nil {
+		t.Fatalf("trace-aware decode of an untraced envelope: %v", err)
+	}
+	if fresh.Trace != 0 {
+		t.Fatalf("untraced envelope decoded with Trace = %#x", fresh.Trace)
+	}
+	msg, err = fresh.Open(algo)
+	if err != nil {
+		t.Fatalf("trace-aware open of untraced envelope: %v", err)
+	}
+	if _, traced := msg.(wire.Traced); traced {
+		t.Fatalf("untraced envelope opened as Traced: %#v", msg)
+	}
+}
+
+// TestKeyedTracedNesting pins the combined wrapper layering: Keyed
+// outermost, Traced inside, both unwrapped by Seal and rebuilt in the
+// same order by Open.
+func TestKeyedTracedNesting(t *testing.T) {
+	algo := register(t, registry.Core)
+	inner := core.Request{Entry: core.QEntry{Node: 4, Seq: 11}}
+	env, err := wire.Seal(algo, 4, wire.Keyed{Key: "orders", Msg: wire.Traced{Trace: 77, Msg: inner}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Key != "orders" || env.Trace != 77 {
+		t.Fatalf("envelope Key=%q Trace=%#x, want orders/0x4d", env.Key, env.Trace)
+	}
+	out := sealOpen(t, algo, 4, wire.Keyed{Key: "orders", Msg: wire.Traced{Trace: 77, Msg: inner}})
+	k, ok := out.(wire.Keyed)
+	if !ok {
+		t.Fatalf("Open returned %T, want wire.Keyed outermost", out)
+	}
+	tr, ok := k.Msg.(wire.Traced)
+	if !ok {
+		t.Fatalf("Keyed wraps %T, want wire.Traced", k.Msg)
+	}
+	if tr.Trace != 77 || !reflect.DeepEqual(tr.Msg, inner) {
+		t.Errorf("inner Traced %#v, want trace 77 over %#v", tr, inner)
+	}
+}
+
+func TestTracedSealErrors(t *testing.T) {
+	algo := register(t, registry.Core)
+	if _, err := wire.Seal(algo, 0, wire.Traced{Trace: 1}); err == nil {
+		t.Error("Seal accepted a Traced with a nil inner message")
+	}
+	nested := wire.Traced{Trace: 1, Msg: wire.Traced{Trace: 2, Msg: core.Probe{}}}
+	if _, err := wire.Seal(algo, 0, nested); err == nil {
+		t.Error("Seal accepted a nested Traced")
+	}
+	inverted := wire.Traced{Trace: 1, Msg: wire.Keyed{Key: "k", Msg: core.Probe{}}}
+	if _, err := wire.Seal(algo, 0, inverted); err == nil {
+		t.Error("Seal accepted Keyed inside Traced (the inverted nesting)")
+	}
+}
+
+// TestTracedDelegation pins that Kind and SizeUnits pass through to the
+// inner message, so counting middleware and kind-targeted fault rules
+// observe traced traffic like bare traffic.
+func TestTracedDelegation(t *testing.T) {
+	msg := core.Privilege{Q: core.QList{{Node: 1, Seq: 1}}, Granted: []uint64{1}}
+	tr := wire.Traced{Trace: 9, Msg: msg}
+	if tr.Kind() != msg.Kind() {
+		t.Errorf("Kind %q, want %q", tr.Kind(), msg.Kind())
+	}
+	if tr.SizeUnits() != msg.SizeUnits() {
+		t.Errorf("SizeUnits %d, want %d", tr.SizeUnits(), msg.SizeUnits())
+	}
+	if u := (wire.Traced{Trace: 9, Msg: core.Probe{}}).SizeUnits(); u != 1 {
+		t.Errorf("unsized inner message SizeUnits = %d, want 1", u)
+	}
+}

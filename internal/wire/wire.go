@@ -52,6 +52,12 @@ type Envelope struct {
 	// interpreted, only matched — so empty-prefix, very long, and
 	// non-UTF-8 names all round-trip.
 	Key string
+	// Trace is the end-to-end trace ID of the request this message serves
+	// (reqtrace.ID as a raw uint64), or 0 for untraced traffic. It rides
+	// version 2 the same way Key does: gob omits the zero value and skips
+	// the unknown field, so traced and untraced builds interoperate in
+	// both directions with no version bump.
+	Trace uint64
 	// Payload is the gob encoding of a box wrapping the dme.Message.
 	Payload []byte
 }
@@ -78,6 +84,33 @@ func (k Keyed) Kind() string { return k.Msg.Kind() }
 // layer applies to bare messages).
 func (k Keyed) SizeUnits() int {
 	if s, ok := k.Msg.(dme.Sized); ok {
+		return s.SizeUnits()
+	}
+	return 1
+}
+
+// Traced tags a protocol message with the end-to-end trace ID of the
+// request it serves, propagating trace context across the wire: Seal
+// unwraps a Traced into the envelope's Trace field (the payload carries
+// only the inner message, so traced and untraced payload encodings are
+// byte-identical), and Open re-wraps on the way in. In a multiplexed
+// stack the Keyed wrapper is outermost — Keyed{Key, Traced{Trace, Msg}}
+// — matching the layering of the transport stack (the key demultiplexer
+// sits above the tracing runtime). Kind and SizeUnits delegate to the
+// inner message, so accounting and fault-injection layers observe traced
+// traffic identically to untraced traffic.
+type Traced struct {
+	Trace uint64
+	Msg   dme.Message
+}
+
+// Kind implements dme.Message by delegating to the inner message.
+func (t Traced) Kind() string { return t.Msg.Kind() }
+
+// SizeUnits implements dme.Sized: the inner message's payload volume, or
+// 1 when the inner message is unsized.
+func (t Traced) SizeUnits() int {
+	if s, ok := t.Msg.(dme.Sized); ok {
 		return s.SizeUnits()
 	}
 	return 1
@@ -180,10 +213,12 @@ func Algorithms() []string {
 
 // Seal wraps msg in an envelope tagged with the given algorithm name.
 // The algorithm must have been registered first. A Keyed message is
-// unwrapped into the envelope's Key field: the payload carries only the
-// inner protocol message, so a keyed envelope's payload encoding is
-// byte-identical to a key-less one and a peer that predates keys decodes
-// it as plain traffic. Nested Keyed wrappers are a programming error.
+// unwrapped into the envelope's Key field and a Traced message into its
+// Trace field (nesting order Keyed outside Traced): the payload carries
+// only the inner protocol message, so a keyed or traced envelope's
+// payload encoding is byte-identical to a plain one and a peer that
+// predates either field decodes it as plain traffic. Nested wrappers of
+// the same kind, or a Keyed inside a Traced, are programming errors.
 func Seal(algo string, from int, msg dme.Message) (Envelope, error) {
 	if !Registered(algo) {
 		return Envelope{}, fmt.Errorf("wire: algorithm %q is not registered", algo)
@@ -199,6 +234,20 @@ func Seal(algo string, from int, msg dme.Message) (Envelope, error) {
 			return Envelope{}, fmt.Errorf("wire: nested Keyed message for key %q", key)
 		}
 	}
+	var trace uint64
+	if t, ok := msg.(Traced); ok {
+		trace = t.Trace
+		msg = t.Msg
+		if msg == nil {
+			return Envelope{}, fmt.Errorf("wire: Traced message (trace %#x) has a nil inner message", trace)
+		}
+		switch msg.(type) {
+		case Traced:
+			return Envelope{}, fmt.Errorf("wire: nested Traced message (trace %#x)", trace)
+		case Keyed:
+			return Envelope{}, fmt.Errorf("wire: Keyed inside Traced (trace %#x): nest Traced inside Keyed", trace)
+		}
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&box{M: msg}); err != nil {
 		return Envelope{}, fmt.Errorf("wire: encode %s %q payload: %w", algo, msg.Kind(), err)
@@ -209,6 +258,7 @@ func Seal(algo string, from int, msg dme.Message) (Envelope, error) {
 		From:    from,
 		Kind:    msg.Kind(),
 		Key:     key,
+		Trace:   trace,
 		Payload: buf.Bytes(),
 	}, nil
 }
@@ -226,9 +276,12 @@ func Seal(algo string, from int, msg dme.Message) (Envelope, error) {
 // that version may define differently) is ever gob-decoded, rather than
 // also failing decode and being double-reported.
 //
-// A keyed envelope (Key != "") returns the message wrapped in Keyed, so
-// a demultiplexer above the transport can route it; a legacy key-less
-// envelope returns the bare message, exactly as before keys existed.
+// A traced envelope (Trace != 0) returns the message wrapped in Traced,
+// and a keyed envelope (Key != "") wraps that in Keyed — the same
+// nesting Seal accepts — so a demultiplexer above the transport can
+// route it and the runtime below can recover the trace context; a legacy
+// plain envelope returns the bare message, exactly as before either
+// field existed.
 func (e Envelope) Open(localAlgo string) (dme.Message, error) {
 	if e.Version != FormatVersion {
 		return nil, &MismatchError{
@@ -256,8 +309,12 @@ func (e Envelope) Open(localAlgo string) (dme.Message, error) {
 		return nil, &DecodeError{From: e.From, Algo: e.Algo, Kind: e.Kind,
 			Err: fmt.Errorf("empty payload")}
 	}
-	if e.Key != "" {
-		return Keyed{Key: e.Key, Msg: b.M}, nil
+	m := b.M
+	if e.Trace != 0 {
+		m = Traced{Trace: e.Trace, Msg: m}
 	}
-	return b.M, nil
+	if e.Key != "" {
+		m = Keyed{Key: e.Key, Msg: m}
+	}
+	return m, nil
 }
