@@ -4,12 +4,14 @@
 GO    ?= go
 DATE  ?= $(shell date +%F)
 # The benchmark-trajectory set: the end-to-end simulator throughput
-# benchmark, the event-kernel micro-benchmarks, and the multi-key lock
-# service's aggregate-throughput-vs-keys point. Override BENCH to run
-# more (e.g. `make bench BENCH=.` for every experiment benchmark).
-BENCH ?= SimulatorThroughput|ScheduleStep|PostStep|CancelHeavy|ManagerMultiKey
+# benchmark, the event-kernel micro-benchmarks, the multi-key lock
+# service's aggregate-throughput-vs-keys points (in-memory and over
+# loopback TCP), and the wire codec encode+decode micro-benchmarks.
+# Override BENCH to run more (e.g. `make bench BENCH=.` for every
+# experiment benchmark).
+BENCH ?= SimulatorThroughput|ScheduleStep|PostStep|CancelHeavy|ManagerMultiKey|ManagerTCPMultiKey|SealOpen
 
-.PHONY: build test race bench bench-full
+.PHONY: build test race bench bench-full fuzz
 
 build:
 	$(GO) build ./...
@@ -24,7 +26,7 @@ race:
 # BENCH_$(DATE).json. Commit the file when the numbers move: the dated
 # series is the performance history of the simulation engine.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . ./internal/sim ./internal/live | tee bench_raw.txt
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . ./internal/sim ./internal/live ./internal/wire | tee bench_raw.txt
 	$(GO) run ./cmd/benchjson -date $(DATE) -o BENCH_$(DATE).json < bench_raw.txt
 	@rm -f bench_raw.txt
 	@echo wrote BENCH_$(DATE).json
@@ -33,3 +35,9 @@ bench:
 # wrappers in bench_test.go); expect several minutes.
 bench-full:
 	$(MAKE) bench BENCH=.
+
+# fuzz runs the codec differential fuzzer longer than CI's 30-second
+# smoke; override FUZZTIME for a real soak.
+FUZZTIME ?= 2m
+fuzz:
+	$(GO) test -run '^$$' -fuzz=FuzzCodecEquivalence -fuzztime=$(FUZZTIME) ./internal/wire

@@ -81,6 +81,7 @@ type nodeConfig struct {
 	addrs     map[dme.NodeID]string
 	n         int
 	algo      string
+	codec     string
 	keys      int
 	count     int
 	hold      time.Duration
@@ -105,6 +106,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		id        = fs.Int("id", 0, "this node's id (index into -peers)")
 		peers     = fs.String("peers", "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002", "comma-separated peer addresses, one per node id")
 		algoFlag  = fs.String("algo", "core", "algorithm to run (see -algo list); every peer must match")
+		codec     = fs.String("codec", "auto", "wire codec to offer in connection handshakes: auto (binary fast path with gob fallback), binary (pinned), or gob (pinned fallback); peers negotiate per connection, so mixed settings interoperate")
 		keys      = fs.Int("keys", 1, "number of named lock keys to serve (1: the classic single mutex; >1: the sharded multi-key service, every peer must match)")
 		count     = fs.Int("count", 10, "critical sections to execute (0: serve only)")
 		hold      = fs.Duration("hold", 50*time.Millisecond, "time to hold the mutex per acquisition")
@@ -140,6 +142,11 @@ func parseFlags(args []string) (*nodeConfig, error) {
 	if *keys < 1 {
 		return nil, fmt.Errorf("-keys %d: need at least one lock key", *keys)
 	}
+	switch *codec {
+	case "", "auto", "binary", "gob":
+	default:
+		return nil, fmt.Errorf("-codec %q: want auto, binary, or gob", *codec)
+	}
 	addrs := make(map[dme.NodeID]string, n)
 	for i, a := range addrList {
 		addrs[i] = strings.TrimSpace(a)
@@ -147,7 +154,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 
 	return &nodeConfig{
 		id: *id, addrs: addrs, n: n,
-		algo: entry.Name, keys: *keys,
+		algo: entry.Name, codec: *codec, keys: *keys,
 		count: *count, hold: *hold, think: *think, linger: *linger,
 		treq: *treq, tfwd: *tfwd, monitor: *monitor, recovery: *recovery,
 		httpAddr: *httpAddr, verbose: *verbose, chaos: *chaos,
@@ -224,7 +231,8 @@ func run(args []string) error {
 	}
 
 	tcp, err := transport.NewTCPOpt(cfg.id, cfg.addrs, transport.TCPOptions{
-		Algo: cfg.algo,
+		Algo:  cfg.algo,
+		Codec: cfg.codec,
 		OnWireError: func(err error) {
 			fmt.Fprintln(os.Stderr, "mutexnode:", err)
 		},

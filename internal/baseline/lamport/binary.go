@@ -1,0 +1,53 @@
+package lamport
+
+import "tokenarbiter/internal/binenc"
+
+// Binary wire layouts for internal/wire's binary codec. Field order is
+// wire protocol — keep AppendWire and UnmarshalWire in lockstep.
+
+func appendStamp(b []byte, s Stamp) []byte {
+	b = binenc.AppendUvarint(b, s.TS)
+	return binenc.AppendInt(b, s.Node)
+}
+
+func readStamp(r *binenc.Reader) Stamp {
+	return Stamp{TS: r.Uvarint(), Node: r.Int()}
+}
+
+// AppendWire implements wire.WireAppender.
+func (m Request) AppendWire(b []byte) ([]byte, error) {
+	return appendStamp(b, m.S), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Request) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.S = readStamp(&r)
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (m Ack) AppendWire(b []byte) ([]byte, error) {
+	return binenc.AppendUvarint(b, m.TS), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Ack) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.TS = r.Uvarint()
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (m Release) AppendWire(b []byte) ([]byte, error) {
+	b = appendStamp(b, m.S)
+	return binenc.AppendUvarint(b, m.TS), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Release) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.S = readStamp(&r)
+	m.TS = r.Uvarint()
+	return r.Close()
+}

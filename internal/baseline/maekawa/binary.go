@@ -1,0 +1,75 @@
+package maekawa
+
+import "tokenarbiter/internal/binenc"
+
+// Binary wire layouts for internal/wire's binary codec. Field order is
+// wire protocol — keep AppendWire and UnmarshalWire in lockstep.
+
+func appendStamp(b []byte, s Stamp) []byte {
+	b = binenc.AppendUvarint(b, s.TS)
+	return binenc.AppendInt(b, s.Node)
+}
+
+func readStamp(r *binenc.Reader) Stamp {
+	return Stamp{TS: r.Uvarint(), Node: r.Int()}
+}
+
+// AppendWire implements wire.WireAppender.
+func (m Request) AppendWire(b []byte) ([]byte, error) {
+	return appendStamp(b, m.S), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Request) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.S = readStamp(&r)
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (Grant) AppendWire(b []byte) ([]byte, error) { return b, nil }
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (*Grant) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (Release) AppendWire(b []byte) ([]byte, error) { return b, nil }
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (*Release) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (m Inquire) AppendWire(b []byte) ([]byte, error) {
+	return appendStamp(b, m.S), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Inquire) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.S = readStamp(&r)
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (Relinquish) AppendWire(b []byte) ([]byte, error) { return b, nil }
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (*Relinquish) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (Failed) AppendWire(b []byte) ([]byte, error) { return b, nil }
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (*Failed) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	return r.Close()
+}

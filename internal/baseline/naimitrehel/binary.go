@@ -1,0 +1,26 @@
+package naimitrehel
+
+import "tokenarbiter/internal/binenc"
+
+// Binary wire layouts for internal/wire's binary codec.
+
+// AppendWire implements wire.WireAppender.
+func (m Request) AppendWire(b []byte) ([]byte, error) {
+	return binenc.AppendInt(b, m.Origin), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Request) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.Origin = r.Int()
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (Token) AppendWire(b []byte) ([]byte, error) { return b, nil }
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (*Token) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	return r.Close()
+}

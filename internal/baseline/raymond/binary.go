@@ -1,0 +1,25 @@
+package raymond
+
+import "tokenarbiter/internal/binenc"
+
+// Binary wire layouts for internal/wire's binary codec. Both messages
+// are empty: the payload is zero bytes, and a decoder rejects trailing
+// garbage.
+
+// AppendWire implements wire.WireAppender.
+func (Request) AppendWire(b []byte) ([]byte, error) { return b, nil }
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (*Request) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (Token) AppendWire(b []byte) ([]byte, error) { return b, nil }
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (*Token) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	return r.Close()
+}

@@ -1,0 +1,29 @@
+package ring
+
+import "tokenarbiter/internal/binenc"
+
+// Binary wire layouts for internal/wire's binary codec.
+
+// AppendWire implements wire.WireAppender.
+func (m Token) AppendWire(b []byte) ([]byte, error) {
+	return binenc.AppendInt(b, m.Idle), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Token) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.Idle = r.Int()
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (m Wake) AppendWire(b []byte) ([]byte, error) {
+	return binenc.AppendInt(b, m.Hops), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Wake) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.Hops = r.Int()
+	return r.Close()
+}

@@ -1,0 +1,28 @@
+package singhal
+
+import "tokenarbiter/internal/binenc"
+
+// Binary wire layouts for internal/wire's binary codec.
+
+// AppendWire implements wire.WireAppender.
+func (m Request) AppendWire(b []byte) ([]byte, error) {
+	b = binenc.AppendUvarint(b, m.TS)
+	return binenc.AppendInt(b, m.Node), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Request) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.TS = r.Uvarint()
+	m.Node = r.Int()
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (Reply) AppendWire(b []byte) ([]byte, error) { return b, nil }
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (*Reply) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	return r.Close()
+}

@@ -1,0 +1,35 @@
+package suzukikasami
+
+import "tokenarbiter/internal/binenc"
+
+// Binary wire layouts for internal/wire's binary codec. The token's LN
+// table and queue decode to nil when empty so a binary round-trip is
+// value-identical to a gob round-trip.
+
+// AppendWire implements wire.WireAppender.
+func (m Request) AppendWire(b []byte) ([]byte, error) {
+	b = binenc.AppendInt(b, m.Node)
+	return binenc.AppendUvarint(b, m.N), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Request) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.Node = r.Int()
+	m.N = r.Uvarint()
+	return r.Close()
+}
+
+// AppendWire implements wire.WireAppender.
+func (m Token) AppendWire(b []byte) ([]byte, error) {
+	b = binenc.AppendUvarints(b, m.LN)
+	return binenc.AppendInts(b, m.Queue), nil
+}
+
+// UnmarshalWire implements wire.WireUnmarshaler.
+func (m *Token) UnmarshalWire(data []byte) error {
+	r := binenc.NewReader(data)
+	m.LN = r.Uvarints()
+	m.Queue = r.Ints()
+	return r.Close()
+}

@@ -38,8 +38,7 @@ func (c *blackoutCtl) drops(msg dme.Message) bool {
 	if v == nil {
 		return false
 	}
-	k, ok := msg.(wire.Keyed)
-	if ok && k.Key == *v {
+	if _, key := wire.SplitKey(msg); key == *v {
 		c.dropped.Add(1)
 		return true
 	}

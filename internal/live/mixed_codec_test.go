@@ -1,0 +1,114 @@
+package live_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/transport"
+)
+
+// TestMixedCodecCluster is the codec-interop smoke: a 3-node loopback
+// TCP cluster where nodes 0 and 1 negotiate freely (auto: binary
+// preferred) and node 2 is pinned to the gob fallback, emulating an
+// older build that cannot speak binary. Per-connection negotiation must
+// give the 0↔1 pair the binary fast path while every connection
+// touching node 2 falls back to gob — and mutual exclusion must hold
+// across the mix, since codec choice is a per-link framing detail the
+// protocol never sees.
+func TestMixedCodecCluster(t *testing.T) {
+	const (
+		n      = 3
+		rounds = 25
+	)
+	codecs := []string{"auto", "auto", "gob"}
+	trs := make([]*transport.TCPTransport, n)
+	addrs := make(map[dme.NodeID]string, n)
+	for i := 0; i < n; i++ {
+		tr, err := transport.NewTCPOpt(i, map[dme.NodeID]string{i: "127.0.0.1:0"},
+			transport.TCPOptions{Algo: "core", Codec: codecs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+		addrs[i] = tr.Addr().String()
+	}
+	mgrs := make([]*live.Manager, n)
+	for i := 0; i < n; i++ {
+		trs[i].SetPeers(addrs)
+		m, err := live.NewManager(live.ManagerConfig{
+			ID: i, N: n, Transport: trs[i],
+			Factory: registry.CoreLiveFactory(core.Options{
+				Treq: 0.0005, Tfwd: 0.0005, RetransmitTimeout: 0.5,
+			}),
+			Algo: "core",
+			Seed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs[i] = m
+		defer m.Close() //nolint:errcheck
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var (
+		inCS atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for i, m := range mgrs {
+		wg.Add(1)
+		go func(i int, m *live.Manager) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := m.Lock(ctx, "orders"); err != nil {
+					t.Errorf("node %d lock: %v", i, err)
+					return
+				}
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("%d concurrent critical-section holders", got)
+				}
+				time.Sleep(50 * time.Microsecond)
+				inCS.Add(-1)
+				m.Unlock("orders")
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	// Every outbound connection from the gob-pinned node is gob; every
+	// connection between the two auto nodes negotiated binary; and the
+	// auto nodes' links TO the pinned node fell back to gob.
+	for i, tr := range trs {
+		for peer, codec := range tr.ConnCodecs() {
+			want := "binary"
+			if i == 2 || peer == 2 {
+				want = "gob"
+			}
+			if codec != want {
+				t.Errorf("node %d → node %d negotiated %q, want %q", i, peer, codec, want)
+			}
+		}
+	}
+	// The workload is all-to-all (requests flow through the arbiter, the
+	// token visits every requester), so the links that prove the matrix —
+	// auto↔auto and auto↔pinned — must actually exist.
+	if c := trs[0].ConnCodecs(); c[1] != "binary" || c[2] != "gob" {
+		t.Errorf("node 0 connection codecs %v, want binary to 1 and gob to 2", c)
+	}
+	if c := trs[2].ConnCodecs(); len(c) == 0 {
+		t.Error("gob-pinned node never dialed a peer")
+	}
+	for i, tr := range trs {
+		if mm, de := tr.WireErrors(); mm != 0 || de != 0 {
+			t.Errorf("node %d wire errors: %d mismatches, %d decode failures", i, mm, de)
+		}
+	}
+}

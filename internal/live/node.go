@@ -269,11 +269,9 @@ func NewNode(cfg Config) (*Node, error) {
 		frec:    cfg.FlightRec,
 	}
 	n.tr.SetHandler(func(from dme.NodeID, msg dme.Message) {
-		// Trace context rides a wire.Traced wrapper; the protocol state
+		// Trace context rides a wire wrapper; the protocol state
 		// machine sees only the bare message, traced or not.
-		if t, ok := msg.(wire.Traced); ok {
-			msg = t.Msg
-		}
+		msg, _ = wire.SplitTrace(msg)
 		n.post(func() { n.inner.OnMessage(n, from, msg) })
 	})
 	n.loopWG.Add(1)
@@ -549,7 +547,7 @@ func (n *Node) Send(from, to dme.NodeID, msg dme.Message) {
 	// arbiter protocol's types).
 	if n.tracer != nil || n.frec != nil {
 		if node, seq, ok := core.RequestID(msg); ok {
-			msg = wire.Traced{Trace: uint64(reqtrace.MakeID(node, seq)), Msg: msg}
+			msg = wire.Wrap(msg, wire.WithTrace(uint64(reqtrace.MakeID(node, seq))))
 		}
 	}
 	// Best-effort: transport errors are equivalent to message loss,

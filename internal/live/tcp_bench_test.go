@@ -1,0 +1,109 @@
+package live_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/live"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/transport"
+)
+
+// benchTCPCluster assembles a 3-node loopback-TCP cluster of Managers.
+// The protocol phases are set to 0.2 ms so the wire path — envelope
+// encoding and the syscall pattern — dominates the per-CS cost instead
+// of the arbiter's collection phase; contrast with benchManagerCluster,
+// whose in-memory transport isolates protocol-level costs.
+func benchTCPCluster(b *testing.B, n int, opts transport.TCPOptions) []*live.Manager {
+	b.Helper()
+	trs := make([]*transport.TCPTransport, n)
+	addrs := make(map[dme.NodeID]string, n)
+	for i := 0; i < n; i++ {
+		tr, err := transport.NewTCPOpt(i, map[dme.NodeID]string{i: "127.0.0.1:0"}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trs[i] = tr
+		addrs[i] = tr.Addr().String()
+	}
+	mgrs := make([]*live.Manager, n)
+	for i := 0; i < n; i++ {
+		trs[i].SetPeers(addrs)
+		m, err := live.NewManager(live.ManagerConfig{
+			ID: i, N: n, Transport: trs[i],
+			Factory: registry.CoreLiveFactory(core.Options{Treq: 0.0002, Tfwd: 0.0002, RetransmitTimeout: 0.5}),
+			Algo:    "core",
+			Seed:    uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgrs[i] = m
+	}
+	b.Cleanup(func() {
+		for _, m := range mgrs {
+			_ = m.Close()
+		}
+	})
+	return mgrs
+}
+
+// BenchmarkManagerTCPMultiKey is the live wire-path throughput point:
+// b.N Lock/Unlock cycles with zero hold time driven by a worker pool
+// over 1 vs 8 lock keys on a 3-node loopback-TCP cluster. With no hold
+// and sub-millisecond protocol phases, throughput is gated by how fast
+// envelopes cross the real wire — serialization cost and writes per
+// syscall — which is exactly what the wire codec and the transport's
+// write coalescing change.
+func BenchmarkManagerTCPMultiKey(b *testing.B) {
+	const (
+		nodes   = 3
+		workers = 8
+	)
+	for _, keys := range []int{1, 8} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			mgrs := benchTCPCluster(b, nodes, transport.TCPOptions{})
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+
+			keyNames := make([]string, keys)
+			for k := range keyNames {
+				keyNames[k] = fmt.Sprintf("key-%d", k)
+				if err := mgrs[0].Lock(ctx, keyNames[k]); err != nil {
+					b.Fatal(err)
+				}
+				mgrs[0].Unlock(keyNames[k])
+			}
+
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					m := mgrs[w%nodes]
+					key := keyNames[w%keys]
+					for remaining.Add(-1) >= 0 {
+						if err := m.Lock(ctx, key); err != nil {
+							b.Error(err)
+							return
+						}
+						m.Unlock(key)
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "cs/sec")
+		})
+	}
+}

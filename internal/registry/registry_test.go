@@ -103,6 +103,31 @@ func TestRegisterWireAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestEveryAlgorithmIsBinaryCapable pins that each catalog entry's
+// message set carries complete binary wire layouts, so the binary fast
+// path — not just the gob fallback — is available for every algorithm a
+// user can select. A new message type added without AppendWire /
+// UnmarshalWire methods silently downgrades its algorithm to gob-only;
+// this test turns that downgrade into a failure.
+func TestEveryAlgorithmIsBinaryCapable(t *testing.T) {
+	for _, e := range registry.Entries() {
+		if _, err := registry.RegisterWire(e.Name); err != nil {
+			t.Fatalf("RegisterWire(%s): %v", e.Name, err)
+		}
+		if len(e.Messages) == 0 {
+			t.Errorf("%s registers no messages", e.Name)
+		}
+		if !wire.BinaryCapable(e.Name) {
+			t.Errorf("%s is not binary-capable: a registered message lacks AppendWire/UnmarshalWire", e.Name)
+		}
+		for _, m := range e.Messages {
+			if _, ok := m.(wire.WireAppender); !ok {
+				t.Errorf("%s message %T lacks AppendWire", e.Name, m)
+			}
+		}
+	}
+}
+
 // TestLiveFactoriesBuildEveryNode builds a 5-node cluster's state
 // machines through each algorithm's live factory and checks identities —
 // the invariant the live runtime depends on (the factory must hand node

@@ -44,10 +44,11 @@ func TestRecorderCaptureRoundTrip(t *testing.T) {
 	base := &loopTransport{self: 1}
 	tr := rec.Middleware()(base)
 	tr.SetHandler(func(from dme.NodeID, msg dme.Message) {})
-	msg := wire.Keyed{Key: "orders", Msg: wire.Traced{
-		Trace: uint64(MakeID(1, 1)),
-		Msg:   core.Request{Entry: core.QEntry{Node: 1, Seq: 1}},
-	}}
+	msg := wire.Wrap(
+		core.Request{Entry: core.QEntry{Node: 1, Seq: 1}},
+		wire.WithKey("orders"),
+		wire.WithTrace(uint64(MakeID(1, 1))),
+	)
 	if err := tr.Send(0, msg); err != nil {
 		t.Fatal(err)
 	}

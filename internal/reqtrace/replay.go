@@ -206,14 +206,10 @@ func replayKey(hdr CaptureHeader, key string, recs []Record,
 				res.OpenErrors++
 				continue
 			}
-			// Unwrap the transport-layer wrappers the way the live stack
-			// does: KeyMux strips Keyed, the node strips Traced.
-			if k, ok := msg.(wire.Keyed); ok {
-				msg = k.Msg
-			}
-			if t, ok := msg.(wire.Traced); ok {
-				msg = t.Msg
-			}
+			// Strip the transport-layer wrappers the way the live stack
+			// does (KeyMux strips the key, the node the trace); replay
+			// drives the state machines with the bare message.
+			msg, _, _ = wire.Unwrap(msg)
 			s.PostAt(rec.T, func() { nodes[rec.Node].OnMessage(ctx, rec.Peer, msg) })
 		case EvGrant:
 			recordSpan(rec, PhaseGrant)

@@ -106,11 +106,7 @@ func (m *KeyMux) Bind(key string) (Transport, error) {
 // dispatch is the base transport's handler: route keyed messages to
 // their key's endpoint, key-less messages to the "" endpoint.
 func (m *KeyMux) dispatch(from dme.NodeID, msg dme.Message) {
-	key := ""
-	if k, ok := msg.(wire.Keyed); ok {
-		key = k.Key
-		msg = k.Msg
-	}
+	msg, key := wire.SplitKey(msg)
 	m.mu.RLock()
 	ep := m.keys[key]
 	unknown := m.unknown
@@ -184,7 +180,7 @@ func (e *keyEndpoint) Send(to dme.NodeID, msg dme.Message) error {
 	if e.key == "" {
 		return e.mux.base.Send(to, msg)
 	}
-	return e.mux.base.Send(to, wire.Keyed{Key: e.key, Msg: msg})
+	return e.mux.base.Send(to, wire.Wrap(msg, wire.WithKey(e.key)))
 }
 
 // SetHandler implements Transport and flushes any messages that arrived

@@ -1,7 +1,8 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -23,8 +24,22 @@ type TCPOptions struct {
 	// algorithm. NewTCPOpt registers the algorithm's wire types itself,
 	// and rejects names the registry does not know.
 	Algo string
-	// DialTimeout bounds each outbound connection attempt; zero means
-	// 2 s.
+	// Codec selects the wire codecs this endpoint offers in connection
+	// handshakes: "" or "auto" offers the binary fast path (when the
+	// algorithm has binary layouts) with gob as fallback; "binary" or
+	// "gob" pins a single codec. Each connection negotiates the best
+	// codec both ends offer, so a pinned-gob node interoperates with
+	// auto peers — every connection to or from it just runs gob.
+	Codec string
+	// FlushDelay is how long a written envelope may wait for more
+	// traffic to share its syscall. Zero means senders flush inline —
+	// batching happens only when senders contend for the same
+	// connection, and an isolated message pays no added latency. A
+	// positive delay hands flushing to a per-connection goroutine that
+	// waits out the delay, trading latency for fewer, larger writes.
+	FlushDelay time.Duration
+	// DialTimeout bounds each outbound connection attempt, including
+	// the codec handshake; zero means 2 s.
 	DialTimeout time.Duration
 	// OnWireError, when non-nil, receives every inbound envelope error:
 	// *wire.MismatchError when a peer runs a different algorithm or wire
@@ -34,18 +49,29 @@ type TCPOptions struct {
 	OnWireError func(error)
 }
 
-// TCPTransport moves protocol messages between cluster nodes over TCP
-// with gob framing. One endpoint per process: it listens on its own
-// address and dials peers lazily, caching one outbound connection per
-// peer and redialling once on failure. Delivery is best-effort — if a
-// peer is unreachable the message is dropped, which the arbiter protocol
-// tolerates by design (§6 of the paper).
+// TCPTransport moves protocol messages between cluster nodes over TCP.
+// One endpoint per process: it listens on its own address and dials
+// peers lazily, caching one outbound connection per peer and redialling
+// once on failure. Each connection negotiates its wire codec in a
+// handshake at setup (see package wire): the binary fast path when both
+// ends offer it, the gob fallback otherwise, and inbound connections
+// from builds that predate the handshake are served as implicit gob
+// streams. Outbound envelopes are buffered and coalesced: with a
+// timed FlushDelay a per-connection write goroutine batches a burst of
+// messages to one peer — the paper's T_req batch dispatch is exactly
+// such a burst — into few syscalls; with the default zero delay
+// senders flush inline and contending senders share flushes. Delivery is best-effort — if a peer is unreachable
+// the message is dropped, which the arbiter protocol tolerates by
+// design (§6 of the paper).
 type TCPTransport struct {
-	self  dme.NodeID
-	algo  string
-	onErr func(error)
-	addrs map[dme.NodeID]string
-	ln    net.Listener
+	self   dme.NodeID
+	algo   string
+	codecs []wire.Codec
+	onErr  func(error)
+	addrs  map[dme.NodeID]string
+	ln     net.Listener
+
+	flushDelay time.Duration
 
 	hmu     sync.RWMutex
 	handler Handler
@@ -60,10 +86,16 @@ type TCPTransport struct {
 	quit   chan struct{}
 	closed sync.Once
 
-	// Wire-byte totals (gob frames incl. the per-connection type
-	// preamble), kept always — the cost is one atomic add per I/O call.
+	// Wire-byte totals (framed bytes incl. handshakes and, on gob
+	// connections, the per-connection type preamble), kept always — the
+	// cost is one atomic add per I/O call.
 	bytesOut atomic.Uint64
 	bytesIn  atomic.Uint64
+
+	// Write-coalescing totals: envelopes encoded vs. syscall-level
+	// flushes; frames/flushes is the mean batch depth.
+	frames  atomic.Uint64
+	flushes atomic.Uint64
 
 	// Inbound envelope rejections, by class.
 	wireMismatches atomic.Uint64
@@ -91,6 +123,27 @@ func (t *TCPTransport) WireBytes() (sent, received uint64) {
 	return t.bytesOut.Load(), t.bytesIn.Load()
 }
 
+// CoalesceStats reports how many envelopes were encoded onto outbound
+// connections and how many buffer flushes (write syscalls) carried them;
+// frames/flushes is the mean number of envelopes per syscall.
+func (t *TCPTransport) CoalesceStats() (frames, flushes uint64) {
+	return t.frames.Load(), t.flushes.Load()
+}
+
+// ConnCodecs reports the negotiated codec name of each live outbound
+// connection, keyed by peer id — introspection for tests and operators
+// verifying what a mixed-codec cluster actually negotiated. Connections
+// are dialed lazily, so a peer this node has never sent to is absent.
+func (t *TCPTransport) ConnCodecs() map[dme.NodeID]string {
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	m := make(map[dme.NodeID]string, len(t.conns))
+	for id, oc := range t.conns {
+		m[id] = oc.codec
+	}
+	return m
+}
+
 // countingWriter and countingReader tap a connection's byte flow into an
 // atomic total.
 type countingWriter struct {
@@ -115,10 +168,96 @@ func (cr countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// outConn is one established outbound connection: the negotiated
+// encoder writing into a buffered writer. With a positive FlushDelay
+// the buffer is drained by a dedicated flush goroutine (see
+// TCPTransport.flusher); with the zero delay senders flush inline
+// (see send). mu serializes encoder and buffer access between senders
+// and the flusher.
 type outConn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	mu  sync.Mutex
+	c     net.Conn
+	codec string
+
+	// inline is FlushDelay == 0: senders flush their own frames rather
+	// than waking a flusher goroutine, and no flusher is started.
+	inline  bool
+	flushes *atomic.Uint64
+
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   wire.Encoder
+	dirty bool
+	dead  bool
+
+	kick chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// send encodes one envelope into the connection's buffer and gets it
+// flushed. With a timed FlushDelay the actual syscall happens on the
+// flush goroutine, so a burst of sends coalesces while the previous
+// flush is still in flight. With the zero delay the sender flushes
+// inline instead: the token handoff is a strictly serialized chain of
+// single envelopes, and handing the syscall to another goroutine would
+// add a park/unpark to every hop for coalescing that never happens.
+// Dropping the lock between encode and flush keeps the batching that
+// does happen under contention — a sender that arrives while another
+// holds the flush finds dirty already cleared and skips its own.
+func (oc *outConn) send(from dme.NodeID, msg dme.Message) error {
+	oc.mu.Lock()
+	if oc.dead {
+		oc.mu.Unlock()
+		return net.ErrClosed
+	}
+	err := oc.enc.Encode(int(from), msg)
+	if err == nil {
+		oc.dirty = true
+	}
+	oc.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if !oc.inline {
+		select {
+		case oc.kick <- struct{}{}:
+		default:
+		}
+		return nil
+	}
+	oc.mu.Lock()
+	if oc.dirty {
+		oc.flushes.Add(1)
+		err = oc.bw.Flush()
+		oc.dirty = false
+	}
+	oc.mu.Unlock()
+	return err
+}
+
+// closeFlushTimeout bounds the final drain in close: long enough for a
+// healthy peer to take the last buffered envelopes, short enough that a
+// stalled peer cannot wedge teardown.
+const closeFlushTimeout = 250 * time.Millisecond
+
+// close tears the connection down exactly once, stopping its flusher.
+// It drains what is already buffered before closing: Close is not a
+// promise of delivery, but losing an encoded envelope for want of one
+// write would be gratuitous. The write deadline set first bounds both an
+// in-flight flush (so the mutex is acquirable) and the final one.
+func (oc *outConn) close() {
+	oc.once.Do(func() {
+		_ = oc.c.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+		close(oc.done)
+		oc.mu.Lock()
+		if oc.dirty {
+			_ = oc.bw.Flush()
+			oc.dirty = false
+		}
+		oc.dead = true
+		oc.mu.Unlock()
+		_ = oc.c.Close()
+	})
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -132,13 +271,17 @@ func NewTCP(self dme.NodeID, addrs map[dme.NodeID]string) (*TCPTransport, error)
 
 // NewTCPOpt is NewTCP with explicit options; use it to carry any
 // registered algorithm (the -algo seam of cmd/mutexnode and
-// cmd/mutexload).
+// cmd/mutexload) or to pin the wire codec (-codec).
 func NewTCPOpt(self dme.NodeID, addrs map[dme.NodeID]string, opts TCPOptions) (*TCPTransport, error) {
 	name := opts.Algo
 	if name == "" {
 		name = registry.Core
 	}
 	algo, err := registry.RegisterWire(name)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: %w", err)
+	}
+	codecs, err := wire.CodecsFor(algo, opts.Codec)
 	if err != nil {
 		return nil, fmt.Errorf("tcp: %w", err)
 	}
@@ -157,9 +300,11 @@ func NewTCPOpt(self dme.NodeID, addrs map[dme.NodeID]string, opts TCPOptions) (*
 	t := &TCPTransport{
 		self:        self,
 		algo:        algo,
+		codecs:      codecs,
 		onErr:       opts.OnWireError,
 		addrs:       addrs,
 		ln:          ln,
+		flushDelay:  opts.FlushDelay,
 		conns:       make(map[dme.NodeID]*outConn),
 		inbound:     make(map[net.Conn]struct{}),
 		quit:        make(chan struct{}),
@@ -227,35 +372,63 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		t.imu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(countingReader{conn, &t.bytesIn})
-	for {
-		var env wire.Envelope
-		if err := dec.Decode(&env); err != nil {
-			return
-		}
-		msg, err := env.Open(t.algo)
+	br := bufio.NewReaderSize(countingReader{conn, &t.bytesIn}, 64<<10)
+	// Dispatch on the first bytes: a handshaking peer leads with the
+	// magic; a peer from a build that predates the handshake opens its
+	// gob envelope stream directly, and no gob stream begins with the
+	// magic (a first gob message that long starts with a multi-byte
+	// length marker), so such a connection is served as an implicit gob
+	// stream.
+	peek, err := br.Peek(len(wire.Magic))
+	if err != nil {
+		return
+	}
+	var codec wire.Codec
+	if bytes.Equal(peek, wire.Magic[:]) {
+		_, codec, err = wire.ServerHandshake(br, countingWriter{conn, &t.bytesOut}, int(t.self), t.algo, t.codecs)
 		if err != nil {
 			var mm *wire.MismatchError
 			if errors.As(err, &mm) {
+				t.wireMismatches.Add(1)
+			}
+			t.reportWireError(err)
+			return
+		}
+	} else {
+		codec = wire.GobCodec()
+	}
+	dec := codec.NewDecoder(br, t.algo)
+	for {
+		from, msg, err := dec.Decode()
+		if err != nil {
+			var mm *wire.MismatchError
+			var de *wire.DecodeError
+			switch {
+			case errors.As(err, &mm):
 				// The peer speaks another algorithm or wire format;
 				// every envelope on this connection will be rejected,
 				// so count it, surface it, and drop the connection.
 				t.wireMismatches.Add(1)
 				t.reportWireError(err)
 				return
+			case errors.As(err, &de):
+				// A single undecodable payload: the stream is still
+				// aligned on a frame boundary, so skip the message and
+				// keep the connection.
+				t.wireDecodeErrs.Add(1)
+				t.reportWireError(err)
+				continue
+			default:
+				// I/O failure or broken framing: position unknown,
+				// connection dead.
+				return
 			}
-			// A single undecodable payload: the envelope stream itself
-			// is still in sync (payloads are self-contained), so skip
-			// the message and keep the connection.
-			t.wireDecodeErrs.Add(1)
-			t.reportWireError(err)
-			continue
 		}
 		t.hmu.RLock()
 		h := t.handler
 		t.hmu.RUnlock()
 		if h != nil {
-			h(env.From, msg)
+			h(dme.NodeID(from), msg)
 		}
 	}
 }
@@ -267,7 +440,8 @@ func (t *TCPTransport) reportWireError(err error) {
 }
 
 // Send implements Transport. Self-sends loop back synchronously through
-// the handler.
+// the handler; remote sends are buffered onto the peer's connection and
+// written by its flush goroutine.
 func (t *TCPTransport) Send(to dme.NodeID, msg dme.Message) error {
 	if to == t.self {
 		t.hmu.RLock()
@@ -278,18 +452,12 @@ func (t *TCPTransport) Send(to dme.NodeID, msg dme.Message) error {
 		}
 		return nil
 	}
-	env, err := wire.Seal(t.algo, t.self, msg)
-	if err != nil {
-		return err
-	}
 	oc, err := t.conn(to)
 	if err != nil {
 		return err
 	}
-	oc.mu.Lock()
-	err = oc.enc.Encode(&env)
-	oc.mu.Unlock()
-	if err == nil {
+	if err := oc.send(t.self, msg); err == nil {
+		t.frames.Add(1)
 		return nil
 	}
 	// The cached connection went bad: drop it and retry once on a fresh
@@ -299,11 +467,11 @@ func (t *TCPTransport) Send(to dme.NodeID, msg dme.Message) error {
 	if err != nil {
 		return err
 	}
-	oc.mu.Lock()
-	defer oc.mu.Unlock()
-	if err := oc.enc.Encode(&env); err != nil {
+	if err := oc.send(t.self, msg); err != nil {
+		t.dropConn(to, oc)
 		return fmt.Errorf("tcp: send to node %d: %w", to, err)
 	}
+	t.frames.Add(1)
 	return nil
 }
 
@@ -321,18 +489,88 @@ func (t *TCPTransport) conn(to dme.NodeID) (*outConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcp: dial node %d (%s): %w", to, addr, err)
 	}
-	oc := &outConn{c: c, enc: gob.NewEncoder(countingWriter{c, &t.bytesOut})}
+	// The handshake shares the dial budget; a peer that accepts but
+	// never answers should fail the Send, not hang it.
+	_ = c.SetDeadline(time.Now().Add(t.DialTimeout))
+	codec, err := wire.ClientHandshake(struct {
+		io.Reader
+		io.Writer
+	}{countingReader{c, &t.bytesIn}, countingWriter{c, &t.bytesOut}}, int(t.self), t.algo, t.codecs)
+	if err != nil {
+		_ = c.Close()
+		var mm *wire.MismatchError
+		if errors.As(err, &mm) {
+			t.wireMismatches.Add(1)
+			t.reportWireError(err)
+		}
+		return nil, fmt.Errorf("tcp: handshake with node %d (%s): %w", to, addr, err)
+	}
+	_ = c.SetDeadline(time.Time{})
+	bw := bufio.NewWriterSize(countingWriter{c, &t.bytesOut}, 64<<10)
+	oc := &outConn{
+		c:       c,
+		codec:   codec.Name(),
+		inline:  t.flushDelay == 0,
+		flushes: &t.flushes,
+		bw:      bw,
+		enc:     codec.NewEncoder(bw, t.algo),
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
 	t.conns[to] = oc
+	if !oc.inline {
+		t.wg.Add(1)
+		go t.flusher(to, oc)
+	}
 	return oc, nil
+}
+
+// flusher drains one connection's write buffer when FlushDelay is
+// positive (with the zero delay senders flush inline and no flusher
+// runs). Senders encode into the buffer and kick; the flusher waits
+// out the delay and issues the syscall. While a flush is in flight,
+// further sends keep filling the buffer, so bursts batch into few
+// syscalls.
+func (t *TCPTransport) flusher(to dme.NodeID, oc *outConn) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-oc.kick:
+		case <-oc.done:
+			return
+		}
+		if d := t.flushDelay; d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-oc.done:
+				timer.Stop()
+				return
+			}
+		}
+		oc.mu.Lock()
+		var err error
+		if oc.dirty {
+			t.flushes.Add(1)
+			err = oc.bw.Flush()
+			oc.dirty = false
+		}
+		oc.mu.Unlock()
+		if err != nil {
+			// The connection is gone; drop it so the next Send redials.
+			t.dropConn(to, oc)
+			return
+		}
+	}
 }
 
 func (t *TCPTransport) dropConn(to dme.NodeID, oc *outConn) {
 	t.cmu.Lock()
-	defer t.cmu.Unlock()
 	if cur, ok := t.conns[to]; ok && cur == oc {
 		delete(t.conns, to)
-		_ = oc.c.Close()
 	}
+	t.cmu.Unlock()
+	oc.close()
 }
 
 // Close implements Transport.
@@ -342,11 +580,15 @@ func (t *TCPTransport) Close() error {
 		close(t.quit)
 		err = t.ln.Close()
 		t.cmu.Lock()
+		outs := make([]*outConn, 0, len(t.conns))
 		for to, oc := range t.conns {
-			_ = oc.c.Close()
+			outs = append(outs, oc)
 			delete(t.conns, to)
 		}
 		t.cmu.Unlock()
+		for _, oc := range outs {
+			oc.close()
+		}
 		t.imu.Lock()
 		for conn := range t.inbound {
 			_ = conn.Close()

@@ -2,7 +2,10 @@ package transport_test
 
 import (
 	"context"
+	"encoding/gob"
 	"errors"
+	"net"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -168,8 +171,20 @@ func TestTCPAlgorithmMismatch(t *testing.T) {
 	delivered := make(chan dme.Message, 1)
 	rayEnd.SetHandler(func(from dme.NodeID, msg dme.Message) { delivered <- msg })
 
-	if err := coreEnd.Send(1, core.Request{Entry: core.QEntry{Node: 0, Seq: 7}}); err != nil {
-		t.Fatal(err)
+	// The mismatch surfaces at connection setup: the codec handshake is
+	// refused before any envelope flows, so the sender learns about the
+	// misconfiguration immediately instead of talking into a dropped
+	// connection.
+	err = coreEnd.Send(1, core.Request{Entry: core.QEntry{Node: 0, Seq: 7}})
+	if err == nil {
+		t.Fatal("Send succeeded across an algorithm mismatch")
+	}
+	var sendMM *wire.MismatchError
+	if !errors.As(err, &sendMM) {
+		t.Fatalf("Send error = %T (%v), want *wire.MismatchError", err, err)
+	}
+	if sendMM.LocalAlgo != "core" || sendMM.RemoteAlgo != "raymond" || sendMM.From != 1 {
+		t.Errorf("sender mismatch fields = %+v", sendMM)
 	}
 
 	select {
@@ -193,5 +208,61 @@ func TestTCPAlgorithmMismatch(t *testing.T) {
 	case msg := <-delivered:
 		t.Fatalf("message delivered despite the mismatch: %#v", msg)
 	default:
+	}
+}
+
+// TestTCPLegacyGobDialer emulates a peer from a build that predates the
+// codec handshake: it dials raw TCP and immediately opens a gob
+// Envelope stream, no hello. The acceptor must sniff the missing magic
+// and serve the connection as an implicit gob stream — the accept-side
+// interop guarantee that lets old builds talk to new ones.
+func TestTCPLegacyGobDialer(t *testing.T) {
+	algo, err := registry.RegisterWire(registry.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := transport.NewTCP(0, map[dme.NodeID]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close() //nolint:errcheck
+	got := make(chan dme.Message, 2)
+	tr.SetHandler(func(from dme.NodeID, msg dme.Message) {
+		if from == 9 {
+			got <- msg
+		}
+	})
+
+	conn, err := net.Dial("tcp", tr.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close() //nolint:errcheck
+	enc := gob.NewEncoder(conn)
+	msgs := []dme.Message{
+		core.Request{Entry: core.QEntry{Node: 9, Seq: 1}},
+		wire.Wrap(core.Warning{Entry: core.QEntry{Node: 9, Seq: 2}}, wire.WithKey("orders")),
+	}
+	for _, m := range msgs {
+		env, err := wire.Seal(algo, 9, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(&env); err != nil {
+			t.Fatalf("legacy encode: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		select {
+		case msg := <-got:
+			if !reflect.DeepEqual(msg, want) {
+				t.Fatalf("message %d: %#v, want %#v", i, msg, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("legacy message %d never arrived", i)
+		}
+	}
+	if mm, de := tr.WireErrors(); mm != 0 || de != 0 {
+		t.Errorf("wire errors on a clean legacy stream: %d mismatches, %d decode failures", mm, de)
 	}
 }

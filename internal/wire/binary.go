@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"reflect"
+
+	"tokenarbiter/internal/binenc"
+	"tokenarbiter/internal/dme"
+)
+
+// WireAppender is the encode half of a message's binary layout: append
+// the payload encoding of the receiver to b and return the extended
+// slice, encoding.BinaryAppender-style.
+//
+// These are deliberately NOT the standard encoding.BinaryAppender /
+// encoding.BinaryUnmarshaler interfaces: encoding/gob special-cases
+// types implementing the stdlib encoding interfaces (routing them
+// through MarshalBinary/UnmarshalBinary instead of struct encoding),
+// which would silently change the gob fallback codec's stream layout and
+// break compatibility with envelopes from older builds. Repo-specific
+// method names keep the binary layout invisible to gob.
+type WireAppender interface {
+	AppendWire(b []byte) ([]byte, error)
+}
+
+// WireUnmarshaler is the decode half of a message's binary layout,
+// implemented on the message's pointer type: decode the payload bytes
+// into the receiver, rejecting trailing garbage. Implementations must
+// copy any bytes they keep — the codec reuses its frame buffer.
+type WireUnmarshaler interface {
+	UnmarshalWire(data []byte) error
+}
+
+// The binary codec frames each message as
+//
+//	u32 little-endian body length, then the body:
+//	  [0]      format version (FormatVersion)
+//	  [1]      flags: bit 0 = key present, bit 1 = trace present
+//	  [2]      algorithm name length, followed by the name bytes
+//	  uvarint  kind id — the message type's index in the algorithm's
+//	           RegisterAlgorithm call, which is why registration order
+//	           is wire protocol for binary-capable algorithms
+//	  varint   sender node id (zigzag)
+//	  (key)    uvarint byte length + key bytes, when flag bit 0 is set
+//	  (trace)  uvarint trace id, when flag bit 1 is set
+//	  payload  the message's AppendWire layout, to end of body
+//
+// Everything before the payload mirrors the gob Envelope field for
+// field, so both codecs carry identical metadata and faults surface
+// through the same *MismatchError / *DecodeError types. The explicit
+// length prefix is what makes a bad frame skippable: the decoder always
+// consumes exactly one frame before looking inside it, so a corrupt
+// payload costs one message, not the connection.
+
+const (
+	flagKey   = 1 << 0
+	flagTrace = 1 << 1
+
+	// maxFrame bounds a frame body so a corrupt length prefix cannot
+	// drive an allocation of arbitrary size. The largest real message is
+	// a PRIVILEGE token with an O(n) Q-list — kilobytes, not megabytes.
+	maxFrame = 16 << 20
+)
+
+// binaryCodec is the zero-alloc binary fast path. It requires the
+// algorithm to be BinaryCapable; constructing an encoder for one that is
+// not yields errors from Encode.
+type binaryCodec struct{}
+
+func (binaryCodec) ID() CodecID  { return CodecBinary }
+func (binaryCodec) Name() string { return "binary" }
+
+func (binaryCodec) NewEncoder(w io.Writer, algo string) Encoder {
+	return &binaryEncoder{algo: algo, set: algoFor(algo), w: w}
+}
+
+func (binaryCodec) NewDecoder(r io.Reader, algo string) Decoder {
+	return &binaryDecoder{algo: algo, set: algoFor(algo), r: r, keys: map[string]string{}}
+}
+
+type binaryEncoder struct {
+	algo string
+	set  *algoSet
+	w    io.Writer
+	// buf is the frame scratch, reused across Encode calls (the
+	// transport serializes encoder access per connection); after warmup
+	// it makes the steady-state encode path allocation-free.
+	buf []byte
+}
+
+func (e *binaryEncoder) Encode(from int, msg dme.Message) error {
+	if e.set == nil || !e.set.binary {
+		return fmt.Errorf("wire: algorithm %q is not registered with binary layouts", e.algo)
+	}
+	if len(e.algo) > 0xff {
+		return fmt.Errorf("wire: algorithm name %q exceeds 255 bytes", e.algo)
+	}
+	inner, key, trace := Unwrap(msg)
+	if inner == nil {
+		return fmt.Errorf("wire: nil message for algorithm %q", e.algo)
+	}
+	kind, ok := e.set.byType[reflect.TypeOf(inner)]
+	if !ok {
+		return fmt.Errorf("wire: %T is not a registered %s message", inner, e.algo)
+	}
+	b := append(e.buf[:0], 0, 0, 0, 0) // length prefix, patched below
+	b = append(b, FormatVersion)
+	var flags byte
+	if key != "" {
+		flags |= flagKey
+	}
+	if trace != 0 {
+		flags |= flagTrace
+	}
+	b = append(b, flags, byte(len(e.algo)))
+	b = append(b, e.algo...)
+	b = binary.AppendUvarint(b, uint64(kind))
+	b = binary.AppendVarint(b, int64(from))
+	if key != "" {
+		b = binenc.AppendString(b, key)
+	}
+	if trace != 0 {
+		b = binary.AppendUvarint(b, trace)
+	}
+	b, err := inner.(WireAppender).AppendWire(b)
+	if err != nil {
+		return fmt.Errorf("wire: encode %s %q payload: %w", e.algo, inner.Kind(), err)
+	}
+	if len(b)-4 > maxFrame {
+		return fmt.Errorf("wire: %s %q frame of %d bytes exceeds the %d-byte limit",
+			e.algo, inner.Kind(), len(b)-4, maxFrame)
+	}
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+	e.buf = b
+	_, err = e.w.Write(b)
+	return err
+}
+
+type binaryDecoder struct {
+	algo string
+	set  *algoSet
+	r    io.Reader
+	hdr  [4]byte
+	// buf holds one frame body, reused across frames: UnmarshalWire
+	// implementations copy what they keep, per the interface contract.
+	buf []byte
+	// keys interns lock keys so steady-state keyed traffic does not
+	// allocate a fresh key string per message.
+	keys map[string]string
+}
+
+func (d *binaryDecoder) Decode() (int, dme.Message, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(d.hdr[:])
+	if n == 0 || n > maxFrame {
+		// The length prefix itself is untrustworthy, so the frame
+		// boundary is lost: fatal, unlike the in-body errors below.
+		return 0, nil, fmt.Errorf("wire: binary frame length %d out of range (0, %d]", n, maxFrame)
+	}
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	body := d.buf[:n]
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		return 0, nil, err
+	}
+	return d.decodeBody(body)
+}
+
+// decodeBody interprets one complete frame body. DecodeBody has consumed
+// an exact frame off the stream whatever it returns, so every error here
+// is per-message: *MismatchError for version/algorithm disagreement,
+// *DecodeError for anything malformed.
+func (d *binaryDecoder) decodeBody(body []byte) (int, dme.Message, error) {
+	corrupt := func(from int, kind string, err error) (int, dme.Message, error) {
+		return from, nil, &DecodeError{From: from, Algo: d.algo, Kind: kind, Err: err}
+	}
+	if len(body) < 3 {
+		return corrupt(-1, "", fmt.Errorf("frame body of %d bytes is shorter than the fixed header", len(body)))
+	}
+	version := int(body[0])
+	flags := body[1]
+	algoLen := int(body[2])
+	if 3+algoLen > len(body) {
+		return corrupt(-1, "", fmt.Errorf("algorithm name overruns the frame"))
+	}
+	algoBytes := body[3 : 3+algoLen]
+	r := binenc.NewReader(body[3+algoLen:])
+	kind := r.Uvarint()
+	from := r.Int()
+	if r.Err() != nil {
+		return corrupt(-1, "", r.Err())
+	}
+	// Validation order matches Envelope.Open: version, then algorithm,
+	// then payload, and exactly one error per frame.
+	if version != FormatVersion {
+		return from, nil, &MismatchError{
+			From:          from,
+			LocalAlgo:     d.algo,
+			RemoteAlgo:    string(algoBytes),
+			LocalVersion:  FormatVersion,
+			RemoteVersion: version,
+		}
+	}
+	if string(algoBytes) != d.algo {
+		return from, nil, &MismatchError{
+			From:          from,
+			LocalAlgo:     d.algo,
+			RemoteAlgo:    string(algoBytes),
+			LocalVersion:  FormatVersion,
+			RemoteVersion: version,
+		}
+	}
+	if flags&^(flagKey|flagTrace) != 0 {
+		return corrupt(from, "", fmt.Errorf("unknown envelope flags %#x", flags))
+	}
+	var key string
+	if flags&flagKey != 0 {
+		kb := r.Take(int(r.Uvarint()))
+		if r.Err() == nil {
+			if interned, ok := d.keys[string(kb)]; ok {
+				key = interned
+			} else {
+				key = string(kb)
+				d.keys[key] = key
+			}
+		}
+	}
+	var trace uint64
+	if flags&flagTrace != 0 {
+		trace = r.Uvarint()
+	}
+	if r.Err() != nil {
+		return corrupt(from, "", r.Err())
+	}
+	if d.set == nil || kind >= uint64(len(d.set.types)) {
+		return corrupt(from, "", fmt.Errorf("unknown kind id %d", kind))
+	}
+	pv := reflect.New(d.set.types[kind])
+	if err := pv.Interface().(WireUnmarshaler).UnmarshalWire(r.Rest()); err != nil {
+		return corrupt(from, d.set.kinds[kind], err)
+	}
+	msg := pv.Elem().Interface().(dme.Message)
+	if trace != 0 {
+		msg = Traced{Trace: trace, Msg: msg}
+	}
+	if key != "" {
+		msg = Keyed{Key: key, Msg: msg}
+	}
+	return from, msg, nil
+}

@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"tokenarbiter/internal/dme"
+)
+
+// CodecID identifies a wire codec in the connection handshake. IDs are
+// wire protocol: they never change meaning, and a higher ID is preferred
+// when both peers support it.
+type CodecID uint8
+
+const (
+	// CodecGob is the self-describing gob envelope stream — the
+	// versioned fallback every build speaks. Its stream layout is
+	// byte-identical to the pre-handshake wire format, so a legacy peer
+	// that dials without a handshake is handled as an implicit gob
+	// stream.
+	CodecGob CodecID = 1
+	// CodecBinary is the length-prefixed binary envelope format, usable
+	// for an algorithm only when every one of its registered messages
+	// provides a binary layout (see BinaryCapable).
+	CodecBinary CodecID = 2
+)
+
+// Codec is one wire encoding of the envelope stream a transport
+// connection carries. A Codec is stateless and shared; per-connection
+// state (gob's type-descriptor memory, the binary codec's scratch
+// buffers) lives in the Encoder/Decoder it constructs.
+type Codec interface {
+	// ID is the codec's handshake identity.
+	ID() CodecID
+	// Name is the codec's flag-facing name ("gob", "binary").
+	Name() string
+	// NewEncoder returns an encoder framing messages for the given
+	// algorithm onto w. Encoders are not safe for concurrent use; the
+	// transport serializes access per connection.
+	NewEncoder(w io.Writer, algo string) Encoder
+	// NewDecoder returns a decoder reading the peer's frames for the
+	// given algorithm from r.
+	NewDecoder(r io.Reader, algo string) Decoder
+}
+
+// Encoder frames protocol messages onto one connection. Encode accepts
+// bare or Wrap'd messages; key and trace tags travel in the envelope
+// header for either codec.
+type Encoder interface {
+	Encode(from int, msg dme.Message) error
+}
+
+// Decoder reads framed messages off one connection. Errors come in three
+// severities, and callers dispatch on type:
+//
+//   - *MismatchError: the peer speaks a different format version or
+//     algorithm; the connection is misconfigured and should be dropped.
+//   - *DecodeError: one frame was undecodable but the stream is still
+//     aligned on a frame boundary; the caller may skip it and continue.
+//   - anything else: an I/O or framing failure; the stream position is
+//     unknown and the connection is dead.
+type Decoder interface {
+	Decode() (from int, msg dme.Message, err error)
+}
+
+var (
+	gobCodecInst    Codec = gobCodec{}
+	binaryCodecInst Codec = binaryCodec{}
+)
+
+// GobCodec returns the gob fallback codec.
+func GobCodec() Codec { return gobCodecInst }
+
+// BinaryCodec returns the binary fast-path codec.
+func BinaryCodec() Codec { return binaryCodecInst }
+
+// CodecsFor resolves a codec selection (the -codec flag) into the set of
+// codecs a transport offers in its handshakes for the given algorithm,
+// in no particular order — negotiation picks the highest common CodecID.
+// The empty selection and "auto" offer binary (when the algorithm is
+// binary-capable) plus gob; "binary" and "gob" pin a single codec, and
+// pinning binary for an algorithm without binary layouts is an error
+// rather than a silent fallback.
+func CodecsFor(algo, selection string) ([]Codec, error) {
+	switch selection {
+	case "", "auto":
+		if BinaryCapable(algo) {
+			return []Codec{binaryCodecInst, gobCodecInst}, nil
+		}
+		return []Codec{gobCodecInst}, nil
+	case "binary":
+		if !BinaryCapable(algo) {
+			return nil, fmt.Errorf("wire: codec binary pinned, but algorithm %q has messages without binary layouts", algo)
+		}
+		return []Codec{binaryCodecInst}, nil
+	case "gob":
+		return []Codec{gobCodecInst}, nil
+	}
+	return nil, fmt.Errorf("wire: unknown codec %q (want auto, binary, or gob)", selection)
+}
+
+// gobCodec frames each message as a gob-encoded Envelope on a single
+// per-connection gob stream — exactly the layout Seal/Open always
+// produced, kept as the compatibility fallback.
+type gobCodec struct{}
+
+func (gobCodec) ID() CodecID  { return CodecGob }
+func (gobCodec) Name() string { return "gob" }
+
+func (gobCodec) NewEncoder(w io.Writer, algo string) Encoder {
+	return &gobEncoder{algo: algo, enc: gob.NewEncoder(w)}
+}
+
+func (gobCodec) NewDecoder(r io.Reader, algo string) Decoder {
+	return &gobDecoder{algo: algo, dec: gob.NewDecoder(r)}
+}
+
+type gobEncoder struct {
+	algo string
+	enc  *gob.Encoder
+}
+
+func (e *gobEncoder) Encode(from int, msg dme.Message) error {
+	env, err := Seal(e.algo, from, msg)
+	if err != nil {
+		return err
+	}
+	return e.enc.Encode(&env)
+}
+
+type gobDecoder struct {
+	algo string
+	dec  *gob.Decoder
+}
+
+func (d *gobDecoder) Decode() (int, dme.Message, error) {
+	var env Envelope
+	if err := d.dec.Decode(&env); err != nil {
+		// The envelope stream itself broke: gob state is unrecoverable,
+		// so this is fatal, unlike a payload DecodeError from Open.
+		return 0, nil, err
+	}
+	msg, err := env.Open(d.algo)
+	if err != nil {
+		return env.From, nil, err
+	}
+	return env.From, msg, nil
+}

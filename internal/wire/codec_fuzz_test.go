@@ -1,0 +1,102 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/wire"
+)
+
+// FuzzCodecEquivalence is the differential fuzz target for the codec
+// API: arbitrary bytes are interpreted as one binary frame for one of
+// the registered algorithms (all eleven — the paper's arbiter and every
+// baseline — are registered, so the fuzzer reaches every message
+// layout). The decoder must never panic and must type every in-body
+// failure as *wire.MismatchError or *wire.DecodeError; and any frame it
+// does accept must re-encode and round-trip identically — at the
+// dme.Message level, wrappers included — through BOTH codecs, which is
+// the property that lets a binary node and a gob node share one
+// cluster.
+//
+// The seed corpus holds a well-formed frame for every message type of
+// every algorithm (zero-valued and fully populated, keyed and traced)
+// plus a truncated and a bit-flipped variant of each, so even the
+// -fuzztime=30s CI smoke run covers every layout's decode path.
+func FuzzCodecEquivalence(f *testing.F) {
+	var algos []string
+	for _, e := range registry.Entries() {
+		algo, err := registry.RegisterWire(e.Name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		algoIdx := byte(len(algos))
+		algos = append(algos, algo)
+		for _, proto := range e.Messages {
+			for _, msg := range []dme.Message{
+				proto,
+				wire.Wrap(filled(proto, 0x9e3779b97f4a7c15),
+					wire.WithKey("orders"), wire.WithTrace(9)),
+			} {
+				var buf bytes.Buffer
+				if err := wire.BinaryCodec().NewEncoder(&buf, algo).Encode(3, msg); err != nil {
+					f.Fatalf("%s %s: seed encode: %v", algo, msg.Kind(), err)
+				}
+				frame := buf.Bytes()
+				f.Add(algoIdx, append([]byte(nil), frame...))
+				f.Add(algoIdx, append([]byte(nil), frame[:len(frame)/2]...))
+				flipped := append([]byte(nil), frame...)
+				flipped[len(flipped)-1] ^= 0xa5
+				f.Add(algoIdx, flipped)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, algoSel byte, frame []byte) {
+		algo := algos[int(algoSel)%len(algos)]
+		from, msg, err := wire.BinaryCodec().NewDecoder(bytes.NewReader(frame), algo).Decode()
+		if err != nil {
+			// Rejected input. Stream-level failures (short read, bad
+			// length prefix) may be plain errors, but anything inside a
+			// complete frame must carry one of the two typed errors.
+			var de *wire.DecodeError
+			var mm *wire.MismatchError
+			if errors.As(err, &de) && errors.As(err, &mm) {
+				t.Fatalf("error is both a mismatch and a decode error: %v", err)
+			}
+			return
+		}
+		if msg == nil {
+			t.Fatal("binary decode returned (nil, nil)")
+		}
+
+		// The decoder vouched for this message: it must round-trip
+		// identically through both codecs.
+		var bin bytes.Buffer
+		if err := wire.BinaryCodec().NewEncoder(&bin, algo).Encode(from, msg); err != nil {
+			t.Fatalf("re-encode binary %T: %v", msg, err)
+		}
+		bFrom, bMsg, err := wire.BinaryCodec().NewDecoder(&bin, algo).Decode()
+		if err != nil {
+			t.Fatalf("re-decode binary %T: %v", msg, err)
+		}
+		if bFrom != from || !reflect.DeepEqual(bMsg, msg) {
+			t.Fatalf("binary round trip:\n in: (%d, %#v)\nout: (%d, %#v)", from, msg, bFrom, bMsg)
+		}
+
+		var gob bytes.Buffer
+		if err := wire.GobCodec().NewEncoder(&gob, algo).Encode(from, msg); err != nil {
+			t.Fatalf("encode gob %T: %v", msg, err)
+		}
+		gFrom, gMsg, err := wire.GobCodec().NewDecoder(&gob, algo).Decode()
+		if err != nil {
+			t.Fatalf("decode gob %T: %v", msg, err)
+		}
+		if gFrom != from || !reflect.DeepEqual(gMsg, msg) {
+			t.Fatalf("codecs disagree:\nbinary: (%d, %#v)\n   gob: (%d, %#v)", from, msg, gFrom, gMsg)
+		}
+	})
+}

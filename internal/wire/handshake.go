@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The codec handshake is one round trip at connection setup, before any
+// envelope flows. The dialer states its identity and what it can speak;
+// the acceptor picks the best common codec or rejects with a reason the
+// dialer can turn into the same typed errors a bad envelope would have
+// produced.
+//
+//	hello (dialer → acceptor), 11+len(algo) bytes:
+//	  magic "TAW2" | version u8 | codec bitmask u8 |
+//	  node id i32 LE | algo length u8 | algo bytes
+//	reply (acceptor → dialer), 12+len(algo) bytes:
+//	  magic "TAW2" | status u8 | acceptor version u8 | codec id u8 |
+//	  node id i32 LE | algo length u8 | algo bytes
+//
+// The magic doubles as the acceptor's dispatch byte sequence: a peer
+// from a build that predates the handshake opens its gob envelope stream
+// immediately, and no gob stream of ours begins with "TAW2", so an
+// acceptor that peeks the first four bytes can serve both — handshaking
+// dialers get negotiation, legacy dialers get an implicit gob stream.
+// (A new dialer cannot reach a legacy acceptor, which will reject the
+// hello as a broken gob stream; interop with old builds is accept-side
+// only.)
+
+// Magic is the first four bytes of every handshake, distinguishing a
+// negotiating peer from a legacy gob stream.
+var Magic = [4]byte{'T', 'A', 'W', '2'}
+
+// Handshake reply statuses.
+const (
+	hsOK              = 0
+	hsVersionMismatch = 1
+	hsAlgoMismatch    = 2
+	hsNoCommonCodec   = 3
+)
+
+func codecMask(codecs []Codec) byte {
+	var mask byte
+	for _, c := range codecs {
+		mask |= 1 << c.ID()
+	}
+	return mask
+}
+
+func pickCodec(mask byte, offered []Codec) Codec {
+	var best Codec
+	for _, c := range offered {
+		if mask&(1<<c.ID()) == 0 {
+			continue
+		}
+		if best == nil || c.ID() > best.ID() {
+			best = c
+		}
+	}
+	return best
+}
+
+// ClientHandshake runs the dialer's half of the codec negotiation on a
+// fresh connection and returns the codec both sides agreed on. A version
+// or algorithm rejection from the acceptor comes back as *MismatchError
+// — the same type a mismatched envelope produces — so the transport's
+// existing mismatch accounting covers handshake failures too.
+func ClientHandshake(rw io.ReadWriter, self int, algo string, offer []Codec) (Codec, error) {
+	if len(algo) == 0 || len(algo) > 0xff {
+		return nil, fmt.Errorf("wire: handshake algorithm name %q must be 1..255 bytes", algo)
+	}
+	if len(offer) == 0 {
+		return nil, fmt.Errorf("wire: handshake with no codecs to offer")
+	}
+	hello := make([]byte, 0, 11+len(algo))
+	hello = append(hello, Magic[:]...)
+	hello = append(hello, FormatVersion, codecMask(offer))
+	hello = binary.LittleEndian.AppendUint32(hello, uint32(int32(self)))
+	hello = append(hello, byte(len(algo)))
+	hello = append(hello, algo...)
+	if _, err := rw.Write(hello); err != nil {
+		return nil, fmt.Errorf("wire: send handshake: %w", err)
+	}
+
+	var fixed [12]byte
+	if _, err := io.ReadFull(rw, fixed[:]); err != nil {
+		return nil, fmt.Errorf("wire: read handshake reply: %w", err)
+	}
+	if !bytes.Equal(fixed[:4], Magic[:]) {
+		return nil, fmt.Errorf("wire: peer is not a handshaking wire endpoint (bad magic %q)", fixed[:4])
+	}
+	status := fixed[4]
+	peerVersion := int(fixed[5])
+	codecID := CodecID(fixed[6])
+	peer := int(int32(binary.LittleEndian.Uint32(fixed[7:11])))
+	peerAlgo := make([]byte, fixed[11])
+	if _, err := io.ReadFull(rw, peerAlgo); err != nil {
+		return nil, fmt.Errorf("wire: read handshake reply: %w", err)
+	}
+	switch status {
+	case hsOK:
+		for _, c := range offer {
+			if c.ID() == codecID {
+				return c, nil
+			}
+		}
+		return nil, fmt.Errorf("wire: peer %d chose codec id %d we never offered", peer, codecID)
+	case hsVersionMismatch:
+		return nil, &MismatchError{
+			From:          peer,
+			LocalAlgo:     algo,
+			RemoteAlgo:    string(peerAlgo),
+			LocalVersion:  FormatVersion,
+			RemoteVersion: peerVersion,
+		}
+	case hsAlgoMismatch:
+		return nil, &MismatchError{
+			From:          peer,
+			LocalAlgo:     algo,
+			RemoteAlgo:    string(peerAlgo),
+			LocalVersion:  FormatVersion,
+			RemoteVersion: peerVersion,
+		}
+	case hsNoCommonCodec:
+		return nil, fmt.Errorf("wire: no codec in common with node %d running %q", peer, peerAlgo)
+	}
+	return nil, fmt.Errorf("wire: peer %d sent unknown handshake status %d", peer, status)
+}
+
+// ServerHandshake runs the acceptor's half of the negotiation: it reads
+// the dialer's hello from r (which the caller has already matched
+// against Magic), replies on w, and returns the dialer's node id with
+// the chosen codec. On a rejected hello it writes the refusal before
+// returning *MismatchError (version or algorithm) or a plain error (no
+// common codec); the caller drops the connection either way.
+func ServerHandshake(r io.Reader, w io.Writer, self int, algo string, offer []Codec) (int, Codec, error) {
+	var fixed [11]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return -1, nil, fmt.Errorf("wire: read handshake hello: %w", err)
+	}
+	if !bytes.Equal(fixed[:4], Magic[:]) {
+		return -1, nil, fmt.Errorf("wire: handshake hello has bad magic %q", fixed[:4])
+	}
+	peerVersion := int(fixed[4])
+	mask := fixed[5]
+	peer := int(int32(binary.LittleEndian.Uint32(fixed[6:10])))
+	peerAlgo := make([]byte, fixed[10])
+	if _, err := io.ReadFull(r, peerAlgo); err != nil {
+		return peer, nil, fmt.Errorf("wire: read handshake hello: %w", err)
+	}
+
+	reply := func(status byte, codec CodecID) error {
+		buf := make([]byte, 0, 12+len(algo))
+		buf = append(buf, Magic[:]...)
+		buf = append(buf, status, FormatVersion, byte(codec))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(self)))
+		buf = append(buf, byte(len(algo)))
+		buf = append(buf, algo...)
+		_, err := w.Write(buf)
+		return err
+	}
+
+	mismatch := &MismatchError{
+		From:          peer,
+		LocalAlgo:     algo,
+		RemoteAlgo:    string(peerAlgo),
+		LocalVersion:  FormatVersion,
+		RemoteVersion: peerVersion,
+	}
+	if peerVersion != FormatVersion {
+		_ = reply(hsVersionMismatch, 0)
+		return peer, nil, mismatch
+	}
+	if string(peerAlgo) != algo {
+		_ = reply(hsAlgoMismatch, 0)
+		return peer, nil, mismatch
+	}
+	codec := pickCodec(mask, offer)
+	if codec == nil {
+		_ = reply(hsNoCommonCodec, 0)
+		return peer, nil, fmt.Errorf("wire: no codec in common with node %d (peer mask %#x)", peer, mask)
+	}
+	if err := reply(hsOK, codec.ID()); err != nil {
+		return peer, nil, fmt.Errorf("wire: send handshake reply: %w", err)
+	}
+	return peer, codec, nil
+}

@@ -1,0 +1,140 @@
+package wire_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/wire"
+)
+
+// runHandshake drives both halves of the negotiation over an in-memory
+// pipe and returns each side's outcome.
+func runHandshake(t *testing.T, clientAlgo, serverAlgo string, clientOffer, serverOffer []wire.Codec) (client wire.Codec, clientErr error, peer int, server wire.Codec, serverErr error) {
+	t.Helper()
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		peer, server, serverErr = wire.ServerHandshake(s, s, 7, serverAlgo, serverOffer)
+	}()
+	client, clientErr = wire.ClientHandshake(c, 3, clientAlgo, clientOffer)
+	<-done
+	return
+}
+
+// TestHandshakeNegotiation pins codec selection: the acceptor picks the
+// highest codec id both sides offer, and either side pinning gob forces
+// the connection to gob.
+func TestHandshakeNegotiation(t *testing.T) {
+	algo := register(t, registry.Core)
+	both := []wire.Codec{wire.BinaryCodec(), wire.GobCodec()}
+	gobOnly := []wire.Codec{wire.GobCodec()}
+	cases := []struct {
+		name        string
+		clientOffer []wire.Codec
+		serverOffer []wire.Codec
+		want        string
+	}{
+		{"auto both sides picks binary", both, both, "binary"},
+		{"gob-pinned dialer", gobOnly, both, "gob"},
+		{"gob-pinned acceptor", both, gobOnly, "gob"},
+		{"offer order is irrelevant", []wire.Codec{wire.GobCodec(), wire.BinaryCodec()}, both, "binary"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			client, clientErr, peer, server, serverErr := runHandshake(t, algo, algo, c.clientOffer, c.serverOffer)
+			if clientErr != nil || serverErr != nil {
+				t.Fatalf("client err %v, server err %v", clientErr, serverErr)
+			}
+			if client.Name() != c.want || server.Name() != c.want {
+				t.Errorf("negotiated client=%s server=%s, want %s", client.Name(), server.Name(), c.want)
+			}
+			if peer != 3 {
+				t.Errorf("server saw peer %d, want 3", peer)
+			}
+		})
+	}
+}
+
+// TestHandshakeAlgorithmMismatch pins that an -algo disagreement
+// surfaces as *wire.MismatchError on both ends, naming both algorithms
+// so either side's logs identify the misconfiguration.
+func TestHandshakeAlgorithmMismatch(t *testing.T) {
+	register(t, registry.Core)
+	register(t, "raymond")
+	offer := []wire.Codec{wire.BinaryCodec(), wire.GobCodec()}
+	_, clientErr, _, _, serverErr := runHandshake(t, "core", "raymond", offer, offer)
+
+	var mm *wire.MismatchError
+	if !errors.As(clientErr, &mm) {
+		t.Fatalf("client error %T (%v), want *wire.MismatchError", clientErr, clientErr)
+	}
+	if mm.LocalAlgo != "core" || mm.RemoteAlgo != "raymond" {
+		t.Errorf("client mismatch %+v", mm)
+	}
+	if !errors.As(serverErr, &mm) {
+		t.Fatalf("server error %T (%v), want *wire.MismatchError", serverErr, serverErr)
+	}
+	if mm.LocalAlgo != "raymond" || mm.RemoteAlgo != "core" || mm.From != 3 {
+		t.Errorf("server mismatch %+v", mm)
+	}
+}
+
+// TestHandshakeNoCommonCodec pins the disjoint-offer refusal on both
+// sides.
+func TestHandshakeNoCommonCodec(t *testing.T) {
+	algo := register(t, registry.Core)
+	_, clientErr, _, _, serverErr := runHandshake(t, algo, algo,
+		[]wire.Codec{wire.BinaryCodec()}, []wire.Codec{wire.GobCodec()})
+	if clientErr == nil || serverErr == nil {
+		t.Fatalf("disjoint offers succeeded: client %v, server %v", clientErr, serverErr)
+	}
+	var mm *wire.MismatchError
+	if errors.As(clientErr, &mm) || errors.As(serverErr, &mm) {
+		t.Errorf("no-common-codec misreported as a mismatch: client %v, server %v", clientErr, serverErr)
+	}
+	if !strings.Contains(clientErr.Error(), "no codec in common") {
+		t.Errorf("client error %q", clientErr)
+	}
+}
+
+// TestHandshakeVersionMismatch hand-crafts a hello from a build one
+// format generation ahead and checks the acceptor refuses it as a
+// *wire.MismatchError carrying both versions.
+func TestHandshakeVersionMismatch(t *testing.T) {
+	algo := register(t, registry.Core)
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := wire.ServerHandshake(s, s, 7, algo, []wire.Codec{wire.GobCodec()})
+		errCh <- err
+	}()
+	hello := append([]byte{}, wire.Magic[:]...)
+	hello = append(hello, wire.FormatVersion+1, 1<<wire.CodecGob)
+	hello = binary.LittleEndian.AppendUint32(hello, 3)
+	hello = append(hello, byte(len(algo)))
+	hello = append(hello, algo...)
+	if _, err := c.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	// The acceptor still answers with a refusal the dialer can read.
+	reply := make([]byte, 12+len(algo))
+	if _, err := c.Read(reply); err != nil {
+		t.Fatalf("read refusal: %v", err)
+	}
+	var mm *wire.MismatchError
+	if err := <-errCh; !errors.As(err, &mm) {
+		t.Fatalf("server error %T (%v), want *wire.MismatchError", err, err)
+	}
+	if mm.RemoteVersion != wire.FormatVersion+1 || mm.LocalVersion != wire.FormatVersion {
+		t.Errorf("mismatch %+v", mm)
+	}
+}

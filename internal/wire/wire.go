@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 
@@ -163,32 +164,78 @@ func (e *DecodeError) Error() string {
 // Unwrap exposes the underlying gob error.
 func (e *DecodeError) Unwrap() error { return e.Err }
 
+// algoSet is everything registered for one algorithm: the kind names
+// for diagnostics, and the concrete-type tables the binary codec
+// dispatches on. The index of a type in types is its binary kind id, so
+// for binary-capable algorithms the RegisterAlgorithm call order is wire
+// protocol (registry.Entry.Messages fixes it per algorithm).
+type algoSet struct {
+	kinds  []string
+	types  []reflect.Type
+	byType map[reflect.Type]int
+	// binary reports that every message implements WireAppender with
+	// WireUnmarshaler on its pointer — the contract the binary codec
+	// needs.
+	binary bool
+}
+
 var (
 	regMu sync.Mutex
-	// algos maps a registered algorithm name to the kinds of its
-	// messages, in registration order (introspection and tests).
-	algos = map[string][]string{}
+	// algos maps a registered algorithm name to its message set, in
+	// registration order.
+	algos = map[string]*algoSet{}
 )
 
 // RegisterAlgorithm records an algorithm's concrete protocol message
-// types with the gob runtime under the given registry name. It is
-// idempotent per algorithm — repeated calls for the same name are no-ops
-// — and any number of distinct algorithms may register in one process;
-// registration order does not matter. Transports call it (via
-// internal/registry) when they are constructed; we deliberately avoid
-// init().
+// types with the gob runtime under the given registry name, and probes
+// each for the binary-layout methods that enable the binary codec (see
+// BinaryCapable). It is idempotent per algorithm — repeated calls for
+// the same name are no-ops — and any number of distinct algorithms may
+// register in one process; registration order does not matter across
+// algorithms, but within one algorithm it fixes the binary kind ids.
+// Transports call it (via internal/registry) when they are constructed;
+// we deliberately avoid init().
 func RegisterAlgorithm(name string, msgs ...dme.Message) {
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, ok := algos[name]; ok {
 		return
 	}
-	kinds := make([]string, 0, len(msgs))
-	for _, m := range msgs {
-		gob.Register(m)
-		kinds = append(kinds, m.Kind())
+	set := &algoSet{
+		byType: make(map[reflect.Type]int, len(msgs)),
+		binary: len(msgs) > 0,
 	}
-	algos[name] = kinds
+	for i, m := range msgs {
+		gob.Register(m)
+		rt := reflect.TypeOf(m)
+		set.kinds = append(set.kinds, m.Kind())
+		set.types = append(set.types, rt)
+		set.byType[rt] = i
+		if _, ok := m.(WireAppender); !ok {
+			set.binary = false
+		}
+		if _, ok := reflect.New(rt).Interface().(WireUnmarshaler); !ok {
+			set.binary = false
+		}
+	}
+	algos[name] = set
+}
+
+// algoFor returns the registered message set for name, or nil.
+func algoFor(name string) *algoSet {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return algos[name]
+}
+
+// BinaryCapable reports whether every message registered for the
+// algorithm carries a binary layout (WireAppender on the value,
+// WireUnmarshaler on the pointer), i.e. whether the
+// binary codec can be offered for it. An unregistered algorithm is not
+// binary-capable.
+func BinaryCapable(name string) bool {
+	set := algoFor(name)
+	return set != nil && set.binary
 }
 
 // Registered reports whether RegisterAlgorithm has been called for name.

@@ -1,0 +1,121 @@
+package wire_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tokenarbiter/internal/core"
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/wire"
+)
+
+// TestWrap pins the Wrap construction contract: options merge with tags
+// already on the message, later options win, zero values strip a tag,
+// and the result always uses the canonical Keyed-outside-Traced nesting.
+func TestWrap(t *testing.T) {
+	inner := core.Request{Entry: core.QEntry{Node: 1, Seq: 2}}
+	cases := []struct {
+		name string
+		msg  dme.Message
+		opts []wire.WrapOption
+		want dme.Message
+	}{
+		{"bare no-op", inner, nil, inner},
+		{"add key", inner, []wire.WrapOption{wire.WithKey("orders")},
+			wire.Keyed{Key: "orders", Msg: inner}},
+		{"add trace", inner, []wire.WrapOption{wire.WithTrace(7)},
+			wire.Traced{Trace: 7, Msg: inner}},
+		{"add both", inner, []wire.WrapOption{wire.WithKey("orders"), wire.WithTrace(7)},
+			wire.Keyed{Key: "orders", Msg: wire.Traced{Trace: 7, Msg: inner}}},
+		{"option order irrelevant", inner, []wire.WrapOption{wire.WithTrace(7), wire.WithKey("orders")},
+			wire.Keyed{Key: "orders", Msg: wire.Traced{Trace: 7, Msg: inner}}},
+		{"merge key onto traced", wire.Traced{Trace: 7, Msg: inner},
+			[]wire.WrapOption{wire.WithKey("orders")},
+			wire.Keyed{Key: "orders", Msg: wire.Traced{Trace: 7, Msg: inner}}},
+		{"merge trace onto keyed", wire.Keyed{Key: "orders", Msg: inner},
+			[]wire.WrapOption{wire.WithTrace(7)},
+			wire.Keyed{Key: "orders", Msg: wire.Traced{Trace: 7, Msg: inner}}},
+		{"override key", wire.Keyed{Key: "old", Msg: inner},
+			[]wire.WrapOption{wire.WithKey("new")},
+			wire.Keyed{Key: "new", Msg: inner}},
+		{"override trace", wire.Traced{Trace: 3, Msg: inner},
+			[]wire.WrapOption{wire.WithTrace(9)},
+			wire.Traced{Trace: 9, Msg: inner}},
+		{"last option wins", inner,
+			[]wire.WrapOption{wire.WithKey("a"), wire.WithKey("b")},
+			wire.Keyed{Key: "b", Msg: inner}},
+		{"empty key strips", wire.Keyed{Key: "orders", Msg: inner},
+			[]wire.WrapOption{wire.WithKey("")}, inner},
+		{"zero trace strips", wire.Keyed{Key: "orders", Msg: wire.Traced{Trace: 7, Msg: inner}},
+			[]wire.WrapOption{wire.WithTrace(0)},
+			wire.Keyed{Key: "orders", Msg: inner}},
+		{"normalizes reversed nesting", wire.Traced{Trace: 7, Msg: wire.Keyed{Key: "orders", Msg: inner}},
+			nil,
+			wire.Keyed{Key: "orders", Msg: wire.Traced{Trace: 7, Msg: inner}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := wire.Wrap(c.msg, c.opts...); !reflect.DeepEqual(got, c.want) {
+				t.Errorf("Wrap = %#v, want %#v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestUnwrap pins that Unwrap recovers the inner message and both tags
+// from every nesting shape, including the non-canonical Traced-outside-
+// Keyed order, and that nil messages are tolerated.
+func TestUnwrap(t *testing.T) {
+	inner := core.Request{Entry: core.QEntry{Node: 1, Seq: 2}}
+	cases := []struct {
+		name  string
+		msg   dme.Message
+		inner dme.Message
+		key   string
+		trace uint64
+	}{
+		{"bare", inner, inner, "", 0},
+		{"keyed", wire.Keyed{Key: "orders", Msg: inner}, inner, "orders", 0},
+		{"traced", wire.Traced{Trace: 7, Msg: inner}, inner, "", 7},
+		{"canonical", wire.Keyed{Key: "orders", Msg: wire.Traced{Trace: 7, Msg: inner}},
+			inner, "orders", 7},
+		{"reversed", wire.Traced{Trace: 7, Msg: wire.Keyed{Key: "orders", Msg: inner}},
+			inner, "orders", 7},
+		{"nil", nil, nil, "", 0},
+		{"nil inside keyed", wire.Keyed{Key: "orders"}, nil, "orders", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, key, trace := wire.Unwrap(c.msg)
+			if !reflect.DeepEqual(got, c.inner) || key != c.key || trace != c.trace {
+				t.Errorf("Unwrap = (%#v, %q, %d), want (%#v, %q, %d)",
+					got, key, trace, c.inner, c.key, c.trace)
+			}
+		})
+	}
+}
+
+// TestSplitKeySplitTrace pins the single-layer split helpers the key
+// demultiplexer and the tracing runtime use.
+func TestSplitKeySplitTrace(t *testing.T) {
+	inner := core.Request{Entry: core.QEntry{Node: 1, Seq: 2}}
+	traced := wire.Traced{Trace: 7, Msg: inner}
+
+	if msg, key := wire.SplitKey(wire.Keyed{Key: "orders", Msg: traced}); key != "orders" || !reflect.DeepEqual(msg, traced) {
+		t.Errorf("SplitKey(keyed) = (%#v, %q)", msg, key)
+	}
+	if msg, key := wire.SplitKey(inner); key != "" || !reflect.DeepEqual(msg, inner) {
+		t.Errorf("SplitKey(bare) = (%#v, %q)", msg, key)
+	}
+	if msg, trace := wire.SplitTrace(traced); trace != 7 || !reflect.DeepEqual(msg, inner) {
+		t.Errorf("SplitTrace(traced) = (%#v, %d)", msg, trace)
+	}
+	if msg, trace := wire.SplitTrace(inner); trace != 0 || !reflect.DeepEqual(msg, inner) {
+		t.Errorf("SplitTrace(bare) = (%#v, %d)", msg, trace)
+	}
+	// SplitTrace peels exactly one layer: a keyed message is opaque to it.
+	keyed := wire.Keyed{Key: "orders", Msg: traced}
+	if msg, trace := wire.SplitTrace(keyed); trace != 0 || !reflect.DeepEqual(msg, dme.Message(keyed)) {
+		t.Errorf("SplitTrace(keyed) = (%#v, %d), want the keyed message untouched", msg, trace)
+	}
+}
