@@ -6,10 +6,12 @@ DATE  ?= $(shell date +%F)
 # The benchmark-trajectory set: the end-to-end simulator throughput
 # benchmark, the event-kernel micro-benchmarks, the multi-key lock
 # service's aggregate-throughput-vs-keys points (in-memory and over
-# loopback TCP), and the wire codec encode+decode micro-benchmarks.
+# loopback TCP), the wire codec encode+decode micro-benchmarks, and the
+# inline-executor lock-machinery micro-benchmarks (message-driven handoff
+# and the uncontended Lock/Unlock fast path).
 # Override BENCH to run more (e.g. `make bench BENCH=.` for every
 # experiment benchmark).
-BENCH ?= SimulatorThroughput|ScheduleStep|PostStep|CancelHeavy|ManagerMultiKey|ManagerTCPMultiKey|SealOpen
+BENCH ?= SimulatorThroughput|ScheduleStep|PostStep|CancelHeavy|ManagerMultiKey|ManagerTCPMultiKey|SealOpen|NodeHandoffLatency|LockUnlockUncontended
 
 .PHONY: build test race bench bench-full fuzz
 

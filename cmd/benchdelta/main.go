@@ -1,0 +1,147 @@
+// Command benchdelta compares one benchmark metric from a fresh
+// benchjson document against a committed BENCH_<date>.json baseline and
+// exits non-zero when the metric regressed beyond a tolerance. It is the
+// CI tripwire behind the inline-executor work: the live-path speedups
+// must not tax the simulator (`BenchmarkSimulatorThroughput` is the
+// guarded metric there), and any future PR that does gets a red check
+// instead of a silently bent trajectory.
+//
+//	go test -run '^$' -bench 'SimulatorThroughput$' -count 3 . \
+//	  | go run ./cmd/benchjson \
+//	  | go run ./cmd/benchdelta -baseline BENCH_2026-08-07.json \
+//	      -bench SimulatorThroughput -metric cs/sec -max-regress 0.05
+//
+// With -count > 1 (recommended: benchmark noise is real) the BEST run on
+// each side is compared — max for higher-is-better metrics like cs/sec,
+// min when -lower-better is set for ns/op-style metrics — so a single
+// noisy iteration can neither fail nor pass the gate on its own.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// benchFile mirrors the fields of cmd/benchjson's document that the
+// comparison needs; unknown fields are ignored.
+type benchFile struct {
+	Date       string      `json:"date"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdelta", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "", "committed BENCH_<date>.json to compare against (required)")
+		currentPath  = fs.String("current", "", "benchjson document for the fresh run (default stdin)")
+		bench        = fs.String("bench", "", "benchmark name, as written by benchjson (no Benchmark prefix; required)")
+		metric       = fs.String("metric", "cs/sec", "metric unit to compare")
+		maxRegress   = fs.Float64("max-regress", 0.05, "largest tolerated fractional regression (0.05 = 5%)")
+		lowerBetter  = fs.Bool("lower-better", false, "metric improves downward (ns/op, B/op)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" || *bench == "" {
+		return fmt.Errorf("-baseline and -bench are required")
+	}
+
+	baseline, err := loadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var current *benchFile
+	if *currentPath != "" {
+		current, err = loadFile(*currentPath)
+	} else {
+		current, err = decode(stdin, "stdin")
+	}
+	if err != nil {
+		return err
+	}
+
+	base, err := best(baseline, *bench, *metric, *lowerBetter)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", *baselinePath, err)
+	}
+	cur, err := best(current, *bench, *metric, *lowerBetter)
+	if err != nil {
+		return fmt.Errorf("current run: %w", err)
+	}
+
+	// regress is the fraction lost relative to the baseline, oriented so
+	// positive always means worse.
+	regress := (base - cur) / base
+	if *lowerBetter {
+		regress = (cur - base) / base
+	}
+	fmt.Fprintf(stdout, "%s %s: baseline %.6g (from %s), current %.6g, delta %+.2f%%\n",
+		*bench, *metric, base, baseline.Date, cur, -regress*100)
+	if regress > *maxRegress {
+		return fmt.Errorf("%s %s regressed %.2f%% (baseline %.6g → %.6g), tolerance %.2f%%",
+			*bench, *metric, regress*100, base, cur, *maxRegress*100)
+	}
+	return nil
+}
+
+func loadFile(path string) (*benchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decode(f, path)
+}
+
+func decode(r io.Reader, src string) (*benchFile, error) {
+	var doc benchFile
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", src, err)
+	}
+	return &doc, nil
+}
+
+// best returns the strongest value of the metric across every entry with
+// the given name — repeated entries come from -count > 1 runs.
+func best(doc *benchFile, name, metric string, lowerBetter bool) (float64, error) {
+	found := false
+	v := math.Inf(1)
+	if !lowerBetter {
+		v = math.Inf(-1)
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Name != name {
+			continue
+		}
+		m, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		found = true
+		if lowerBetter {
+			v = math.Min(v, m)
+		} else {
+			v = math.Max(v, m)
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("no %q entry with metric %q", name, metric)
+	}
+	return v, nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineDoc = `{
+  "date": "2026-08-01",
+  "benchmarks": [
+    {"name": "SimulatorThroughput", "metrics": {"cs/sec": 100000, "ns/op": 210000}},
+    {"name": "SimulatorThroughput", "metrics": {"cs/sec": 104000, "ns/op": 205000}}
+  ]
+}`
+
+func runDelta(t *testing.T, baseline string, current string, extra ...string) (string, error) {
+	t.Helper()
+	args := append([]string{
+		"-baseline", baseline,
+		"-bench", "SimulatorThroughput",
+		"-metric", "cs/sec",
+		"-max-regress", "0.05",
+	}, extra...)
+	var out strings.Builder
+	err := run(args, strings.NewReader(current), &out)
+	return out.String(), err
+}
+
+func TestWithinTolerancePasses(t *testing.T) {
+	base := writeDoc(t, t.TempDir(), "base.json", baselineDoc)
+	// 2% below the best baseline run: inside the 5% budget.
+	out, err := runDelta(t, base, `{"benchmarks":[{"name":"SimulatorThroughput","metrics":{"cs/sec":101900}}]}`)
+	if err != nil {
+		t.Fatalf("within-tolerance run failed: %v", err)
+	}
+	if !strings.Contains(out, "SimulatorThroughput") {
+		t.Errorf("comparison line missing from output: %q", out)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	base := writeDoc(t, t.TempDir(), "base.json", baselineDoc)
+	// 10% below the best baseline run of 104000.
+	_, err := runDelta(t, base, `{"benchmarks":[{"name":"SimulatorThroughput","metrics":{"cs/sec":93600}}]}`)
+	if err == nil {
+		t.Fatal("10% regression passed a 5% gate")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error does not name the regression: %v", err)
+	}
+}
+
+func TestBestOfCountIsUsed(t *testing.T) {
+	base := writeDoc(t, t.TempDir(), "base.json", baselineDoc)
+	// One noisy bad run next to a good one: the good one carries the gate.
+	current := `{"benchmarks":[
+	  {"name":"SimulatorThroughput","metrics":{"cs/sec":80000}},
+	  {"name":"SimulatorThroughput","metrics":{"cs/sec":103000}}
+	]}`
+	if _, err := runDelta(t, base, current); err != nil {
+		t.Fatalf("best-of-count run failed: %v", err)
+	}
+}
+
+func TestLowerBetterOrientation(t *testing.T) {
+	base := writeDoc(t, t.TempDir(), "base.json", baselineDoc)
+	// ns/op rising 10% above the best (lowest) baseline must fail.
+	_, err := runDelta(t, base,
+		`{"benchmarks":[{"name":"SimulatorThroughput","metrics":{"ns/op":225500}}]}`,
+		"-metric", "ns/op", "-lower-better")
+	if err == nil {
+		t.Fatal("10% ns/op regression passed a 5% gate")
+	}
+	// And improving (dropping) must pass.
+	if _, err := runDelta(t, base,
+		`{"benchmarks":[{"name":"SimulatorThroughput","metrics":{"ns/op":190000}}]}`,
+		"-metric", "ns/op", "-lower-better"); err != nil {
+		t.Fatalf("ns/op improvement failed the gate: %v", err)
+	}
+}
+
+func TestMissingBenchmarkErrors(t *testing.T) {
+	base := writeDoc(t, t.TempDir(), "base.json", baselineDoc)
+	_, err := runDelta(t, base, `{"benchmarks":[{"name":"SomethingElse","metrics":{"cs/sec":1}}]}`)
+	if err == nil {
+		t.Fatal("missing benchmark in the current run passed")
+	}
+}

@@ -47,7 +47,7 @@ type Status struct {
 }
 
 // Status assembles the /statusz document, taking the protocol snapshot
-// on the event loop. Algorithms without core introspection get the
+// under the executor's exclusion. Algorithms without core introspection get the
 // degraded generic document rather than an error.
 func (n *Node) Status(ctx context.Context) (Status, error) {
 	ins, err := n.Inspect(ctx)

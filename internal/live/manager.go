@@ -82,8 +82,8 @@ type ManagerConfig struct {
 // instance per named lock key, all multiplexed over a single transport.
 // Keys are created lazily — by the first local Lock, or by the first
 // message a peer sends for the key — and each carries its own protocol
-// state machine, event loop, telemetry registry, and incarnation
-// counter. All methods are safe for concurrent use.
+// state machine (with its own run-to-completion executor — see the
+// Node docs), telemetry registry, and incarnation counter. All methods are safe for concurrent use.
 type Manager struct {
 	cfg    ManagerConfig
 	mux    *transport.KeyMux

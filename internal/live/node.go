@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -127,9 +128,30 @@ type Config struct {
 // Config.TraceDepth is zero.
 const DefaultTraceDepth = 256
 
-// Node is a live protocol participant. All protocol state is confined to
-// the node's event-loop goroutine; the public API is safe for concurrent
-// use from any goroutine.
+// Executor states: the run-to-completion scheduler that replaces the old
+// dedicated event-loop goroutine. Any goroutine that posts work and finds
+// the executor idle CASes idle→running and executes the protocol step on
+// its own stack — for inbound messages that is the transport's receive
+// goroutine, so a token hop runs wire → decode → protocol → grant with no
+// park/unpark in between. A poster that loses the CAS marks the state
+// dirty instead; the owner re-drains before releasing, so no posted
+// function is ever stranded. Closed is terminal: Close takes it and the
+// state machine never runs again.
+const (
+	execIdle int32 = iota
+	execRunning
+	execDirty
+	execClosed
+)
+
+// Node is a live protocol participant. All protocol state (the inner
+// dme.Node, waiters, holder, rng, metrics' tenure clock) is guarded by
+// the executor's mutual exclusion: exactly one goroutine owns the
+// idle/running/dirty state machine at a time and only the owner touches
+// protocol state. Which goroutine that is changes from step to step — a
+// transport receive goroutine, a Lock caller, a timer — but the atomic
+// state transitions order their accesses. The public API is safe for
+// concurrent use from any goroutine.
 type Node struct {
 	cfg   Config
 	inner dme.Node
@@ -137,16 +159,20 @@ type Node struct {
 	start time.Time
 	rng   *rand.Rand
 
-	mu      sync.Mutex
-	queue   []func()
-	wake    chan struct{}
-	waiters []*waiter
-	holder  *waiter
+	execState atomic.Int32
+
+	mu    sync.Mutex
+	queue []func()
+	spare []func() // drain's double buffer; owner-confined
+
+	// Executor-confined (owner-only) state.
+	waiters   []*waiter
+	holder    *waiter
+	msgRecvAt time.Time // receive timestamp of the message being processed
 
 	holding atomic.Bool // public-API view: between Lock return and Unlock
 	closed  atomic.Bool
 	quit    chan struct{}
-	loopWG  sync.WaitGroup
 
 	granted  atomic.Uint64
 	released atomic.Uint64
@@ -157,27 +183,34 @@ type Node struct {
 
 	tracer   *reqtrace.Collector // nil when request tracing is disabled
 	frec     *reqtrace.Recorder  // nil when flight recording is disabled
-	traceSeq uint64              // loop-only: request count, mirrors core's sequence numbering
+	traceSeq uint64              // executor-confined: request count, mirrors core's sequence numbering
 
 	timersMu sync.Mutex
 	timers   map[int32]*liveTimer // pending wall-clock timers by handle id
 	timerSeq int32
 }
 
-// waiter tracks one Lock call from issuance to grant.
+// waiter tracks one Lock call from issuance to grant. The fast flag is
+// the grant-path fast waiter: EnterCS publishes the grant (fence and
+// grantedAt already written) with an atomic store, and LockFence spins
+// briefly on it before parking on the channel — so a grant that arrives
+// within the spin window, inline-executed grants above all, never costs
+// a park/unpark. The channel remains for grants that outlast the spin
+// and for the cancellation/shutdown select.
 type waiter struct {
 	grant     chan struct{}
-	granted   bool
-	canceled  bool
-	fence     uint64      // fencing token of the grant, set before grant closes
-	trace     reqtrace.ID // end-to-end trace ID, zero when tracing is off
-	issuedAt  time.Time   // Lock call time, for the lock-wait histogram
-	grantedAt time.Time   // grant time, for the CS-hold histogram
+	fast      atomic.Uint32 // 0 pending, 1 granted; fence/grantedAt happen-before the store
+	granted   bool          // executor-confined
+	canceled  bool          // executor-confined
+	fence     uint64        // fencing token of the grant, set before fast/grant publish
+	trace     reqtrace.ID   // end-to-end trace ID, zero when tracing is off
+	issuedAt  time.Time     // Lock call time, for the lock-wait histogram
+	grantedAt time.Time     // grant time, for the CS-hold histogram
 }
 
 // NewNode builds and starts a live node: the protocol state machine is
-// built by the configured factory, initialized (node 0 mints the token),
-// and the event loop starts.
+// built by the configured factory and initialized (node 0 mints the
+// token) under the executor's exclusion.
 func NewNode(cfg Config) (*Node, error) {
 	if cfg.Transport == nil {
 		return nil, errors.New("live: config needs a transport")
@@ -260,7 +293,6 @@ func NewNode(cfg Config) (*Node, error) {
 		tr:      cfg.Transport,
 		start:   time.Now(),
 		rng:     rand.New(rand.NewPCG(seed, seed^0x5deece66d)),
-		wake:    make(chan struct{}, 1),
 		quit:    make(chan struct{}),
 		reg:     reg,
 		metrics: metrics,
@@ -272,10 +304,16 @@ func NewNode(cfg Config) (*Node, error) {
 		// Trace context rides a wire wrapper; the protocol state
 		// machine sees only the bare message, traced or not.
 		msg, _ = wire.SplitTrace(msg)
-		n.post(func() { n.inner.OnMessage(n, from, msg) })
+		// When the executor is free this runs the protocol step inline on
+		// the transport's receive goroutine (see post); recvAt feeds the
+		// handoff_latency_seconds histogram if the step grants the CS.
+		recvAt := time.Now()
+		n.post(func() {
+			n.msgRecvAt = recvAt
+			n.inner.OnMessage(n, from, msg)
+			n.msgRecvAt = time.Time{}
+		})
 	})
-	n.loopWG.Add(1)
-	go n.loop()
 	n.post(func() { n.inner.Init(n) })
 	return n, nil
 }
@@ -283,8 +321,15 @@ func NewNode(cfg Config) (*Node, error) {
 // ID returns the node's identity.
 func (n *Node) ID() int { return n.cfg.ID }
 
-// post enqueues fn onto the event loop; it never blocks, so protocol code
-// running inside the loop may post freely (e.g. self-sends).
+// post schedules fn under the executor's exclusion. If the executor is
+// idle the calling goroutine takes ownership and runs fn (and anything
+// queued behind it) to completion on its own stack; if another goroutine
+// owns the executor, fn is left on the queue and the owner is marked
+// dirty so it re-drains before releasing. Posting from inside an
+// inline-executed step is always the second case — the owner is the
+// poster itself — so the fn runs after the current step returns, exactly
+// the deferred semantics protocol code (self-sends, OnCSDone handoffs)
+// relies on. post never deadlocks and never parks.
 func (n *Node) post(fn func()) {
 	if n.closed.Load() {
 		return
@@ -292,31 +337,63 @@ func (n *Node) post(fn func()) {
 	n.mu.Lock()
 	n.queue = append(n.queue, fn)
 	n.mu.Unlock()
-	select {
-	case n.wake <- struct{}{}:
-	default:
+	n.schedule()
+}
+
+// schedule resolves who executes the queued work: idle → this goroutine
+// (CAS to running and drain), running → flag dirty so the owner drains
+// again, dirty/closed → nothing to do.
+func (n *Node) schedule() {
+	for {
+		switch n.execState.Load() {
+		case execIdle:
+			if n.execState.CompareAndSwap(execIdle, execRunning) {
+				n.runExecutor()
+				return
+			}
+		case execRunning:
+			if n.execState.CompareAndSwap(execRunning, execDirty) {
+				return
+			}
+		case execDirty, execClosed:
+			return
+		}
 	}
 }
 
-func (n *Node) loop() {
-	defer n.loopWG.Done()
-	var batch []func()
+// runExecutor drains the queue, then releases ownership — unless a
+// poster flagged dirty mid-drain, in which case the release CAS fails
+// and the owner reclaims running and drains again. The failed CAS is
+// the lost-wakeup guard: a poster either enqueues before our final
+// empty-queue check (we run it) or flags dirty after (we loop).
+func (n *Node) runExecutor() {
 	for {
-		n.mu.Lock()
-		batch = append(batch[:0], n.queue...)
-		n.queue = n.queue[:0]
-		n.mu.Unlock()
-		for _, fn := range batch {
-			fn()
-		}
-		if len(batch) > 0 {
-			continue
-		}
-		select {
-		case <-n.wake:
-		case <-n.quit:
+		n.drain()
+		if n.execState.CompareAndSwap(execRunning, execIdle) {
 			return
 		}
+		n.execState.Store(execRunning)
+	}
+}
+
+// drain runs queued functions until the queue is empty, swapping the
+// queue against a retained spare buffer so steady-state batches allocate
+// and copy nothing. Caller must own the executor.
+func (n *Node) drain() {
+	for {
+		n.mu.Lock()
+		if len(n.queue) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		batch := n.queue
+		n.queue = n.spare[:0]
+		n.mu.Unlock()
+		for i, fn := range batch {
+			batch[i] = nil // release the closure as soon as it has run
+			fn()
+		}
+		n.spare = batch[:0]
 	}
 }
 
@@ -342,7 +419,7 @@ func (n *Node) LockFence(ctx context.Context) (uint64, error) {
 	w := &waiter{grant: make(chan struct{}), issuedAt: time.Now()}
 	n.metrics.lockWaiters.Add(1)
 	n.post(func() {
-		// Mint the trace ID on the loop, where the request count is exact:
+		// Mint the trace ID under the executor, where the request count is exact:
 		// one OnRequest per waiter in posting order is precisely how the
 		// core protocol assigns sequence numbers, so remote observers can
 		// re-derive the same ID from the QEntry they see (core.RequestID).
@@ -360,28 +437,51 @@ func (n *Node) LockFence(ctx context.Context) (uint64, error) {
 		n.waiters = append(n.waiters, w)
 		n.inner.OnRequest(n)
 	})
-	select {
-	case <-w.grant:
-		n.metrics.lockWaiters.Add(-1)
-		n.metrics.lockWait.ObserveEx(time.Since(w.issuedAt).Seconds(), uint64(w.trace))
-		n.holding.Store(true)
-		return w.fence, nil
-	case <-ctx.Done():
-		n.metrics.lockWaiters.Add(-1)
-		n.metrics.lockCancels.Inc()
-		n.post(func() {
-			if w.granted {
-				// The grant raced the cancellation: give the CS back.
-				n.finishCS(w)
-			} else {
-				w.canceled = true
-			}
-		})
-		return 0, ctx.Err()
-	case <-n.quit:
-		n.metrics.lockWaiters.Add(-1)
-		return 0, ErrClosed
+	if !spinForGrant(w) {
+		select {
+		case <-w.grant:
+		case <-ctx.Done():
+			n.metrics.lockWaiters.Add(-1)
+			n.metrics.lockCancels.Inc()
+			n.post(func() {
+				if w.granted {
+					// The grant raced the cancellation: give the CS back.
+					n.finishCS(w)
+				} else {
+					w.canceled = true
+				}
+			})
+			return 0, ctx.Err()
+		case <-n.quit:
+			n.metrics.lockWaiters.Add(-1)
+			return 0, ErrClosed
+		}
 	}
+	n.metrics.lockWaiters.Add(-1)
+	n.metrics.lockWait.ObserveEx(time.Since(w.issuedAt).Seconds(), uint64(w.trace))
+	n.holding.Store(true)
+	return w.fence, nil
+}
+
+// grantSpin bounds the fast waiter's pre-park polling. Each miss yields
+// the processor, so the window is a handful of microseconds of scheduler
+// passes — enough to catch an inline grant executed by post on this very
+// goroutine (iteration zero) or a token hop already in flight on a
+// receive goroutine, short enough that a genuinely contended Lock parks
+// almost immediately and costs nothing measurable.
+const grantSpin = 64
+
+// spinForGrant polls w's atomic grant flag briefly, reporting whether
+// the grant landed within the window. On true, the grant's fence and
+// timestamps are visible (they happen-before the flag store).
+func spinForGrant(w *waiter) bool {
+	for i := 0; i < grantSpin; i++ {
+		if w.fast.Load() == 1 {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
 }
 
 // TryLockContext acquires the mutex only if it is granted before ctx is
@@ -434,7 +534,8 @@ func (n *Node) Unlock() {
 	}
 }
 
-// finishCS completes the critical section held by w (loop context only).
+// finishCS completes the critical section held by w (executor-owned
+// context only).
 func (n *Node) finishCS(w *waiter) {
 	if n.holder == w {
 		n.holder = nil
@@ -476,8 +577,8 @@ func (n *Node) Trace() *telemetry.Ring { return n.trace }
 // surfaces either way — the collector's methods are nil-safe.
 func (n *Node) Requests() *reqtrace.Collector { return n.tracer }
 
-// Inspect returns a read-only snapshot of the protocol state, taken on
-// the event loop. Algorithms other than the paper's arbiter protocol
+// Inspect returns a read-only snapshot of the protocol state, taken
+// under the executor's exclusion. Algorithms other than the paper's arbiter protocol
 // have no introspection hooks; Inspect then reports ErrNotCore, and
 // callers that can degrade (the /statusz endpoint does) should.
 func (n *Node) Inspect(ctx context.Context) (core.Introspection, error) {
@@ -503,23 +604,41 @@ func (n *Node) Inspect(ctx context.Context) (core.Introspection, error) {
 	}
 }
 
-// Close shuts the node down: the event loop stops, pending Lock calls
+// Close shuts the node down: the executor is retired, pending Lock calls
 // fail with ErrClosed, and the transport endpoint is closed. A crashed
 // node is simulated by Close — the rest of the cluster recovers via the
 // §6 protocol when recovery options are enabled. Close is idempotent and
 // safe to race with the public API (Lock/TryLockContext return ErrClosed,
 // Unlock of a closed node returns once the holder bookkeeping is dropped),
 // which is what lets a Supervisor kill a node out from under its users.
+// Do not call Close from protocol callbacks or from inside an
+// inline-executed step: it waits for the executor to go idle, and the
+// owner waiting on itself would spin forever (the old event loop had
+// the same restriction — Close joined the loop goroutine).
 func (n *Node) Close() error {
 	if !n.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	close(n.quit)
-	n.loopWG.Wait()
+	// Take the executor terminally: once the CAS lands no goroutine runs
+	// protocol code again, so the transport can be torn down under it.
+	// A foreign owner mid-step finishes its drain first; closed is
+	// already set, so the queue it races against is bounded.
+	for i := 0; !n.execState.CompareAndSwap(execIdle, execClosed); i++ {
+		if i < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	// Run what was enqueued before closed flipped — the old loop drained
+	// its queue before exiting on quit, and posted completions (Unlock's
+	// done) should not silently vanish when they lost that race.
+	n.drain()
 	return n.tr.Close()
 }
 
-// --- dme.Context implementation (loop goroutine only) -------------------
+// --- dme.Context implementation (executor-owned context only) -----------
 
 var _ dme.Context = (*Node)(nil)
 
@@ -564,12 +683,16 @@ func (n *Node) Broadcast(from dme.NodeID, msg dme.Message) {
 	}
 }
 
-// liveTimer adapts time.AfterFunc to a dme.Timer handle with a
-// cancellation flag checked on the loop, closing the stop/fire race. The
-// node keeps pending timers in an id-keyed table so the value Timer
-// handle can find its way back here through TimerHost.
+// liveTimer adapts a wall-clock timer to a dme.Timer handle with a
+// cancellation flag checked under the executor, closing the stop/fire
+// race. The node keeps pending timers in an id-keyed table so the value
+// Timer handle can find its way back here through TimerHost. Delays at
+// or above shortTimerCutoff ride time.AfterFunc (t non-nil); shorter
+// ones — the sub-millisecond Treq/Tfwd protocol phases, whose firing
+// precision bounds the dispatch cycle — go to the spinning short-timer
+// service (t nil, cancellation by flag only).
 type liveTimer struct {
-	t        *time.Timer
+	t        *time.Timer // nil for short-timer-service delays
 	canceled atomic.Bool
 }
 
@@ -585,16 +708,26 @@ func (n *Node) After(_ dme.NodeID, delay float64, fn func()) dme.Timer {
 	n.timerSeq++
 	n.timers[id] = lt
 	n.timersMu.Unlock()
-	lt.t = time.AfterFunc(time.Duration(delay*float64(time.Second)), func() {
-		n.timersMu.Lock()
-		delete(n.timers, id)
-		n.timersMu.Unlock()
+	d := time.Duration(delay * float64(time.Second))
+	fire := func() {
+		// The table entry survives until the posted step runs: a Cancel
+		// landing between the timer firing and the executor running the
+		// step must still find the entry and set the flag, or the step
+		// would run a callback the protocol already cancelled.
 		n.post(func() {
+			n.timersMu.Lock()
+			delete(n.timers, id)
+			n.timersMu.Unlock()
 			if !lt.canceled.Load() {
 				fn()
 			}
 		})
-	})
+	}
+	if d < shortTimerCutoff {
+		shortTimers.after(d, &lt.canceled, fire)
+	} else {
+		lt.t = time.AfterFunc(d, fire)
+	}
 	return dme.MakeTimer(n, id, 0)
 }
 
@@ -607,7 +740,9 @@ func (n *Node) CancelTimer(id int32, _ uint32) {
 	n.timersMu.Unlock()
 	if lt != nil {
 		lt.canceled.Store(true)
-		lt.t.Stop()
+		if lt.t != nil {
+			lt.t.Stop()
+		}
 	}
 }
 
@@ -649,6 +784,16 @@ func (n *Node) EnterCS(_ dme.NodeID) {
 			w.fence = ins.LastFence
 		}
 		n.recordGrant(w)
+		if !n.msgRecvAt.IsZero() {
+			// This grant was produced by processing an inbound message
+			// (a token arrival): receive-to-grant is the handoff latency
+			// the inline executor exists to shrink.
+			n.metrics.handoff.Observe(w.grantedAt.Sub(n.msgRecvAt).Seconds())
+		}
+		// Publish the grant: everything the waiter reads (fence,
+		// grantedAt) is written above, so the flag store orders it for
+		// the spinning fast path and the channel close for the parked one.
+		w.fast.Store(1)
 		close(w.grant)
 		return
 	}
@@ -657,7 +802,7 @@ func (n *Node) EnterCS(_ dme.NodeID) {
 }
 
 // recordGrant emits the grant span and flight-recorder record for w
-// (loop context only).
+// (executor-owned context only).
 func (n *Node) recordGrant(w *waiter) {
 	if n.tracer != nil {
 		n.tracer.Record(reqtrace.Span{

@@ -1,0 +1,128 @@
+package live
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The short-timer service: precise wall-clock firing for sub-millisecond
+// protocol phases.
+//
+// time.AfterFunc is the right tool for recovery timeouts (tens of
+// milliseconds and up), but on an otherwise-parked scheduler a runtime
+// timer fires through netpoll, whose wakeup granularity is on the order
+// of a millisecond. The arbiter's request-collection window (Treq) and
+// forwarding phase (Tfwd) are a few hundred microseconds in
+// low-hold-time deployments, and that window sits once in every dispatch
+// cycle — an ~0.9 ms overshoot per 200 µs timer was the single largest
+// term in the live keys=1 handoff chain after the inline executor
+// removed the queue parks. The service trades a bounded burst of one
+// spinning goroutine for precision: delays below shortTimerCutoff go
+// onto a shared min-heap drained by a runner that yields (Gosched) until
+// each deadline, so firing error is scheduler-pass sized (~1 µs busy,
+// low tens of µs idle) instead of netpoll-tick sized.
+//
+// The runner exists only while short timers are pending (it exits when
+// the heap drains), every entry is < shortTimerCutoff away, and the fn
+// it calls is Node.post — which inline-executes the protocol step, so a
+// dispatch window expiring flows straight into stamping and sending the
+// token with no further handoff.
+
+// shortTimerCutoff splits timer delays between the spinning short-timer
+// service (below) and time.AfterFunc (at or above). Two milliseconds
+// covers the sub-millisecond protocol phases the overshoot ruins while
+// keeping every spin bounded and leaving retransmit/recovery timers —
+// where a millisecond of slack is harmless — on the runtime's timers.
+const shortTimerCutoff = 2 * time.Millisecond
+
+// spinEntry is one pending short timer.
+type spinEntry struct {
+	due      time.Time
+	seq      uint64 // tie-break so equal deadlines fire in arm order
+	fn       func()
+	canceled *atomic.Bool
+}
+
+// spinHeap is a deadline-ordered min-heap of pending entries.
+type spinHeap []spinEntry
+
+func (h spinHeap) Len() int { return len(h) }
+func (h spinHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h spinHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *spinHeap) Push(x any)   { *h = append(*h, x.(spinEntry)) }
+func (h *spinHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = spinEntry{}
+	*h = old[:n-1]
+	return e
+}
+
+// spinTimerService is the process-wide short-timer arbiter. One runner
+// goroutine serves every Node in the process (a multi-key Manager's
+// instances all share it), so the spin cost does not scale with key
+// count.
+type spinTimerService struct {
+	mu      sync.Mutex
+	heap    spinHeap
+	seq     uint64
+	running bool
+}
+
+var shortTimers spinTimerService
+
+// after schedules fn to run once d from now, skipped if canceled is set
+// first. Callers guarantee d < shortTimerCutoff.
+func (s *spinTimerService) after(d time.Duration, canceled *atomic.Bool, fn func()) {
+	e := spinEntry{due: time.Now().Add(d), fn: fn, canceled: canceled}
+	s.mu.Lock()
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.heap, e)
+	start := !s.running
+	if start {
+		s.running = true
+	}
+	s.mu.Unlock()
+	if start {
+		go s.run()
+	}
+}
+
+// run drains the heap: fire everything due, yield until the next
+// deadline, exit when empty. The top of the heap is re-read under the
+// lock every pass, so an entry armed with an earlier deadline while the
+// runner is yielding is picked up on the next scheduler pass, not after
+// the previously-nearest deadline.
+func (s *spinTimerService) run() {
+	for {
+		s.mu.Lock()
+		if len(s.heap) == 0 {
+			s.running = false
+			s.mu.Unlock()
+			return
+		}
+		if time.Now().Before(s.heap[0].due) {
+			s.mu.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		e := heap.Pop(&s.heap).(spinEntry)
+		s.mu.Unlock()
+		if e.canceled == nil || !e.canceled.Load() {
+			// fn is Node.post: when the node's executor is idle the
+			// protocol step (a Treq window dispatching its batch, say)
+			// runs to completion right here on the runner's stack.
+			e.fn()
+		}
+	}
+}

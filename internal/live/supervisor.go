@@ -109,7 +109,8 @@ func (s *Supervisor) Kill(i int) error {
 	if node == nil {
 		return nil
 	}
-	// Close outside the lock: it waits for the node's event loop.
+	// Close outside the lock: it waits for the node's executor to go
+	// idle.
 	return node.Close()
 }
 

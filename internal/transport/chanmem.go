@@ -207,6 +207,10 @@ func (m *MemNetwork) deliverNow(from, to dme.NodeID, msg dme.Message) {
 	h := ep.handler
 	ep.hmu.RUnlock()
 	if h != nil {
+		// Invoked with no network locks held: the receiver's protocol
+		// step may run to completion inside this call (see Handler's
+		// reentrancy contract), including re-entering the network with
+		// sends of its own.
 		h(from, msg)
 	}
 }

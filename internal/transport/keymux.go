@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tokenarbiter/internal/dme"
 	"tokenarbiter/internal/wire"
@@ -35,23 +36,50 @@ import (
 // local application — touches the key. Without a hook, unknown-key
 // traffic is dropped (counted in DroppedUnknown), which the protocols
 // tolerate as message loss.
+//
+// Dispatch is lock-free: the key table lives in an immutable snapshot
+// swapped atomically by the writers (Bind, sub-Transport Close, Close,
+// OnUnknownKey), so routing an inbound message costs one atomic load and
+// a map lookup — no RWMutex on the per-message path, and no reader-side
+// contention between receive goroutines. With the live runtime's inline
+// executor those same receive goroutines run protocol code to
+// completion after the lookup; see Handler's reentrancy contract.
 type KeyMux struct {
 	base Transport
 
-	mu      sync.RWMutex
+	mu    sync.Mutex               // serializes snapshot writers
+	state atomic.Pointer[muxState] // current snapshot, read by dispatch
+
+	droppedUnknown atomic.Uint64
+}
+
+// muxState is one immutable snapshot of the mux's routing state. Writers
+// copy-on-write a fresh value under mu and swap the pointer; dispatch
+// reads whichever snapshot is current without locks.
+type muxState struct {
 	keys    map[string]*keyEndpoint
 	unknown func(key string, from dme.NodeID, msg dme.Message)
 	closed  bool
+}
 
-	droppedUnknown uint64 // guarded by mu
+// clone copies s with a fresh keys map, ready for mutation. Callers hold
+// the writer lock.
+func (s *muxState) clone() *muxState {
+	next := &muxState{
+		keys:    make(map[string]*keyEndpoint, len(s.keys)+1),
+		unknown: s.unknown,
+		closed:  s.closed,
+	}
+	for k, ep := range s.keys {
+		next.keys[k] = ep
+	}
+	return next
 }
 
 // NewKeyMux wraps base and takes over its handler slot.
 func NewKeyMux(base Transport) *KeyMux {
-	m := &KeyMux{
-		base: base,
-		keys: make(map[string]*keyEndpoint),
-	}
+	m := &KeyMux{base: base}
+	m.state.Store(&muxState{keys: make(map[string]*keyEndpoint)})
 	base.SetHandler(m.dispatch)
 	return m
 }
@@ -62,24 +90,23 @@ func NewKeyMux(base Transport) *KeyMux {
 // the key up again and delivers on success. Set it before traffic flows.
 func (m *KeyMux) OnUnknownKey(fn func(key string, from dme.NodeID, msg dme.Message)) {
 	m.mu.Lock()
-	m.unknown = fn
-	m.mu.Unlock()
+	defer m.mu.Unlock()
+	next := m.state.Load().clone()
+	next.unknown = fn
+	m.state.Store(next)
 }
 
 // DroppedUnknown reports how many inbound messages were discarded
 // because their key was not bound and no hook resolved it.
 func (m *KeyMux) DroppedUnknown() uint64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.droppedUnknown
+	return m.droppedUnknown.Load()
 }
 
 // Keys returns the currently bound keys, in no particular order.
 func (m *KeyMux) Keys() []string {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]string, 0, len(m.keys))
-	for k := range m.keys {
+	st := m.state.Load()
+	out := make([]string, 0, len(st.keys))
+	for k := range st.keys {
 		out = append(out, k)
 	}
 	return out
@@ -88,43 +115,41 @@ func (m *KeyMux) Keys() []string {
 // Bind creates the sub-Transport for key. Binding an already-bound key
 // or a closed mux is an error. The sub-Transport's Close unbinds the key
 // only — the base transport stays up for the other keys; closing it is
-// the mux's Close.
+// the mux's Close. A message dispatched after Bind returns is guaranteed
+// to see the binding (the snapshot swap happens before Bind returns).
 func (m *KeyMux) Bind(key string) (Transport, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed {
+	cur := m.state.Load()
+	if cur.closed {
 		return nil, fmt.Errorf("keymux: bind %q on a closed mux", key)
 	}
-	if _, ok := m.keys[key]; ok {
+	if _, ok := cur.keys[key]; ok {
 		return nil, fmt.Errorf("keymux: key %q is already bound", key)
 	}
 	ep := &keyEndpoint{mux: m, key: key}
-	m.keys[key] = ep
+	next := cur.clone()
+	next.keys[key] = ep
+	m.state.Store(next)
 	return ep, nil
 }
 
 // dispatch is the base transport's handler: route keyed messages to
-// their key's endpoint, key-less messages to the "" endpoint.
+// their key's endpoint, key-less messages to the "" endpoint. The hot
+// path — bound key, handler installed — takes no locks.
 func (m *KeyMux) dispatch(from dme.NodeID, msg dme.Message) {
 	msg, key := wire.SplitKey(msg)
-	m.mu.RLock()
-	ep := m.keys[key]
-	unknown := m.unknown
-	closed := m.closed
-	m.mu.RUnlock()
-	if closed {
+	st := m.state.Load()
+	if st.closed {
 		return
 	}
-	if ep == nil && unknown != nil {
-		unknown(key, from, msg) // may Bind(key)
-		m.mu.RLock()
-		ep = m.keys[key]
-		m.mu.RUnlock()
+	ep := st.keys[key]
+	if ep == nil && st.unknown != nil {
+		st.unknown(key, from, msg) // may Bind(key)
+		ep = m.state.Load().keys[key]
 	}
 	if ep == nil {
-		m.mu.Lock()
-		m.droppedUnknown++
-		m.mu.Unlock()
+		m.droppedUnknown.Add(1)
 		return
 	}
 	ep.deliver(from, msg)
@@ -134,12 +159,12 @@ func (m *KeyMux) dispatch(from dme.NodeID, msg dme.Message) {
 // released; their sub-Transports' Sends become no-ops.
 func (m *KeyMux) Close() error {
 	m.mu.Lock()
-	if m.closed {
+	cur := m.state.Load()
+	if cur.closed {
 		m.mu.Unlock()
 		return nil
 	}
-	m.closed = true
-	m.keys = make(map[string]*keyEndpoint)
+	m.state.Store(&muxState{keys: make(map[string]*keyEndpoint), closed: true})
 	m.mu.Unlock()
 	return m.base.Close()
 }
@@ -148,10 +173,14 @@ func (m *KeyMux) Close() error {
 // same key must not be torn down by the old endpoint's Close).
 func (m *KeyMux) unbind(key string, ep *keyEndpoint) {
 	m.mu.Lock()
-	if cur, ok := m.keys[key]; ok && cur == ep {
-		delete(m.keys, key)
+	defer m.mu.Unlock()
+	cur := m.state.Load()
+	if got, ok := cur.keys[key]; !ok || got != ep {
+		return
 	}
-	m.mu.Unlock()
+	next := cur.clone()
+	delete(next.keys, key)
+	m.state.Store(next)
 }
 
 // keyEndpoint is one key's view of the mux.
@@ -159,9 +188,9 @@ type keyEndpoint struct {
 	mux *KeyMux
 	key string
 
-	hmu     sync.Mutex
-	handler Handler
-	pending []pendingMsg // inbound arrivals before SetHandler; flushed by it
+	handler atomic.Pointer[Handler] // nil until SetHandler; read lock-free by deliver
+	hmu     sync.Mutex              // guards pending and the install/flush handoff
+	pending []pendingMsg            // inbound arrivals before SetHandler; flushed by it
 }
 
 type pendingMsg struct {
@@ -188,7 +217,7 @@ func (e *keyEndpoint) Send(to dme.NodeID, msg dme.Message) error {
 // message against the local node construction).
 func (e *keyEndpoint) SetHandler(h Handler) {
 	e.hmu.Lock()
-	e.handler = h
+	e.handler.Store(&h)
 	pending := e.pending
 	e.pending = nil
 	e.hmu.Unlock()
@@ -198,17 +227,23 @@ func (e *keyEndpoint) SetHandler(h Handler) {
 }
 
 // deliver hands an inbound message to the key's handler, buffering it if
-// the handler is not installed yet.
+// the handler is not installed yet. The installed-handler path is one
+// atomic load; the lock is only taken pre-installation, re-checking the
+// handler under it so a message can never slip into pending after
+// SetHandler's flush has drained it.
 func (e *keyEndpoint) deliver(from dme.NodeID, msg dme.Message) {
-	e.hmu.Lock()
-	h := e.handler
-	if h == nil {
-		e.pending = append(e.pending, pendingMsg{from, msg})
-		e.hmu.Unlock()
+	if h := e.handler.Load(); h != nil {
+		(*h)(from, msg)
 		return
 	}
+	e.hmu.Lock()
+	if h := e.handler.Load(); h != nil {
+		e.hmu.Unlock()
+		(*h)(from, msg)
+		return
+	}
+	e.pending = append(e.pending, pendingMsg{from, msg})
 	e.hmu.Unlock()
-	h(from, msg)
 }
 
 // Close implements Transport: it unbinds this key only. The base

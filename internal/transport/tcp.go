@@ -428,6 +428,10 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		h := t.handler
 		t.hmu.RUnlock()
 		if h != nil {
+			// Invoked with no transport locks held: under the live
+			// runtime's inline executor this call runs the protocol step —
+			// possibly through to granting a Lock — on this read goroutine
+			// (see Handler's reentrancy contract).
 			h(dme.NodeID(from), msg)
 		}
 	}

@@ -13,9 +13,18 @@ package transport
 import "tokenarbiter/internal/dme"
 
 // Handler receives inbound messages. Implementations of Transport invoke
-// it from their receive goroutines; it must be safe for concurrent calls
-// and must not block for long (the live runtime hands the message to its
-// event loop immediately).
+// it from their receive goroutines; it must be safe for concurrent calls.
+//
+// Reentrancy contract: the live runtime dispatches protocol steps inline,
+// so a Handler call may run arbitrary protocol code — including granting
+// a Lock and waking its caller — on the invoking goroutine before
+// returning. Two obligations follow. For transports and middleware:
+// do not invoke the handler while holding locks the next layer might
+// need, and do not assume the call returns quickly enough to sit inside
+// a per-connection critical section (deliver outside your locks, as the
+// TCP read loop, the in-memory network, and KeyMux do). For handler
+// implementations: a handler that can block indefinitely stalls that
+// peer's receive stream, so long waits belong on another goroutine.
 type Handler func(from dme.NodeID, msg dme.Message)
 
 // Transport moves protocol messages between nodes. Implementations must
