@@ -6,12 +6,14 @@ DATE  ?= $(shell date +%F)
 # The benchmark-trajectory set: the end-to-end simulator throughput
 # benchmark, the event-kernel micro-benchmarks, the multi-key lock
 # service's aggregate-throughput-vs-keys points (in-memory and over
-# loopback TCP), the wire codec encode+decode micro-benchmarks, and the
+# loopback TCP), the wire codec encode+decode micro-benchmarks, the
 # inline-executor lock-machinery micro-benchmarks (message-driven handoff
-# and the uncontended Lock/Unlock fast path).
+# and the uncontended Lock/Unlock fast path), and the session-protocol
+# round trip (Acquire+Release over loopback TCP against an instant
+# backend).
 # Override BENCH to run more (e.g. `make bench BENCH=.` for every
 # experiment benchmark).
-BENCH ?= SimulatorThroughput|ScheduleStep|PostStep|CancelHeavy|ManagerMultiKey|ManagerTCPMultiKey|SealOpen|NodeHandoffLatency|LockUnlockUncontended
+BENCH ?= SimulatorThroughput|ScheduleStep|PostStep|CancelHeavy|ManagerMultiKey|ManagerTCPMultiKey|SealOpen|NodeHandoffLatency|LockUnlockUncontended|SessionAcquireRelease
 
 .PHONY: build test race bench bench-full fuzz
 
@@ -22,13 +24,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -skip 'TestChaosSoak|TestManagerChaosSoakMultiKey' ./...
+	$(GO) test -race -skip 'TestChaosSoak|TestManagerChaosSoakMultiKey|TestSessionChaosSoak|TestRunTenThousandSessions' ./...
 
 # bench runs the trajectory benchmarks and records the point as
 # BENCH_$(DATE).json. Commit the file when the numbers move: the dated
 # series is the performance history of the simulation engine.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . ./internal/sim ./internal/live ./internal/wire | tee bench_raw.txt
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . ./internal/sim ./internal/live ./internal/wire ./internal/session | tee bench_raw.txt
 	$(GO) run ./cmd/benchjson -date $(DATE) -o BENCH_$(DATE).json < bench_raw.txt
 	@rm -f bench_raw.txt
 	@echo wrote BENCH_$(DATE).json

@@ -87,6 +87,14 @@ func run(args []string) error {
 		perNodeS  = fs.Bool("pernode", true, "print a per-node metrics summary at the end of the run")
 		flightrec = fs.String("flightrec", "", "write one flight-recorder capture (JSONL) of the whole cluster's traffic and lock lifecycle to this file; re-execute it with `mutexsim replay`")
 		slowN     = fs.Int("slowest", 3, "end-of-run: print the per-phase breakdown of this many slowest traced acquisitions (0 disables)")
+
+		sessionsN   = fs.Int("sessions", 0, "session mode: sustain this many concurrent TTL-leased sessions against per-node session servers instead of driving the lock API directly (0 = classic worker mode)")
+		connsN      = fs.Int("conns", 8, "session mode: shared client connections per node; sessions are spread round-robin across them")
+		ttl         = fs.Duration("ttl", 10*time.Second, "session mode: lease TTL (auto-keepalive renews)")
+		wait        = fs.Duration("wait", 2*time.Second, "session mode: server-side acquire wait bound (past it the server answers timeout)")
+		think       = fs.Duration("think", 50*time.Millisecond, "session mode: per-session pause between operations (jittered)")
+		maxSessions = fs.Int("maxsessions", 0, "session mode: per-node admission bound on concurrent sessions (0 = unlimited)")
+		maxWaiters  = fs.Int("maxwaiters", 256, "session mode: per-key wait-queue bound; acquires beyond it are refused with overloaded (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +107,12 @@ func run(args []string) error {
 	}
 	if *workers < 1 {
 		return fmt.Errorf("-workers %d: need at least one worker per node", *workers)
+	}
+	if *sessionsN < 0 {
+		return fmt.Errorf("-sessions %d: cannot be negative", *sessionsN)
+	}
+	if *sessionsN > 0 && *connsN < 1 {
+		return fmt.Errorf("-conns %d: need at least one connection per node", *connsN)
 	}
 	entry, ok := registry.Lookup(*algoFlag)
 	if !ok {
@@ -185,6 +199,36 @@ func run(args []string) error {
 		keyNames[k] = fmt.Sprintf("lock-%d", k)
 	}
 	totalWorkers := *nodes * *workers
+
+	if *sessionsN > 0 {
+		fmt.Printf("cluster: %d nodes over %s, algorithm=%s, keys=%d, sessions=%d, conns=%d/node, ttl=%v, wait=%v, think=%v, hold=%v, duration=%v, maxsessions=%d maxwaiters=%d\n",
+			*nodes, *trans, algo, *keys, *sessionsN, *connsN, *ttl, *wait, *think, *hold, *duration, *maxSessions, *maxWaiters)
+		err := runSessionLoad(cluster, sessionLoadConfig{
+			sessions:    *sessionsN,
+			conns:       *connsN,
+			ttl:         *ttl,
+			wait:        *wait,
+			think:       *think,
+			hold:        *hold,
+			maxSessions: *maxSessions,
+			maxWaiters:  *maxWaiters,
+			duration:    *duration,
+			keys:        keyNames,
+		})
+		if *perNodeS {
+			printPerNode(algo, cluster, counters)
+		}
+		if frec != nil {
+			records, dropped := frec.Totals()
+			fmt.Printf("flight recorder: %d records (%d dropped) -> %s\n", records, dropped, *flightrec)
+		}
+		if inj != nil {
+			c := inj.Counters()
+			fmt.Printf("chaos: dropped=%d duplicated=%d corrupted=%d delayed=%d reordered=%d\n",
+				c.Drops, c.Dups, c.Corruptions, c.Delayed, c.Reordered)
+		}
+		return err
+	}
 
 	fmt.Printf("cluster: %d nodes over %s, algorithm=%s, keys=%d, workers=%d/node, rate=%.0f/s, hold=%v, duration=%v, monitor=%v recovery=%v loss=%.2f%%\n",
 		*nodes, *trans, algo, *keys, *workers, *rate, *hold, *duration, *monitor, *recover, 100**loss)

@@ -21,6 +21,44 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-workers", "0", "-duration", "10ms"}); err == nil {
 		t.Error("zero workers accepted")
 	}
+	if err := run([]string{"-sessions", "-1", "-duration", "10ms"}); err == nil {
+		t.Error("negative sessions accepted")
+	}
+	if err := run([]string{"-sessions", "10", "-conns", "0", "-duration", "10ms"}); err == nil {
+		t.Error("session mode without connections accepted")
+	}
+}
+
+// TestRunShortSessionLoad is the session-mode smoke: a small cohort of
+// leased sessions against a 3-node mem cluster, checker on.
+func TestRunShortSessionLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real cluster")
+	}
+	err := run([]string{"-sessions", "120", "-conns", "4", "-nodes", "3", "-keys", "2",
+		"-duration", "700ms", "-think", "2ms", "-hold", "200us", "-wait", "500ms",
+		"-slowest", "0", "-pernode=false"})
+	if err != nil {
+		t.Fatalf("session load: %v", err)
+	}
+}
+
+// TestRunTenThousandSessions is the scale acceptance: the driver must
+// sustain 10,000 concurrent TTL-leased sessions against a 3-node
+// loopback-TCP cluster with admission control engaged (the per-key
+// waiter bound refuses the excess and the drivers back off), and the
+// cluster-wide exclusion/fencing checker must stay clean. Too heavy for
+// the race detector — CI runs it in the chaos-soak job without -race.
+func TestRunTenThousandSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens 10k sessions against a real TCP cluster")
+	}
+	err := run([]string{"-transport", "tcp", "-sessions", "10000", "-nodes", "3",
+		"-keys", "4", "-duration", "3s", "-think", "200ms", "-hold", "200us",
+		"-wait", "1s", "-slowest", "0", "-pernode=false"})
+	if err != nil {
+		t.Fatalf("10k session load: %v", err)
+	}
 }
 
 func TestRunShortMemLoad(t *testing.T) {

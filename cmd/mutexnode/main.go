@@ -49,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,6 +64,7 @@ import (
 	"tokenarbiter/internal/live"
 	"tokenarbiter/internal/registry"
 	"tokenarbiter/internal/reqtrace"
+	"tokenarbiter/internal/session"
 	"tokenarbiter/internal/telemetry"
 	"tokenarbiter/internal/transport"
 )
@@ -92,6 +94,7 @@ type nodeConfig struct {
 	monitor   bool
 	recovery  bool
 	httpAddr  string
+	session   string
 	verbose   bool
 	chaos     string
 	flightrec string
@@ -117,6 +120,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		monitor   = fs.Bool("monitor", false, "core: enable the starvation-free monitor variant")
 		recovery  = fs.Bool("recovery", true, "core: enable the §6 failure recovery protocol")
 		httpAddr  = fs.String("http", "", "admin endpoint address (e.g. :8080) serving /metrics, /statusz, /healthz, /debug/trace; empty disables")
+		sessAddr  = fs.String("session", "", "serve the client session protocol (TTL leases, wait queues, watches) on this address (e.g. :7100); forces the multi-key service shape, so every peer must run with -keys > 1 or -session as well")
 		verbose   = fs.Bool("v", false, "log protocol transitions (slog, stderr; core only)")
 		chaos     = fs.String("chaos", "", "inject faults into this node's outbound traffic, e.g. drop=0.05,dup=0.02,corrupt=0.01,delay=2ms,jitter=1ms,reorder=0.05,seed=7; live-tunable via /debug/faults when -http is set")
 		flightrec = fs.String("flightrec", "", "write a flight-recorder capture (JSONL: every envelope sent/received plus the lock lifecycle) to this file; re-execute it with `mutexsim replay`")
@@ -157,7 +161,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		algo: entry.Name, codec: *codec, keys: *keys,
 		count: *count, hold: *hold, think: *think, linger: *linger,
 		treq: *treq, tfwd: *tfwd, monitor: *monitor, recovery: *recovery,
-		httpAddr: *httpAddr, verbose: *verbose, chaos: *chaos,
+		httpAddr: *httpAddr, session: *sessAddr, verbose: *verbose, chaos: *chaos,
 		flightrec: *flightrec,
 	}, nil
 }
@@ -191,17 +195,24 @@ func buildFactory(cfg *nodeConfig) (live.Factory, error) {
 }
 
 // adminHandler composes the node's admin surface with the optional
-// fault-injector control endpoint, returning the handler and the
-// endpoint list for the startup banner.
-func adminHandler(admin http.Handler, inj *faultnet.Injector) (http.Handler, string) {
+// fault-injector control endpoint and session-layer status, returning
+// the handler and the endpoint list for the startup banner.
+func adminHandler(admin http.Handler, inj *faultnet.Injector, ssrv *session.Server) (http.Handler, string) {
 	endpoints := "/metrics /statusz /healthz /debug/trace /debug/requests"
-	if inj == nil {
+	if inj == nil && ssrv == nil {
 		return admin, endpoints
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", admin)
-	mux.Handle("/debug/faults", inj.Handler())
-	return mux, endpoints + " /debug/faults"
+	if inj != nil {
+		mux.Handle("/debug/faults", inj.Handler())
+		endpoints += " /debug/faults"
+	}
+	if ssrv != nil {
+		mux.Handle("/session/", http.StripPrefix("/session", ssrv.Handler()))
+		endpoints += " /session/sessionz /session/metrics"
+	}
+	return mux, endpoints
 }
 
 // keyName names the demo workload's lock keys: lock-0 … lock-M-1. Every
@@ -291,11 +302,13 @@ func run(args []string) error {
 	// The two service shapes: the classic single mutex (one live node,
 	// key-less wire envelopes, compatible with older peers) or the
 	// sharded multi-key service (one DME group per key over the same
-	// endpoint).
+	// endpoint). -session needs a Manager behind it (the session layer's
+	// Backend is keyed), so it forces the multi-key shape even at -keys 1.
 	var admin http.Handler
 	var workload func() error
 	var summary func()
-	if cfg.keys == 1 {
+	var ssrv *session.Server
+	if cfg.keys == 1 && cfg.session == "" {
 		node, err := live.NewNode(live.Config{
 			ID: cfg.id, N: cfg.n, Transport: tr, Factory: factory, Algo: cfg.algo,
 			Logger: logger, Metrics: reg, Tracer: tracer, FlightRec: frec,
@@ -321,10 +334,29 @@ func run(args []string) error {
 		admin = mgr.AdminHandler()
 		workload = func() error { return multiKeyWorkload(ctx, cfg, mgr) }
 		summary = func() { printManagerSummary(cfg, mgr, ct, tcp, inj) }
+		if cfg.session != "" {
+			// The session server shares the node's registry, so the main
+			// /metrics exposes the session_* counters alongside the
+			// protocol's; /session/metrics serves the same registry.
+			ssrv, err = session.NewServer(session.Config{
+				Backend: mgr, Metrics: reg, Logger: logger,
+			})
+			if err != nil {
+				return err
+			}
+			defer ssrv.Close() //nolint:errcheck // shutdown path
+			sln, err := net.Listen("tcp", cfg.session)
+			if err != nil {
+				return err
+			}
+			go ssrv.Serve(sln) //nolint:errcheck // returns ErrServerClosed on shutdown
+			fmt.Printf("node %d: session service on %s (TTL leases, wait queues, watches)\n",
+				cfg.id, sln.Addr())
+		}
 	}
 
 	if cfg.httpAddr != "" {
-		handler, endpoints := adminHandler(admin, inj)
+		handler, endpoints := adminHandler(admin, inj, ssrv)
 		srv := &http.Server{Addr: cfg.httpAddr, Handler: handler}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

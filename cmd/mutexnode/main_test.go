@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"tokenarbiter/internal/faultnet"
 	"tokenarbiter/internal/live"
 	"tokenarbiter/internal/registry"
+	"tokenarbiter/internal/session"
 	"tokenarbiter/internal/transport"
 )
 
@@ -60,6 +62,15 @@ func TestParseFlags(t *testing.T) {
 		{name: "zero keys", args: []string{"-keys", "0"}, wantErr: "at least one lock key"},
 		{name: "negative keys", args: []string{"-keys", "-3"}, wantErr: "at least one lock key"},
 		{name: "unknown flag", args: []string{"-bogus"}, wantErr: "flag provided but not defined"},
+		{
+			name: "session service",
+			args: []string{"-session", ":7100"},
+			check: func(t *testing.T, cfg *nodeConfig) {
+				if cfg.session != ":7100" {
+					t.Errorf("session = %q, want :7100", cfg.session)
+				}
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -116,7 +127,7 @@ func TestAdminHandlerMultiKey(t *testing.T) {
 	}
 
 	inj := faultnet.New(faultnet.Options{Seed: 1, Algo: "core"})
-	handler, endpoints := adminHandler(mgr.AdminHandler(), inj)
+	handler, endpoints := adminHandler(mgr.AdminHandler(), inj, nil)
 	if !strings.Contains(endpoints, "/debug/faults") {
 		t.Errorf("endpoint banner %q misses /debug/faults", endpoints)
 	}
@@ -179,7 +190,7 @@ func TestAdminHandlerSingleKey(t *testing.T) {
 	}
 	defer node.Close() //nolint:errcheck // test shutdown
 
-	handler, endpoints := adminHandler(node.AdminHandler(), nil)
+	handler, endpoints := adminHandler(node.AdminHandler(), nil, nil)
 	if strings.Contains(endpoints, "/debug/faults") {
 		t.Errorf("endpoint banner %q lists /debug/faults without an injector", endpoints)
 	}
@@ -192,6 +203,107 @@ func TestAdminHandlerSingleKey(t *testing.T) {
 	defer resp.Body.Close() //nolint:errcheck // test read
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/statusz = %d", resp.StatusCode)
+	}
+}
+
+// TestAdminHandlerWithSessions assembles the -session composition the
+// way run() does — Manager backend, session server on a loopback
+// listener, session surface mounted under /session/ — and drives one
+// real client through lease, acquire, and release, then reads the
+// result back through the mounted admin endpoints.
+func TestAdminHandlerWithSessions(t *testing.T) {
+	memNet := transport.NewMemNetwork(1, transport.MemOptions{})
+	defer memNet.Close()
+	mgr, err := live.NewManager(live.ManagerConfig{
+		ID: 0, N: 1, Transport: memNet.Endpoint(0),
+		Factory: registry.CoreLiveFactory(core.Options{Treq: 0.001, Tfwd: 0.001, RetransmitTimeout: 0.5}),
+		Algo:    "core",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close() //nolint:errcheck // test shutdown
+
+	ssrv, err := session.NewServer(session.Config{Backend: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ssrv.Close() //nolint:errcheck // test shutdown
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ssrv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
+
+	handler, endpoints := adminHandler(mgr.AdminHandler(), nil, ssrv)
+	if !strings.Contains(endpoints, "/session/sessionz") {
+		t.Errorf("endpoint banner %q misses /session/sessionz", endpoints)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	cl, err := session.Dial(ln.Addr().String(), session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck // test shutdown
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sess, err := cl.Open(ctx, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fence, err := sess.Acquire(ctx, keyName(0))
+	if err != nil {
+		t.Fatalf("acquire through session service: %v", err)
+	}
+	if fence == 0 {
+		t.Error("grant carried fence 0")
+	}
+
+	resp, err := http.Get(srv.URL + "/session/sessionz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test read
+	body, _ := io.ReadAll(resp.Body)
+	var doc session.StatusDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/session/sessionz JSON: %v", err)
+	}
+	if doc.Sessions != 1 || len(doc.Keys) != 1 || doc.Keys[0].Holder != sess.ID() {
+		t.Errorf("/session/sessionz = %+v, want 1 session holding %s", doc, keyName(0))
+	}
+	if err := sess.Release(keyName(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	mresp, err := http.Get(srv.URL + "/session/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close() //nolint:errcheck // test read
+	mbody, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(mbody), "session_grants_total 1") {
+		t.Errorf("/session/metrics missing grant counter:\n%s", mbody)
+	}
+}
+
+// TestRunSessionService is the run()-path smoke for -session: the node
+// must come up with the session listener, run its workload through the
+// Manager shape (forced by -session even at -keys 1), and tear down.
+func TestRunSessionService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real node")
+	}
+	err := run([]string{
+		"-id", "0", "-peers", "127.0.0.1:0",
+		"-session", "127.0.0.1:0",
+		"-count", "2", "-hold", "1ms", "-think", "1ms", "-linger", "0s",
+		"-treq", "0.002", "-tfwd", "0.002",
+	})
+	if err != nil {
+		t.Fatalf("session service run: %v", err)
 	}
 }
 

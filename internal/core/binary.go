@@ -147,7 +147,10 @@ func (m *Enquiry) UnmarshalWire(data []byte) error {
 // AppendWire implements wire.WireAppender.
 func (m EnquiryAck) AppendWire(b []byte) ([]byte, error) {
 	b = binenc.AppendUvarint(b, m.Round)
-	return binenc.AppendInt(b, int(m.Status)), nil
+	b = binenc.AppendInt(b, int(m.Status))
+	b = binenc.AppendUvarint(b, m.Epoch)
+	b = binenc.AppendUvarint(b, m.Gen)
+	return binenc.AppendUvarint(b, m.MaxFence), nil
 }
 
 // UnmarshalWire implements wire.WireUnmarshaler.
@@ -155,6 +158,9 @@ func (m *EnquiryAck) UnmarshalWire(data []byte) error {
 	r := binenc.NewReader(data)
 	m.Round = r.Uvarint()
 	m.Status = TokenStatus(r.Int())
+	m.Epoch = r.Uvarint()
+	m.Gen = r.Uvarint()
+	m.MaxFence = r.Uvarint()
 	return r.Close()
 }
 

@@ -196,10 +196,20 @@ func (s TokenStatus) String() string {
 	}
 }
 
-// EnquiryAck answers an ENQUIRY.
+// EnquiryAck answers an ENQUIRY. Epoch, Gen, and MaxFence report the
+// answering node's view of the token epoch, batch generation, and fence
+// watermark: a regenerating arbiter folds the answers into its own state
+// before minting, so a restarted (amnesiac) arbiter whose counters died
+// with its previous incarnation still regenerates strictly above every
+// epoch, generation, and fence the group has observed — without them its
+// post-regeneration announcements would be discarded by the peers'
+// staleness gates and the key would wedge.
 type EnquiryAck struct {
-	Round  uint64
-	Status TokenStatus
+	Round    uint64
+	Status   TokenStatus
+	Epoch    uint64
+	Gen      uint64
+	MaxFence uint64
 }
 
 // Kind implements dme.Message.

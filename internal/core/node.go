@@ -153,14 +153,36 @@ func (nd *node) ID() int { return nd.id }
 
 // Init implements dme.Node: node 0 is the initial arbiter and holds the
 // initial token with an empty Q-list.
+//
+// In rejoin mode (Options.Rejoin, or MarkRejoin before Init) node 0
+// still assumes the initial-arbiter role but does NOT mint the token: a
+// restarted incarnation resurrecting a fresh token at fence 0 would
+// bypass the §6 fence watermark and hand out fences the group already
+// granted. A rejoining arbiter instead collects requests tokenless; if
+// the token truly died with the previous incarnation, the §6 token
+// timeout fires and regeneration continues the fence sequence above
+// every observed watermark.
 func (nd *node) Init(ctx dme.Context) {
 	if nd.id == 0 {
 		nd.collecting = true
-		nd.haveToken = true
 		nd.windowDone = true // idle: first request starts a fresh window
+		if nd.opts.Rejoin {
+			// A rejoining incarnation is a tokenless arbiter: start the
+			// §6 token-arrival wait so a lost token is detected and
+			// regenerated even though no NEW-ARBITER designated us.
+			// No-op when recovery is disabled (documented on Options).
+			nd.rec.armTokenWait(ctx, nd)
+			return
+		}
+		nd.haveToken = true
 		nd.token = Privilege{Granted: make([]uint64, nd.n)}
 	}
 }
+
+// MarkRejoin puts the node in rejoin mode (see Options.Rejoin) after
+// construction but before Init — the hook internal/live uses when a
+// factory-built node turns out to be a restarted incarnation.
+func (nd *node) MarkRejoin() { nd.opts.Rejoin = true }
 
 // OnRequest implements dme.Node: the local application wants the CS.
 func (nd *node) OnRequest(ctx dme.Context) {
@@ -321,6 +343,16 @@ func (nd *node) acceptRequest(ctx dme.Context, e QEntry) {
 	nd.observe(Event{Kind: EventRequestAccepted, Arbiter: nd.id, Batch: len(nd.q), Req: e.Node, ReqSeq: e.Seq})
 	if nd.haveToken && nd.windowDone && !nd.windowTimer.Armed() && !nd.inCS {
 		nd.startWindow(ctx)
+	}
+	// Liveness net: a collecting arbiter holding requests but no token and
+	// no pending §6 activity is wedged unless something re-triggers
+	// recovery — a resolved invalidation whose promised RESUME token was
+	// lost on the wire leaves exactly this state. Requesters retransmit
+	// forever, so arming the token wait here makes every retransmission a
+	// recovery trigger instead of a no-op.
+	if enabled(nd) && !nd.haveToken && nd.collecting && nd.arbiter == nd.id &&
+		!nd.rec.invalidating && !nd.rec.tokTimer.Armed() {
+		nd.rec.armTokenWait(ctx, nd)
 	}
 }
 
@@ -578,6 +610,11 @@ func (nd *node) abandonCollection(ctx dme.Context, realArbiter int) {
 	nd.windowDone = false
 	ctx.Cancel(nd.windowTimer)
 	nd.windowTimer = dme.Timer{}
+	// We no longer await the token as arbiter; a stale token-wait firing
+	// after abandonment would start an invalidation round next to the
+	// real arbiter's live token.
+	ctx.Cancel(nd.rec.tokTimer)
+	nd.rec.tokTimer = dme.Timer{}
 	q := nd.q
 	nd.q = nil
 	for _, e := range q {

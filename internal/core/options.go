@@ -73,6 +73,16 @@ type Options struct {
 	// Recovery configures the §6 failure-recovery protocol.
 	Recovery RecoveryOptions
 
+	// Rejoin marks this node a restarted incarnation rejoining a running
+	// group: node 0 keeps its initial-arbiter role but does not mint the
+	// initial token, so a restart of the initial node cannot resurrect a
+	// fence-0 token behind the group's back — the §6 recovery protocol
+	// regenerates the token (above every observed fence watermark) on
+	// demand instead. Liveness of a rejoining initial node therefore
+	// needs Recovery.Enabled when the token died with the previous
+	// incarnation.
+	Rejoin bool
+
 	// Observer, when non-nil, receives notable protocol transitions
 	// (arbiter changes, dispatches, recovery actions) for logging and
 	// metrics. It is called synchronously from the protocol code and

@@ -87,7 +87,10 @@ func (r *recovery) armTokenWait(ctx dme.Context, nd *node) {
 	ctx.Cancel(r.tokTimer)
 	r.tokTimer = ctx.After(nd.id, nd.opts.Recovery.TokenTimeout, func() {
 		r.tokTimer = dme.Timer{}
-		if !nd.haveToken {
+		// Re-check the arbiter stance at fire time: if the role moved on
+		// (abandoned or superseded) the invalidation is someone else's
+		// to run, and starting one here could mint a duplicate token.
+		if !nd.haveToken && nd.collecting && nd.arbiter == nd.id {
 			r.startInvalidation(ctx, nd)
 		}
 	})
@@ -259,6 +262,19 @@ func (r *recovery) startInvalidation(ctx dme.Context, nd *node) {
 		r.targets = append(r.targets, p)
 	}
 	if len(r.targets) == 0 {
+		// No batch in service and no previous arbiter: this arbiter has
+		// no knowledge of where the token could be — it is a restarted
+		// (rejoining) incarnation, or the group is degenerate. Enquire
+		// every member: a live holder anywhere resolves the round with
+		// RESUME, and the acks' MaxFence watermarks rebuild the fence
+		// knowledge the amnesiac arbiter is missing before it regenerates.
+		for j := 0; j < nd.n; j++ {
+			if j != nd.id {
+				r.targets = append(r.targets, j)
+			}
+		}
+	}
+	if len(r.targets) == 0 {
 		r.finishInvalidation(ctx, nd)
 		return
 	}
@@ -288,7 +304,13 @@ func (nd *node) onEnquiry(ctx dme.Context, from int, m Enquiry) {
 	default:
 		status = StatusExecuted
 	}
-	ctx.Send(nd.id, from, EnquiryAck{Round: m.Round, Status: status})
+	ctx.Send(nd.id, from, EnquiryAck{
+		Round:    m.Round,
+		Status:   status,
+		Epoch:    nd.epoch,
+		Gen:      nd.gen,
+		MaxFence: nd.maxFence,
+	})
 }
 
 func (nd *node) hasScheduledOutstanding() bool {
@@ -309,10 +331,31 @@ func (nd *node) onEnquiryAck(ctx dme.Context, from int, m EnquiryAck) {
 		return
 	}
 	r.acks[from] = m.Status
+	// Anti-entropy: the answers rebuild whatever view a restarted
+	// (amnesiac) arbiter lost — regeneration and the announcements that
+	// follow it must land above the group's observed epoch, generation,
+	// and fence watermark or the peers' staleness gates discard them.
+	if m.MaxFence > nd.maxFence {
+		nd.maxFence = m.MaxFence
+	}
+	if m.Gen > nd.gen {
+		nd.gen = m.Gen
+	}
+	if m.Epoch > nd.epoch {
+		nd.epoch = m.Epoch
+	}
 	if m.Status == StatusHolding {
 		ctx.Send(nd.id, from, Resume{Round: m.Round})
 		r.endInvalidation(ctx)
 		nd.observe(Event{Kind: EventInvalidationResolved, Arbiter: nd.id, Epoch: nd.epoch})
+		// The holder keeps operating, but this arbiter may be sitting on
+		// collected requests with no token and no designation coming its
+		// way (a rejoined incarnation) — and the RESUME'd token itself can
+		// be lost in flight; keep the token wait armed while any local work
+		// is pending so the round retries rather than wedging.
+		if len(nd.q) > 0 || len(nd.outstanding) > 0 || len(r.pendingBatch) > 0 {
+			r.armTokenWait(ctx, nd)
+		}
 		return
 	}
 	if len(r.acks) == len(r.targets) {
@@ -362,7 +405,13 @@ func (r *recovery) finishInvalidation(ctx dme.Context, nd *node) {
 	// of the batch it was serving beyond the last base every node
 	// observed; starting strictly above that keeps fences monotone
 	// across regeneration (computed before pendingBatch is cleared).
-	fenceJump := nd.maxFence + uint64(len(r.pendingBatch)) + 1
+	// An amnesiac arbiter does not know the lost batch; pad by the
+	// cluster size, which bounds any batch's distinct grants.
+	pad := uint64(len(r.pendingBatch))
+	if pad == 0 {
+		pad = uint64(nd.n)
+	}
+	fenceJump := nd.maxFence + pad + 1
 	r.pendingBatch = nil
 
 	nd.haveToken = true

@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+// TestRejoinInitMintsNoToken pins the rejoin-mode contract: a restarted
+// incarnation of node 0 keeps the initial-arbiter role but must NOT
+// resurrect the initial token — a fence-0 token minted behind a running
+// group's back would bypass the §6 fence watermark and re-issue fences
+// the group already granted. The token comes back only through §6
+// regeneration, which continues above every observed watermark.
+func TestRejoinInitMintsNoToken(t *testing.T) {
+	ctx := newFakeCtx(t, 3)
+
+	fresh := testNode(t, 0, 3, Options{})
+	fresh.Init(ctx)
+	if !fresh.haveToken || !fresh.collecting {
+		t.Fatalf("fresh init: haveToken=%v collecting=%v, want token-holding arbiter",
+			fresh.haveToken, fresh.collecting)
+	}
+
+	re := testNode(t, 0, 3, Options{Rejoin: true})
+	re.Init(ctx)
+	if re.haveToken {
+		t.Fatal("rejoining node 0 minted a token")
+	}
+	if !re.collecting || !re.windowDone {
+		t.Fatalf("rejoining node 0: collecting=%v windowDone=%v, want idle arbiter",
+			re.collecting, re.windowDone)
+	}
+
+	// MarkRejoin after construction (the internal/live hook) is
+	// equivalent to the option.
+	marked := testNode(t, 0, 3, Options{})
+	marked.MarkRejoin()
+	marked.Init(ctx)
+	if marked.haveToken {
+		t.Fatal("MarkRejoin'd node 0 minted a token")
+	}
+
+	// Rejoin is a no-op for every other identity, which never mints.
+	other := testNode(t, 1, 3, Options{Rejoin: true})
+	other.Init(ctx)
+	if other.haveToken || other.collecting {
+		t.Fatalf("rejoining node 1: haveToken=%v collecting=%v, want neither",
+			other.haveToken, other.collecting)
+	}
+}

@@ -22,10 +22,13 @@ type TuningRow struct {
 // TuningResult is experiment E15: the §6 recovery protocol's timeouts are
 // left open by the paper ("appropriate timeouts may be used"); this
 // experiment shows they are not free parameters. Under sustained message
-// loss, a token timeout much longer than the batch cycle stalls the
-// pipeline for several cycles per loss; warnings pile up, invalidation
-// churn grows, and throughput collapses toward the recovery rate — while
-// a timeout of a few cycles recovers promptly at modest message overhead.
+// loss, a token timeout below the batch cycle declares healthy tokens
+// lost and pays spurious invalidation churn, while one much longer than
+// the cycle stalls the pipeline ~TokenTimeout per token loss — the
+// hardened recovery path (benign Holding resolution, retransmission-
+// armed token waits) keeps either extreme *live*, but at recovery
+// traffic and service times orders of magnitude above the well-tuned
+// few-cycle setting.
 type TuningResult struct {
 	LossRate float64
 	Rows     []TuningRow

@@ -54,8 +54,9 @@ func TestLiveArbiterCrashTakeover(t *testing.T) {
 	}
 
 	// Find a node that is the designated arbiter without the token and
-	// kill it. Retry for a while — the state is transient.
-	time.Sleep(100 * time.Millisecond)
+	// kill it. The state is transient and short-lived, so sample Inspect
+	// in a tight loop under a deadline — no warm-up sleep: the deadline
+	// also covers the cluster still getting its first batches going.
 	victim := -1
 	deadline := time.Now().Add(10 * time.Second)
 	for victim < 0 && time.Now().Before(deadline) {

@@ -144,7 +144,18 @@ func TestLiveCloseUnblocksWaiters(t *testing.T) {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- nodes[1].Lock(ctx) }()
-	time.Sleep(50 * time.Millisecond)
+	// Close must catch the Lock mid-wait: poll until node 1's request is
+	// actually outstanding instead of guessing with a fixed sleep.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		ins, err := nodes[1].Inspect(ctx)
+		if err == nil && ins.Outstanding > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node 1's request never became outstanding")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	_ = nodes[1].Close()
 	select {
 	case err := <-errCh:

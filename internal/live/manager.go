@@ -278,6 +278,9 @@ func (m *Manager) buildInstance(key string, reg *telemetry.Registry, incarnation
 		Key:        key,
 		Tracer:     m.cfg.Tracer,
 		FlightRec:  m.cfg.FlightRec,
+		// A restarted incarnation rejoins the key's running group; it
+		// must not re-mint initial protocol state (node 0's token).
+		Rejoin: incarnation > 1,
 	})
 	if err != nil {
 		_ = ep.Close() // release the binding; the mux stays usable

@@ -122,6 +122,14 @@ type Config struct {
 	// capture holds the wire traffic, making it replayable by
 	// reqtrace.Replay / `mutexsim replay`.
 	FlightRec *reqtrace.Recorder
+	// Rejoin marks this node a restarted incarnation joining a group
+	// that is already running. Protocol machines that support it (the
+	// core algorithm, via core.Options.Rejoin) start without minting
+	// initial protocol state — in particular a restarted node 0 does not
+	// resurrect the initial token, leaving invalidation and regeneration
+	// to §6 recovery. Machines without rejoin support ignore it. The
+	// Manager sets it automatically for incarnations after the first.
+	Rejoin bool
 }
 
 // DefaultTraceDepth is the event-trace ring capacity when
@@ -282,6 +290,13 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if inner.ID() != cfg.ID {
 		return nil, fmt.Errorf("live: factory built node %d, want %d", inner.ID(), cfg.ID)
+	}
+	if cfg.Rejoin {
+		// Must happen before Init is posted below: rejoin changes what
+		// Init sets up (no initial token for a restarted incarnation).
+		if r, ok := inner.(interface{ MarkRejoin() }); ok {
+			r.MarkRejoin()
+		}
 	}
 	seed := cfg.Seed
 	if seed == 0 {

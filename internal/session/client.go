@@ -1,0 +1,540 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/wire"
+)
+
+// ErrClientClosed reports an operation on a closed or failed client.
+var ErrClientClosed = errors.New("session: client closed")
+
+// ErrSessionDead reports an operation on an expired or ended session.
+var ErrSessionDead = errors.New("session: session expired")
+
+// Options parameterizes a Client.
+type Options struct {
+	// Clock drives keepalive scheduling; nil means WallClock.
+	Clock Clock
+	// Codec is the proposed wire codec; nil proposes binary.
+	Codec wire.Codec
+	// NoKeepAlive disables the automatic keepalive loop; the caller
+	// renews (or deliberately lets leases lapse) itself. Lease
+	// lifecycle tests use this to step expiry by hand.
+	NoKeepAlive bool
+	// EventBuffer is each session's watch-event buffer; events beyond
+	// it are dropped (watches are level hints, not a reliable log).
+	// 0 means 16.
+	EventBuffer int
+}
+
+// Client is one connection to a session server, multiplexing any number
+// of sessions over it. All methods are safe for concurrent use.
+type Client struct {
+	conn  net.Conn
+	clock Clock
+	opts  Options
+
+	wmu sync.Mutex // serializes Encode+Flush
+	fr  framed
+
+	mu       sync.Mutex
+	err      error
+	pending  map[uint64]chan dme.Message
+	sessions map[uint64]*Session
+	nextSeq  uint64
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a session server over TCP.
+func Dial(addr string, opts Options) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn, opts)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient runs the handshake over an existing connection and starts
+// the client's reader. The client owns the connection from here on.
+func NewClient(conn net.Conn, opts Options) (*Client, error) {
+	fr, err := clientHandshake(conn, opts.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Clock == nil {
+		opts.Clock = WallClock{}
+	}
+	if opts.EventBuffer <= 0 {
+		opts.EventBuffer = 16
+	}
+	c := &Client{
+		conn:       conn,
+		clock:      opts.Clock,
+		opts:       opts,
+		fr:         fr,
+		pending:    make(map[uint64]chan dme.Message),
+		sessions:   make(map[uint64]*Session),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down. Sessions opened on it stop renewing
+// and die server-side by TTL; call Session.End first for a clean Bye.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return nil
+}
+
+// Err returns the terminal connection error, or nil while healthy.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// fail makes err terminal: wakes every pending call, kills every
+// session handle, and closes the connection.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	pending := c.pending
+	c.pending = map[uint64]chan dme.Message{}
+	sessions := make([]*Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.mu.Unlock()
+	_ = c.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+	for _, s := range sessions {
+		s.markDead()
+	}
+}
+
+// write frames one message onto the connection.
+func (c *Client) write(msg dme.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.fr.enc.Encode(0, msg); err != nil {
+		return err
+	}
+	return c.fr.bw.Flush()
+}
+
+// seq allocates a request sequence number and its response channel.
+func (c *Client) seq() (uint64, chan dme.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	c.nextSeq++
+	ch := make(chan dme.Message, 1)
+	c.pending[c.nextSeq] = ch
+	return c.nextSeq, ch, nil
+}
+
+// forget abandons a pending call (ctx gave up before the response).
+func (c *Client) forget(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+// call performs one request/response exchange.
+func (c *Client) call(ctx context.Context, build func(seq uint64) dme.Message) (dme.Message, error) {
+	seq, ch, err := c.seq()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.write(build(seq)); err != nil {
+		c.forget(seq)
+		c.fail(err)
+		return nil, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, c.Err()
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.forget(seq)
+		return nil, ctx.Err()
+	}
+}
+
+// readLoop dispatches inbound frames: responses to their pending call,
+// pushes to their session.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		_, msg, err := c.fr.dec.Decode()
+		if err != nil {
+			var de *wire.DecodeError
+			if errors.As(err, &de) {
+				continue
+			}
+			c.fail(fmt.Errorf("session: connection lost: %w", err))
+			return
+		}
+		switch m := msg.(type) {
+		case OpenResp:
+			c.deliver(m.Seq, m)
+		case KeepAliveResp:
+			c.deliver(m.Seq, m)
+		case AcquireResp:
+			c.deliver(m.Seq, m)
+		case ReleaseResp:
+			c.deliver(m.Seq, m)
+		case WatchResp:
+			c.deliver(m.Seq, m)
+		case ByeResp:
+			c.deliver(m.Seq, m)
+		case WatchEvent:
+			c.mu.Lock()
+			s := c.sessions[m.Session]
+			c.mu.Unlock()
+			if s != nil {
+				select {
+				case s.events <- m:
+				default: // watcher not draining; drop
+				}
+			}
+		case SessionExpired:
+			c.mu.Lock()
+			s := c.sessions[m.Session]
+			c.mu.Unlock()
+			if s != nil {
+				s.markDead()
+			}
+		}
+	}
+}
+
+// deliver routes a response to its caller.
+func (c *Client) deliver(seq uint64, msg dme.Message) {
+	c.mu.Lock()
+	ch := c.pending[seq]
+	delete(c.pending, seq)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- msg
+	}
+}
+
+// Session is a client-side lease handle.
+type Session struct {
+	c   *Client
+	id  uint64
+	ttl time.Duration
+
+	events chan WatchEvent
+	done   chan struct{}
+
+	deadOnce sync.Once
+
+	kmu     sync.Mutex
+	katimer ClockTimer
+}
+
+// Open creates a session with the given lease TTL (0 asks for the
+// server default). Unless Options.NoKeepAlive is set, the client renews
+// the lease automatically at a jittered fraction of the TTL until the
+// session ends.
+func (c *Client) Open(ctx context.Context, ttl time.Duration) (*Session, error) {
+	resp, err := c.call(ctx, func(seq uint64) dme.Message {
+		return OpenReq{Seq: seq, TTLMillis: uint64(ttl / time.Millisecond)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	or, ok := resp.(OpenResp)
+	if !ok {
+		return nil, fmt.Errorf("session: open got %T", resp)
+	}
+	if err := or.Code.Err(); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		c:      c,
+		id:     or.Session,
+		ttl:    time.Duration(or.TTLMillis) * time.Millisecond,
+		events: make(chan WatchEvent, c.opts.EventBuffer),
+		done:   make(chan struct{}),
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return nil, c.Err()
+	}
+	c.sessions[s.id] = s
+	c.mu.Unlock()
+	if !c.opts.NoKeepAlive {
+		s.armKeepAlive()
+	}
+	return s, nil
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// TTL returns the granted lease TTL.
+func (s *Session) TTL() time.Duration { return s.ttl }
+
+// Done is closed when the session ends — lease expiry, server
+// shutdown, End, or connection loss.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Expired reports whether the session has ended.
+func (s *Session) Expired() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Events delivers this session's watch events. Undrained events beyond
+// the buffer are dropped.
+func (s *Session) Events() <-chan WatchEvent { return s.events }
+
+// markDead ends the session handle.
+func (s *Session) markDead() {
+	s.deadOnce.Do(func() {
+		s.kmu.Lock()
+		if s.katimer != nil {
+			s.katimer.Stop()
+		}
+		s.kmu.Unlock()
+		s.c.mu.Lock()
+		delete(s.c.sessions, s.id)
+		s.c.mu.Unlock()
+		close(s.done)
+	})
+}
+
+// keepAliveInterval is the session's renewal period: a deterministic
+// per-session point in [TTL/4, TTL/2), jittered by session id so a
+// cohort of sessions opened together does not renew in lockstep.
+func (s *Session) keepAliveInterval() time.Duration {
+	quarter := s.ttl / 4
+	if quarter <= 0 {
+		quarter = time.Millisecond
+	}
+	frac := splitmix64(s.id) % 1024
+	return quarter + quarter*time.Duration(frac)/1024
+}
+
+// splitmix64 is the SplitMix64 mixer — a cheap, well-distributed hash
+// for deriving per-session jitter from the id.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// armKeepAlive schedules the next renewal.
+func (s *Session) armKeepAlive() {
+	s.kmu.Lock()
+	defer s.kmu.Unlock()
+	if s.Expired() {
+		return
+	}
+	s.katimer = s.c.clock.AfterFunc(s.keepAliveInterval(), s.keepAliveTick)
+}
+
+// keepAliveTick renews the lease and re-arms. The round trip runs
+// inside the timer callback, so under a FakeClock each Advance
+// serializes renewal against lease expiry deterministically.
+func (s *Session) keepAliveTick() {
+	if s.Expired() {
+		return
+	}
+	resp, err := s.c.call(context.Background(), func(seq uint64) dme.Message {
+		return KeepAliveReq{Seq: seq, Session: s.id}
+	})
+	if err != nil {
+		s.markDead()
+		return
+	}
+	kr, ok := resp.(KeepAliveResp)
+	if !ok || kr.Code != CodeOK {
+		s.markDead()
+		return
+	}
+	s.armKeepAlive()
+}
+
+// KeepAlive renews the lease once, explicitly. Callers running with
+// NoKeepAlive use it to control renewal from a test clock.
+func (s *Session) KeepAlive(ctx context.Context) error {
+	if s.Expired() {
+		return ErrSessionDead
+	}
+	resp, err := s.c.call(ctx, func(seq uint64) dme.Message {
+		return KeepAliveReq{Seq: seq, Session: s.id}
+	})
+	if err != nil {
+		return err
+	}
+	kr, ok := resp.(KeepAliveResp)
+	if !ok {
+		return fmt.Errorf("session: keepalive got %T", resp)
+	}
+	if kr.Code != CodeOK {
+		s.markDead()
+	}
+	return kr.Code.Err()
+}
+
+// Acquire takes the named lock, waiting in the server's FIFO queue as
+// long as ctx (and the optional server-side wait bound — see
+// AcquireWait) allows, and returns the grant's fencing token. If ctx
+// gives up while the request is queued, a grant that was already in
+// flight is released automatically.
+func (s *Session) Acquire(ctx context.Context, key string) (uint64, error) {
+	return s.acquire(ctx, key, 0)
+}
+
+// AcquireWait is Acquire with a server-side bound on queue time: past
+// it the server answers CodeTimeout. The bound is evaluated on the
+// server's clock, so it composes with a FakeClock in tests.
+func (s *Session) AcquireWait(ctx context.Context, key string, wait time.Duration) (uint64, error) {
+	return s.acquire(ctx, key, wait)
+}
+
+func (s *Session) acquire(ctx context.Context, key string, wait time.Duration) (uint64, error) {
+	if s.Expired() {
+		return 0, ErrSessionDead
+	}
+	seq, ch, err := s.c.seq()
+	if err != nil {
+		return 0, err
+	}
+	req := AcquireReq{Seq: seq, Session: s.id, Key: key,
+		WaitMillis: uint64(wait / time.Millisecond)}
+	if err := s.c.write(req); err != nil {
+		s.c.forget(seq)
+		s.c.fail(err)
+		return 0, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return 0, s.c.Err()
+		}
+		ar, ok := resp.(AcquireResp)
+		if !ok {
+			return 0, fmt.Errorf("session: acquire got %T", resp)
+		}
+		if err := ar.Code.Err(); err != nil {
+			return 0, err
+		}
+		return ar.Fence, nil
+	case <-ctx.Done():
+		// Stay registered for the response: if the grant already won
+		// the race it must be released, not leaked until lease expiry.
+		go func() {
+			resp, ok := <-ch
+			if !ok {
+				return
+			}
+			if ar, isAcq := resp.(AcquireResp); isAcq && ar.Code == CodeOK {
+				_ = s.Release(key)
+			}
+		}()
+		return 0, ctx.Err()
+	case <-s.done:
+		s.c.forget(seq)
+		return 0, ErrSessionDead
+	}
+}
+
+// Release gives the named lock back.
+func (s *Session) Release(key string) error {
+	resp, err := s.c.call(context.Background(), func(seq uint64) dme.Message {
+		return ReleaseReq{Seq: seq, Session: s.id, Key: key}
+	})
+	if err != nil {
+		return err
+	}
+	rr, ok := resp.(ReleaseResp)
+	if !ok {
+		return fmt.Errorf("session: release got %T", resp)
+	}
+	return rr.Code.Err()
+}
+
+// Watch subscribes the session to the key: each grant ending on it
+// (release or expiry) arrives on Events until Unwatch or session end.
+func (s *Session) Watch(ctx context.Context, key string) error {
+	return s.watchOp(ctx, key, true)
+}
+
+// Unwatch drops the session's watch on the key.
+func (s *Session) Unwatch(ctx context.Context, key string) error {
+	return s.watchOp(ctx, key, false)
+}
+
+func (s *Session) watchOp(ctx context.Context, key string, watch bool) error {
+	if s.Expired() {
+		return ErrSessionDead
+	}
+	resp, err := s.c.call(ctx, func(seq uint64) dme.Message {
+		if watch {
+			return WatchReq{Seq: seq, Session: s.id, Key: key}
+		}
+		return UnwatchReq{Seq: seq, Session: s.id, Key: key}
+	})
+	if err != nil {
+		return err
+	}
+	wr, ok := resp.(WatchResp)
+	if !ok {
+		return fmt.Errorf("session: watch got %T", resp)
+	}
+	return wr.Code.Err()
+}
+
+// End closes the session cleanly: held locks are released, queued
+// acquires canceled, watches dropped. The handle is dead afterwards.
+func (s *Session) End(ctx context.Context) error {
+	if s.Expired() {
+		return nil
+	}
+	resp, err := s.c.call(ctx, func(seq uint64) dme.Message {
+		return ByeReq{Seq: seq, Session: s.id}
+	})
+	s.markDead()
+	if err != nil {
+		return err
+	}
+	if br, ok := resp.(ByeResp); ok && br.Code != CodeOK && br.Code != CodeUnknownSession {
+		return br.Code.Err()
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package session is the client-facing layer of the lock service: thin
+// clients hold TTL-leased sessions against a live node, acquire named
+// locks through server-side per-key wait queues (so thousands of
+// clients multiplex onto the node's single Manager participant per
+// key), watch keys for release, and lose their locks through the §6
+// recovery protocol — not just a local timeout — when their lease
+// expires while holding.
+//
+// The protocol is a small framed request/response family (proto.go)
+// carried by the existing wire codec machinery over any net.Conn, with
+// server-push frames for watch events and expiry notices. Everything
+// time-driven (leases, keepalives, wait bounds) runs off an injectable
+// Clock so the whole layer is testable without sleeping.
+package session
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the session layer's time source. The production
+// implementation is WallClock; tests inject a FakeClock and drive it
+// explicitly, so lease and keepalive schedules become deterministic
+// instead of sleep-calibrated.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// AfterFunc arranges for fn to run, on an unspecified goroutine,
+	// once d has elapsed. The returned timer's Stop cancels a firing
+	// that has not started yet.
+	AfterFunc(d time.Duration, fn func()) ClockTimer
+}
+
+// ClockTimer is the stoppable handle AfterFunc returns.
+type ClockTimer interface {
+	// Stop cancels the timer; it reports whether the call prevented the
+	// callback from running (false when it already ran or was stopped).
+	Stop() bool
+}
+
+// WallClock is the real-time Clock.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (WallClock) AfterFunc(d time.Duration, fn func()) ClockTimer {
+	return wallTimer{time.AfterFunc(d, fn)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Stop() bool { return w.t.Stop() }
+
+// FakeClock is a deterministic Clock for tests: time stands still until
+// Advance moves it, and Advance fires every timer that comes due —
+// synchronously, in deadline order, with Now stepped to each timer's
+// deadline as it fires — before returning. Callbacks run without the
+// clock's lock held, so they may read Now, re-arm timers (a keepalive
+// loop), or block on a round trip served by another goroutine.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers fakeTimerHeap
+	seq    uint64 // tiebreak: equal deadlines fire in creation order
+}
+
+// NewFakeClock returns a FakeClock starting at an arbitrary fixed epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc implements Clock. A non-positive delay still waits for the
+// next Advance — fake time never moves on its own.
+func (c *FakeClock) AfterFunc(d time.Duration, fn func()) ClockTimer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{clock: c, deadline: c.now.Add(d), fn: fn, seq: c.seq}
+	c.seq++
+	heap.Push(&c.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing due timers one at a time
+// in deadline order. Each callback sees Now at (or after) its own
+// deadline, and a callback that re-arms within the advanced window fires
+// again in the same Advance call.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	end := c.now.Add(d)
+	for {
+		if len(c.timers) == 0 || c.timers[0].deadline.After(end) {
+			break
+		}
+		t := heap.Pop(&c.timers).(*fakeTimer)
+		if t.stopped {
+			continue
+		}
+		t.fired = true
+		if t.deadline.After(c.now) {
+			c.now = t.deadline
+		}
+		c.mu.Unlock()
+		t.fn()
+		c.mu.Lock()
+	}
+	c.now = end
+	c.mu.Unlock()
+}
+
+// Pending reports how many timers are armed, for test assertions.
+func (c *FakeClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+type fakeTimer struct {
+	clock    *FakeClock
+	deadline time.Time
+	fn       func()
+	seq      uint64
+	index    int
+	stopped  bool
+	fired    bool
+}
+
+// Stop implements ClockTimer.
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// fakeTimerHeap orders timers by deadline, then creation order.
+type fakeTimerHeap []*fakeTimer
+
+func (h fakeTimerHeap) Len() int { return len(h) }
+func (h fakeTimerHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h fakeTimerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *fakeTimerHeap) Push(x any) {
+	t := x.(*fakeTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *fakeTimerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

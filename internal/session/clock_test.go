@@ -1,0 +1,134 @@
+package session
+
+// White-box tests for the FakeClock and the client's keepalive jitter:
+// both are what every other session test's determinism rests on, so
+// they get exercised directly first.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeClockFiresInDeadlineOrder(t *testing.T) {
+	c := NewFakeClock()
+	var order []int
+	c.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	c.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	c.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	c.Advance(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestFakeClockEqualDeadlinesFireInCreationOrder(t *testing.T) {
+	c := NewFakeClock()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.AfterFunc(10*time.Millisecond, func() { order = append(order, i) })
+	}
+	c.Advance(10 * time.Millisecond)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("fire order = %v, want creation order", order)
+		}
+	}
+}
+
+func TestFakeClockNowStepsToEachDeadline(t *testing.T) {
+	c := NewFakeClock()
+	start := c.Now()
+	var seen []time.Duration
+	c.AfterFunc(10*time.Millisecond, func() { seen = append(seen, c.Now().Sub(start)) })
+	c.AfterFunc(25*time.Millisecond, func() { seen = append(seen, c.Now().Sub(start)) })
+	c.Advance(100 * time.Millisecond)
+	if len(seen) != 2 || seen[0] != 10*time.Millisecond || seen[1] != 25*time.Millisecond {
+		t.Fatalf("callback-observed offsets = %v, want [10ms 25ms]", seen)
+	}
+	if got := c.Now().Sub(start); got != 100*time.Millisecond {
+		t.Fatalf("after Advance, Now advanced by %v, want 100ms", got)
+	}
+}
+
+func TestFakeClockReArmWithinAdvance(t *testing.T) {
+	// A callback that re-arms itself (the keepalive pattern) must keep
+	// firing inside a single Advance that spans several periods.
+	c := NewFakeClock()
+	fires := 0
+	var tick func()
+	tick = func() {
+		fires++
+		if fires < 4 {
+			c.AfterFunc(10*time.Millisecond, tick)
+		}
+	}
+	c.AfterFunc(10*time.Millisecond, tick)
+	c.Advance(time.Second)
+	if fires != 4 {
+		t.Fatalf("re-arming timer fired %d times, want 4", fires)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", c.Pending())
+	}
+}
+
+func TestFakeClockStop(t *testing.T) {
+	c := NewFakeClock()
+	fired := false
+	tm := c.AfterFunc(10*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop = false, want true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop = true, want false")
+	}
+	c.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", c.Pending())
+	}
+
+	tm2 := c.AfterFunc(5*time.Millisecond, func() {})
+	c.Advance(5 * time.Millisecond)
+	if tm2.Stop() {
+		t.Fatal("Stop after firing = true, want false")
+	}
+}
+
+func TestFakeClockZeroDelayWaitsForAdvance(t *testing.T) {
+	c := NewFakeClock()
+	fired := false
+	c.AfterFunc(0, func() { fired = true })
+	if fired {
+		t.Fatal("zero-delay timer fired before Advance")
+	}
+	c.Advance(0)
+	if !fired {
+		t.Fatal("zero-delay timer did not fire on Advance(0)")
+	}
+}
+
+func TestKeepAliveIntervalJitter(t *testing.T) {
+	// The renewal point must sit in [TTL/4, TTL/2) — early enough that a
+	// renewal round trip beats the deadline, jittered so a fleet opened
+	// together doesn't renew together — and must vary across session ids.
+	ttl := 8 * time.Second
+	distinct := make(map[time.Duration]bool)
+	for id := uint64(1); id <= 64; id++ {
+		s := &Session{id: id, ttl: ttl}
+		d := s.keepAliveInterval()
+		if d < ttl/4 || d >= ttl/2 {
+			t.Fatalf("id %d: interval %v outside [%v, %v)", id, d, ttl/4, ttl/2)
+		}
+		if d2 := s.keepAliveInterval(); d2 != d {
+			t.Fatalf("id %d: interval not deterministic: %v then %v", id, d, d2)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 16 {
+		t.Fatalf("only %d distinct intervals across 64 ids; jitter too coarse", len(distinct))
+	}
+}

@@ -1,0 +1,124 @@
+package session_test
+
+// Cluster-level tests: the session layer over real live.Managers and
+// the real DME protocol on a mem network, via the sessiontest harness.
+// Leases run on a FakeClock; the protocol underneath runs on wall time
+// with fast timeouts, so these tests poll protocol-side effects instead
+// of sleeping for them.
+
+import (
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/session"
+	"tokenarbiter/internal/session/sessiontest"
+)
+
+// TestClusterAcquireAcrossNodes: sessions on different nodes contend
+// for one key through the real arbiter; exclusion shows up as strictly
+// increasing fences and serialized grants.
+func TestClusterAcquireAcrossNodes(t *testing.T) {
+	cl := sessiontest.Start(t, sessiontest.Options{})
+	ctx := ctxT(t)
+
+	var last uint64
+	for round := 0; round < 3; round++ {
+		for node := 0; node < cl.N; node++ {
+			c := cl.Dial(t, node, session.Options{NoKeepAlive: true})
+			sess, err := c.Open(ctx, 10*time.Second)
+			if err != nil {
+				t.Fatalf("node %d: open: %v", node, err)
+			}
+			fence, err := sess.Acquire(ctx, "shared")
+			if err != nil {
+				t.Fatalf("node %d: acquire: %v", node, err)
+			}
+			if fence <= last {
+				t.Fatalf("node %d: fence %d not above %d", node, fence, last)
+			}
+			last = fence
+			if err := sess.Release("shared"); err != nil {
+				t.Fatalf("node %d: release: %v", node, err)
+			}
+			if err := sess.End(ctx); err != nil {
+				t.Fatalf("node %d: end: %v", node, err)
+			}
+		}
+	}
+}
+
+// TestClusterExpiryRunsRecovery is the end-to-end §6 contract: a lease
+// expiring while its session holds a lock crash-restarts the key's
+// local participant, the rest of the group detects the lost token and
+// regenerates it at a higher epoch, and the next grant's fence is above
+// the expired one — invalidation through the protocol, not a local
+// unlock.
+func TestClusterExpiryRunsRecovery(t *testing.T) {
+	clk := session.NewFakeClock()
+	cl := sessiontest.Start(t, sessiontest.Options{Clock: clk})
+	ctx := ctxT(t)
+
+	// Warm-up: one grant from another node first, so the key's DME group
+	// actually exists cluster-wide and the fence watermark has propagated
+	// beyond the node about to crash. Without traffic, the group is one
+	// lazily-created instance whose crash erases the only copy of the
+	// fence history — there is nothing for §6 to recover *from*.
+	warm := cl.Dial(t, 1, session.Options{NoKeepAlive: true})
+	warmSess, err := warm.Open(ctx, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warmSess.Acquire(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := warmSess.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+
+	c := cl.Dial(t, 0, session.Options{NoKeepAlive: true})
+	holder, err := c.Open(ctx, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := holder.Acquire(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	regenBase := uint64(0)
+	for _, m := range cl.Managers {
+		regenBase += m.SumCounter("recovery_regenerations_total")
+	}
+
+	clk.Advance(2 * time.Second) // the lease lapses mid-critical-section
+
+	waitUntil(t, "expiry to invalidate through the backend", func() bool {
+		return cl.Regs[0].Counter("session_expiry_invalidations_total", "").Value() == 1
+	})
+	waitUntil(t, "client handle to learn of expiry", holder.Expired)
+
+	// A fresh session on a different node requests the key. Detection is
+	// demand-driven: this request goes unserved (the token died with the
+	// restarted participant), the token timeout fires, the group runs the
+	// invalidation round and regenerates — and the grant that finally
+	// arrives carries a strictly higher fence.
+	c2 := cl.Dial(t, 1, session.Options{NoKeepAlive: true})
+	sess2, err := c2.Open(ctx, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := sess2.Acquire(ctx, "k")
+	if err != nil {
+		t.Fatalf("acquire after recovery: %v", err)
+	}
+	if f2 <= f1 {
+		t.Fatalf("post-recovery fence %d not above expired fence %d", f2, f1)
+	}
+	var regens uint64
+	for _, m := range cl.Managers {
+		regens += m.SumCounter("recovery_regenerations_total")
+	}
+	if regens <= regenBase {
+		t.Fatalf("recovery_regenerations_total = %d, want > %d: the expired fence was not invalidated through §6", regens, regenBase)
+	}
+}

@@ -1,0 +1,118 @@
+package session_test
+
+// Wait-queue fairness as a property test: a fixed-seed random
+// interleaving of sessions acquiring a handful of keys must be granted
+// FIFO per key — the order acquires entered a key's queue is the order
+// they win the lock — and the whole schedule must drain (no deadlock,
+// no lost waiter).
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"tokenarbiter/internal/session"
+)
+
+func TestWaitQueueFIFOProperty(t *testing.T) {
+	const (
+		seed     = 42
+		sessions = 20
+	)
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+
+	r := newRig(t, nil)
+	c := r.dial()
+	sess := make([]*session.Session, sessions)
+	for i := range sess {
+		s, err := c.Open(ctxT(t), 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess[i] = s
+	}
+
+	// Every (session, key) pair exactly once, in a seed-fixed shuffle:
+	// the random interleaving the property quantifies over.
+	type op struct {
+		sess int
+		key  string
+	}
+	var ops []op
+	for i := 0; i < sessions; i++ {
+		for _, k := range keys {
+			ops = append(ops, op{i, k})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+
+	issueOrder := make(map[string][]int) // key → session ids in enqueue order
+	var (
+		mu         sync.Mutex
+		grantOrder = make(map[string][]int)    // key → session ids in grant order
+		fences     = make(map[string][]uint64) // key → fences in grant order
+	)
+
+	// Issue one acquire at a time, gating on the server's accepted-
+	// acquire counter so enqueue order is exactly issue order even
+	// though each acquire then waits on its own goroutine.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ops))
+	for i, o := range ops {
+		o := o
+		issueOrder[o.key] = append(issueOrder[o.key], o.sess)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := sess[o.sess].Acquire(context.Background(), o.key)
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Appending while still inside the critical section makes the
+			// recorded order the true grant order.
+			mu.Lock()
+			grantOrder[o.key] = append(grantOrder[o.key], o.sess)
+			fences[o.key] = append(fences[o.key], f)
+			mu.Unlock()
+			if err := sess[o.sess].Release(o.key); err != nil {
+				errs <- err
+			}
+		}()
+		waitUntil(t, "acquire to be accepted", func() bool {
+			return r.counter("session_acquires_total") == uint64(i+1)
+		})
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("schedule did not drain: wait queue deadlocked or lost a waiter")
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for _, k := range keys {
+		if len(grantOrder[k]) != sessions {
+			t.Fatalf("key %s: %d grants, want %d", k, len(grantOrder[k]), sessions)
+		}
+		for i := range issueOrder[k] {
+			if grantOrder[k][i] != issueOrder[k][i] {
+				t.Fatalf("key %s: grant order %v != issue order %v (first diff at %d)",
+					k, grantOrder[k], issueOrder[k], i)
+			}
+		}
+		for i := 1; i < len(fences[k]); i++ {
+			if fences[k][i] <= fences[k][i-1] {
+				t.Fatalf("key %s: fences not strictly increasing: %v", k, fences[k])
+			}
+		}
+	}
+}

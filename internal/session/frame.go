@@ -1,0 +1,98 @@
+package session
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+
+	"tokenarbiter/internal/wire"
+)
+
+// The session protocol runs over any net.Conn with a four-byte magic +
+// one-byte codec handshake in front of the ordinary wire codec stream:
+//
+//	client → server: "TSES" + proposed CodecID
+//	server → client: accepted CodecID (the proposal when the server
+//	                 speaks it, else CodecGob)
+//
+// after which both directions carry codec frames for the "session"
+// algorithm. The magic rejects strangers (an arbiter-protocol peer or a
+// stray HTTP client dialing the session port) with a clear error
+// instead of a codec desync.
+
+// handshakeMagic opens every session connection.
+const handshakeMagic = "TSES"
+
+// sessionCodec resolves a handshake codec id; nil when unknown.
+func sessionCodec(id wire.CodecID) wire.Codec {
+	switch id {
+	case wire.CodecGob:
+		return wire.GobCodec()
+	case wire.CodecBinary:
+		return wire.BinaryCodec()
+	}
+	return nil
+}
+
+// framed is one side's encoder/decoder pair over a buffered connection.
+// Encode paths must hold their own serialization (the client's write
+// mutex, the server's single writer goroutine) and flush after a batch.
+type framed struct {
+	enc wire.Encoder
+	dec wire.Decoder
+	bw  *bufio.Writer
+}
+
+// clientHandshake proposes codec (nil = binary) and builds the frame
+// pair from the server's acceptance.
+func clientHandshake(conn net.Conn, codec wire.Codec) (framed, error) {
+	Register()
+	if codec == nil {
+		codec = wire.BinaryCodec()
+	}
+	hello := append([]byte(handshakeMagic), byte(codec.ID()))
+	if _, err := conn.Write(hello); err != nil {
+		return framed{}, fmt.Errorf("session: handshake write: %w", err)
+	}
+	var accept [1]byte
+	if _, err := io.ReadFull(conn, accept[:]); err != nil {
+		return framed{}, fmt.Errorf("session: handshake read: %w", err)
+	}
+	got := sessionCodec(wire.CodecID(accept[0]))
+	if got == nil {
+		return framed{}, fmt.Errorf("session: server accepted unknown codec %d", accept[0])
+	}
+	bw := bufio.NewWriter(conn)
+	return framed{
+		enc: got.NewEncoder(bw, Algo),
+		dec: got.NewDecoder(bufio.NewReader(conn), Algo),
+		bw:  bw,
+	}, nil
+}
+
+// serverHandshake validates the magic, answers the codec proposal, and
+// builds the frame pair.
+func serverHandshake(conn net.Conn) (framed, error) {
+	Register()
+	var hello [5]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return framed{}, fmt.Errorf("session: handshake read: %w", err)
+	}
+	if string(hello[:4]) != handshakeMagic {
+		return framed{}, fmt.Errorf("session: bad handshake magic %q", hello[:4])
+	}
+	codec := sessionCodec(wire.CodecID(hello[4]))
+	if codec == nil {
+		codec = wire.GobCodec()
+	}
+	if _, err := conn.Write([]byte{byte(codec.ID())}); err != nil {
+		return framed{}, fmt.Errorf("session: handshake write: %w", err)
+	}
+	bw := bufio.NewWriter(conn)
+	return framed{
+		enc: codec.NewEncoder(bw, Algo),
+		dec: codec.NewDecoder(bufio.NewReader(conn), Algo),
+		bw:  bw,
+	}, nil
+}

@@ -1,0 +1,106 @@
+package session_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/session"
+	"tokenarbiter/internal/wire"
+)
+
+// protoMessages is one exemplar per session message type with every
+// field populated, plus zero-value variants — the same differential
+// corpus style the algorithm codecs use: a binary round-trip must be
+// value-identical to a gob round-trip for each.
+func protoMessages() []dme.Message {
+	return []dme.Message{
+		session.OpenReq{Seq: 1, TTLMillis: 15000},
+		session.OpenReq{},
+		session.OpenResp{Seq: 2, Code: session.CodeOK, Session: 77, TTLMillis: 10000},
+		session.OpenResp{Seq: 3, Code: session.CodeOverloaded},
+		session.KeepAliveReq{Seq: 4, Session: 77},
+		session.KeepAliveResp{Seq: 5, Code: session.CodeUnknownSession},
+		session.AcquireReq{Seq: 6, Session: 77, Key: "orders/eu-1", WaitMillis: 2500},
+		session.AcquireReq{Seq: 7, Session: 77},
+		session.AcquireResp{Seq: 8, Code: session.CodeOK, Fence: 901},
+		session.AcquireResp{Seq: 9, Code: session.CodeTimeout},
+		session.ReleaseReq{Seq: 10, Session: 77, Key: "orders/eu-1"},
+		session.ReleaseResp{Seq: 11, Code: session.CodeNotHeld},
+		session.WatchReq{Seq: 12, Session: 77, Key: "k"},
+		session.WatchResp{Seq: 13, Code: session.CodeOK},
+		session.UnwatchReq{Seq: 14, Session: 77, Key: "k"},
+		session.ByeReq{Seq: 15, Session: 77},
+		session.ByeResp{Seq: 16, Code: session.CodeOK},
+		session.WatchEvent{Session: 77, Key: "k", Fence: 901, Reason: session.ReasonExpired},
+		session.WatchEvent{},
+		session.SessionExpired{Session: 77, Code: session.CodeExpired},
+	}
+}
+
+// roundTrip pushes msg through one codec's encoder/decoder pair.
+func roundTrip(t *testing.T, codec wire.Codec, msg dme.Message) dme.Message {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := codec.NewEncoder(&buf, session.Algo)
+	if err := enc.Encode(3, msg); err != nil {
+		t.Fatalf("%s encode %T: %v", codec.Name(), msg, err)
+	}
+	dec := codec.NewDecoder(&buf, session.Algo)
+	from, got, err := dec.Decode()
+	if err != nil {
+		t.Fatalf("%s decode %T: %v", codec.Name(), msg, err)
+	}
+	if from != 3 {
+		t.Fatalf("%s decode %T: from = %d, want 3", codec.Name(), msg, from)
+	}
+	return got
+}
+
+// TestProtoRoundTrip checks every session message survives both codecs
+// unchanged and that the two codecs agree on the decoded value.
+func TestProtoRoundTrip(t *testing.T) {
+	session.Register()
+	for _, msg := range protoMessages() {
+		viaBinary := roundTrip(t, wire.BinaryCodec(), msg)
+		viaGob := roundTrip(t, wire.GobCodec(), msg)
+		if !reflect.DeepEqual(viaBinary, msg) {
+			t.Errorf("binary round-trip of %T:\n got %+v\nwant %+v", msg, viaBinary, msg)
+		}
+		if !reflect.DeepEqual(viaGob, msg) {
+			t.Errorf("gob round-trip of %T:\n got %+v\nwant %+v", msg, viaGob, msg)
+		}
+		if !reflect.DeepEqual(viaBinary, viaGob) {
+			t.Errorf("codecs disagree on %T: binary %+v, gob %+v", msg, viaBinary, viaGob)
+		}
+	}
+}
+
+// TestProtoBinaryCapable: the session family must keep its binary fast
+// path — a new message type without AppendWire/UnmarshalWire would
+// silently demote every connection to gob.
+func TestProtoBinaryCapable(t *testing.T) {
+	session.Register()
+	if !wire.BinaryCapable(session.Algo) {
+		t.Fatal("session message family is not binary-capable")
+	}
+}
+
+// TestProtoRejectsTrailingGarbage: each binary layout must consume its
+// payload exactly.
+func TestProtoRejectsTrailingGarbage(t *testing.T) {
+	session.Register()
+	msg := session.AcquireReq{Seq: 1, Session: 2, Key: "k", WaitMillis: 3}
+	b, err := msg.AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out session.AcquireReq
+	if err := out.UnmarshalWire(append(b, 0xff)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if err := out.UnmarshalWire(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}

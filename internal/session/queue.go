@@ -1,0 +1,377 @@
+package session
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"tokenarbiter/internal/dme"
+	"tokenarbiter/internal/wire"
+)
+
+// Per-key wait queues and their pumps. Each key gets one pump goroutine
+// — started on the first queued acquire, exiting when the queue drains
+// — that pops waiters FIFO, takes the key's lock through the Backend
+// (one LockFence at a time, so the whole client population occupies a
+// single participant slot in the key's DME group), hands the grant to
+// the waiter, and parks until the grant ends: a Release, a Bye, a lease
+// expiry, or server shutdown. Expiry is the interesting ending — the
+// pump crash-restarts the key's local participant instead of unlocking,
+// so the fence dies through §6 recovery (see Config.Invalidate).
+
+// waiter states; guarded by Server.mu.
+const (
+	wQueued   = iota // in the queue, cancelable
+	wGranted         // popped by the pump; owns the next grant
+	wCanceled        // answered (timeout/expiry/shutdown); pump skips it
+)
+
+// holderEvent ends a grant.
+type holderEvent struct{ kind int }
+
+const (
+	evReleased = iota // clean release (Release or Bye): Unlock + notify
+	evExpired         // lease expiry: invalidate via §6 + notify
+	evClosed          // server shutdown: Unlock and exit
+)
+
+// waiter is one queued acquire.
+type waiter struct {
+	sess       *sessionState
+	conn       *srvConn
+	seq        uint64
+	state      int
+	timer      ClockTimer // wait bound, when the acquire set one
+	enqueuedAt time.Time
+}
+
+// keyQueue is one key's waiters, holder, and watchers. Guarded by
+// Server.mu except holderDone sends, which happen after ownership is
+// transferred (holder cleared) under the lock.
+type keyQueue struct {
+	key         string
+	q           []*waiter
+	pumpRunning bool
+	holder      *sessionState
+	holderFence uint64
+	holderDone  chan holderEvent
+	watchers    map[uint64]*srvConn // watching session id → its conn
+}
+
+// keyQueueLocked returns (creating if needed) the key's queue; the
+// caller holds Server.mu.
+func (s *Server) keyQueueLocked(key string) *keyQueue {
+	kq := s.keys[key]
+	if kq == nil {
+		kq = &keyQueue{key: key, watchers: make(map[uint64]*srvConn)}
+		s.keys[key] = kq
+	}
+	return kq
+}
+
+func (s *Server) handleAcquire(c *srvConn, m AcquireReq) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.send(AcquireResp{Seq: m.Seq, Code: CodeShuttingDown})
+		return
+	}
+	sess, ok := s.sessions[m.Session]
+	if !ok {
+		s.mu.Unlock()
+		c.send(AcquireResp{Seq: m.Seq, Code: CodeUnknownSession})
+		return
+	}
+	if m.Key == "" {
+		s.mu.Unlock()
+		c.send(AcquireResp{Seq: m.Seq, Code: CodeBadRequest})
+		return
+	}
+	if _, already := sess.held[m.Key]; already {
+		// One lock per (session, key); a re-acquire while holding is a
+		// client bug, not a queueing request.
+		s.mu.Unlock()
+		c.send(AcquireResp{Seq: m.Seq, Code: CodeBadRequest})
+		return
+	}
+	kq := s.keyQueueLocked(m.Key)
+	if s.cfg.MaxWaitersPerKey > 0 && s.queuedLocked(kq) >= s.cfg.MaxWaitersPerKey {
+		s.m.rejects.Inc()
+		s.mu.Unlock()
+		c.send(AcquireResp{Seq: m.Seq, Code: CodeOverloaded})
+		return
+	}
+	w := &waiter{
+		sess:       sess,
+		conn:       c,
+		seq:        m.Seq,
+		state:      wQueued,
+		enqueuedAt: s.clock.Now(),
+	}
+	kq.q = append(kq.q, w)
+	sess.waiting[w] = struct{}{}
+	s.m.acquires.Inc()
+	s.m.waiters.Add(1)
+	if m.WaitMillis > 0 {
+		d := time.Duration(m.WaitMillis) * time.Millisecond
+		w.timer = s.clock.AfterFunc(d, func() { s.waiterTimeout(w) })
+	}
+	if !kq.pumpRunning {
+		kq.pumpRunning = true
+		s.wg.Add(1)
+		go s.pump(kq)
+	}
+	s.mu.Unlock()
+}
+
+// queuedLocked counts live (still-cancelable) waiters; caller holds mu.
+func (s *Server) queuedLocked(kq *keyQueue) int {
+	n := 0
+	for _, w := range kq.q {
+		if w.state == wQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// waiterTimeout fires a queued acquire's wait bound.
+func (s *Server) waiterTimeout(w *waiter) {
+	s.mu.Lock()
+	if w.state != wQueued {
+		s.mu.Unlock()
+		return
+	}
+	w.state = wCanceled
+	delete(w.sess.waiting, w)
+	s.m.waitTimeouts.Inc()
+	s.m.waiters.Add(-1)
+	s.mu.Unlock()
+	w.conn.send(AcquireResp{Seq: w.seq, Code: CodeTimeout})
+}
+
+// pump is one key's grant loop.
+func (s *Server) pump(kq *keyQueue) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var w *waiter
+		for len(kq.q) > 0 {
+			cand := kq.q[0]
+			kq.q = kq.q[1:]
+			if cand.state == wQueued {
+				w = cand
+				break
+			}
+		}
+		if w == nil {
+			kq.pumpRunning = false
+			s.mu.Unlock()
+			return
+		}
+		w.state = wGranted
+		if w.timer != nil {
+			w.timer.Stop()
+		}
+		delete(w.sess.waiting, w)
+		s.m.waiters.Add(-1)
+		s.mu.Unlock()
+
+		fence, err := s.cfg.Backend.LockFence(s.ctx, kq.key)
+		if err != nil {
+			// The server is closing (our ctx) or the backend is gone;
+			// either way this key grants nothing more.
+			w.conn.send(AcquireResp{Seq: w.seq, Code: CodeShuttingDown})
+			s.mu.Lock()
+			kq.pumpRunning = false
+			s.mu.Unlock()
+			return
+		}
+
+		s.mu.Lock()
+		if s.closed || s.sessions[w.sess.id] != w.sess {
+			// The waiter's session died (expiry or Bye answered it
+			// already) or the server is closing: give the lock straight
+			// back. The grant existed, so watchers still hear about it.
+			s.mu.Unlock()
+			s.unlock(kq.key)
+			s.notifyWatchers(kq, fence, ReasonReleased)
+			continue
+		}
+		w.sess.held[kq.key] = fence
+		kq.holder = w.sess
+		kq.holderFence = fence
+		ch := make(chan holderEvent, 1)
+		kq.holderDone = ch
+		s.m.grants.Inc()
+		s.m.acquireWait.Observe(s.clock.Now().Sub(w.enqueuedAt).Seconds())
+		s.mu.Unlock()
+		w.conn.send(AcquireResp{Seq: w.seq, Code: CodeOK, Fence: fence})
+
+		ev := <-ch
+		switch ev.kind {
+		case evReleased:
+			s.unlock(kq.key)
+			s.notifyWatchers(kq, fence, ReasonReleased)
+		case evExpired:
+			s.invalidateKey(kq.key)
+			s.notifyWatchers(kq, fence, ReasonExpired)
+		case evClosed:
+			s.unlock(kq.key)
+			return
+		}
+	}
+}
+
+// invalidateKey kills an expired holder's grant. With an Invalidate
+// hook (Manager.RestartKey by default) the key's local DME participant
+// is crash-restarted: the group loses the token, runs the §6
+// invalidation round, and regenerates it at a higher epoch with the
+// fence watermark carried forward — the expired fence is dead
+// cluster-wide, and the pump's next LockFence rejoins through the new
+// incarnation. Without a hook the lock is released locally, which keeps
+// liveness but trusts the expired client to stop using its fence.
+func (s *Server) invalidateKey(key string) {
+	if s.invalidate == nil {
+		s.unlock(key)
+		return
+	}
+	if err := s.invalidate(key); err != nil {
+		s.logf("expiry invalidation failed", "key", key, "err", err)
+		return
+	}
+	s.m.invalidations.Inc()
+}
+
+// unlock releases a grant through the backend, tolerating a grant the
+// backend no longer recognizes: if the key's instance was crash-
+// restarted out from under the holder (an operator restart, chaos
+// injection), the lock already died with the old incarnation and §6
+// recovered it cluster-wide — the release is then a no-op, not a panic
+// out of the pump goroutine.
+func (s *Server) unlock(key string) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.lostGrants.Inc()
+			s.logf("released a grant the backend no longer holds", "key", key, "cause", r)
+		}
+	}()
+	s.cfg.Backend.Unlock(key)
+}
+
+// notifyWatchers pushes one WatchEvent per watcher of the key.
+func (s *Server) notifyWatchers(kq *keyQueue, fence uint64, reason uint8) {
+	s.mu.Lock()
+	type target struct {
+		sid  uint64
+		conn *srvConn
+	}
+	targets := make([]target, 0, len(kq.watchers))
+	for sid, conn := range kq.watchers {
+		targets = append(targets, target{sid, conn})
+	}
+	s.mu.Unlock()
+	for _, t := range targets {
+		t.conn.send(WatchEvent{Session: t.sid, Key: kq.key, Fence: fence, Reason: reason})
+		s.m.watchEvents.Inc()
+	}
+}
+
+// --- connection plumbing ---
+
+// respFrame is one queued outbound message.
+type respFrame struct{ msg dme.Message }
+
+// srvConn is one client connection: a reader goroutine dispatching
+// requests (which may block on Server.mu but never on the network) and
+// a writer goroutine draining a bounded queue with coalesced flushes.
+type srvConn struct {
+	s         *Server
+	conn      net.Conn
+	fr        framed
+	out       chan respFrame
+	quit      chan struct{}
+	closeOnce sync.Once
+}
+
+// send enqueues an outbound frame, dropping the connection instead of
+// blocking when the queue is full: a consumer that cannot keep up with
+// its own responses and watch events is evicted, and its sessions die
+// by TTL like any other orphan.
+func (c *srvConn) send(msg dme.Message) {
+	select {
+	case c.out <- respFrame{msg}:
+	case <-c.quit:
+	default:
+		c.s.m.slowCloses.Inc()
+		c.s.logf("dropping slow consumer")
+		c.close()
+	}
+}
+
+// close tears the connection down once; safe from any goroutine.
+func (c *srvConn) close() {
+	c.closeOnce.Do(func() {
+		close(c.quit)
+		_ = c.conn.Close()
+	})
+}
+
+// writeLoop drains the outbound queue, flushing when it runs dry.
+func (c *srvConn) writeLoop() {
+	defer c.s.wg.Done()
+	for {
+		select {
+		case f := <-c.out:
+			if err := c.fr.enc.Encode(0, f.msg); err != nil {
+				c.close()
+				return
+			}
+			if len(c.out) == 0 {
+				if err := c.fr.bw.Flush(); err != nil {
+					c.close()
+					return
+				}
+			}
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// readLoop decodes and dispatches requests until the connection dies.
+func (c *srvConn) readLoop() {
+	defer func() {
+		c.close()
+		c.s.dropConn(c)
+	}()
+	for {
+		_, msg, err := c.fr.dec.Decode()
+		if err != nil {
+			var de *wire.DecodeError
+			if errors.As(err, &de) {
+				continue // one bad frame; the stream is still aligned
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case OpenReq:
+			c.s.handleOpen(c, m)
+		case KeepAliveReq:
+			c.s.handleKeepAlive(c, m)
+		case AcquireReq:
+			c.s.handleAcquire(c, m)
+		case ReleaseReq:
+			c.s.handleRelease(c, m)
+		case WatchReq:
+			c.s.handleWatch(c, m)
+		case UnwatchReq:
+			c.s.handleUnwatch(c, m)
+		case ByeReq:
+			c.s.handleBye(c, m)
+		default:
+			// A response or push type from a confused peer: ignore.
+		}
+	}
+}
